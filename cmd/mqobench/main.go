@@ -1,0 +1,57 @@
+// Command mqobench regenerates the paper's experiments. With no flags it
+// runs every experiment; -experiment selects one of: fig6, q2ni, fig7,
+// fig8, fig9, fig10, monotonicity, sharability, nosharing, memory, scale.
+//
+//	mqobench -experiment fig6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mqo/internal/bench"
+)
+
+func main() {
+	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|all)")
+	maxCQ := flag.Int("maxcq", 3, "largest PSP composite for the ablation experiments (1-5)")
+	flag.Parse()
+
+	type runner struct {
+		name string
+		run  func() (*bench.Experiment, error)
+	}
+	runners := []runner{
+		{"fig6", bench.Figure6},
+		{"q2ni", bench.Q2NotIn},
+		{"fig7", bench.Figure7},
+		{"fig8", bench.Figure8},
+		{"fig9", bench.Figure9},
+		{"fig10", bench.Figure10},
+		{"monotonicity", func() (*bench.Experiment, error) { return bench.AblationMonotonicity(*maxCQ) }},
+		{"sharability", func() (*bench.Experiment, error) { return bench.AblationSharability(*maxCQ) }},
+		{"nosharing", bench.NoSharingOverhead},
+		{"memory", bench.MemorySensitivity},
+		{"scale", bench.ScaleSensitivity},
+		{"space", bench.SpaceBudgetCurve},
+	}
+
+	ran := false
+	for _, r := range runners {
+		if *which != "all" && *which != r.name {
+			continue
+		}
+		ran = true
+		exp, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mqobench: %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(exp)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "mqobench: unknown experiment %q\n", *which)
+		os.Exit(2)
+	}
+}

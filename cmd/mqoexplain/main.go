@@ -1,0 +1,109 @@
+// Command mqoexplain dumps the expanded AND-OR DAG, sharability degrees and
+// the chosen plan for a workload, for inspection and debugging.
+//
+//	mqoexplain -workload q11
+//	mqoexplain -workload bq -n 2 -alg volcano-sh -dag
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+	"mqo/internal/core"
+	"mqo/internal/cost"
+	"mqo/internal/psp"
+	"mqo/internal/tpcd"
+)
+
+func main() {
+	workload := flag.String("workload", "q11", "workload: bq|cq|q11|q15|q2|q2d|q2ni")
+	n := flag.Int("n", 2, "composite size for bq/cq")
+	algName := flag.String("alg", "greedy", "algorithm: volcano|volcano-sh|volcano-ru|greedy")
+	showDAG := flag.Bool("dag", false, "dump the expanded logical DAG")
+	flag.Parse()
+
+	var (
+		queries []*algebra.Tree
+		cat     *catalog.Catalog
+	)
+	switch *workload {
+	case "bq":
+		queries, cat = tpcd.BatchQueries(*n), tpcd.Catalog(1)
+	case "cq":
+		queries, cat = psp.CQ(*n), psp.Catalog(1)
+	case "q11":
+		queries, cat = []*algebra.Tree{tpcd.Q11()}, tpcd.Catalog(1)
+	case "q15":
+		queries, cat = []*algebra.Tree{tpcd.Q15()}, tpcd.Catalog(1)
+	case "q2":
+		queries, cat = tpcd.Q2(1), tpcd.Catalog(1)
+	case "q2d":
+		queries, cat = tpcd.Q2D(), tpcd.Catalog(1)
+	case "q2ni":
+		queries, cat = tpcd.Q2NI(1), tpcd.Catalog(1)
+	default:
+		fmt.Fprintf(os.Stderr, "mqoexplain: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	alg := core.Greedy
+	switch strings.ToLower(*algName) {
+	case "volcano":
+		alg = core.Volcano
+	case "volcano-sh", "sh":
+		alg = core.VolcanoSH
+	case "volcano-ru", "ru":
+		alg = core.VolcanoRU
+	}
+
+	pd, err := core.BuildDAG(cat, cost.DefaultModel(), queries)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mqoexplain: %v\n", err)
+		os.Exit(1)
+	}
+	degrees := core.ComputeSharability(pd)
+
+	fmt.Printf("queries: %d   logical groups: %d   operation nodes: %d   physical nodes: %d\n",
+		len(queries), len(pd.L.LiveGroups()), pd.L.NumExprs(), len(pd.Nodes))
+
+	if *showDAG {
+		fmt.Println("\n-- expanded logical DAG --")
+		for _, g := range pd.L.LiveGroups() {
+			shar := ""
+			if degrees[g] > 1 {
+				shar = fmt.Sprintf("  [sharable, degree %.0f]", degrees[g])
+			}
+			fmt.Printf("group %d (rows %.0f)%s\n", g.ID, g.Rel.Rows, shar)
+			for _, e := range g.Exprs {
+				children := make([]string, len(e.Children))
+				for i, c := range e.Children {
+					children[i] = fmt.Sprint(c.Find().ID)
+				}
+				tag := ""
+				if e.Subsumption {
+					tag = "  (subsumption)"
+				}
+				fmt.Printf("  %s(%s)%s\n", e.Op, strings.Join(children, ","), tag)
+			}
+		}
+	}
+
+	res, err := core.Optimize(pd, alg, core.Options{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mqoexplain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n-- %v plan (estimated cost %.2f s, optimization %v) --\n", alg, res.Cost, res.Stats.OptTime)
+	fmt.Print(res.Plan)
+	if len(res.Materialized) > 0 {
+		fmt.Println("\nmaterialized results:")
+		for _, m := range res.Materialized {
+			fmt.Printf("  node %d prop=%s rows=%.0f cost=%.2f matcost=%.2f reuse=%.2f\n",
+				m.ID, m.Prop, m.LG.Rel.Rows, m.Cost, m.MatCost, m.ReuseSeq)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Command mqorun optimizes a workload with a chosen algorithm, executes the
+// plan on generated data, and reports plan cost, measured I/O and result
+// sizes. The workload is either one of the built-in benchmarks or an ad hoc
+// SQL batch over the TPC-D schema.
+//
+//	mqorun -workload bq -n 3 -alg greedy -sf 0.002
+//	mqorun -workload cq -n 2 -alg volcano-ru
+//	mqorun -sql "SELECT nname, SUM(lprice) AS r FROM lineitem, supplier, nation \
+//	             WHERE lsk = sk AND snk = nk GROUP BY nname"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+	"mqo/internal/core"
+	"mqo/internal/cost"
+	"mqo/internal/exec"
+	"mqo/internal/psp"
+	"mqo/internal/sql"
+	"mqo/internal/storage"
+	"mqo/internal/tpcd"
+)
+
+func main() {
+	workload := flag.String("workload", "bq", "workload: bq|cq|q11|q15|q2d")
+	n := flag.Int("n", 2, "composite size for bq (1-5) / cq (1-5)")
+	algName := flag.String("alg", "greedy", "algorithm: volcano|volcano-sh|volcano-ru|greedy")
+	sf := flag.Float64("sf", 0.002, "data scale factor for execution")
+	pool := flag.Int("pool", 1024, "buffer pool pages")
+	sqlSrc := flag.String("sql", "", "semicolon-separated SELECT batch over the TPC-D schema (overrides -workload)")
+	flag.Parse()
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		fail(err)
+	}
+
+	db := storage.NewDB(*pool)
+	var (
+		queries []*algebra.Tree
+		cat     *catalog.Catalog
+	)
+	if *sqlSrc != "" {
+		cat = tpcd.Catalog(*sf)
+		queries, err = sql.ParseBatch(cat, *sqlSrc)
+		if err == nil {
+			err = tpcd.LoadDB(db, *sf, 1)
+		}
+	} else {
+		queries, cat, err = namedWorkload(*workload, *n, *sf, db)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	model := cost.DefaultModel()
+	pd, err := core.BuildDAG(cat, model, queries)
+	if err != nil {
+		fail(err)
+	}
+	res, err := core.Optimize(pd, alg, core.Options{})
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("queries=%d algorithm=%v\n", len(queries), alg)
+	fmt.Printf("estimated cost: %.2f s   optimization time: %v   materialized nodes: %d\n",
+		res.Cost, res.Stats.OptTime, len(res.Materialized))
+	fmt.Println(res.Plan)
+
+	results, stats, err := exec.Run(db, model, res.Plan, nil)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("executed: %d queries, %d rows total, reads=%d writes=%d, simulated time %.3f s, wall %v\n",
+		len(results), stats.RowsOut, stats.IO.Reads, stats.IO.Writes, stats.SimTime, stats.Wall)
+	for i, qr := range results {
+		fmt.Printf("  query %d: %d rows\n", i, len(qr.Rows))
+	}
+}
+
+// namedWorkload loads one of the built-in workloads into db and returns
+// its queries and catalog.
+func namedWorkload(workload string, n int, sf float64, db *storage.DB) ([]*algebra.Tree, *catalog.Catalog, error) {
+	switch workload {
+	case "bq":
+		return tpcd.BatchQueries(n), tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
+	case "q11":
+		return []*algebra.Tree{tpcd.Q11()}, tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
+	case "q15":
+		return []*algebra.Tree{tpcd.Q15()}, tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
+	case "q2d":
+		return tpcd.Q2D(), tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
+	case "cq":
+		return psp.CQ(n), psp.Catalog(sf), psp.LoadDB(db, sf, 1)
+	}
+	return nil, nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+func parseAlg(s string) (core.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "volcano":
+		return core.Volcano, nil
+	case "volcano-sh", "sh":
+		return core.VolcanoSH, nil
+	case "volcano-ru", "ru":
+		return core.VolcanoRU, nil
+	case "greedy":
+		return core.Greedy, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "mqorun: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,83 @@
+// Nested queries: the paper's §5 extension. TPC-D Q2 contains a correlated
+// subquery — for each part, the minimum supply cost among suppliers of one
+// region — which correlated evaluation invokes once per outer part. The
+// parameter-independent part of the subquery (the partsupp ⋈ supplier ⋈
+// nation ⋈ region join) is invariant across invocations; Greedy discovers
+// it, materializes it (with a temporary index when the correlation
+// predicate is an equality), and the per-invocation cost collapses.
+//
+// The example optimizes the correlated Q2, the decorrelated Q2-D, and the
+// "not in" variant Q2-NI that defeats decorrelation and index access, then
+// executes Q2 correlated on generated data with real parameter bindings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mqo/internal/algebra"
+	"mqo/internal/core"
+	"mqo/internal/cost"
+	"mqo/internal/exec"
+	"mqo/internal/storage"
+	"mqo/internal/tpcd"
+)
+
+func main() {
+	model := cost.DefaultModel()
+	cat := tpcd.Catalog(1)
+
+	show := func(label string, queries []*algebra.Tree) {
+		pd, err := core.BuildDAG(cat, model, queries)
+		if err != nil {
+			log.Fatal(err)
+		}
+		volcano, err := core.Optimize(pd, core.Volcano, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s Volcano %10.1f s   Greedy %9.1f s   (%.1fx, %d materialized)\n",
+			label, volcano.Cost, greedy.Cost, volcano.Cost/greedy.Cost, len(greedy.Materialized))
+		for _, m := range greedy.Materialized {
+			fmt.Printf("       materialized: node %d %s rows=%.0f\n", m.ID, m.Prop, m.LG.Rel.Rows)
+		}
+	}
+	fmt.Println("optimization at SF 1 statistics:")
+	show("Q2", tpcd.Q2(1))
+	show("Q2-D", tpcd.Q2D())
+	show("Q2-NI", tpcd.Q2NI(1))
+
+	// Correlated execution at a small scale, with one binding per outer
+	// part key.
+	const sf = 0.005
+	db := storage.NewDB(512)
+	if err := tpcd.LoadDB(db, sf, 5); err != nil {
+		log.Fatal(err)
+	}
+	k := tpcd.Q2Invocations(sf)
+	sets := make([]map[string]algebra.Value, 0, k)
+	for i := int64(1); i <= k; i++ {
+		sets = append(sets, map[string]algebra.Value{"pk": algebra.IntVal(i)})
+	}
+	pd, err := core.BuildDAG(tpcd.Catalog(sf), model, tpcd.Q2(sf))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncorrelated execution at SF %g (%d invocations):\n", sf, k)
+	for _, alg := range []core.Algorithm{core.Volcano, core.Greedy} {
+		res, err := core.Optimize(pd, alg, core.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, stats, err := exec.Run(db, model, res.Plan, &exec.Env{ParamSets: sets})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8v reads=%5d writes=%5d simulated=%6.3f s wall=%v\n",
+			alg, stats.IO.Reads, stats.IO.Writes, stats.SimTime, stats.Wall.Round(1000000))
+	}
+}

@@ -1,0 +1,178 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeAndValueStrings(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{IntVal(42), "42"},
+		{IntVal(-3), "-3"},
+		{FloatVal(2.5), "2.5"},
+		{DateVal(100), "d100"},
+		{StringVal("hi"), `"hi"`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%v.String() = %q, want %q", c.v.Typ, got, c.want)
+		}
+	}
+	names := map[Type]string{TInt: "int", TFloat: "float", TString: "string", TDate: "date"}
+	for ty, want := range names {
+		if ty.String() != want {
+			t.Errorf("Type(%d).String() = %q, want %q", ty, ty.String(), want)
+		}
+	}
+	if !IntVal(1).IsNumeric() || StringVal("x").IsNumeric() {
+		t.Error("IsNumeric wrong")
+	}
+	if DateVal(7).AsFloat() != 7 || StringVal("x").AsFloat() != 0 {
+		t.Error("AsFloat wrong")
+	}
+}
+
+func TestScalarFingerprints(t *testing.T) {
+	e := BinExpr{Op: Mul,
+		L: ColExpr{C: Col("t", "a")},
+		R: BinExpr{Op: Sub, L: ConstExpr{V: FloatVal(1)}, R: ParamExpr{Name: "p"}},
+	}
+	fp := e.Fingerprint()
+	if !strings.Contains(fp, "t.a") || !strings.Contains(fp, "?p") || !strings.Contains(fp, "*") {
+		t.Errorf("fingerprint %q missing pieces", fp)
+	}
+	if !e.HasParam() {
+		t.Error("BinExpr with param should report HasParam")
+	}
+	var cols []Column
+	e.VisitColumns(func(c Column) { cols = append(cols, c) })
+	if len(cols) != 1 || cols[0] != Col("t", "a") {
+		t.Errorf("VisitColumns = %v", cols)
+	}
+}
+
+func TestClauseAndPredicateRendering(t *testing.T) {
+	p := OrValues(Col("t", "a"), EQ, []Value{IntVal(5), IntVal(10)})
+	s := p.String()
+	if !strings.Contains(s, "OR") {
+		t.Errorf("disjunction missing OR: %q", s)
+	}
+	if cols := p.Columns(); len(cols) != 1 {
+		t.Errorf("Columns = %v", cols)
+	}
+	conj := Cmp(Col("t", "a"), LT, IntVal(1)).And(ColCmp(Col("t", "a"), GE, Col("t", "b")))
+	if !strings.Contains(conj.String(), "AND") {
+		t.Errorf("conjunction missing AND: %q", conj.String())
+	}
+	if TruePred().Fingerprint() != "true" {
+		t.Error("true predicate fingerprint wrong")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{
+		Scan{Table: "t", Alias: "t"},
+		Scan{Table: "t", Alias: "x"},
+		Select{Pred: Cmp(Col("t", "a"), EQ, IntVal(1))},
+		Join{Pred: ColEq(Col("t", "a"), Col("u", "b"))},
+		Aggregate{GroupBy: []Column{Col("t", "a")},
+			Aggs: []AggExpr{{Func: Sum, Arg: ColOf("t", "a"), As: Col("q", "s")}}},
+		Project{Exprs: []NamedScalar{{Expr: ColOf("t", "a"), As: Col("q", "a"), Typ: TInt}}},
+		NoOp{NInputs: 2},
+		Invoke{Times: 7},
+	}
+	for _, op := range ops {
+		if op.String() == "" || op.Fingerprint() == "" {
+			t.Errorf("%T: empty rendering", op)
+		}
+	}
+	if (Scan{Table: "t", Alias: "x"}).String() == (Scan{Table: "t", Alias: "t"}).String() {
+		t.Error("aliased scan should render differently")
+	}
+	if (Invoke{Times: 7}).Arity() != 1 || (NoOp{NInputs: 3}).Arity() != 3 {
+		t.Error("arity wrong")
+	}
+}
+
+func TestAggFuncProperties(t *testing.T) {
+	for _, f := range []AggFunc{Sum, CountAll, Min, Max} {
+		if !f.Decomposable() {
+			t.Errorf("%v should be decomposable", f)
+		}
+	}
+	if Avg.Decomposable() {
+		t.Error("avg must not be decomposable")
+	}
+	if CountAll.Reaggregate() != Sum {
+		t.Error("count re-aggregates by sum")
+	}
+	if Min.Reaggregate() != Min || Sum.Reaggregate() != Sum {
+		t.Error("self re-aggregation wrong")
+	}
+	a := AggExpr{Func: CountAll, As: Col("q", "n")}
+	if !strings.Contains(a.Fingerprint(), "count(*)") {
+		t.Errorf("count(*) fingerprint: %q", a.Fingerprint())
+	}
+}
+
+func TestTreeBuildersAndString(t *testing.T) {
+	tr := AggT([]Column{Col("t", "a")},
+		[]AggExpr{{Func: Sum, Arg: ColOf("t", "b"), As: Col("q", "s")}},
+		JoinT(ColEq(Col("t", "a"), Col("u", "a")),
+			SelectT(Cmp(Col("t", "b"), GT, IntVal(0)), ScanT("t")),
+			ScanAs("u", "uu")))
+	s := tr.String()
+	for _, want := range []string{"Agg", "Join", "Select", "Scan(t)", "Scan(u as uu)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tree rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := Schema{{Col: Col("t", "a"), Typ: TInt}, {Col: Col("t", "b"), Typ: TString}}
+	if got := s.String(); !strings.Contains(got, "t.a:int") || !strings.Contains(got, "t.b:string") {
+		t.Errorf("Schema.String() = %q", got)
+	}
+	if cols := s.Columns(); len(cols) != 2 || cols[1] != Col("t", "b") {
+		t.Errorf("Columns() = %v", cols)
+	}
+}
+
+func TestCmpOpFlipEvalAll(t *testing.T) {
+	pairs := map[CmpOp]CmpOp{LT: GT, LE: GE, GT: LT, GE: LE, EQ: EQ, NE: NE}
+	for op, want := range pairs {
+		if op.Flip() != want {
+			t.Errorf("%v.Flip() = %v, want %v", op, op.Flip(), want)
+		}
+		// a op b  ==  b flip(op) a for all value pairs.
+		for _, a := range []Value{IntVal(1), IntVal(2)} {
+			for _, b := range []Value{IntVal(1), IntVal(2)} {
+				if op.Eval(a, b) != op.Flip().Eval(b, a) {
+					t.Errorf("flip law broken for %v(%v,%v)", op, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestSingleColumnRange(t *testing.T) {
+	// Constant on the left must flip.
+	p := Predicate{Conj: []Clause{{Disj: []Comparison{{
+		L: ConstExpr{V: IntVal(5)}, Op: LT, R: ColExpr{C: Col("t", "a")},
+	}}}}}
+	col, op, v, ok := p.SingleColumnRange()
+	if !ok || col != Col("t", "a") || op != GT || v.I != 5 {
+		t.Errorf("SingleColumnRange = %v %v %v %v", col, op, v, ok)
+	}
+	if _, _, _, ok := TruePred().SingleColumnRange(); ok {
+		t.Error("true predicate has no single-column range")
+	}
+	multi := Cmp(Col("t", "a"), EQ, IntVal(1)).And(Cmp(Col("t", "b"), EQ, IntVal(2)))
+	if _, _, _, ok := multi.SingleColumnRange(); ok {
+		t.Error("conjunction has no single-column range")
+	}
+}

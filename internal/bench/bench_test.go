@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"testing"
+
+	"mqo/internal/core"
+)
+
+// These tests pin the *shape* of the reproduced figures: who wins, the
+// orderings between algorithms, and the growth directions — the properties
+// the paper's evaluation establishes. Absolute values are free.
+
+func cellCost(r Row, alg core.Algorithm) float64 {
+	for _, c := range r.Cells {
+		if c.Alg == alg {
+			return c.Cost
+		}
+	}
+	return -1
+}
+
+func TestFigure6Shape(t *testing.T) {
+	e, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range e.Rows {
+		v := cellCost(row, core.Volcano)
+		for _, alg := range []core.Algorithm{core.VolcanoSH, core.VolcanoRU, core.Greedy} {
+			if c := cellCost(row, alg); c > v*1.0001 {
+				t.Errorf("%s: %v (%f) worse than Volcano (%f)", row.Label, alg, c, v)
+			}
+		}
+	}
+	// Q2: only Greedy improves (nested-query sharing).
+	q2 := e.Rows[0]
+	if cellCost(q2, core.Greedy) >= cellCost(q2, core.Volcano)*0.9 {
+		t.Error("Q2: Greedy should clearly beat Volcano")
+	}
+	if cellCost(q2, core.VolcanoSH) < cellCost(q2, core.Volcano)*0.99 {
+		t.Error("Q2: Volcano-SH should not find the nested-query sharing")
+	}
+	// Q11, Q15: all heuristics roughly halve the cost.
+	for _, idx := range []int{2, 3} {
+		row := e.Rows[idx]
+		if cellCost(row, core.Greedy) > 0.75*cellCost(row, core.Volcano) {
+			t.Errorf("%s: Greedy should cut the cost substantially", row.Label)
+		}
+	}
+}
+
+func TestQ2NotInShape(t *testing.T) {
+	e, err := Q2NotIn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := e.Rows[0]
+	ratio := cellCost(row, core.Volcano) / cellCost(row, core.Greedy)
+	if ratio < 5 {
+		t.Errorf("Q2-NI improvement %.1fx, want >= 5x (paper ~9x)", ratio)
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	e, err := Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range e.Rows {
+		v, sh, ru, g := cellCost(row, core.Volcano), cellCost(row, core.VolcanoSH),
+			cellCost(row, core.VolcanoRU), cellCost(row, core.Greedy)
+		if !(g <= ru*1.0001 && ru <= sh*1.0001 && sh <= v*1.0001) {
+			t.Errorf("%s: ordering violated: G=%f RU=%f SH=%f V=%f", row.Label, g, ru, sh, v)
+		}
+	}
+	// Greedy's saving must be substantial on the larger batches.
+	last := e.Rows[len(e.Rows)-1]
+	if cellCost(last, core.Greedy) > 0.85*cellCost(last, core.Volcano) {
+		t.Errorf("BQ5: Greedy saving too small (%f vs %f)",
+			cellCost(last, core.Greedy), cellCost(last, core.Volcano))
+	}
+}
+
+func TestFigure9And10Shape(t *testing.T) {
+	e9, err := Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevVolcano, prevGreedyTime float64
+	for i, row := range e9.Rows {
+		v, sh, ru, g := cellCost(row, core.Volcano), cellCost(row, core.VolcanoSH),
+			cellCost(row, core.VolcanoRU), cellCost(row, core.Greedy)
+		if !(g <= ru*1.0001 && ru <= sh*1.0001 && sh <= v*1.0001) {
+			t.Errorf("%s: ordering violated: G=%f RU=%f SH=%f V=%f", row.Label, g, ru, sh, v)
+		}
+		// Estimated cost grows with the number of queries.
+		if v <= prevVolcano {
+			t.Errorf("%s: Volcano cost did not grow (%f after %f)", row.Label, v, prevVolcano)
+		}
+		prevVolcano = v
+		gt := float64(row.Cells[3].OptTime)
+		if i > 0 && gt < prevGreedyTime*0.5 {
+			t.Errorf("%s: Greedy optimization time shrank drastically", row.Label)
+		}
+		prevGreedyTime = gt
+	}
+
+	e10, err := Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevProps, prevRecomps float64
+	for _, row := range e10.Rows {
+		props, recomps := row.Extra["cost_propagations"], row.Extra["cost_recomputations"]
+		if props <= prevProps || recomps <= prevRecomps {
+			t.Errorf("%s: counters did not grow (props %f->%f, recomps %f->%f)",
+				row.Label, prevProps, props, prevRecomps, recomps)
+		}
+		prevProps, prevRecomps = props, recomps
+	}
+	// Near-linear: CQ5/CQ1 counter ratio should be within ~3x of the query
+	// ratio (34/4 = 8.5), not quadratic (72x).
+	growth := e10.Rows[len(e10.Rows)-1].Extra["cost_propagations"] / e10.Rows[0].Extra["cost_propagations"]
+	if growth > 30 {
+		t.Errorf("propagation growth %.1fx looks super-linear", growth)
+	}
+}
+
+func TestAblationShapes(t *testing.T) {
+	mono, err := AblationMonotonicity(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range mono.Rows {
+		if row.Cells[0].Cost != row.Cells[1].Cost {
+			t.Errorf("%s: monotonicity changed plan cost", row.Label)
+		}
+		if row.Extra["with_benefit_recomps"] >= row.Extra["without_benefit_recomps"] {
+			t.Errorf("%s: monotonicity did not reduce benefit recomputations", row.Label)
+		}
+	}
+	shar, err := AblationSharability(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range shar.Rows {
+		if row.Cells[0].Cost != row.Cells[1].Cost {
+			t.Errorf("%s: sharability filter changed plan cost", row.Label)
+		}
+		if row.Extra["with_candidates"] >= row.Extra["without_candidates"] {
+			t.Errorf("%s: sharability filter did not shrink the candidate set", row.Label)
+		}
+	}
+}
+
+func TestNoSharingShape(t *testing.T) {
+	e, err := NoSharingOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := e.Rows[0]
+	if row.Cells[0].Cost != row.Cells[1].Cost {
+		t.Errorf("no-sharing batch: Greedy cost %f != Volcano cost %f",
+			row.Cells[1].Cost, row.Cells[0].Cost)
+	}
+	if row.Extra["materialized"] != 0 || row.Extra["sharable_nodes"] != 0 {
+		t.Error("no-sharing batch: expected zero sharable nodes and materializations")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	e, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range e.Rows {
+		if row.Extra["MQO_sim_s"] > row.Extra["NoMQO_sim_s"]+0.05 {
+			t.Errorf("%s: MQO execution (%f) slower than No-MQO (%f)",
+				row.Label, row.Extra["MQO_sim_s"], row.Extra["NoMQO_sim_s"])
+		}
+	}
+	// Q2 and Q15 must show a clear measured win.
+	for _, idx := range []int{0, 3} {
+		row := e.Rows[idx]
+		if row.Extra["MQO_sim_s"] > 0.8*row.Extra["NoMQO_sim_s"] {
+			t.Errorf("%s: measured MQO win too small (%f vs %f)",
+				row.Label, row.Extra["MQO_sim_s"], row.Extra["NoMQO_sim_s"])
+		}
+	}
+}
+
+func TestScaleAndSpaceShapes(t *testing.T) {
+	sc, err := ScaleSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Rows[1].Extra["benefit_s"] <= sc.Rows[0].Extra["benefit_s"] {
+		t.Error("absolute benefit must grow with data scale")
+	}
+	sp, err := SpaceBudgetCurve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := sp.Rows[0].Cells[0].Cost + 1
+	for _, row := range sp.Rows {
+		c := row.Cells[0].Cost
+		if c > prev+1e-6 {
+			t.Errorf("space curve not monotone at %s: %f after %f", row.Label, c, prev)
+		}
+		prev = c
+	}
+}

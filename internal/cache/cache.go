@@ -1,0 +1,283 @@
+// Package cache applies the paper's greedy machinery to query-result
+// caching, the direction §8 points to ("we have recently applied the
+// greedy algorithm ... to tackle the problem of cache replacement in query
+// result caching"): instead of optimizing a batch given together, a
+// Manager processes a *sequence* of queries, keeping a bounded store of
+// materialized intermediate results. Before each query, cached results are
+// made visible to the optimizer as materialized nodes (matched across
+// queries by canonical expression fingerprints); after it, the query's
+// intermediate results compete for cache space by value density
+// (estimated recomputation cost per byte), and poor entries are evicted.
+package cache
+
+import (
+	"fmt"
+	"sort"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+	"mqo/internal/core"
+	"mqo/internal/cost"
+	"mqo/internal/dag"
+	"mqo/internal/physical"
+)
+
+// Entry is one cached materialized result.
+type Entry struct {
+	// Key is the canonical logical fingerprint of the cached expression.
+	Key string
+	// Prop is the physical property the result was stored with.
+	Prop physical.Prop
+	// Bytes is the estimated stored size.
+	Bytes int64
+	// Value accumulates the estimated cost the entry has saved (its
+	// admission value plus reinforcement per hit); eviction removes the
+	// lowest Value/Bytes density first.
+	Value float64
+	// Hits counts queries that reused the entry.
+	Hits int
+	// LastUsed is the sequence number of the last query that hit it.
+	LastUsed int
+}
+
+// density is the eviction metric.
+func (e *Entry) density() float64 { return e.Value / float64(e.Bytes) }
+
+// Decision reports what one Process call did.
+type Decision struct {
+	CostNoCache   float64
+	CostWithCache float64
+	HitKeys       []string
+	Admitted      []string
+	Evicted       []string
+	Plan          *physical.Plan
+}
+
+// Manager is the cache controller for a query sequence.
+type Manager struct {
+	Cat    *catalog.Catalog
+	Model  cost.Model
+	Budget int64 // bytes of cached results
+
+	entries map[string]*Entry
+	used    int64
+	clock   int
+}
+
+// NewManager creates a cache manager with the given byte budget.
+func NewManager(cat *catalog.Catalog, model cost.Model, budget int64) *Manager {
+	return &Manager{Cat: cat, Model: model, Budget: budget, entries: map[string]*Entry{}}
+}
+
+// Entries returns the current cache contents, most valuable first.
+func (m *Manager) Entries() []*Entry {
+	out := make([]*Entry, 0, len(m.entries))
+	for _, e := range m.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].density() > out[j].density() })
+	return out
+}
+
+// UsedBytes reports the occupied cache space.
+func (m *Manager) UsedBytes() int64 { return m.used }
+
+// entryKey combines the canonical logical fingerprint with the stored
+// physical property.
+func entryKey(fp string, prop physical.Prop) string { return fp + "§" + prop.Key() }
+
+// Process optimizes one query of the sequence against the current cache
+// state, then updates the cache: hits are reinforced, and the query's own
+// materialization-worthy intermediate results are admitted if their value
+// density beats the weakest entries.
+func (m *Manager) Process(q *algebra.Tree) (*Decision, error) {
+	m.clock++
+	pd, err := core.BuildDAG(m.Cat, m.Model, []*algebra.Tree{q})
+	if err != nil {
+		return nil, err
+	}
+	fps := dag.CanonicalFingerprints(pd.L)
+
+	// Baseline: no cache.
+	core.ClearMaterialized(pd)
+	pd.Recost()
+	noCache := pd.Root.Cost
+
+	// Expose cache hits: a node is served by an entry when the logical
+	// fingerprints match and the stored property satisfies the node's.
+	hitNodes := map[*physical.Node]*Entry{}
+	for _, n := range pd.Nodes {
+		fp := fps[n.LG.Find()]
+		for _, e := range m.entries {
+			if e.Key == fp && e.Prop.Satisfies(n.Prop) {
+				pd.SetMaterializedRaw(n, true)
+				if prev, ok := hitNodes[n]; !ok || e.density() > prev.density() {
+					hitNodes[n] = e
+				}
+			}
+		}
+	}
+	pd.Recost()
+	withCache := pd.Root.Cost
+	plan := physical.NewPlan()
+	plan.Root = pd.ExtractInto(plan, pd.Root)
+	pd.FinishPlan(plan)
+
+	dec := &Decision{CostNoCache: noCache, CostWithCache: withCache, Plan: plan}
+
+	// Reinforce entries the plan actually reads.
+	usedEntries := map[*Entry]bool{}
+	plan.Root.Walk(func(pn *physical.PlanNode) {
+		if e, ok := hitNodes[pn.N]; ok && pn.Mat {
+			usedEntries[e] = true
+		}
+	})
+	// Entries serving plan nodes via Mat marks on reachable nodes.
+	for n, e := range hitNodes {
+		if pn, ok := plan.ByNode[n]; ok && pn.Mat && !usedEntries[e] {
+			usedEntries[e] = true
+		}
+	}
+	saved := noCache - withCache
+	for e := range usedEntries {
+		e.Hits++
+		e.LastUsed = m.clock
+		if len(usedEntries) > 0 {
+			e.Value += saved / float64(len(usedEntries))
+		}
+		dec.HitKeys = append(dec.HitKeys, entryKey(e.Key, e.Prop))
+	}
+
+	// Admission: the query's own worthwhile intermediate results. Reuse
+	// the sharability machinery to avoid caching trivia: candidates are
+	// nodes whose recomputation is expensive relative to their size.
+	m.admit(pd, fps, hitNodes, dec)
+	sort.Strings(dec.HitKeys)
+	return dec, nil
+}
+
+// admit considers the query's intermediate results for caching.
+func (m *Manager) admit(pd *physical.DAG, fps map[*dag.Group]string,
+	hits map[*physical.Node]*Entry, dec *Decision) {
+
+	type cand struct {
+		n     *physical.Node
+		bytes int64
+		value float64
+	}
+	var cands []cand
+	seen := map[string]bool{}
+	for _, n := range pd.Nodes {
+		if n.LG.ParamDep || n == pd.Root || n.Cost <= 0 {
+			continue
+		}
+		if _, isHit := hits[n]; isHit {
+			continue // already cached
+		}
+		if len(n.LG.Schema) == 0 {
+			continue
+		}
+		if isBaseScanGroup(n.LG) {
+			continue // base tables are already stored
+		}
+		key := entryKey(fps[n.LG.Find()], n.Prop)
+		if seen[key] {
+			continue
+		}
+		if _, exists := m.entries[key]; exists {
+			continue
+		}
+		bytes := int64(n.LG.Rel.Blocks(m.Model)) * m.Model.BlockSize
+		if bytes <= 0 || bytes > m.Budget {
+			continue
+		}
+		// Value: what a future identical use would save — recomputation
+		// cost minus the read-back cost — discounted by the write cost we
+		// pay now.
+		value := n.Cost - n.ReuseSeq - n.MatCost
+		if value <= 0 {
+			continue
+		}
+		seen[key] = true
+		cands = append(cands, cand{n: n, bytes: bytes, value: value})
+	}
+	// Best density first.
+	sort.Slice(cands, func(i, j int) bool {
+		return cands[i].value/float64(cands[i].bytes) > cands[j].value/float64(cands[j].bytes)
+	})
+	const maxAdmitPerQuery = 4
+	admitted := 0
+	for _, c := range cands {
+		if admitted >= maxAdmitPerQuery {
+			break
+		}
+		if !m.makeRoom(c.bytes, c.value/float64(c.bytes), dec) {
+			continue
+		}
+		key := entryKey(fps[c.n.LG.Find()], c.n.Prop)
+		m.entries[key] = &Entry{
+			Key:      fps[c.n.LG.Find()],
+			Prop:     c.n.Prop,
+			Bytes:    c.bytes,
+			Value:    c.value,
+			LastUsed: m.clock,
+		}
+		m.used += c.bytes
+		dec.Admitted = append(dec.Admitted, key)
+		admitted++
+	}
+}
+
+// makeRoom evicts entries with density below the incoming candidate's
+// until bytes fit, or reports false when the candidate is not worth the
+// evictions.
+func (m *Manager) makeRoom(bytes int64, density float64, dec *Decision) bool {
+	if m.used+bytes <= m.Budget {
+		return true
+	}
+	// Victims: lowest density first, LRU tiebreak.
+	victims := m.Entries()
+	sort.Slice(victims, func(i, j int) bool {
+		di, dj := victims[i].density(), victims[j].density()
+		if di != dj {
+			return di < dj
+		}
+		return victims[i].LastUsed < victims[j].LastUsed
+	})
+	freed := int64(0)
+	var plan []*Entry
+	for _, v := range victims {
+		if m.used-freed+bytes <= m.Budget {
+			break
+		}
+		if v.density() >= density {
+			return false // would evict something more valuable
+		}
+		plan = append(plan, v)
+		freed += v.Bytes
+	}
+	if m.used-freed+bytes > m.Budget {
+		return false
+	}
+	for _, v := range plan {
+		delete(m.entries, entryKey(v.Key, v.Prop))
+		m.used -= v.Bytes
+		dec.Evicted = append(dec.Evicted, entryKey(v.Key, v.Prop))
+	}
+	return true
+}
+
+// String summarizes the cache state.
+func (m *Manager) String() string {
+	return fmt.Sprintf("cache: %d entries, %d/%d bytes", len(m.entries), m.used, m.Budget)
+}
+
+// isBaseScanGroup reports whether the group is a bare base-table scan.
+func isBaseScanGroup(g *dag.Group) bool {
+	for _, e := range g.Exprs {
+		if _, ok := e.Op.(algebra.Scan); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,181 @@
+// Package catalog holds metadata about base relations: schemas, statistics
+// used for cardinality and cost estimation, and available indices. The
+// optimizer reads the catalog; the execution engine binds scans to stored
+// tables by name through it.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"mqo/internal/algebra"
+)
+
+// ColStats are per-column statistics used by the cardinality estimator.
+type ColStats struct {
+	Distinct int64         // number of distinct values (0 = unknown)
+	Min, Max algebra.Value // value range for numeric columns
+	HasRange bool          // whether Min/Max are meaningful
+}
+
+// ColDef describes one column of a base table.
+type ColDef struct {
+	Name  string
+	Typ   algebra.Type
+	Width int // average stored width in bytes
+	Stats ColStats
+}
+
+// IndexDef describes an index available on a base table.
+type IndexDef struct {
+	Column    string
+	Clustered bool
+}
+
+// Table is the catalog entry for a base relation.
+type Table struct {
+	Name    string
+	Cols    []ColDef
+	Rows    int64
+	Indexes []IndexDef
+}
+
+// RowWidth returns the average tuple width in bytes.
+func (t *Table) RowWidth() int {
+	w := 0
+	for _, c := range t.Cols {
+		w += c.Width
+	}
+	if w == 0 {
+		w = 8 * len(t.Cols)
+	}
+	return w
+}
+
+// Col returns the definition of the named column, or nil.
+func (t *Table) Col(name string) *ColDef {
+	for i := range t.Cols {
+		if t.Cols[i].Name == name {
+			return &t.Cols[i]
+		}
+	}
+	return nil
+}
+
+// IndexOn reports whether the table has an index on the named column, and
+// whether it is clustered.
+func (t *Table) IndexOn(col string) (exists, clustered bool) {
+	for _, ix := range t.Indexes {
+		if ix.Column == col {
+			return true, ix.Clustered
+		}
+	}
+	return false, false
+}
+
+// Schema returns the table's schema with columns qualified by alias.
+func (t *Table) Schema(alias string) algebra.Schema {
+	s := make(algebra.Schema, len(t.Cols))
+	for i, c := range t.Cols {
+		s[i] = algebra.ColInfo{Col: algebra.Col(alias, c.Name), Typ: c.Typ}
+	}
+	return s
+}
+
+// Catalog is a set of base tables.
+type Catalog struct {
+	tables map[string]*Table
+}
+
+// New returns an empty catalog.
+func New() *Catalog { return &Catalog{tables: map[string]*Table{}} }
+
+// Add registers a table, replacing any previous definition with the same
+// name.
+func (c *Catalog) Add(t *Table) { c.tables[t.Name] = t }
+
+// Table returns the named table or an error.
+func (c *Catalog) Table(name string) (*Table, error) {
+	t, ok := c.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("catalog: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// MustTable returns the named table, panicking when absent. Use only for
+// statically known workloads.
+func (c *Catalog) MustTable(name string) *Table {
+	t, err := c.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Names returns the sorted table names.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IntCol is a convenience constructor for an integer column with uniform
+// stats over [1, distinct].
+func IntCol(name string, distinct int64) ColDef {
+	return ColDef{
+		Name: name, Typ: algebra.TInt, Width: 8,
+		Stats: ColStats{
+			Distinct: distinct,
+			Min:      algebra.IntVal(1), Max: algebra.IntVal(distinct),
+			HasRange: true,
+		},
+	}
+}
+
+// IntColRange constructs an integer column with explicit range [lo, hi].
+func IntColRange(name string, distinct, lo, hi int64) ColDef {
+	return ColDef{
+		Name: name, Typ: algebra.TInt, Width: 8,
+		Stats: ColStats{
+			Distinct: distinct,
+			Min:      algebra.IntVal(lo), Max: algebra.IntVal(hi),
+			HasRange: true,
+		},
+	}
+}
+
+// FloatColRange constructs a float column with explicit range.
+func FloatColRange(name string, distinct int64, lo, hi float64) ColDef {
+	return ColDef{
+		Name: name, Typ: algebra.TFloat, Width: 8,
+		Stats: ColStats{
+			Distinct: distinct,
+			Min:      algebra.FloatVal(lo), Max: algebra.FloatVal(hi),
+			HasRange: true,
+		},
+	}
+}
+
+// DateColRange constructs a date column with range [lo, hi] in epoch days.
+func DateColRange(name string, distinct, lo, hi int64) ColDef {
+	return ColDef{
+		Name: name, Typ: algebra.TDate, Width: 8,
+		Stats: ColStats{
+			Distinct: distinct,
+			Min:      algebra.DateVal(lo), Max: algebra.DateVal(hi),
+			HasRange: true,
+		},
+	}
+}
+
+// StrCol constructs a string column with the given width and distinct count.
+func StrCol(name string, width int, distinct int64) ColDef {
+	return ColDef{
+		Name: name, Typ: algebra.TString, Width: width,
+		Stats: ColStats{Distinct: distinct},
+	}
+}

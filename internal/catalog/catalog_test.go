@@ -1,0 +1,73 @@
+package catalog
+
+import (
+	"testing"
+
+	"mqo/internal/algebra"
+)
+
+func TestCatalogLookup(t *testing.T) {
+	c := New()
+	c.Add(&Table{Name: "t", Rows: 10, Cols: []ColDef{IntCol("a", 10)}})
+	if _, err := c.Table("t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("lookup of missing table should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable should panic on missing table")
+		}
+	}()
+	c.MustTable("missing")
+}
+
+func TestTableHelpers(t *testing.T) {
+	tab := &Table{
+		Name: "emp",
+		Cols: []ColDef{IntCol("id", 100), StrCol("name", 20, 90), FloatColRange("sal", 50, 0, 1e5)},
+		Rows: 100,
+		Indexes: []IndexDef{
+			{Column: "id", Clustered: true},
+			{Column: "name"},
+		},
+	}
+	if w := tab.RowWidth(); w != 8+20+8 {
+		t.Errorf("RowWidth = %d, want 36", w)
+	}
+	if tab.Col("sal") == nil || tab.Col("nope") != nil {
+		t.Error("Col lookup wrong")
+	}
+	if ok, cl := tab.IndexOn("id"); !ok || !cl {
+		t.Error("IndexOn(id) should be clustered")
+	}
+	if ok, cl := tab.IndexOn("name"); !ok || cl {
+		t.Error("IndexOn(name) should be unclustered")
+	}
+	if ok, _ := tab.IndexOn("sal"); ok {
+		t.Error("IndexOn(sal) should not exist")
+	}
+	s := tab.Schema("e")
+	if len(s) != 3 || s[0].Col != algebra.Col("e", "id") {
+		t.Errorf("Schema aliasing wrong: %v", s)
+	}
+}
+
+func TestColConstructors(t *testing.T) {
+	d := DateColRange("d", 100, 10, 110)
+	if d.Typ != algebra.TDate || !d.Stats.HasRange || d.Stats.Min.I != 10 {
+		t.Error("DateColRange wrong")
+	}
+	i := IntColRange("i", 5, -10, 10)
+	if i.Stats.Min.I != -10 || i.Stats.Max.I != 10 {
+		t.Error("IntColRange wrong")
+	}
+	s := StrCol("s", 12, 7)
+	if s.Stats.HasRange {
+		t.Error("string column should not claim a numeric range")
+	}
+	if names := func() []string { c := New(); c.Add(&Table{Name: "b"}); c.Add(&Table{Name: "a"}); return c.Names() }(); names[0] != "a" || names[1] != "b" {
+		t.Error("Names not sorted")
+	}
+}

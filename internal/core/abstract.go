@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mqo/internal/algebra"
+)
+
+// Abstraction is the result of AbstractParameterized: a (possibly smaller)
+// batch in which groups of queries that differed only in selection
+// constants are replaced by one parameterized query wrapped in an Invoke
+// node, plus the per-invocation parameter bindings needed to execute it.
+type Abstraction struct {
+	// Queries is the rewritten batch.
+	Queries []*algebra.Tree
+	// Bindings holds, for each rewritten query, the parameter sets of its
+	// invocations (nil for queries left untouched).
+	Bindings [][]map[string]algebra.Value
+	// Merged counts how many original queries each rewritten query covers.
+	Merged []int
+}
+
+// AbstractParameterized implements the paper's §8 workload-size reduction:
+// "the size of the workload can be reduced by abstracting queries, for
+// instance by replacing queries that differ in just selection constants by
+// a parameterized query, invoked multiple times." Queries whose operator
+// trees are identical except for constants in comparisons are grouped; each
+// group of two or more becomes a single query with ParamExpr placeholders
+// for the varying constants, wrapped in Invoke{Times: group size}, so the
+// optimizer sees the repeated structure once and multiplies materialization
+// benefits by the invocation count.
+func AbstractParameterized(batch []*algebra.Tree) *Abstraction {
+	type group struct {
+		indices []int
+		consts  [][]algebra.Value // per member, constants in traversal order
+	}
+	groups := map[string]*group{}
+	var order []string
+	for i, q := range batch {
+		skeleton, consts := skeletonOf(q)
+		g, ok := groups[skeleton]
+		if !ok {
+			g = &group{}
+			groups[skeleton] = g
+			order = append(order, skeleton)
+		}
+		g.indices = append(g.indices, i)
+		g.consts = append(g.consts, consts)
+	}
+
+	out := &Abstraction{}
+	for _, sk := range order {
+		g := groups[sk]
+		if len(g.indices) < 2 {
+			i := g.indices[0]
+			out.Queries = append(out.Queries, batch[i])
+			out.Bindings = append(out.Bindings, nil)
+			out.Merged = append(out.Merged, 1)
+			continue
+		}
+		// Constants equal across all members stay literal; varying ones
+		// become parameters.
+		n := len(g.consts[0])
+		varying := make([]bool, n)
+		for k := 0; k < n; k++ {
+			for _, cs := range g.consts[1:] {
+				if algebra.Compare(cs[k], g.consts[0][k]) != 0 || cs[k].Typ != g.consts[0][k].Typ {
+					varying[k] = true
+					break
+				}
+			}
+		}
+		pos := 0
+		tree := rewriteParams(batch[g.indices[0]], varying, &pos)
+		sets := make([]map[string]algebra.Value, len(g.indices))
+		for m, cs := range g.consts {
+			set := map[string]algebra.Value{}
+			for k := 0; k < n; k++ {
+				if varying[k] {
+					set[paramName(k)] = cs[k]
+				}
+			}
+			sets[m] = set
+		}
+		out.Queries = append(out.Queries, algebra.NewTree(algebra.Invoke{Times: int64(len(g.indices))}, tree))
+		out.Bindings = append(out.Bindings, sets)
+		out.Merged = append(out.Merged, len(g.indices))
+	}
+	return out
+}
+
+func paramName(k int) string { return fmt.Sprintf("p%d", k) }
+
+// skeletonOf renders the tree with every comparison constant replaced by a
+// placeholder, collecting the constants in deterministic traversal order.
+func skeletonOf(t *algebra.Tree) (string, []algebra.Value) {
+	var b strings.Builder
+	var consts []algebra.Value
+	var rec func(n *algebra.Tree)
+	rec = func(n *algebra.Tree) {
+		b.WriteString(opSkeleton(n.Op, &consts))
+		b.WriteByte('(')
+		for i, in := range n.Inputs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			rec(in)
+		}
+		b.WriteByte(')')
+	}
+	rec(t)
+	return b.String(), consts
+}
+
+// opSkeleton fingerprints an operator with comparison constants blanked.
+func opSkeleton(op algebra.Op, consts *[]algebra.Value) string {
+	switch o := op.(type) {
+	case algebra.Select:
+		return "select[" + predSkeleton(o.Pred, consts) + "]"
+	case algebra.Join:
+		return "join[" + predSkeleton(o.Pred, consts) + "]"
+	default:
+		return op.Fingerprint()
+	}
+}
+
+// predSkeleton renders a predicate with constants blanked. Unlike
+// Predicate.Fingerprint it must keep the traversal order stable regardless
+// of constant values, so clauses are NOT re-sorted by rendered text.
+func predSkeleton(p algebra.Predicate, consts *[]algebra.Value) string {
+	var b strings.Builder
+	for i, cl := range p.Conj {
+		if i > 0 {
+			b.WriteString(" AND ")
+		}
+		for j, cmp := range cl.Disj {
+			if j > 0 {
+				b.WriteString(" OR ")
+			}
+			b.WriteString(scalarSkeleton(cmp.L, consts))
+			b.WriteString(cmp.Op.String())
+			b.WriteString(scalarSkeleton(cmp.R, consts))
+		}
+	}
+	return b.String()
+}
+
+func scalarSkeleton(s algebra.Scalar, consts *[]algebra.Value) string {
+	switch e := s.(type) {
+	case algebra.ConstExpr:
+		*consts = append(*consts, e.V)
+		return "¤"
+	case algebra.BinExpr:
+		return "(" + scalarSkeleton(e.L, consts) + e.Op.String() + scalarSkeleton(e.R, consts) + ")"
+	default:
+		return s.Fingerprint()
+	}
+}
+
+// rewriteParams replaces the k-th traversal constant with ?p<k> when
+// varying[k], preserving shared structure otherwise.
+func rewriteParams(t *algebra.Tree, varying []bool, pos *int) *algebra.Tree {
+	op := t.Op
+	switch o := t.Op.(type) {
+	case algebra.Select:
+		op = algebra.Select{Pred: rewritePred(o.Pred, varying, pos)}
+	case algebra.Join:
+		op = algebra.Join{Pred: rewritePred(o.Pred, varying, pos)}
+	}
+	out := &algebra.Tree{Op: op}
+	for _, in := range t.Inputs {
+		out.Inputs = append(out.Inputs, rewriteParams(in, varying, pos))
+	}
+	return out
+}
+
+func rewritePred(p algebra.Predicate, varying []bool, pos *int) algebra.Predicate {
+	out := algebra.Predicate{}
+	for _, cl := range p.Conj {
+		nc := algebra.Clause{}
+		for _, cmp := range cl.Disj {
+			nc.Disj = append(nc.Disj, algebra.Comparison{
+				L:  rewriteScalar(cmp.L, varying, pos),
+				Op: cmp.Op,
+				R:  rewriteScalar(cmp.R, varying, pos),
+			})
+		}
+		out.Conj = append(out.Conj, nc)
+	}
+	return out
+}
+
+func rewriteScalar(s algebra.Scalar, varying []bool, pos *int) algebra.Scalar {
+	switch e := s.(type) {
+	case algebra.ConstExpr:
+		k := *pos
+		*pos++
+		if k < len(varying) && varying[k] {
+			return algebra.ParamExpr{Name: paramName(k)}
+		}
+		return e
+	case algebra.BinExpr:
+		l := rewriteScalar(e.L, varying, pos)
+		r := rewriteScalar(e.R, varying, pos)
+		return algebra.BinExpr{Op: e.Op, L: l, R: r}
+	default:
+		return s
+	}
+}

@@ -1,0 +1,165 @@
+// Package core implements the paper's multi-query optimization algorithms
+// over the physical AND-OR DAG: the basic Volcano baseline (§3.1), the
+// Volcano-SH heuristic (§3.2), the Volcano-RU heuristic (§3.3) and the
+// Greedy heuristic with its three efficiency optimizations — sharability
+// analysis (§4.1), incremental cost update (§4.2) and the monotonicity
+// heuristic (§4.3).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+	"mqo/internal/cost"
+	"mqo/internal/dag"
+	"mqo/internal/physical"
+)
+
+// Algorithm selects an optimization strategy.
+type Algorithm int
+
+// The four strategies compared in the paper's §6.
+const (
+	Volcano Algorithm = iota
+	VolcanoSH
+	VolcanoRU
+	Greedy
+)
+
+// String names the algorithm as in the paper's figures.
+func (a Algorithm) String() string {
+	return [...]string{"Volcano", "Volcano-SH", "Volcano-RU", "Greedy"}[a]
+}
+
+// Algorithms lists all strategies in presentation order.
+func Algorithms() []Algorithm { return []Algorithm{Volcano, VolcanoSH, VolcanoRU, Greedy} }
+
+// GreedyOptions are the ablation switches of §6.3.
+type GreedyOptions struct {
+	// DisableMonotonicity recomputes every candidate's benefit each
+	// iteration instead of using the benefit upper-bound heap.
+	DisableMonotonicity bool
+	// DisableSharability considers every node a candidate instead of only
+	// sharable ones.
+	DisableSharability bool
+	// DisableIncremental recomputes bestcost from scratch per benefit
+	// computation instead of using incremental cost update.
+	DisableIncremental bool
+	// SpaceBudgetBytes, when positive, bounds the total size of
+	// materialized results: candidates are chosen by benefit per unit of
+	// space until the budget is exhausted (the paper's §8 extension).
+	SpaceBudgetBytes int64
+}
+
+// Options configures Optimize.
+type Options struct {
+	Greedy GreedyOptions
+	// RUForwardOnly restricts Volcano-RU to the given query order; by
+	// default both the forward and reverse orders are tried and the
+	// cheaper plan kept (§3.3).
+	RUForwardOnly bool
+}
+
+// Stats carries instrumentation from one optimization run.
+type Stats struct {
+	OptTime time.Duration
+	// Greedy instrumentation (Figure 10 and §6.3):
+	CostPropagations      int64
+	CostRecomputations    int64
+	BenefitRecomputations int64
+	Candidates            int
+	SharableNodes         int
+	DAGGroups             int
+	DAGExprs              int
+	PhysNodes             int
+}
+
+// Result is the outcome of optimizing a batch.
+type Result struct {
+	Algorithm    Algorithm
+	Cost         cost.Cost
+	Plan         *physical.Plan
+	Materialized []*physical.Node
+	Stats        Stats
+}
+
+// BuildDAG constructs the expanded logical DAG for a batch of queries,
+// applies subsumption, finalizes the pseudo-root, and builds the physical
+// DAG. This shared setup is performed once per batch; each algorithm then
+// runs on the same DAG (as in the paper's implementation).
+func BuildDAG(cat *catalog.Catalog, model cost.Model, queries []*algebra.Tree) (*physical.DAG, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("core: empty query batch")
+	}
+	ld := dag.New(cost.Estimator{Cat: cat})
+	for _, q := range queries {
+		if _, err := ld.AddQuery(q); err != nil {
+			return nil, err
+		}
+	}
+	if err := ld.Expand(); err != nil {
+		return nil, err
+	}
+	if err := ld.Subsume(); err != nil {
+		return nil, err
+	}
+	if err := ld.Expand(); err != nil {
+		return nil, err
+	}
+	if _, err := ld.Finalize(); err != nil {
+		return nil, err
+	}
+	return physical.Build(ld, model)
+}
+
+// ClearMaterialized resets the DAG's costing state to the empty
+// materialized set.
+func ClearMaterialized(pd *physical.DAG) {
+	for _, m := range pd.MaterializedSet() {
+		pd.SetMaterialized(m, false)
+	}
+	pd.Recost()
+}
+
+// Optimize runs the selected algorithm on the DAG and returns the resulting
+// plan, its estimated cost, and instrumentation. The DAG's costing state is
+// reset before the run and left reflecting the returned result.
+func Optimize(pd *physical.DAG, alg Algorithm, opt Options) (*Result, error) {
+	ClearMaterialized(pd)
+	pd.ResetCounters()
+	start := time.Now()
+	var (
+		res *Result
+		err error
+	)
+	switch alg {
+	case Volcano:
+		res = optimizeVolcano(pd)
+	case VolcanoSH:
+		res = optimizeVolcanoSH(pd)
+	case VolcanoRU:
+		res = optimizeVolcanoRU(pd, opt)
+	case Greedy:
+		res, err = optimizeGreedy(pd, opt.Greedy)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %d", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Algorithm = alg
+	res.Stats.OptTime = time.Since(start)
+	res.Stats.CostPropagations, res.Stats.CostRecomputations = pd.Counters()
+	res.Stats.DAGGroups = len(pd.L.LiveGroups())
+	res.Stats.DAGExprs = pd.L.NumExprs()
+	res.Stats.PhysNodes = len(pd.Nodes)
+	return res, nil
+}
+
+// optimizeVolcano is the baseline: best plan with no sharing (§3.1).
+func optimizeVolcano(pd *physical.DAG) *Result {
+	pd.Recost()
+	return &Result{Cost: pd.TotalCost(), Plan: pd.ExtractPlan()}
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"container/heap"
+
+	"mqo/internal/cost"
+	"mqo/internal/dag"
+	"mqo/internal/physical"
+)
+
+// optimizeGreedy implements the paper's Figure 4 greedy heuristic with the
+// three efficiency optimizations of §4:
+//
+//  1. only sharable nodes are candidates (§4.1);
+//  2. benefits are computed with incremental cost update (§4.2);
+//  3. the monotonicity heuristic maintains a heap of benefit upper bounds
+//     and recomputes only the top candidate's benefit (§4.3).
+//
+// Each optimization can be disabled through GreedyOptions for the §6.3
+// ablation experiments.
+func optimizeGreedy(pd *physical.DAG, opt GreedyOptions) (*Result, error) {
+	var degrees map[*dag.Group]float64
+	if opt.DisableSharability {
+		MarkAllSharable(pd)
+	} else {
+		degrees = ComputeSharability(pd)
+	}
+
+	stats := Stats{}
+	var candidates []*physical.Node
+	for _, n := range pd.Nodes {
+		if n.Sharable {
+			stats.SharableNodes++
+		}
+		if !candidateNode(pd, n) {
+			continue
+		}
+		candidates = append(candidates, n)
+	}
+	stats.Candidates = len(candidates)
+
+	var chosen []*physical.Node
+	benefit := func(n *physical.Node) cost.Cost {
+		stats.BenefitRecomputations++
+		base := pd.TotalCost()
+		if opt.DisableIncremental {
+			with := pd.BestCostWith(append(pd.MaterializedSet(), n))
+			return base - with
+		}
+		pd.SetMaterialized(n, true)
+		with := pd.TotalCost()
+		pd.SetMaterialized(n, false)
+		return base - with
+	}
+
+	switch {
+	case opt.SpaceBudgetBytes > 0:
+		chosen = greedySpaceBudget(pd, candidates, benefit, opt.SpaceBudgetBytes)
+	case opt.DisableMonotonicity:
+		chosen = greedyExhaustive(pd, candidates, benefit)
+	default:
+		chosen = greedyMonotonic(pd, candidates, degrees, benefit)
+	}
+
+	res := &Result{Cost: pd.TotalCost(), Plan: pd.ExtractPlan(), Materialized: chosen}
+	res.Stats = stats
+	return res, nil
+}
+
+// candidateNode reports whether n may enter the greedy candidate set Y:
+// sharable, not parameter-dependent, not the batch root, and not already
+// free (a base-index access point costs nothing to begin with).
+func candidateNode(pd *physical.DAG, n *physical.Node) bool {
+	return n.Sharable && !n.LG.ParamDep && n != pd.Root && n.Cost > 0
+}
+
+// greedySpaceBudget implements the paper's §8 space-constrained variant:
+// candidates are picked in order of benefit per unit of materialized-result
+// space until the temporary-storage budget is exhausted. Benefits are
+// recomputed each round (the candidate sets are small once a budget bites).
+func greedySpaceBudget(pd *physical.DAG, candidates []*physical.Node,
+	benefit func(*physical.Node) cost.Cost, budget int64) []*physical.Node {
+
+	sizeOf := func(n *physical.Node) int64 {
+		s := int64(n.LG.Rel.Blocks(pd.Model)) * pd.Model.BlockSize
+		if s < pd.Model.BlockSize {
+			s = pd.Model.BlockSize
+		}
+		return s
+	}
+	remaining := append([]*physical.Node(nil), candidates...)
+	var chosen []*physical.Node
+	used := int64(0)
+	for len(remaining) > 0 {
+		bestIdx := -1
+		bestRate := 0.0
+		for i, n := range remaining {
+			size := sizeOf(n)
+			if used+size > budget {
+				continue
+			}
+			b := benefit(n)
+			if b <= 0 {
+				continue
+			}
+			rate := b / float64(size)
+			if bestIdx < 0 || rate > bestRate {
+				bestIdx, bestRate = i, rate
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		n := remaining[bestIdx]
+		pd.SetMaterialized(n, true)
+		chosen = append(chosen, n)
+		used += sizeOf(n)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return chosen
+}
+
+// greedyExhaustive is Figure 4 without the monotonicity heuristic: every
+// remaining candidate's benefit is recomputed each iteration.
+func greedyExhaustive(pd *physical.DAG, candidates []*physical.Node, benefit func(*physical.Node) cost.Cost) []*physical.Node {
+	remaining := append([]*physical.Node(nil), candidates...)
+	var chosen []*physical.Node
+	for len(remaining) > 0 {
+		bestIdx, bestBen := -1, cost.Cost(0)
+		for i, n := range remaining {
+			b := benefit(n)
+			if bestIdx < 0 || b > bestBen {
+				bestIdx, bestBen = i, b
+			}
+		}
+		if bestBen <= 0 {
+			break
+		}
+		n := remaining[bestIdx]
+		pd.SetMaterialized(n, true)
+		chosen = append(chosen, n)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+	return chosen
+}
+
+// benefitHeap is a max-heap of candidates ordered by benefit upper bound.
+type benefitItem struct {
+	n *physical.Node
+	// ub is an upper bound on the candidate's current benefit (exact when
+	// version matches the chooser's version).
+	ub      cost.Cost
+	version int
+}
+
+type benefitHeap []*benefitItem
+
+func (h benefitHeap) Len() int            { return len(h) }
+func (h benefitHeap) Less(i, j int) bool  { return h[i].ub > h[j].ub }
+func (h benefitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *benefitHeap) Push(x interface{}) { *h = append(*h, x.(*benefitItem)) }
+func (h *benefitHeap) Pop() interface{} {
+	old := *h
+	it := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return it
+}
+
+// greedyMonotonic is Figure 4 with the §4.3 monotonicity heuristic: a heap
+// orders candidates by benefit upper bound (initially cost × degree of
+// sharing); the top candidate's benefit is recomputed and the candidate is
+// chosen only if it stays on top, so most candidates are never recomputed.
+func greedyMonotonic(pd *physical.DAG, candidates []*physical.Node, degrees map[*dag.Group]float64,
+	benefit func(*physical.Node) cost.Cost) []*physical.Node {
+
+	h := &benefitHeap{}
+	for _, n := range candidates {
+		deg := 2.0
+		if degrees != nil {
+			deg = degrees[n.LG]
+		} else if p := float64(len(n.Parents)); p > deg {
+			deg = p
+		}
+		heap.Push(h, &benefitItem{n: n, ub: n.Cost * deg, version: -1})
+	}
+
+	var chosen []*physical.Node
+	version := 0
+	for h.Len() > 0 {
+		top := heap.Pop(h).(*benefitItem)
+		exact := top.version == version
+		if !exact {
+			top.ub = benefit(top.n)
+			top.version = version
+		}
+		// The recomputed value is exact; if it still dominates every other
+		// upper bound, it is the true maximum (given monotonicity).
+		if h.Len() > 0 && top.ub < (*h)[0].ub {
+			heap.Push(h, top)
+			continue
+		}
+		if top.ub <= 0 {
+			break // maximum benefit is non-positive: done
+		}
+		pd.SetMaterialized(top.n, true)
+		chosen = append(chosen, top.n)
+		version++
+	}
+	return chosen
+}

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+
+	"mqo/internal/cost"
+	"mqo/internal/psp"
+)
+
+// TestGreedyAblationsAgreeOnPSP verifies on a real scaleup workload that
+// all three §4 optimizations are pure accelerations: disabling any of them
+// must not change the plan cost.
+func TestGreedyAblationsAgreeOnPSP(t *testing.T) {
+	pd, err := BuildDAG(psp.Catalog(1), cost.DefaultModel(), psp.CQ(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Optimize(pd, Greedy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opt := range []GreedyOptions{
+		{DisableMonotonicity: true},
+		{DisableSharability: true},
+		{DisableIncremental: true},
+		{DisableMonotonicity: true, DisableIncremental: true},
+	} {
+		res, err := Optimize(pd, Greedy, Options{Greedy: opt})
+		if err != nil {
+			t.Fatalf("%+v: %v", opt, err)
+		}
+		if diff := res.Cost - base.Cost; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%+v: cost %.4f != base %.4f", opt, res.Cost, base.Cost)
+		}
+	}
+	// The incremental state left behind must agree with from-scratch
+	// costing for the chosen set.
+	if diff := pd.TotalCost() - pd.BestCostWith(pd.MaterializedSet()); diff > 1e-6 || diff < -1e-6 {
+		t.Error("incremental costing state diverges from scratch recosting")
+	}
+}

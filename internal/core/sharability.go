@@ -1,0 +1,93 @@
+package core
+
+import (
+	"mqo/internal/algebra"
+	"mqo/internal/dag"
+	"mqo/internal/physical"
+)
+
+// ComputeSharability implements the paper's §4.1: for every logical
+// equivalence node z, the degree of sharing E[root][z] — the maximum number
+// of occurrences of z in any plan tree of the expanded DAG — computed by
+// the Sum (operation nodes) / Max (equivalence nodes) recurrences, one z at
+// a time (which keeps space linear, as the paper suggests). Invocation
+// counts of nested queries multiply the degree (§5). It returns the degree
+// per logical group and marks physical nodes of groups with degree > 1 (and
+// not parameter-dependent) as Sharable.
+//
+// Note that a node can be sharable even with a single parent operation
+// node, when that parent itself occurs multiple times in some plan tree
+// (the paper's e1/e2/e3 example in §3.2); the bottom-up product over the
+// recurrences accounts for this.
+func ComputeSharability(pd *physical.DAG) map[*dag.Group]float64 {
+	root := pd.Root.LG
+	order := logicalTopoOrder(root)
+	degrees := make(map[*dag.Group]float64, len(order))
+
+	// E values for the current z pass, reused across passes.
+	e := make(map[*dag.Group]float64, len(order))
+	for _, z := range order {
+		if z == root {
+			continue
+		}
+		for _, g := range order {
+			if g == z {
+				e[g] = 1
+				continue
+			}
+			best := 0.0
+			for _, ex := range g.Exprs {
+				w := 1.0
+				if iv, ok := ex.Op.(algebra.Invoke); ok {
+					w = float64(iv.Times)
+				}
+				sum := 0.0
+				for _, c := range ex.Children {
+					sum += w * e[c.Find()]
+				}
+				if sum > best {
+					best = sum
+				}
+			}
+			e[g] = best
+		}
+		degrees[z] = e[root]
+	}
+
+	for _, n := range pd.Nodes {
+		n.Sharable = degrees[n.LG] > 1 && !n.LG.ParamDep
+	}
+	return degrees
+}
+
+// MarkAllSharable marks every non-parameter-dependent node sharable,
+// implementing the §6.3 sharability ablation ("every node is assumed to be
+// potentially sharable").
+func MarkAllSharable(pd *physical.DAG) {
+	for _, n := range pd.Nodes {
+		n.Sharable = !n.LG.ParamDep
+	}
+}
+
+// logicalTopoOrder returns the logical groups reachable from root with
+// children before parents.
+func logicalTopoOrder(root *dag.Group) []*dag.Group {
+	var order []*dag.Group
+	seen := map[*dag.Group]bool{}
+	var visit func(g *dag.Group)
+	visit = func(g *dag.Group) {
+		g = g.Find()
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		for _, e := range g.Exprs {
+			for _, c := range e.Children {
+				visit(c)
+			}
+		}
+		order = append(order, g)
+	}
+	visit(root)
+	return order
+}

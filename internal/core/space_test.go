@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"mqo/internal/cost"
+	"mqo/internal/physical"
+	"mqo/internal/psp"
+)
+
+// TestSpaceBudgetedGreedy exercises the §8 space-constrained variant: a
+// tight budget must select a (possibly empty) subset of the unconstrained
+// choices, a huge budget must recover the unconstrained plan, and the cost
+// must interpolate monotonically in between.
+func TestSpaceBudgetedGreedy(t *testing.T) {
+	pd, err := BuildDAG(psp.Catalog(1), cost.DefaultModel(), psp.CQ(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	volcano, err := Optimize(pd, Volcano, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Optimize(pd, Greedy, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Materialized) == 0 {
+		t.Fatal("unconstrained greedy materialized nothing; test needs a sharable workload")
+	}
+	sizeOf := func(nodes []*physical.Node) int64 {
+		var s int64
+		for _, n := range nodes {
+			s += int64(n.LG.Rel.Blocks(pd.Model)) * pd.Model.BlockSize
+		}
+		return s
+	}
+	fullSize := sizeOf(full.Materialized)
+
+	prevCost := volcano.Cost
+	for _, frac := range []float64{0.1, 0.5, 1.0, 2.0} {
+		budget := int64(float64(fullSize) * frac)
+		if budget <= 0 {
+			budget = 1
+		}
+		res, err := Optimize(pd, Greedy, Options{Greedy: GreedyOptions{SpaceBudgetBytes: budget}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sizeOf(res.Materialized); got > budget {
+			t.Errorf("budget %d exceeded: used %d", budget, got)
+		}
+		if res.Cost > volcano.Cost+1e-6 {
+			t.Errorf("budgeted greedy (%f) worse than Volcano (%f)", res.Cost, volcano.Cost)
+		}
+		if res.Cost > prevCost+1e-6 {
+			t.Errorf("cost increased when budget grew to %.1fx: %f > %f", frac, res.Cost, prevCost)
+		}
+		prevCost = res.Cost
+	}
+	// A budget at least as large as the unconstrained choice must be at
+	// least as good as... the unconstrained plan may differ slightly since
+	// benefit-per-space reorders picks; require it within 5%.
+	big, err := Optimize(pd, Greedy, Options{Greedy: GreedyOptions{SpaceBudgetBytes: 100 * fullSize}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Cost > full.Cost*1.05 {
+		t.Errorf("huge budget (%f) much worse than unconstrained greedy (%f)", big.Cost, full.Cost)
+	}
+}

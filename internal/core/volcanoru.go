@@ -1,0 +1,82 @@
+package core
+
+import (
+	"mqo/internal/physical"
+)
+
+// optimizeVolcanoRU implements the paper's Figure 3: optimize the queries
+// in sequence, tracking nodes of earlier best plans as reuse candidates
+// (materializing a candidate as soon as one further use would pay for it),
+// then run Volcano-SH over the combined DAG-structured plan for the final
+// materialization decisions. Both the given and the reverse query order are
+// tried and the cheaper result returned (§3.3), unless opt.RUForwardOnly.
+func optimizeVolcanoRU(pd *physical.DAG, opt Options) *Result {
+	n := len(pd.QueryRoots)
+	forward := make([]int, n)
+	for i := range forward {
+		forward[i] = i
+	}
+	best := runRUOrder(pd, forward)
+	if !opt.RUForwardOnly && n > 1 {
+		reverse := make([]int, n)
+		for i := range reverse {
+			reverse[i] = n - 1 - i
+		}
+		if r := runRUOrder(pd, reverse); r.Cost < best.Cost {
+			best = r
+		}
+	}
+	// Leave the DAG costing state reflecting the returned result.
+	ClearMaterialized(pd)
+	for _, m := range best.Materialized {
+		pd.SetMaterialized(m, true)
+	}
+	return best
+}
+
+// runRUOrder runs one Volcano-RU pass over the queries in the given order.
+func runRUOrder(pd *physical.DAG, order []int) *Result {
+	ClearMaterialized(pd)
+	plan := physical.NewPlan()
+	count := map[*physical.Node]int{}
+	queryPlans := make([]*physical.PlanNode, len(pd.QueryRoots))
+
+	for _, qi := range order {
+		qn := pd.QueryRoots[qi]
+		// Optimize Q_i assuming the current candidate set N is
+		// materialized; nodes shared with earlier plans keep their cached
+		// choice, new nodes are costed under the current state.
+		pn := pd.ExtractInto(plan, qn)
+		queryPlans[qi] = pn
+		// Count uses and promote nodes worth materializing if used once
+		// more: cost + matcost + count·reuse < (count+1)·cost.
+		pn.Walk(func(v *physical.PlanNode) {
+			node := v.N
+			if node.LG.ParamDep || node == pd.Root {
+				return
+			}
+			count[node]++
+			if pd.Materialized(node) {
+				return
+			}
+			c := float64(count[node])
+			if node.Cost+node.MatCost+c*node.ReuseSeq < (c+1)*node.Cost {
+				pd.SetMaterialized(node, true)
+			}
+		})
+	}
+
+	// Combine P1..Pk under the batch root and let Volcano-SH make the
+	// final materialization decisions.
+	batch := pd.Root.Exprs[0]
+	root := &physical.PlanNode{N: pd.Root, E: batch, Children: make([]*physical.PlanNode, len(queryPlans))}
+	for i, qp := range queryPlans {
+		qp.NumParents++
+		root.Children[i] = qp
+	}
+	plan.Root = root
+	plan.ByNode[pd.Root] = root
+
+	total, mats := volcanoSHOnPlan(pd, plan)
+	return &Result{Cost: total, Plan: plan, Materialized: mats}
+}

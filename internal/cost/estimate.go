@@ -1,0 +1,247 @@
+package cost
+
+import (
+	"math"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+)
+
+// ColStat is the estimator's knowledge about one column of an intermediate
+// result.
+type ColStat struct {
+	Distinct float64
+	Min, Max algebra.Value
+	HasRange bool
+}
+
+// Rel is the estimated profile of a (possibly intermediate) relation:
+// cardinality, tuple width, and per-column statistics. Rel values are
+// immutable once built; derivations return fresh values.
+type Rel struct {
+	Rows  float64
+	Width int
+	Cols  map[algebra.Column]ColStat
+}
+
+// Blocks returns the size of the relation in blocks under model m.
+func (r Rel) Blocks(m Model) float64 { return m.Blocks(r.Rows, r.Width) }
+
+// clone returns a copy with a fresh column map.
+func (r Rel) clone() Rel {
+	cols := make(map[algebra.Column]ColStat, len(r.Cols))
+	for c, s := range r.Cols {
+		cols[c] = s
+	}
+	return Rel{Rows: r.Rows, Width: r.Width, Cols: cols}
+}
+
+// capDistinct clamps every distinct count to the new row count.
+func (r *Rel) capDistinct() {
+	for c, s := range r.Cols {
+		if s.Distinct > r.Rows {
+			s.Distinct = math.Max(1, r.Rows)
+			r.Cols[c] = s
+		}
+	}
+}
+
+// Estimator derives Rel profiles for algebra operators from catalog
+// statistics.
+type Estimator struct {
+	Cat *catalog.Catalog
+}
+
+// defaultSelectivity is used when a predicate cannot be analyzed.
+const defaultSelectivity = 1.0 / 3.0
+
+// BaseRel returns the profile of a base table scanned under an alias.
+func (e Estimator) BaseRel(table, alias string) (Rel, error) {
+	t, err := e.Cat.Table(table)
+	if err != nil {
+		return Rel{}, err
+	}
+	rel := Rel{Rows: float64(t.Rows), Width: t.RowWidth(), Cols: map[algebra.Column]ColStat{}}
+	for _, c := range t.Cols {
+		st := ColStat{Distinct: float64(c.Stats.Distinct), Min: c.Stats.Min, Max: c.Stats.Max, HasRange: c.Stats.HasRange}
+		if st.Distinct <= 0 {
+			st.Distinct = math.Max(1, rel.Rows/10)
+		}
+		rel.Cols[algebra.Col(alias, c.Name)] = st
+	}
+	return rel, nil
+}
+
+// colStat returns the stats for a column, with a permissive default.
+func (r Rel) colStat(c algebra.Column) ColStat {
+	if s, ok := r.Cols[c]; ok {
+		return s
+	}
+	return ColStat{Distinct: math.Max(1, r.Rows/10)}
+}
+
+// comparisonSelectivity estimates one comparison against r's columns.
+func (e Estimator) comparisonSelectivity(r Rel, c algebra.Comparison) float64 {
+	lcol, lIsCol := c.L.(algebra.ColExpr)
+	rcol, rIsCol := c.R.(algebra.ColExpr)
+	switch {
+	case lIsCol && rIsCol:
+		// column-to-column inside one relation (e.g. theta self conditions)
+		ld, rd := r.colStat(lcol.C).Distinct, r.colStat(rcol.C).Distinct
+		if c.Op == algebra.EQ {
+			return 1 / math.Max(1, math.Max(ld, rd))
+		}
+		return defaultSelectivity
+	case lIsCol:
+		return e.colConstSelectivity(r, lcol.C, c.Op, c.R)
+	case rIsCol:
+		return e.colConstSelectivity(r, rcol.C, c.Op.Flip(), c.L)
+	default:
+		return defaultSelectivity
+	}
+}
+
+// colConstSelectivity estimates col op rhs where rhs is a constant or
+// parameter. Parameters estimate like an unknown constant.
+func (e Estimator) colConstSelectivity(r Rel, col algebra.Column, op algebra.CmpOp, rhs algebra.Scalar) float64 {
+	st := r.colStat(col)
+	d := math.Max(1, st.Distinct)
+	cv, isConst := rhs.(algebra.ConstExpr)
+	switch op {
+	case algebra.EQ:
+		return 1 / d
+	case algebra.NE:
+		return 1 - 1/d
+	case algebra.LT, algebra.LE, algebra.GT, algebra.GE:
+		if isConst && st.HasRange && st.Min.IsNumeric() && st.Max.IsNumeric() && cv.V.IsNumeric() {
+			lo, hi, v := st.Min.AsFloat(), st.Max.AsFloat(), cv.V.AsFloat()
+			if hi <= lo {
+				return defaultSelectivity
+			}
+			var f float64
+			if op == algebra.LT || op == algebra.LE {
+				f = (v - lo) / (hi - lo)
+			} else {
+				f = (hi - v) / (hi - lo)
+			}
+			return math.Min(1, math.Max(f, 0))
+		}
+		return defaultSelectivity
+	}
+	return defaultSelectivity
+}
+
+// Selectivity estimates a predicate over relation profile r. Conjuncts
+// multiply; disjuncts combine by inclusion-exclusion under independence.
+func (e Estimator) Selectivity(r Rel, p algebra.Predicate) float64 {
+	sel := 1.0
+	for _, cl := range p.Conj {
+		miss := 1.0
+		for _, cmp := range cl.Disj {
+			miss *= 1 - e.comparisonSelectivity(r, cmp)
+		}
+		sel *= 1 - miss
+	}
+	return sel
+}
+
+// ApplySelect derives the profile of σ_pred(r).
+func (e Estimator) ApplySelect(r Rel, pred algebra.Predicate) Rel {
+	out := r.clone()
+	sel := e.Selectivity(r, pred)
+	out.Rows = math.Max(0, r.Rows*sel)
+	// Equality against a constant pins the column to one value.
+	if col, op, v, ok := pred.SingleColumnRange(); ok && op == algebra.EQ {
+		st := out.colStat(col)
+		st.Distinct = 1
+		st.Min, st.Max, st.HasRange = v, v, v.IsNumeric()
+		out.Cols[col] = st
+	}
+	out.capDistinct()
+	return out
+}
+
+// ApplyJoin derives the profile of r1 ⋈_pred r2. Equality conjuncts between
+// the two sides use the standard |r1||r2|/max(d1,d2) formula; remaining
+// conjuncts contribute their plain selectivity.
+func (e Estimator) ApplyJoin(l, r Rel, pred algebra.Predicate) Rel {
+	out := Rel{Width: l.Width + r.Width, Cols: make(map[algebra.Column]ColStat, len(l.Cols)+len(r.Cols))}
+	for c, s := range l.Cols {
+		out.Cols[c] = s
+	}
+	for c, s := range r.Cols {
+		out.Cols[c] = s
+	}
+	rows := l.Rows * r.Rows
+	for _, cl := range pred.Conj {
+		if len(cl.Disj) == 1 {
+			cmp := cl.Disj[0]
+			lc, lok := cmp.L.(algebra.ColExpr)
+			rc, rok := cmp.R.(algebra.ColExpr)
+			if lok && rok && cmp.Op == algebra.EQ {
+				inL, inR := l.Cols[lc.C], r.Cols[rc.C]
+				_, lInL := l.Cols[lc.C]
+				_, rInR := r.Cols[rc.C]
+				if !lInL || !rInR {
+					// sides reversed: lc from r, rc from l
+					inL, inR = l.Cols[rc.C], r.Cols[lc.C]
+				}
+				d := math.Max(math.Max(inL.Distinct, inR.Distinct), 1)
+				rows /= d
+				continue
+			}
+		}
+		// Non-equi or disjunctive conjunct: estimate against the combined
+		// profile.
+		rows *= e.Selectivity(out, algebra.Predicate{Conj: []algebra.Clause{cl}})
+	}
+	out.Rows = math.Max(0, rows)
+	out.capDistinct()
+	return out
+}
+
+// ApplyAggregate derives the profile of an aggregation. Output cardinality
+// is the product of the group-by columns' distinct counts, capped by the
+// input cardinality.
+func (e Estimator) ApplyAggregate(r Rel, agg algebra.Aggregate) Rel {
+	groups := 1.0
+	for _, c := range agg.GroupBy {
+		groups *= math.Max(1, r.colStat(c).Distinct)
+	}
+	if len(agg.GroupBy) == 0 {
+		groups = 1
+	}
+	groups = math.Min(groups, math.Max(1, r.Rows))
+	out := Rel{Rows: groups, Width: 8 * (len(agg.GroupBy) + len(agg.Aggs)), Cols: map[algebra.Column]ColStat{}}
+	for _, c := range agg.GroupBy {
+		st := r.colStat(c)
+		st.Distinct = math.Min(st.Distinct, groups)
+		out.Cols[c] = st
+	}
+	for _, a := range agg.Aggs {
+		out.Cols[a.As] = ColStat{Distinct: math.Max(1, groups/2)}
+	}
+	return out
+}
+
+// ApplyProject derives the profile of a projection: cardinality unchanged,
+// width recomputed from the projected expressions.
+func (e Estimator) ApplyProject(r Rel, p algebra.Project) Rel {
+	out := Rel{Rows: r.Rows, Width: 0, Cols: map[algebra.Column]ColStat{}}
+	for _, ne := range p.Exprs {
+		w := 8
+		if ce, ok := ne.Expr.(algebra.ColExpr); ok {
+			if st, found := r.Cols[ce.C]; found {
+				out.Cols[ne.As] = st
+			}
+		}
+		if _, found := out.Cols[ne.As]; !found {
+			out.Cols[ne.As] = ColStat{Distinct: math.Max(1, r.Rows/10)}
+		}
+		out.Width += w
+	}
+	if out.Width == 0 {
+		out.Width = 8
+	}
+	return out
+}

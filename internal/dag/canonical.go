@@ -1,0 +1,54 @@
+package dag
+
+import (
+	"sort"
+	"strings"
+)
+
+// CanonicalFingerprints computes a DAG-independent fingerprint for every
+// live group: the lexicographically smallest rendering over all of the
+// group's derivations, with children replaced by their canonical
+// fingerprints. Two groups in *different* DAGs that denote the same logical
+// expression (after expansion) get equal fingerprints, which is what lets a
+// query-result cache recognize results across separately optimized queries
+// (the paper's §8 caching direction).
+//
+// The fingerprint is computed bottom-up; expansion has already unified
+// equivalent groups within one DAG, so the recursion is over a DAG and
+// memoizable.
+func CanonicalFingerprints(d *DAG) map[*Group]string {
+	memo := map[*Group]string{}
+	var fp func(g *Group) string
+	fp = func(g *Group) string {
+		g = g.Find()
+		if s, ok := memo[g]; ok {
+			return s
+		}
+		// Mark in-progress to guard against accidental cycles (must not
+		// happen in a well-formed DAG; the sentinel keeps this terminating
+		// even if an invariant is violated upstream).
+		memo[g] = "…"
+		alts := make([]string, 0, len(g.Exprs))
+		for _, e := range g.Exprs {
+			var b strings.Builder
+			b.WriteString(e.Op.Fingerprint())
+			b.WriteByte('(')
+			for i, c := range e.Children {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(fp(c))
+			}
+			b.WriteByte(')')
+			alts = append(alts, b.String())
+		}
+		sort.Strings(alts)
+		best := alts[0]
+		memo[g] = best
+		return best
+	}
+	for _, g := range d.LiveGroups() {
+		fp(g)
+	}
+	return memo
+}

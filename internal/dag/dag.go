@@ -1,0 +1,416 @@
+// Package dag implements the logical AND-OR DAG (paper §2): equivalence
+// nodes (OR, called Group here) whose children are operation nodes (AND,
+// called Expr), with
+//
+//   - fingerprint-based detection of duplicate operation nodes and
+//     unification of equivalence nodes (§2.1 extension 1),
+//   - transformation rules — join commutativity and associativity with
+//     duplicate-derivation avoidance in the style of [PGLK97], select
+//     merging and select-into-join — applied to fixpoint to produce the
+//     expanded DAG, and
+//   - subsumption derivations (§2.1 extension 2): re-select derivations for
+//     implied predicates, disjunction nodes for same-column selections, and
+//     group-by-union nodes for aggregates over a shared input.
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mqo/internal/algebra"
+	"mqo/internal/cost"
+)
+
+// GroupID identifies an equivalence node. IDs are stable; unified groups
+// keep their IDs but forward to a representative.
+type GroupID int32
+
+// Expr is an operation node (AND node): an operator applied to child
+// equivalence nodes.
+type Expr struct {
+	Op       algebra.Op
+	Children []*Group
+	Group    *Group // owning equivalence node
+
+	// Subsumption marks derivations introduced by the subsumption pass;
+	// Volcano-SH treats these specially (paper §3.2 prepass).
+	Subsumption bool
+
+	fp string // current fingerprint (maintained under unification)
+
+	// rule-application flags, per [PGLK97], to avoid deriving the same
+	// expression repeatedly.
+	commuted   bool
+	associated bool
+}
+
+// Group is an equivalence node (OR node): the set of operation nodes
+// producing the same logical result.
+type Group struct {
+	ID    GroupID
+	Exprs []*Expr
+
+	// Rel is the estimated profile (cardinality, width, column stats) of
+	// the common result.
+	Rel cost.Rel
+
+	// Schema is the canonical (sorted) column set of the result.
+	Schema algebra.Schema
+
+	// ParamDep marks groups whose result depends on a correlation or query
+	// parameter; such groups are never materialization candidates.
+	ParamDep bool
+
+	// SubsumpNode marks groups introduced purely by subsumption
+	// derivations (disjunction and group-by-union nodes); Volcano-SH's
+	// prepass/undo logic keys on it.
+	SubsumpNode bool
+
+	parents []*Expr // operation nodes that have this group as an input
+	forward *Group  // non-nil after unification: the representative
+}
+
+// Find resolves the group through unification forwarding, with path
+// compression.
+func (g *Group) Find() *Group {
+	if g.forward == nil {
+		return g
+	}
+	r := g.forward.Find()
+	g.forward = r
+	return r
+}
+
+// Parents returns the operation nodes using this group as input. The caller
+// must not mutate the slice.
+func (g *Group) Parents() []*Expr { return g.parents }
+
+// DAG is the logical AND-OR DAG for a batch of queries, sharing a single
+// fingerprint table so common subexpressions across queries unify.
+type DAG struct {
+	Est cost.Estimator
+
+	Groups []*Group // all live (non-forwarded) groups, in creation order
+
+	// Root is the pseudo-root equivalence node whose single NoOp operation
+	// node has every query root as input (paper §2.1). Set by Finalize.
+	Root *Group
+	// QueryRoots are the root groups of the individual queries, in the
+	// order they were added.
+	QueryRoots []*Group
+
+	fp       map[string]*Expr
+	nextID   GroupID
+	worklist []*Expr
+
+	// MaxGroups bounds expansion as a safety valve; 0 means unlimited.
+	MaxGroups int
+}
+
+// New creates an empty DAG over the given estimator.
+func New(est cost.Estimator) *DAG {
+	return &DAG{Est: est, fp: map[string]*Expr{}}
+}
+
+// exprFingerprint renders op applied to (resolved) child groups.
+func exprFingerprint(op algebra.Op, children []*Group) string {
+	var b strings.Builder
+	b.WriteString(op.Fingerprint())
+	b.WriteByte('(')
+	for i, c := range children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(c.Find().ID)))
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// schemaOf computes the canonical schema for an expression.
+func schemaOf(op algebra.Op, children []*Group) (algebra.Schema, error) {
+	switch o := op.(type) {
+	case algebra.Scan:
+		return nil, fmt.Errorf("dag: schemaOf(Scan) requires catalog lookup")
+	case algebra.Select:
+		return children[0].Find().Schema, nil
+	case algebra.Join:
+		s := children[0].Find().Schema.Concat(children[1].Find().Schema)
+		return canonicalSchema(s), nil
+	case algebra.Aggregate:
+		in := children[0].Find().Schema
+		var s algebra.Schema
+		for _, c := range o.GroupBy {
+			i := in.IndexOf(c)
+			if i < 0 {
+				return nil, fmt.Errorf("dag: group-by column %v not in input schema", c)
+			}
+			s = append(s, in[i])
+		}
+		for _, a := range o.Aggs {
+			t := algebra.TFloat
+			if a.Func == algebra.CountAll {
+				t = algebra.TInt
+			}
+			s = append(s, algebra.ColInfo{Col: a.As, Typ: t})
+		}
+		return canonicalSchema(s), nil
+	case algebra.Project:
+		var s algebra.Schema
+		for _, ne := range o.Exprs {
+			s = append(s, algebra.ColInfo{Col: ne.As, Typ: ne.Typ})
+		}
+		return canonicalSchema(s), nil
+	case algebra.Invoke:
+		return children[0].Find().Schema, nil
+	case algebra.NoOp:
+		return nil, nil
+	}
+	return nil, fmt.Errorf("dag: unknown operator %T", op)
+}
+
+// canonicalSchema sorts a schema by column identity so equivalent results
+// from different operand orders have identical schemas.
+func canonicalSchema(s algebra.Schema) algebra.Schema {
+	out := make(algebra.Schema, len(s))
+	copy(out, s)
+	sort.Slice(out, func(i, j int) bool { return out[i].Col.Less(out[j].Col) })
+	return out
+}
+
+// relOf estimates the profile of an expression from its children.
+func (d *DAG) relOf(op algebra.Op, children []*Group) (cost.Rel, error) {
+	switch o := op.(type) {
+	case algebra.Scan:
+		return d.Est.BaseRel(o.Table, o.Alias)
+	case algebra.Select:
+		return d.Est.ApplySelect(children[0].Find().Rel, o.Pred), nil
+	case algebra.Join:
+		return d.Est.ApplyJoin(children[0].Find().Rel, children[1].Find().Rel, o.Pred), nil
+	case algebra.Aggregate:
+		return d.Est.ApplyAggregate(children[0].Find().Rel, o), nil
+	case algebra.Project:
+		return d.Est.ApplyProject(children[0].Find().Rel, o), nil
+	case algebra.Invoke:
+		return children[0].Find().Rel, nil
+	case algebra.NoOp:
+		return cost.Rel{}, nil
+	}
+	return cost.Rel{}, fmt.Errorf("dag: unknown operator %T", op)
+}
+
+// paramDepOf computes parameter dependence of an expression.
+func paramDepOf(op algebra.Op, children []*Group) bool {
+	for _, c := range children {
+		if c.Find().ParamDep {
+			return true
+		}
+	}
+	switch o := op.(type) {
+	case algebra.Select:
+		return o.Pred.HasParam()
+	case algebra.Join:
+		return o.Pred.HasParam()
+	case algebra.Invoke:
+		// The result of invoking the nested query for all bindings does
+		// not itself depend on a single parameter value.
+		return false
+	}
+	return false
+}
+
+// newGroup allocates a fresh equivalence node for an expression.
+func (d *DAG) newGroup(op algebra.Op, children []*Group) (*Group, error) {
+	rel, err := d.relOf(op, children)
+	if err != nil {
+		return nil, err
+	}
+	var schema algebra.Schema
+	if sc, ok := op.(algebra.Scan); ok {
+		t, err := d.Est.Cat.Table(sc.Table)
+		if err != nil {
+			return nil, err
+		}
+		schema = canonicalSchema(t.Schema(sc.Alias))
+	} else {
+		schema, err = schemaOf(op, children)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g := &Group{ID: d.nextID, Rel: rel, Schema: schema}
+	d.nextID++
+	d.Groups = append(d.Groups, g)
+	return g, nil
+}
+
+// insertExpr adds op(children) to the DAG. If the fingerprint already
+// exists, the existing expression is returned (after unifying its group with
+// `into` when both are specified and differ). If into is nil a fresh group
+// is allocated for a new expression.
+func (d *DAG) insertExpr(op algebra.Op, children []*Group, into *Group, subsumption bool) (*Expr, error) {
+	for i, c := range children {
+		children[i] = c.Find()
+	}
+	key := exprFingerprint(op, children)
+	if e, ok := d.fp[key]; ok {
+		if into != nil && e.Group.Find() != into.Find() {
+			d.unify(into.Find(), e.Group.Find())
+		}
+		return e, nil
+	}
+	g := into
+	if g != nil {
+		g = g.Find()
+	}
+	if g == nil {
+		var err error
+		g, err = d.newGroup(op, children)
+		if err != nil {
+			return nil, err
+		}
+	}
+	e := &Expr{Op: op, Children: append([]*Group(nil), children...), Group: g, Subsumption: subsumption, fp: key}
+	g.Exprs = append(g.Exprs, e)
+	if pd := paramDepOf(op, children); pd {
+		g.ParamDep = true
+	}
+	for _, c := range children {
+		c.parents = append(c.parents, e)
+	}
+	d.fp[key] = e
+	d.worklist = append(d.worklist, e)
+	// A new alternative in g can enable associativity in g's parents.
+	for _, p := range g.parents {
+		d.worklist = append(d.worklist, p)
+	}
+	return e, nil
+}
+
+// unify merges group b into group a (both must be representatives). All of
+// b's expressions move into a; every expression referencing b is
+// re-fingerprinted, which can cascade further unifications — exactly the
+// paper's unification of duplicate equivalence nodes.
+func (d *DAG) unify(a, b *Group) {
+	a, b = a.Find(), b.Find()
+	if a == b {
+		return
+	}
+	// Keep the older group as representative for stable IDs.
+	if b.ID < a.ID {
+		a, b = b, a
+	}
+	b.forward = a
+	a.ParamDep = a.ParamDep || b.ParamDep
+	a.SubsumpNode = a.SubsumpNode && b.SubsumpNode
+
+	// Move b's expressions into a, dropping duplicates.
+	for _, e := range b.Exprs {
+		if d.fp[e.fp] == e {
+			e.Group = a
+			a.Exprs = append(a.Exprs, e)
+		}
+	}
+	b.Exprs = nil
+
+	// Re-fingerprint all expressions that reference b as a child.
+	refs := b.parents
+	b.parents = nil
+	for _, e := range refs {
+		if d.fp[e.fp] != e { // stale duplicate already dropped
+			continue
+		}
+		delete(d.fp, e.fp)
+		for i, c := range e.Children {
+			e.Children[i] = c.Find()
+		}
+		e.fp = exprFingerprint(e.Op, e.Children)
+		if other, ok := d.fp[e.fp]; ok {
+			// e duplicates an existing expression: drop e, unify owners.
+			eg, og := e.Group.Find(), other.Group.Find()
+			removeExpr(eg, e)
+			if eg != og {
+				d.unify(eg, og)
+			}
+			continue
+		}
+		d.fp[e.fp] = e
+		a.parents = append(a.parents, e)
+		d.worklist = append(d.worklist, e)
+	}
+}
+
+// removeExpr drops e from g's expression list.
+func removeExpr(g *Group, e *Expr) {
+	for i, x := range g.Exprs {
+		if x == e {
+			g.Exprs = append(g.Exprs[:i], g.Exprs[i+1:]...)
+			return
+		}
+	}
+}
+
+// AddQuery inserts a logical operator tree into the DAG and records its root
+// as a query root. Common subexpressions with previously added queries
+// unify automatically through the shared fingerprint table.
+func (d *DAG) AddQuery(t *algebra.Tree) (*Group, error) {
+	g, err := d.insertTree(t)
+	if err != nil {
+		return nil, err
+	}
+	d.QueryRoots = append(d.QueryRoots, g)
+	return g, nil
+}
+
+func (d *DAG) insertTree(t *algebra.Tree) (*Group, error) {
+	children := make([]*Group, len(t.Inputs))
+	for i, in := range t.Inputs {
+		c, err := d.insertTree(in)
+		if err != nil {
+			return nil, err
+		}
+		children[i] = c
+	}
+	e, err := d.insertExpr(t.Op, children, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	return e.Group.Find(), nil
+}
+
+// LiveGroups returns the current representative groups in creation order.
+func (d *DAG) LiveGroups() []*Group {
+	out := d.Groups[:0:0]
+	for _, g := range d.Groups {
+		if g.forward == nil {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// NumExprs counts live operation nodes.
+func (d *DAG) NumExprs() int {
+	n := 0
+	for _, g := range d.LiveGroups() {
+		n += len(g.Exprs)
+	}
+	return n
+}
+
+// Finalize creates the pseudo-root NoOp node over all query roots and
+// returns it. Call after all queries are added and Expand has run.
+func (d *DAG) Finalize() (*Group, error) {
+	roots := make([]*Group, len(d.QueryRoots))
+	for i, r := range d.QueryRoots {
+		roots[i] = r.Find()
+	}
+	e, err := d.insertExpr(algebra.NoOp{NInputs: len(roots)}, roots, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	d.Root = e.Group.Find()
+	return d.Root, nil
+}

@@ -1,0 +1,112 @@
+package dag
+
+import (
+	"testing"
+
+	"mqo/internal/algebra"
+)
+
+// TestEagerAggregationDerivation checks the Agg∘σ rewriting: for
+// Agg_{}(min(num))(σ(id=?p)(A⋈B)) the DAG must contain the derivation
+// Agg(reagg)(σ(id=?p)(Agg_{id}(min(num))(A⋈B))) with a parameter-free
+// pre-aggregate.
+func TestEagerAggregationDerivation(t *testing.T) {
+	d := newTestDAG()
+	join := algebra.JoinT(algebra.ColEq(algebra.Col("A", "fk"), algebra.Col("B", "id")),
+		algebra.ScanT("A"), algebra.ScanT("B"))
+	sel := algebra.SelectT(algebra.CmpParam(algebra.Col("A", "id"), algebra.EQ, "p"), join)
+	q := algebra.AggT(nil,
+		[]algebra.AggExpr{{Func: algebra.Min, Arg: algebra.ColOf("A", "num"), As: algebra.Col("q", "m")}},
+		sel)
+	root, err := d.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expand(t, d)
+
+	// Look for the pre-aggregate group: Agg grouped by A.id over the join,
+	// parameter-free.
+	var pre *Group
+	for _, g := range d.LiveGroups() {
+		for _, e := range g.Exprs {
+			a, ok := e.Op.(algebra.Aggregate)
+			if !ok || len(a.GroupBy) != 1 || a.GroupBy[0] != algebra.Col("A", "id") {
+				continue
+			}
+			if g.ParamDep {
+				t.Error("pre-aggregate group must be parameter independent")
+			}
+			pre = g
+		}
+	}
+	if pre == nil {
+		t.Fatal("no eager pre-aggregate group created")
+	}
+	// The query root must have a subsumption-derived re-aggregation whose
+	// chain passes through the pre-aggregate.
+	found := false
+	for _, e := range root.Find().Exprs {
+		if !e.Subsumption {
+			continue
+		}
+		if _, ok := e.Op.(algebra.Aggregate); !ok {
+			continue
+		}
+		child := e.Children[0].Find()
+		for _, ce := range child.Exprs {
+			if _, ok := ce.Op.(algebra.Select); ok && ce.Children[0].Find() == pre {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("root lacks the re-aggregation derivation through the pre-aggregate")
+	}
+}
+
+// TestEagerAggregationCommute checks the simpler case where the selection
+// references only group-by columns and therefore commutes with the
+// aggregate.
+func TestEagerAggregationCommute(t *testing.T) {
+	d := newTestDAG()
+	sel := algebra.SelectT(algebra.Cmp(algebra.Col("A", "id"), algebra.GE, algebra.IntVal(500)),
+		algebra.ScanT("A"))
+	q := algebra.AggT([]algebra.Column{algebra.Col("A", "id")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: algebra.ColOf("A", "num"), As: algebra.Col("q", "s")}},
+		sel)
+	root, err := d.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expand(t, d)
+
+	// The root group must also contain σ(id>=500)(Agg_{id}(A)).
+	found := false
+	for _, e := range root.Find().Exprs {
+		if _, ok := e.Op.(algebra.Select); ok && e.Subsumption {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("commuted σ∘Agg derivation missing from the root group")
+	}
+}
+
+// TestEagerAggregationSkipsNonDecomposable ensures Avg blocks the rewrite.
+func TestEagerAggregationSkipsNonDecomposable(t *testing.T) {
+	d := newTestDAG()
+	sel := algebra.SelectT(algebra.CmpParam(algebra.Col("A", "id"), algebra.EQ, "p"), algebra.ScanT("A"))
+	q := algebra.AggT(nil,
+		[]algebra.AggExpr{{Func: algebra.Avg, Arg: algebra.ColOf("A", "num"), As: algebra.Col("q", "a")}},
+		sel)
+	root, err := d.AddQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expand(t, d)
+	for _, e := range root.Find().Exprs {
+		if e.Subsumption {
+			t.Error("non-decomposable aggregate must not be rewritten")
+		}
+	}
+}

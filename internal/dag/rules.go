@@ -1,0 +1,237 @@
+package dag
+
+import (
+	"fmt"
+
+	"mqo/internal/algebra"
+)
+
+// Expand applies the transformation rule set — join commutativity, join
+// associativity, select merging, select push-down and select-into-join — to
+// fixpoint, producing the expanded DAG (paper §2, Figure 1c). Duplicate
+// derivations are suppressed by the fingerprint table; commutativity
+// additionally carries a [PGLK97]-style flag so an expression produced by
+// commuting is not commuted back.
+func (d *DAG) Expand() error {
+	for len(d.worklist) > 0 {
+		e := d.worklist[len(d.worklist)-1]
+		d.worklist = d.worklist[:len(d.worklist)-1]
+		if d.fp[e.fp] != e { // dropped as duplicate during unification
+			continue
+		}
+		if d.MaxGroups > 0 && len(d.Groups) > d.MaxGroups {
+			return fmt.Errorf("dag: expansion exceeded MaxGroups=%d", d.MaxGroups)
+		}
+		if err := d.applyRules(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *DAG) applyRules(e *Expr) error {
+	switch op := e.Op.(type) {
+	case algebra.Join:
+		if err := d.ruleJoinCommute(e, op); err != nil {
+			return err
+		}
+		if err := d.ruleJoinAssociate(e, op); err != nil {
+			return err
+		}
+	case algebra.Select:
+		if err := d.ruleSelectMerge(e, op); err != nil {
+			return err
+		}
+		if err := d.ruleSelectPushdown(e, op); err != nil {
+			return err
+		}
+	case algebra.Aggregate:
+		if err := d.ruleEagerAggregation(e, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ruleEagerAggregation rewrites Agg_G(σp(E)) into
+// Agg_G(reagg)(σp(Agg_{G∪cols(p)}(E))) for decomposable aggregates: rows
+// are grouped by the selection's columns first, the (possibly parameter-
+// dependent) selection then filters whole groups, and a re-aggregation
+// recovers the original result. When p references only group-by columns
+// the selection simply commutes: σp(Agg_G(E)).
+//
+// This derivation is what lets the optimizer share the parameter-free
+// pre-aggregate across invocations of a nested query whose correlation
+// predicate defeats index access (the paper's Q2 "not in" variant, §6.1):
+// each invocation filters and re-aggregates the small materialized
+// pre-aggregate instead of recomputing the full join.
+func (d *DAG) ruleEagerAggregation(e *Expr, op algebra.Aggregate) error {
+	if e.Subsumption {
+		return nil
+	}
+	for _, a := range op.Aggs {
+		if !a.Func.Decomposable() {
+			return nil
+		}
+	}
+	child := e.Children[0].Find()
+	cexprs := append([]*Expr(nil), child.Exprs...)
+	for _, ce := range cexprs {
+		sop, ok := ce.Op.(algebra.Select)
+		if !ok || ce.Subsumption || d.fp[ce.fp] != ce {
+			continue
+		}
+		pcols := sop.Pred.Columns()
+		if len(pcols) == 0 || len(pcols) > 2 {
+			continue
+		}
+		base := ce.Children[0].Find()
+		if !base.Schema.HasAll(pcols) {
+			continue
+		}
+		gu := unionColumns(op.GroupBy, pcols)
+		if len(gu) == len(op.GroupBy) {
+			// p references only group-by columns: commute.
+			agg, err := d.insertExpr(algebra.Aggregate{GroupBy: op.GroupBy, Aggs: op.Aggs},
+				[]*Group{base}, nil, true)
+			if err != nil {
+				return err
+			}
+			if _, err := d.insertExpr(algebra.Select{Pred: sop.Pred},
+				[]*Group{agg.Group.Find()}, e.Group.Find(), true); err != nil {
+				return err
+			}
+			continue
+		}
+		before := len(d.Groups)
+		inner, err := d.insertExpr(algebra.Aggregate{GroupBy: gu, Aggs: op.Aggs}, []*Group{base}, nil, true)
+		if err != nil {
+			return err
+		}
+		ig := inner.Group.Find()
+		if len(d.Groups) > before {
+			ig.SubsumpNode = true
+		}
+		sel, err := d.insertExpr(algebra.Select{Pred: sop.Pred}, []*Group{ig}, nil, true)
+		if err != nil {
+			return err
+		}
+		reaggs := make([]algebra.AggExpr, len(op.Aggs))
+		for i, a := range op.Aggs {
+			reaggs[i] = algebra.AggExpr{Func: a.Func.Reaggregate(), Arg: algebra.ColExpr{C: a.As}, As: a.As}
+		}
+		if _, err := d.insertExpr(algebra.Aggregate{GroupBy: op.GroupBy, Aggs: reaggs},
+			[]*Group{sel.Group.Find()}, e.Group.Find(), true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ruleJoinCommute adds the commuted join A⋈B → B⋈A under the same
+// equivalence node.
+func (d *DAG) ruleJoinCommute(e *Expr, op algebra.Join) error {
+	if e.commuted {
+		return nil
+	}
+	e.commuted = true
+	ne, err := d.insertExpr(algebra.Join{Pred: op.Pred}, []*Group{e.Children[1], e.Children[0]}, e.Group, e.Subsumption)
+	if err != nil {
+		return err
+	}
+	ne.commuted = true // commuting back would only rediscover e
+	return nil
+}
+
+// ruleJoinAssociate rewrites (A⋈B)⋈C → A⋈(B⋈C), splitting the combined
+// predicate so that conjuncts referring only to B∪C move into the lower
+// join. Derivations that would introduce a cross product are skipped unless
+// the combined predicate itself is empty (pure cross-product query).
+func (d *DAG) ruleJoinAssociate(e *Expr, op algebra.Join) error {
+	left := e.Children[0].Find()
+	right := e.Children[1].Find()
+	// Copy the expression list: insertions during iteration may grow it.
+	lexprs := append([]*Expr(nil), left.Exprs...)
+	for _, le := range lexprs {
+		lop, ok := le.Op.(algebra.Join)
+		if !ok || d.fp[le.fp] != le {
+			continue
+		}
+		gA := le.Children[0].Find()
+		gB := le.Children[1].Find()
+		combined := lop.Pred.And(op.Pred)
+		inBC := func(c algebra.Column) bool { return gB.Schema.Has(c) || right.Schema.Has(c) }
+		pBC, pTop := combined.SplitByColumns(inBC)
+		if pBC.IsTrue() && !combined.IsTrue() {
+			continue // would create a cross product
+		}
+		bcExpr, err := d.insertExpr(algebra.Join{Pred: pBC}, []*Group{gB, right}, nil, false)
+		if err != nil {
+			return err
+		}
+		if _, err := d.insertExpr(algebra.Join{Pred: pTop}, []*Group{gA, bcExpr.Group.Find()}, e.Group, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ruleSelectMerge collapses σp(σq(E)) into σ(p∧q)(E) as an alternative
+// derivation.
+func (d *DAG) ruleSelectMerge(e *Expr, op algebra.Select) error {
+	child := e.Children[0].Find()
+	cexprs := append([]*Expr(nil), child.Exprs...)
+	for _, ce := range cexprs {
+		cop, ok := ce.Op.(algebra.Select)
+		if !ok || d.fp[ce.fp] != ce {
+			continue
+		}
+		merged := op.Pred.And(cop.Pred)
+		if _, err := d.insertExpr(algebra.Select{Pred: merged}, []*Group{ce.Children[0]}, e.Group, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ruleSelectPushdown rewrites σp(A⋈B): conjuncts of p covered by one side
+// are pushed onto that side, the remainder merges into the join predicate.
+func (d *DAG) ruleSelectPushdown(e *Expr, op algebra.Select) error {
+	child := e.Children[0].Find()
+	cexprs := append([]*Expr(nil), child.Exprs...)
+	for _, ce := range cexprs {
+		jop, ok := ce.Op.(algebra.Join)
+		if !ok || d.fp[ce.fp] != ce {
+			continue
+		}
+		gA := ce.Children[0].Find()
+		gB := ce.Children[1].Find()
+		pA, rest := op.Pred.SplitByColumns(gA.Schema.Has)
+		pB, pJoin := rest.SplitByColumns(gB.Schema.Has)
+		newA, newB := gA, gB
+		var err error
+		if !pA.IsTrue() {
+			var ae *Expr
+			ae, err = d.insertExpr(algebra.Select{Pred: pA}, []*Group{gA}, nil, false)
+			if err != nil {
+				return err
+			}
+			newA = ae.Group.Find()
+		}
+		if !pB.IsTrue() {
+			var be *Expr
+			be, err = d.insertExpr(algebra.Select{Pred: pB}, []*Group{gB}, nil, false)
+			if err != nil {
+				return err
+			}
+			newB = be.Group.Find()
+		}
+		if newA == gA && newB == gB && pJoin.IsTrue() {
+			continue // nothing pushed
+		}
+		if _, err := d.insertExpr(algebra.Join{Pred: jop.Pred.And(pJoin)}, []*Group{newA, newB}, e.Group, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

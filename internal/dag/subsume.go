@@ -1,0 +1,209 @@
+package dag
+
+import (
+	"sort"
+
+	"mqo/internal/algebra"
+)
+
+// Subsume adds subsumption derivations (paper §2.1, extension 2) to the
+// expanded DAG:
+//
+//   - re-select derivations: when σp(E) and σq(E) both exist and p implies
+//     q, add the alternative σp(result of σq(E));
+//   - disjunction nodes: for equality selections col = v₁, col = v₂, ... on
+//     the same input, add σ(col=v₁ ∨ col=v₂ ∨ ...)(E) and derive each
+//     selection from it by re-selection;
+//   - aggregate subsumption: for aggregates over the same input with
+//     group-by sets G₁, G₂, add an aggregate on G₁ ∪ G₂ computing the union
+//     of the aggregate outputs and derive each original by re-aggregation.
+//
+// Subsume enqueues new expressions; call Expand again afterwards so
+// transformation rules see them, then Finalize.
+func (d *DAG) Subsume() error {
+	type selEntry struct {
+		e    *Expr
+		pred algebra.Predicate
+	}
+	selsByChild := map[*Group][]selEntry{}
+	type aggEntry struct {
+		e  *Expr
+		op algebra.Aggregate
+	}
+	aggsByChild := map[*Group][]aggEntry{}
+
+	for _, g := range d.LiveGroups() {
+		for _, e := range g.Exprs {
+			if e.Subsumption {
+				continue
+			}
+			switch op := e.Op.(type) {
+			case algebra.Select:
+				c := e.Children[0].Find()
+				selsByChild[c] = append(selsByChild[c], selEntry{e: e, pred: op.Pred})
+			case algebra.Aggregate:
+				c := e.Children[0].Find()
+				aggsByChild[c] = append(aggsByChild[c], aggEntry{e: e, op: op})
+			}
+		}
+	}
+
+	// Re-select derivations for implied predicates.
+	for _, sels := range selsByChild {
+		for i := range sels {
+			for j := range sels {
+				if i == j {
+					continue
+				}
+				p, q := sels[i].pred, sels[j].pred
+				if p.Fingerprint() == q.Fingerprint() || !p.Implies(q) {
+					continue
+				}
+				// σp(E) ≡ σp(σq(E)): derive group(i) from group(j).
+				if _, err := d.insertExpr(algebra.Select{Pred: p},
+					[]*Group{sels[j].e.Group.Find()}, sels[i].e.Group.Find(), true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Disjunction nodes for equality selections on a common column.
+	for child, sels := range selsByChild {
+		type eqSel struct {
+			e *Expr
+			v algebra.Value
+			p algebra.Predicate
+		}
+		byCol := map[algebra.Column][]eqSel{}
+		for _, s := range sels {
+			if col, op, v, ok := s.pred.SingleColumnRange(); ok && op == algebra.EQ {
+				byCol[col] = append(byCol[col], eqSel{e: s.e, v: v, p: s.pred})
+			}
+		}
+		for col, group := range byCol {
+			// Distinct values only.
+			seen := map[string]bool{}
+			var members []eqSel
+			var vals []algebra.Value
+			for _, m := range group {
+				k := m.v.String()
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				members = append(members, m)
+				vals = append(vals, m.v)
+			}
+			if len(members) < 2 {
+				continue
+			}
+			sort.Slice(vals, func(i, j int) bool { return algebra.Compare(vals[i], vals[j]) < 0 })
+			disj, err := d.insertExpr(algebra.Select{Pred: algebra.OrValues(col, algebra.EQ, vals)},
+				[]*Group{child}, nil, true)
+			if err != nil {
+				return err
+			}
+			dg := disj.Group.Find()
+			dg.SubsumpNode = true
+			for _, m := range members {
+				if m.e.Group.Find() == dg {
+					continue
+				}
+				if _, err := d.insertExpr(algebra.Select{Pred: m.p}, []*Group{dg}, m.e.Group.Find(), true); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	// Aggregate subsumption: group-by union nodes.
+	for child, aggs := range aggsByChild {
+		for i := range aggs {
+			for j := i + 1; j < len(aggs); j++ {
+				if err := d.subsumeAggPair(child, aggs[i].e, aggs[i].op, aggs[j].e, aggs[j].op); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// subsumeAggPair adds the group-by-union derivation for two aggregates over
+// the same input when all aggregate functions are decomposable.
+func (d *DAG) subsumeAggPair(child *Group, e1 *Expr, a1 algebra.Aggregate, e2 *Expr, a2 algebra.Aggregate) error {
+	for _, a := range a1.Aggs {
+		if !a.Func.Decomposable() {
+			return nil
+		}
+	}
+	for _, a := range a2.Aggs {
+		if !a.Func.Decomposable() {
+			return nil
+		}
+	}
+	union := unionColumns(a1.GroupBy, a2.GroupBy)
+	if len(union) == len(a1.GroupBy) && len(union) == len(a2.GroupBy) {
+		return nil // identical group-by sets: nothing to unify
+	}
+	// Merge aggregate outputs by output column; bail out on a conflicting
+	// definition under the same name.
+	merged := append([]algebra.AggExpr(nil), a1.Aggs...)
+	for _, a := range a2.Aggs {
+		conflict := false
+		dup := false
+		for _, b := range merged {
+			if b.As == a.As {
+				if b.Fingerprint() == a.Fingerprint() {
+					dup = true
+				} else {
+					conflict = true
+				}
+			}
+		}
+		if conflict {
+			return nil
+		}
+		if !dup {
+			merged = append(merged, a)
+		}
+	}
+	ue, err := d.insertExpr(algebra.Aggregate{GroupBy: union, Aggs: merged}, []*Group{child}, nil, true)
+	if err != nil {
+		return err
+	}
+	ug := ue.Group.Find()
+	ug.SubsumpNode = true
+	for _, pair := range []struct {
+		e  *Expr
+		op algebra.Aggregate
+	}{{e1, a1}, {e2, a2}} {
+		if pair.e.Group.Find() == ug {
+			continue
+		}
+		reaggs := make([]algebra.AggExpr, len(pair.op.Aggs))
+		for i, a := range pair.op.Aggs {
+			reaggs[i] = algebra.AggExpr{Func: a.Func.Reaggregate(), Arg: algebra.ColExpr{C: a.As}, As: a.As}
+		}
+		if _, err := d.insertExpr(algebra.Aggregate{GroupBy: pair.op.GroupBy, Aggs: reaggs},
+			[]*Group{ug}, pair.e.Group.Find(), true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// unionColumns returns the sorted union of two column sets.
+func unionColumns(a, b []algebra.Column) []algebra.Column {
+	seen := map[algebra.Column]bool{}
+	var out []algebra.Column
+	for _, c := range append(append([]algebra.Column(nil), a...), b...) {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

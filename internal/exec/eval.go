@@ -1,0 +1,135 @@
+// Package exec is the Volcano-style iterator execution engine: it
+// instantiates optimized plans (physical.Plan) over stored tables
+// (storage.DB), materializing shared intermediate results into temporary
+// tables and building temporary indices as the plan dictates. Rows are
+// pipelined between operators; only materialization writes to storage, as
+// the paper's cost model assumes (§6).
+package exec
+
+import (
+	"fmt"
+
+	"mqo/internal/algebra"
+	"mqo/internal/storage"
+)
+
+// Env carries execution-time context: parameter bindings for correlated /
+// parameterized queries (paper §5).
+type Env struct {
+	Params map[string]algebra.Value
+	// ParamSets drives Invoke nodes: the body runs once per binding set.
+	ParamSets []map[string]algebra.Value
+}
+
+// valueFunc evaluates a scalar against a row.
+type valueFunc func(storage.Row) (algebra.Value, error)
+
+// compileScalar resolves a scalar expression against a schema, with
+// parameters read from env at evaluation time.
+func compileScalar(s algebra.Scalar, schema algebra.Schema, env *Env) (valueFunc, error) {
+	switch e := s.(type) {
+	case algebra.ColExpr:
+		idx := schema.IndexOf(e.C)
+		if idx < 0 {
+			return nil, fmt.Errorf("exec: column %v not in schema %v", e.C, schema)
+		}
+		return func(r storage.Row) (algebra.Value, error) { return r[idx], nil }, nil
+	case algebra.ConstExpr:
+		v := e.V
+		return func(storage.Row) (algebra.Value, error) { return v, nil }, nil
+	case algebra.ParamExpr:
+		name := e.Name
+		return func(storage.Row) (algebra.Value, error) {
+			v, ok := env.Params[name]
+			if !ok {
+				return algebra.Value{}, fmt.Errorf("exec: unbound parameter %q", name)
+			}
+			return v, nil
+		}, nil
+	case algebra.BinExpr:
+		lf, err := compileScalar(e.L, schema, env)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := compileScalar(e.R, schema, env)
+		if err != nil {
+			return nil, err
+		}
+		op := e.Op
+		return func(r storage.Row) (algebra.Value, error) {
+			lv, err := lf(r)
+			if err != nil {
+				return algebra.Value{}, err
+			}
+			rv, err := rf(r)
+			if err != nil {
+				return algebra.Value{}, err
+			}
+			a, b := lv.AsFloat(), rv.AsFloat()
+			var out float64
+			switch op {
+			case algebra.Add:
+				out = a + b
+			case algebra.Sub:
+				out = a - b
+			case algebra.Mul:
+				out = a * b
+			case algebra.Div:
+				if b == 0 {
+					return algebra.Value{}, fmt.Errorf("exec: division by zero")
+				}
+				out = a / b
+			}
+			return algebra.FloatVal(out), nil
+		}, nil
+	}
+	return nil, fmt.Errorf("exec: unknown scalar %T", s)
+}
+
+// predFunc evaluates a predicate against a row.
+type predFunc func(storage.Row) (bool, error)
+
+// compilePred resolves a CNF predicate against a schema.
+func compilePred(p algebra.Predicate, schema algebra.Schema, env *Env) (predFunc, error) {
+	type compiledCmp struct {
+		l, r valueFunc
+		op   algebra.CmpOp
+	}
+	clauses := make([][]compiledCmp, len(p.Conj))
+	for i, cl := range p.Conj {
+		for _, c := range cl.Disj {
+			lf, err := compileScalar(c.L, schema, env)
+			if err != nil {
+				return nil, err
+			}
+			rf, err := compileScalar(c.R, schema, env)
+			if err != nil {
+				return nil, err
+			}
+			clauses[i] = append(clauses[i], compiledCmp{l: lf, r: rf, op: c.Op})
+		}
+	}
+	return func(r storage.Row) (bool, error) {
+		for _, cl := range clauses {
+			hit := false
+			for _, c := range cl {
+				lv, err := c.l(r)
+				if err != nil {
+					return false, err
+				}
+				rv, err := c.r(r)
+				if err != nil {
+					return false, err
+				}
+				if c.op.Eval(lv, rv) {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				return false, nil
+			}
+		}
+		return true, nil
+	}, nil
+}

@@ -1,0 +1,768 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"mqo/internal/algebra"
+	"mqo/internal/storage"
+)
+
+// Iterator is the Volcano open-next-close interface. Next returns ok=false
+// at end of stream. Rows returned by Next are owned by the caller.
+type Iterator interface {
+	Open() error
+	Next() (storage.Row, bool, error)
+	Close() error
+	Schema() algebra.Schema
+}
+
+// tableScan reads a heap file, re-qualifying columns under an alias.
+type tableScan struct {
+	heap   *storage.HeapFile
+	schema algebra.Schema
+	rows   []storage.Row
+	pos    int
+}
+
+// newTableScan creates a scan over a stored table under the given schema
+// (already alias-qualified by the caller).
+func newTableScan(heap *storage.HeapFile, schema algebra.Schema) *tableScan {
+	return &tableScan{heap: heap, schema: schema}
+}
+
+func (s *tableScan) Open() error {
+	s.rows = s.rows[:0]
+	s.pos = 0
+	return s.heap.Scan(func(_ storage.RID, r storage.Row) error {
+		s.rows = append(s.rows, r.Clone())
+		return nil
+	})
+}
+
+func (s *tableScan) Next() (storage.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *tableScan) Close() error           { s.rows = nil; return nil }
+func (s *tableScan) Schema() algebra.Schema { return s.schema }
+
+// filterIter applies a predicate to its child's rows.
+type filterIter struct {
+	child Iterator
+	pred  predFunc
+}
+
+func (f *filterIter) Open() error { return f.child.Open() }
+
+func (f *filterIter) Next() (storage.Row, bool, error) {
+	for {
+		r, ok, err := f.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		keep, err := f.pred(r)
+		if err != nil {
+			return nil, false, err
+		}
+		if keep {
+			return r, true, nil
+		}
+	}
+}
+
+func (f *filterIter) Close() error           { return f.child.Close() }
+func (f *filterIter) Schema() algebra.Schema { return f.child.Schema() }
+
+// projectIter computes named scalar outputs.
+type projectIter struct {
+	child  Iterator
+	funcs  []valueFunc
+	schema algebra.Schema
+}
+
+func (p *projectIter) Open() error { return p.child.Open() }
+
+func (p *projectIter) Next() (storage.Row, bool, error) {
+	r, ok, err := p.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(storage.Row, len(p.funcs))
+	for i, f := range p.funcs {
+		v, err := f(r)
+		if err != nil {
+			return nil, false, err
+		}
+		out[i] = v
+	}
+	return out, true, nil
+}
+
+func (p *projectIter) Close() error           { return p.child.Close() }
+func (p *projectIter) Schema() algebra.Schema { return p.schema }
+
+// sortIter fully sorts its child's output by the given columns.
+type sortIter struct {
+	child Iterator
+	cols  []algebra.Column
+	rows  []storage.Row
+	pos   int
+}
+
+func (s *sortIter) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	s.rows = s.rows[:0]
+	s.pos = 0
+	idxs := make([]int, len(s.cols))
+	for i, c := range s.cols {
+		idxs[i] = s.child.Schema().IndexOf(c)
+		if idxs[i] < 0 {
+			return fmt.Errorf("exec: sort column %v not in schema", c)
+		}
+	}
+	for {
+		r, ok, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, r)
+	}
+	sort.SliceStable(s.rows, func(a, b int) bool {
+		for _, ix := range idxs {
+			c := algebra.Compare(s.rows[a][ix], s.rows[b][ix])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+func (s *sortIter) Next() (storage.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sortIter) Close() error           { s.rows = nil; return s.child.Close() }
+func (s *sortIter) Schema() algebra.Schema { return s.child.Schema() }
+
+// nlJoin is a nested-loops join buffering the inner input in memory.
+type nlJoin struct {
+	left, right Iterator
+	pred        predFunc
+	schema      algebra.Schema
+
+	inner    []storage.Row
+	curLeft  storage.Row
+	innerPos int
+	done     bool
+}
+
+func (j *nlJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.inner = j.inner[:0]
+	for {
+		r, ok, err := j.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		j.inner = append(j.inner, r)
+	}
+	j.curLeft, j.innerPos, j.done = nil, 0, false
+	return nil
+}
+
+func (j *nlJoin) Next() (storage.Row, bool, error) {
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		if j.curLeft == nil {
+			l, ok, err := j.left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			j.curLeft, j.innerPos = l, 0
+		}
+		for j.innerPos < len(j.inner) {
+			r := j.inner[j.innerPos]
+			j.innerPos++
+			out := concatRows(j.curLeft, r)
+			keep, err := j.pred(out)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				return out, true, nil
+			}
+		}
+		j.curLeft = nil
+	}
+}
+
+func (j *nlJoin) Close() error {
+	j.inner = nil
+	if err := j.left.Close(); err != nil {
+		return err
+	}
+	return j.right.Close()
+}
+
+func (j *nlJoin) Schema() algebra.Schema { return j.schema }
+
+// mergeJoin joins two inputs sorted on their key columns, buffering groups
+// of equal right-side keys to produce the cross product within a key group.
+type mergeJoin struct {
+	left, right Iterator
+	lIdx, rIdx  []int
+	pred        predFunc // residual predicate over the concatenated row
+	schema      algebra.Schema
+
+	curLeft   storage.Row
+	group     []storage.Row // right rows matching current key
+	groupKey  storage.Row
+	groupPos  int
+	rightNext storage.Row
+	rightDone bool
+	done      bool
+}
+
+func (j *mergeJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.curLeft, j.group, j.groupKey, j.groupPos = nil, nil, nil, 0
+	j.rightNext, j.rightDone, j.done = nil, false, false
+	r, ok, err := j.right.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.rightDone = true
+	} else {
+		j.rightNext = r
+	}
+	return nil
+}
+
+func keyOf(r storage.Row, idx []int) storage.Row {
+	k := make(storage.Row, len(idx))
+	for i, ix := range idx {
+		k[i] = r[ix]
+	}
+	return k
+}
+
+func compareKeys(a, b storage.Row) int {
+	for i := range a {
+		if c := algebra.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// advanceGroup loads the next group of right rows with key >= target,
+// returning the group's key comparison against target.
+func (j *mergeJoin) loadGroup(target storage.Row) (int, error) {
+	for {
+		if j.rightDone {
+			return 1, nil // virtual +inf
+		}
+		k := keyOf(j.rightNext, j.rIdx)
+		c := compareKeys(k, target)
+		if c < 0 {
+			// Skip right rows below the target key.
+			r, ok, err := j.right.Next()
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				j.rightDone = true
+				continue
+			}
+			j.rightNext = r
+			continue
+		}
+		if compareKeys(k, target) == 0 {
+			// Buffer the full equal-key group.
+			j.group = j.group[:0]
+			j.groupKey = k
+			for {
+				j.group = append(j.group, j.rightNext)
+				r, ok, err := j.right.Next()
+				if err != nil {
+					return 0, err
+				}
+				if !ok {
+					j.rightDone = true
+					j.rightNext = nil
+					break
+				}
+				j.rightNext = r
+				if compareKeys(keyOf(r, j.rIdx), k) != 0 {
+					break
+				}
+			}
+			return 0, nil
+		}
+		return c, nil
+	}
+}
+
+func (j *mergeJoin) Next() (storage.Row, bool, error) {
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		if j.curLeft == nil {
+			l, ok, err := j.left.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			j.curLeft = l
+			lk := keyOf(l, j.lIdx)
+			if j.groupKey != nil && compareKeys(lk, j.groupKey) == 0 {
+				j.groupPos = 0 // same key as buffered group: rejoin it
+			} else {
+				c, err := j.loadGroup(lk)
+				if err != nil {
+					return nil, false, err
+				}
+				if c != 0 {
+					// No right rows for this left key.
+					j.curLeft = nil
+					j.groupKey = nil
+					continue
+				}
+				j.groupPos = 0
+			}
+		}
+		for j.groupPos < len(j.group) {
+			out := concatRows(j.curLeft, j.group[j.groupPos])
+			j.groupPos++
+			keep, err := j.pred(out)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				return out, true, nil
+			}
+		}
+		j.curLeft = nil
+	}
+}
+
+func (j *mergeJoin) Close() error {
+	j.group = nil
+	if err := j.left.Close(); err != nil {
+		return err
+	}
+	return j.right.Close()
+}
+
+func (j *mergeJoin) Schema() algebra.Schema { return j.schema }
+
+// indexedSource provides index probes into a stored relation (base table or
+// materialized temp).
+type indexedSource struct {
+	heap   *storage.HeapFile
+	index  *storage.BTree
+	keyIdx int // position of the indexed column in schema
+	schema algebra.Schema
+}
+
+// probeEq returns rows with key == v.
+func (s *indexedSource) probeEq(v algebra.Value) ([]storage.Row, error) {
+	it, err := s.index.Seek(v)
+	if err != nil {
+		return nil, err
+	}
+	var out []storage.Row
+	for {
+		k, rid, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok || algebra.Compare(k, v) != 0 {
+			break
+		}
+		r, err := s.heap.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// probeRange returns rows with lo <= key (hi filtering is the caller's
+// responsibility through the residual predicate); used by index selects.
+func (s *indexedSource) probeRange(lo algebra.Value, stop func(algebra.Value) bool) ([]storage.Row, error) {
+	it, err := s.index.Seek(lo)
+	if err != nil {
+		return nil, err
+	}
+	var out []storage.Row
+	for {
+		k, rid, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok || (stop != nil && stop(k)) {
+			break
+		}
+		r, err := s.heap.Get(rid)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// indexJoin probes the inner index once per outer row.
+type indexJoin struct {
+	outer  Iterator
+	inner  *indexedSource
+	keyFn  valueFunc // evaluates the outer join key
+	pred   predFunc
+	schema algebra.Schema
+
+	curOuter storage.Row
+	matches  []storage.Row
+	pos      int
+	done     bool
+}
+
+func (j *indexJoin) Open() error {
+	j.curOuter, j.matches, j.pos, j.done = nil, nil, 0, false
+	return j.outer.Open()
+}
+
+func (j *indexJoin) Next() (storage.Row, bool, error) {
+	for {
+		if j.done {
+			return nil, false, nil
+		}
+		if j.curOuter == nil {
+			o, ok, err := j.outer.Next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				j.done = true
+				return nil, false, nil
+			}
+			key, err := j.keyFn(o)
+			if err != nil {
+				return nil, false, err
+			}
+			matches, err := j.inner.probeEq(key)
+			if err != nil {
+				return nil, false, err
+			}
+			j.curOuter, j.matches, j.pos = o, matches, 0
+		}
+		for j.pos < len(j.matches) {
+			out := concatRows(j.curOuter, j.matches[j.pos])
+			j.pos++
+			keep, err := j.pred(out)
+			if err != nil {
+				return nil, false, err
+			}
+			if keep {
+				return out, true, nil
+			}
+		}
+		j.curOuter = nil
+	}
+}
+
+func (j *indexJoin) Close() error           { return j.outer.Close() }
+func (j *indexJoin) Schema() algebra.Schema { return j.schema }
+
+// indexSelect answers a single-column selection through an index probe.
+type indexSelect struct {
+	source *indexedSource
+	op     algebra.CmpOp
+	rhs    valueFunc // constant or parameter
+	pred   predFunc  // full residual predicate
+	schema algebra.Schema
+
+	rows []storage.Row
+	pos  int
+}
+
+func (s *indexSelect) Open() error {
+	s.rows, s.pos = nil, 0
+	v, err := s.rhs(nil)
+	if err != nil {
+		return err
+	}
+	var rows []storage.Row
+	switch s.op {
+	case algebra.EQ:
+		rows, err = s.source.probeEq(v)
+	case algebra.GE, algebra.GT:
+		rows, err = s.source.probeRange(v, nil)
+	case algebra.LE, algebra.LT:
+		// Scan from the beginning up to the bound.
+		it, ferr := s.source.index.SeekFirst()
+		if ferr != nil {
+			return ferr
+		}
+		for {
+			k, rid, ok, nerr := it.Next()
+			if nerr != nil {
+				return nerr
+			}
+			if !ok || algebra.Compare(k, v) > 0 {
+				break
+			}
+			r, gerr := s.source.heap.Get(rid)
+			if gerr != nil {
+				return gerr
+			}
+			rows = append(rows, r)
+		}
+	default:
+		return fmt.Errorf("exec: index select does not support %v", s.op)
+	}
+	if err != nil {
+		return err
+	}
+	// Residual predicate keeps semantics exact (strict bounds etc.).
+	for _, r := range rows {
+		keep, err := s.pred(r)
+		if err != nil {
+			return err
+		}
+		if keep {
+			s.rows = append(s.rows, r)
+		}
+	}
+	return nil
+}
+
+func (s *indexSelect) Next() (storage.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *indexSelect) Close() error           { s.rows = nil; return nil }
+func (s *indexSelect) Schema() algebra.Schema { return s.schema }
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	fn    algebra.AggFunc
+	arg   valueFunc
+	sum   float64
+	count int64
+	min   algebra.Value
+	max   algebra.Value
+	seen  bool
+}
+
+func (a *aggState) add(r storage.Row) error {
+	a.count++
+	if a.fn == algebra.CountAll {
+		return nil
+	}
+	v, err := a.arg(r)
+	if err != nil {
+		return err
+	}
+	a.sum += v.AsFloat()
+	if !a.seen || algebra.Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if !a.seen || algebra.Compare(v, a.max) > 0 {
+		a.max = v
+	}
+	a.seen = true
+	return nil
+}
+
+func (a *aggState) result() algebra.Value {
+	switch a.fn {
+	case algebra.Sum:
+		return algebra.FloatVal(a.sum)
+	case algebra.CountAll:
+		return algebra.IntVal(a.count)
+	case algebra.Min:
+		return a.min
+	case algebra.Max:
+		return a.max
+	case algebra.Avg:
+		if a.count == 0 {
+			return algebra.FloatVal(0)
+		}
+		return algebra.FloatVal(a.sum / float64(a.count))
+	}
+	return algebra.Value{}
+}
+
+// sortAgg is sort-based aggregation: the child is sorted on the group-by
+// columns, so groups arrive contiguously.
+type sortAgg struct {
+	child   Iterator
+	groupBy []algebra.Column
+	aggs    []algebra.AggExpr
+	schema  algebra.Schema
+
+	gbIdx   []int
+	argFns  []valueFunc
+	pending storage.Row // first row of the next group
+	done    bool
+	opened  bool
+}
+
+func (a *sortAgg) Open() error {
+	if err := a.child.Open(); err != nil {
+		return err
+	}
+	cs := a.child.Schema()
+	a.gbIdx = make([]int, len(a.groupBy))
+	for i, c := range a.groupBy {
+		a.gbIdx[i] = cs.IndexOf(c)
+		if a.gbIdx[i] < 0 {
+			return fmt.Errorf("exec: group-by column %v not in input", c)
+		}
+	}
+	a.argFns = make([]valueFunc, len(a.aggs))
+	for i, ag := range a.aggs {
+		if ag.Func == algebra.CountAll {
+			continue
+		}
+		f, err := compileScalar(ag.Arg, cs, nil)
+		if err != nil {
+			return err
+		}
+		a.argFns[i] = f
+	}
+	a.pending, a.done, a.opened = nil, false, true
+	return nil
+}
+
+func (a *sortAgg) Next() (storage.Row, bool, error) {
+	if a.done {
+		return nil, false, nil
+	}
+	cur := a.pending
+	a.pending = nil
+	if cur == nil {
+		r, ok, err := a.child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			a.done = true
+			if len(a.groupBy) == 0 {
+				// Scalar aggregate over empty input: one row of zeros.
+				states := a.newStates()
+				return a.emit(nil, states), true, nil
+			}
+			return nil, false, nil
+		}
+		cur = r
+	}
+	key := keyOf(cur, a.gbIdx)
+	states := a.newStates()
+	for i := range states {
+		if err := states[i].add(cur); err != nil {
+			return nil, false, err
+		}
+	}
+	for {
+		r, ok, err := a.child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			a.done = true
+			break
+		}
+		if len(a.groupBy) > 0 && compareKeys(keyOf(r, a.gbIdx), key) != 0 {
+			a.pending = r
+			break
+		}
+		for i := range states {
+			if err := states[i].add(r); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	return a.emit(cur, states), true, nil
+}
+
+func (a *sortAgg) newStates() []aggState {
+	states := make([]aggState, len(a.aggs))
+	for i, ag := range a.aggs {
+		states[i] = aggState{fn: ag.Func, arg: a.argFns[i]}
+	}
+	return states
+}
+
+// emit builds the output row: group-by values then aggregate results, in
+// the order of a.schema.
+func (a *sortAgg) emit(sample storage.Row, states []aggState) storage.Row {
+	out := make(storage.Row, 0, len(a.groupBy)+len(states))
+	for _, ix := range a.gbIdx {
+		out = append(out, sample[ix])
+	}
+	for i := range states {
+		out = append(out, states[i].result())
+	}
+	return out
+}
+
+func (a *sortAgg) Close() error           { return a.child.Close() }
+func (a *sortAgg) Schema() algebra.Schema { return a.schema }
+
+// concatRows concatenates two rows.
+func concatRows(a, b storage.Row) storage.Row {
+	out := make(storage.Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}

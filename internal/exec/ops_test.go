@@ -1,0 +1,251 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"mqo/internal/algebra"
+	"mqo/internal/storage"
+)
+
+// sliceIter serves rows from memory, for operator unit tests.
+type sliceIter struct {
+	rows   []storage.Row
+	schema algebra.Schema
+	pos    int
+}
+
+func (s *sliceIter) Open() error { s.pos = 0; return nil }
+func (s *sliceIter) Next() (storage.Row, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+func (s *sliceIter) Close() error           { return nil }
+func (s *sliceIter) Schema() algebra.Schema { return s.schema }
+
+func intSchema(rel string, cols ...string) algebra.Schema {
+	s := make(algebra.Schema, len(cols))
+	for i, c := range cols {
+		s[i] = algebra.ColInfo{Col: algebra.Col(rel, c), Typ: algebra.TInt}
+	}
+	return s
+}
+
+func intRows(vals ...[]int64) []storage.Row {
+	rows := make([]storage.Row, len(vals))
+	for i, v := range vals {
+		r := make(storage.Row, len(v))
+		for j, x := range v {
+			r[j] = algebra.IntVal(x)
+		}
+		rows[i] = r
+	}
+	return rows
+}
+
+// TestMergeJoinMatchesNLJoin joins random sorted inputs with both
+// algorithms and requires identical (canonicalized) output, including
+// duplicate-key cross products.
+func TestMergeJoinMatchesNLJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		n1, n2 := 1+rng.Intn(60), 1+rng.Intn(60)
+		mk := func(rel string, n int) []storage.Row {
+			rows := make([]storage.Row, n)
+			for i := range rows {
+				rows[i] = storage.Row{algebra.IntVal(rng.Int63n(10)), algebra.IntVal(rng.Int63n(100))}
+			}
+			sort.Slice(rows, func(a, b int) bool { return rows[a][0].I < rows[b][0].I })
+			return rows
+		}
+		ls, rs := intSchema("l", "k", "v"), intSchema("r", "k", "v")
+		lrows, rrows := mk("l", n1), mk("r", n2)
+		schema := ls.Concat(rs)
+		pred, err := compilePred(algebra.ColEq(algebra.Col("l", "k"), algebra.Col("r", "k")), schema, &Env{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		mj := &mergeJoin{
+			left:  &sliceIter{rows: lrows, schema: ls},
+			right: &sliceIter{rows: rrows, schema: rs},
+			lIdx:  []int{0}, rIdx: []int{0},
+			pred: pred, schema: schema,
+		}
+		nl := &nlJoin{
+			left:  &sliceIter{rows: lrows, schema: ls},
+			right: &sliceIter{rows: rrows, schema: rs},
+			pred:  pred, schema: schema,
+		}
+		mjRows, err := drain(mj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nlRows, err := drain(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := Canonicalize(schema, mjRows), Canonicalize(schema, nlRows)
+		if len(a) != len(b) {
+			t.Fatalf("trial %d: merge %d rows, NL %d rows", trial, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d row %d: %s vs %s", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSortIterOrdersAndIsStable(t *testing.T) {
+	schema := intSchema("t", "k", "seq")
+	rows := intRows([]int64{3, 0}, []int64{1, 1}, []int64{3, 2}, []int64{1, 3}, []int64{2, 4})
+	s := &sortIter{child: &sliceIter{rows: rows, schema: schema}, cols: []algebra.Column{algebra.Col("t", "k")}}
+	out, err := drain(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantK := []int64{1, 1, 2, 3, 3}
+	wantSeq := []int64{1, 3, 4, 0, 2} // stability: original order within equal keys
+	for i := range out {
+		if out[i][0].I != wantK[i] || out[i][1].I != wantSeq[i] {
+			t.Fatalf("sorted[%d] = %v, want k=%d seq=%d", i, out[i], wantK[i], wantSeq[i])
+		}
+	}
+}
+
+func TestAggStateFunctions(t *testing.T) {
+	schema := intSchema("t", "v")
+	rows := intRows([]int64{4}, []int64{1}, []int64{7})
+	arg, _ := compileScalar(algebra.ColOf("t", "v"), schema, &Env{})
+	cases := []struct {
+		fn   algebra.AggFunc
+		want float64
+	}{
+		{algebra.Sum, 12}, {algebra.CountAll, 3}, {algebra.Min, 1}, {algebra.Max, 7}, {algebra.Avg, 4},
+	}
+	for _, c := range cases {
+		st := aggState{fn: c.fn, arg: arg}
+		for _, r := range rows {
+			if err := st.add(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := st.result().AsFloat(); got != c.want {
+			t.Errorf("%v = %v, want %v", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestInvokeIterRunsPerBinding(t *testing.T) {
+	schema := intSchema("t", "v")
+	env := &Env{
+		Params: map[string]algebra.Value{},
+		ParamSets: []map[string]algebra.Value{
+			{"k": algebra.IntVal(1)},
+			{"k": algebra.IntVal(2)},
+			{"k": algebra.IntVal(2)},
+		},
+	}
+	pred, err := compilePred(algebra.CmpParam(algebra.Col("t", "v"), algebra.EQ, "k"), schema, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := &filterIter{
+		child: &sliceIter{rows: intRows([]int64{1}, []int64{2}, []int64{3}), schema: schema},
+		pred:  pred,
+	}
+	iv := &invokeIter{child: child, env: env}
+	out, err := drain(iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 { // one match for k=1, one each for the two k=2 bindings
+		t.Fatalf("invoke produced %d rows, want 3", len(out))
+	}
+}
+
+func TestProjectComputesExpressions(t *testing.T) {
+	schema := intSchema("t", "a", "b")
+	expr := algebra.BinExpr{Op: algebra.Mul, L: algebra.ColOf("t", "a"),
+		R: algebra.BinExpr{Op: algebra.Sub, L: algebra.ConstOf(algebra.FloatVal(1)), R: algebra.ColOf("t", "b")}}
+	f, err := compileScalar(expr, schema, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &projectIter{
+		child:  &sliceIter{rows: intRows([]int64{10, 0}, []int64{10, 1}), schema: schema},
+		funcs:  []valueFunc{f},
+		schema: algebra.Schema{{Col: algebra.Col("q", "x"), Typ: algebra.TFloat}},
+	}
+	out, err := drain(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0].AsFloat() != 10 || out[1][0].AsFloat() != 0 {
+		t.Errorf("project results wrong: %v", out)
+	}
+}
+
+func TestDivisionByZeroFails(t *testing.T) {
+	schema := intSchema("t", "a")
+	f, err := compileScalar(algebra.BinExpr{Op: algebra.Div,
+		L: algebra.ColOf("t", "a"), R: algebra.ConstOf(algebra.IntVal(0))}, schema, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f(storage.Row{algebra.IntVal(1)}); err == nil {
+		t.Error("division by zero should fail")
+	}
+}
+
+func TestUnboundParameterFails(t *testing.T) {
+	schema := intSchema("t", "a")
+	env := &Env{Params: map[string]algebra.Value{}}
+	pred, err := compilePred(algebra.CmpParam(algebra.Col("t", "a"), algebra.EQ, "missing"), schema, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pred(storage.Row{algebra.IntVal(1)}); err == nil {
+		t.Error("unbound parameter should fail at evaluation")
+	}
+}
+
+func TestUnknownColumnFailsAtCompile(t *testing.T) {
+	schema := intSchema("t", "a")
+	if _, err := compileScalar(algebra.ColOf("t", "ghost"), schema, &Env{}); err == nil {
+		t.Error("unknown column should fail at compile time")
+	}
+}
+
+// TestImpliesSoundness cross-checks the algebra's Implies against actual
+// predicate evaluation: whenever p.Implies(q), any row satisfying p must
+// satisfy q.
+func TestImpliesSoundness(t *testing.T) {
+	schema := intSchema("t", "a")
+	col := algebra.Col("t", "a")
+	ops := []algebra.CmpOp{algebra.EQ, algebra.NE, algebra.LT, algebra.LE, algebra.GT, algebra.GE}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 2000; trial++ {
+		p := algebra.Cmp(col, ops[rng.Intn(len(ops))], algebra.IntVal(rng.Int63n(20)))
+		q := algebra.Cmp(col, ops[rng.Intn(len(ops))], algebra.IntVal(rng.Int63n(20)))
+		if !p.Implies(q) {
+			continue
+		}
+		pf, _ := compilePred(p, schema, &Env{})
+		qf, _ := compilePred(q, schema, &Env{})
+		for v := int64(-2); v < 24; v++ {
+			row := storage.Row{algebra.IntVal(v)}
+			pv, _ := pf(row)
+			qv, _ := qf(row)
+			if pv && !qv {
+				t.Fatalf("Implies unsound: %v implies %v but row a=%d satisfies only the former", p, q, v)
+			}
+		}
+	}
+}

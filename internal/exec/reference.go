@@ -1,0 +1,255 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mqo/internal/algebra"
+	"mqo/internal/storage"
+)
+
+// Reference evaluates a logical operator tree naively (nested loops, full
+// scans, hash-free grouping) directly against the database. It is the
+// oracle for integration tests: every optimized plan must produce the same
+// multiset of rows as the reference evaluation of its query.
+func Reference(db *storage.DB, t *algebra.Tree, env *Env) ([]storage.Row, algebra.Schema, error) {
+	if env == nil {
+		env = &Env{}
+	}
+	if env.Params == nil {
+		env.Params = map[string]algebra.Value{}
+	}
+	return evalTree(db, t, env)
+}
+
+func evalTree(db *storage.DB, t *algebra.Tree, env *Env) ([]storage.Row, algebra.Schema, error) {
+	switch op := t.Op.(type) {
+	case algebra.Scan:
+		tab, err := db.Table(op.Table)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema := requalify(tab.Schema, op.Alias)
+		var rows []storage.Row
+		err = tab.Heap.Scan(func(_ storage.RID, r storage.Row) error {
+			rows = append(rows, r.Clone())
+			return nil
+		})
+		return rows, schema, err
+
+	case algebra.Select:
+		in, schema, err := evalTree(db, t.Inputs[0], env)
+		if err != nil {
+			return nil, nil, err
+		}
+		pred, err := compilePred(op.Pred, schema, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out []storage.Row
+		for _, r := range in {
+			keep, err := pred(r)
+			if err != nil {
+				return nil, nil, err
+			}
+			if keep {
+				out = append(out, r)
+			}
+		}
+		return out, schema, nil
+
+	case algebra.Join:
+		l, ls, err := evalTree(db, t.Inputs[0], env)
+		if err != nil {
+			return nil, nil, err
+		}
+		r, rs, err := evalTree(db, t.Inputs[1], env)
+		if err != nil {
+			return nil, nil, err
+		}
+		schema := ls.Concat(rs)
+		pred, err := compilePred(op.Pred, schema, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		var out []storage.Row
+		for _, lr := range l {
+			for _, rr := range r {
+				row := concatRows(lr, rr)
+				keep, err := pred(row)
+				if err != nil {
+					return nil, nil, err
+				}
+				if keep {
+					out = append(out, row)
+				}
+			}
+		}
+		return out, schema, nil
+
+	case algebra.Aggregate:
+		in, schema, err := evalTree(db, t.Inputs[0], env)
+		if err != nil {
+			return nil, nil, err
+		}
+		gbIdx := make([]int, len(op.GroupBy))
+		for i, c := range op.GroupBy {
+			gbIdx[i] = schema.IndexOf(c)
+			if gbIdx[i] < 0 {
+				return nil, nil, fmt.Errorf("exec: reference group-by column %v missing", c)
+			}
+		}
+		argFns := make([]valueFunc, len(op.Aggs))
+		for i, a := range op.Aggs {
+			if a.Func == algebra.CountAll {
+				continue
+			}
+			f, err := compileScalar(a.Arg, schema, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			argFns[i] = f
+		}
+		groups := map[string][]storage.Row{}
+		var order []string
+		for _, r := range in {
+			var key strings.Builder
+			for _, ix := range gbIdx {
+				key.WriteString(r[ix].String())
+				key.WriteByte('|')
+			}
+			k := key.String()
+			if _, ok := groups[k]; !ok {
+				order = append(order, k)
+			}
+			groups[k] = append(groups[k], r)
+		}
+		if len(op.GroupBy) == 0 && len(groups) == 0 {
+			groups[""] = nil
+			order = append(order, "")
+		}
+		outSchema := make(algebra.Schema, 0, len(op.GroupBy)+len(op.Aggs))
+		for i, c := range op.GroupBy {
+			outSchema = append(outSchema, algebra.ColInfo{Col: c, Typ: schema[gbIdx[i]].Typ})
+		}
+		for _, a := range op.Aggs {
+			ty := algebra.TFloat
+			if a.Func == algebra.CountAll {
+				ty = algebra.TInt
+			}
+			outSchema = append(outSchema, algebra.ColInfo{Col: a.As, Typ: ty})
+		}
+		var out []storage.Row
+		for _, k := range order {
+			rows := groups[k]
+			states := make([]aggState, len(op.Aggs))
+			for i, a := range op.Aggs {
+				states[i] = aggState{fn: a.Func, arg: argFns[i]}
+			}
+			for _, r := range rows {
+				for i := range states {
+					if err := states[i].add(r); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+			row := make(storage.Row, 0, len(outSchema))
+			if len(rows) > 0 {
+				for _, ix := range gbIdx {
+					row = append(row, rows[0][ix])
+				}
+			}
+			for i := range states {
+				row = append(row, states[i].result())
+			}
+			out = append(out, row)
+		}
+		return out, outSchema, nil
+
+	case algebra.Project:
+		in, schema, err := evalTree(db, t.Inputs[0], env)
+		if err != nil {
+			return nil, nil, err
+		}
+		funcs := make([]valueFunc, len(op.Exprs))
+		outSchema := make(algebra.Schema, len(op.Exprs))
+		for i, ne := range op.Exprs {
+			f, err := compileScalar(ne.Expr, schema, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			funcs[i] = f
+			outSchema[i] = algebra.ColInfo{Col: ne.As, Typ: ne.Typ}
+		}
+		var out []storage.Row
+		for _, r := range in {
+			row := make(storage.Row, len(funcs))
+			for i, f := range funcs {
+				v, err := f(r)
+				if err != nil {
+					return nil, nil, err
+				}
+				row[i] = v
+			}
+			out = append(out, row)
+		}
+		return out, outSchema, nil
+
+	case algebra.Invoke:
+		sets := env.ParamSets
+		if len(sets) == 0 {
+			sets = []map[string]algebra.Value{{}}
+		}
+		var out []storage.Row
+		var schema algebra.Schema
+		for _, set := range sets {
+			for k, v := range set {
+				env.Params[k] = v
+			}
+			rows, s, err := evalTree(db, t.Inputs[0], env)
+			if err != nil {
+				return nil, nil, err
+			}
+			schema = s
+			out = append(out, rows...)
+		}
+		return out, schema, nil
+	}
+	return nil, nil, fmt.Errorf("exec: reference cannot evaluate %T", t.Op)
+}
+
+// Canonicalize renders a result set order- and column-order-insensitively
+// for comparison: each row becomes "col=value" pairs sorted by column name,
+// and the rows are sorted. Float aggregates are rounded to 6 digits.
+func Canonicalize(schema algebra.Schema, rows []storage.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		parts := make([]string, len(r))
+		for j, v := range r {
+			val := v
+			if v.Typ == algebra.TFloat {
+				val = algebra.FloatVal(roundTo(v.F, 6))
+			}
+			parts[j] = schema[j].Col.String() + "=" + val.String()
+		}
+		sort.Strings(parts)
+		out[i] = strings.Join(parts, ",")
+	}
+	sort.Strings(out)
+	return out
+}
+
+func roundTo(f float64, digits int) float64 {
+	scale := 1.0
+	for i := 0; i < digits; i++ {
+		scale *= 10
+	}
+	v := f * scale
+	if v >= 0 {
+		v += 0.5
+	} else {
+		v -= 0.5
+	}
+	return float64(int64(v)) / scale
+}

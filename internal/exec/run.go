@@ -1,0 +1,524 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"mqo/internal/algebra"
+	"mqo/internal/cost"
+	"mqo/internal/physical"
+	"mqo/internal/storage"
+)
+
+// QueryResult is the output of one query of the batch.
+type QueryResult struct {
+	Schema algebra.Schema
+	Rows   []storage.Row
+}
+
+// RunStats reports the measured execution profile of a batch run: page I/O
+// from the buffer pool and the simulated time those I/Os cost under the
+// paper's model (the Figure 7 substitute measurement).
+type RunStats struct {
+	IO      storage.IOStats
+	SimTime float64 // seconds, from the cost model's I/O constants
+	Wall    time.Duration
+	RowsOut int64
+}
+
+// Run executes an optimized plan against the database: materializes shared
+// results (in dependency order), executes every query of the batch, and
+// reports per-query results plus measured statistics. Temporary tables are
+// dropped before returning.
+func Run(db *storage.DB, model cost.Model, plan *physical.Plan, env *Env) ([]QueryResult, RunStats, error) {
+	if env == nil {
+		env = &Env{}
+	}
+	if env.Params == nil {
+		env.Params = map[string]algebra.Value{}
+	}
+	b := &builder{db: db, env: env}
+	start := time.Now()
+	before := db.Pool.Stats
+
+	for _, m := range plan.Mats {
+		if err := b.materialize(m); err != nil {
+			return nil, RunStats{}, err
+		}
+	}
+
+	var results []QueryResult
+	var rowsOut int64
+	queryRoots := plan.Root.Children
+	if plan.Root.E.Kind != physical.Batch {
+		queryRoots = []*physical.PlanNode{plan.Root}
+	}
+	for _, q := range queryRoots {
+		it, err := b.build(q, true)
+		if err != nil {
+			return nil, RunStats{}, err
+		}
+		rows, err := drain(it)
+		if err != nil {
+			return nil, RunStats{}, err
+		}
+		rowsOut += int64(len(rows))
+		results = append(results, QueryResult{Schema: it.Schema(), Rows: rows})
+	}
+	if err := db.Pool.Flush(); err != nil {
+		return nil, RunStats{}, err
+	}
+	after := db.Pool.Stats
+	stats := RunStats{
+		IO: storage.IOStats{
+			Reads:  after.Reads - before.Reads,
+			Writes: after.Writes - before.Writes,
+			Hits:   after.Hits - before.Hits,
+		},
+		Wall:    time.Since(start),
+		RowsOut: rowsOut,
+	}
+	stats.SimTime = float64(stats.IO.Reads)*model.ReadS + float64(stats.IO.Writes)*model.WriteS +
+		float64(stats.IO.Reads+stats.IO.Writes)*model.CPUS
+	db.DropTemps()
+	return results, stats, nil
+}
+
+// drain exhausts an iterator.
+func drain(it Iterator) ([]storage.Row, error) {
+	if err := it.Open(); err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var rows []storage.Row
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return rows, nil
+		}
+		rows = append(rows, r)
+	}
+}
+
+// builder instantiates iterators for plan nodes.
+type builder struct {
+	db  *storage.DB
+	env *Env
+}
+
+// tempName is the temp-table name of a materialized plan node.
+func tempName(pn *physical.PlanNode) string { return "mat_" + strconv.Itoa(pn.N.ID) }
+
+// materialize computes a Mat plan node into its temp table (and temp index
+// for index-property nodes). Mats arrive in dependency order, so children
+// temps already exist.
+func (b *builder) materialize(pn *physical.PlanNode) error {
+	if _, err := b.db.Temp(tempName(pn)); err == nil {
+		return nil // already materialized
+	}
+	src := pn
+	ixCol := ""
+	if pn.E.Kind == physical.IndexBuildEnf {
+		ixCol = pn.E.IxCol.Name
+		src = pn.Children[0]
+	}
+	it, err := b.build(src, false)
+	if err != nil {
+		return err
+	}
+	rows, err := drain(it)
+	if err != nil {
+		return err
+	}
+	temp := b.db.CreateTemp(tempName(pn), it.Schema())
+	for _, r := range rows {
+		if _, err := temp.Heap.Insert(r); err != nil {
+			return err
+		}
+	}
+	if ixCol != "" {
+		if _, err := b.db.BuildIndex(temp, ixCol); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// build returns an iterator for a plan node. When asConsumer is true and
+// the node is materialized, the iterator reads the temp table instead of
+// recomputing.
+func (b *builder) build(pn *physical.PlanNode, asConsumer bool) (Iterator, error) {
+	if asConsumer && pn.Mat {
+		temp, err := b.db.Temp(tempName(pn))
+		if err != nil {
+			return nil, fmt.Errorf("exec: materialized node %d not yet computed: %w", pn.N.ID, err)
+		}
+		return newTableScan(temp.Heap, temp.Schema), nil
+	}
+	switch pn.E.Kind {
+	case physical.SeqScan:
+		op := pn.E.LE.Op.(algebra.Scan)
+		tab, err := b.db.Table(op.Table)
+		if err != nil {
+			return nil, err
+		}
+		return newTableScan(tab.Heap, requalify(tab.Schema, op.Alias)), nil
+
+	case physical.Filter:
+		child, err := b.build(pn.Children[0], true)
+		if err != nil {
+			return nil, err
+		}
+		op := pn.E.LE.Op.(algebra.Select)
+		pred, err := compilePred(op.Pred, child.Schema(), b.env)
+		if err != nil {
+			return nil, err
+		}
+		return &filterIter{child: child, pred: pred}, nil
+
+	case physical.IndexSelect:
+		op := pn.E.LE.Op.(algebra.Select)
+		src, err := b.resolveIndexedSource(pn.Children[0], pn.E.IxCol)
+		if err != nil {
+			return nil, err
+		}
+		col, cop, rhs, ok := singleColPred(op.Pred)
+		if !ok || col != pn.E.IxCol {
+			return nil, fmt.Errorf("exec: index select predicate mismatch: %v", op.Pred)
+		}
+		rhsFn, err := compileScalar(rhs, nil, b.env)
+		if err != nil {
+			return nil, err
+		}
+		full, err := compilePred(op.Pred, src.schema, b.env)
+		if err != nil {
+			return nil, err
+		}
+		return &indexSelect{source: src, op: cop, rhs: rhsFn, pred: full, schema: src.schema}, nil
+
+	case physical.BNLJoin:
+		return b.buildNLJoin(pn)
+
+	case physical.MergeJoin:
+		return b.buildMergeJoin(pn)
+
+	case physical.IndexJoin:
+		return b.buildIndexJoin(pn)
+
+	case physical.SortAgg, physical.ScalarAgg:
+		child, err := b.build(pn.Children[0], true)
+		if err != nil {
+			return nil, err
+		}
+		op := pn.E.LE.Op.(algebra.Aggregate)
+		if pn.E.Kind == physical.SortAgg && !sortedOn(pn.Children[0], pn.E.SortCols) {
+			child = &sortIter{child: child, cols: pn.E.SortCols}
+		}
+		gb := op.GroupBy
+		if pn.E.Kind == physical.SortAgg {
+			gb = pn.E.SortCols // canonical order used for sorting
+		}
+		schema := make(algebra.Schema, 0, len(gb)+len(op.Aggs))
+		cs := child.Schema()
+		for _, c := range gb {
+			i := cs.IndexOf(c)
+			if i < 0 {
+				return nil, fmt.Errorf("exec: group-by column %v missing", c)
+			}
+			schema = append(schema, cs[i])
+		}
+		for _, a := range op.Aggs {
+			t := algebra.TFloat
+			if a.Func == algebra.CountAll {
+				t = algebra.TInt
+			}
+			schema = append(schema, algebra.ColInfo{Col: a.As, Typ: t})
+		}
+		return &sortAgg{child: child, groupBy: gb, aggs: op.Aggs, schema: schema}, nil
+
+	case physical.ProjectOp:
+		child, err := b.build(pn.Children[0], true)
+		if err != nil {
+			return nil, err
+		}
+		op := pn.E.LE.Op.(algebra.Project)
+		funcs := make([]valueFunc, len(op.Exprs))
+		schema := make(algebra.Schema, len(op.Exprs))
+		for i, ne := range op.Exprs {
+			f, err := compileScalar(ne.Expr, child.Schema(), b.env)
+			if err != nil {
+				return nil, err
+			}
+			funcs[i] = f
+			schema[i] = algebra.ColInfo{Col: ne.As, Typ: ne.Typ}
+		}
+		return &projectIter{child: child, funcs: funcs, schema: schema}, nil
+
+	case physical.SortEnf:
+		child, err := b.build(pn.Children[0], true)
+		if err != nil {
+			return nil, err
+		}
+		return &sortIter{child: child, cols: pn.E.SortCols}, nil
+
+	case physical.IndexBuildEnf:
+		// Consumed as plain data (an Any-requirement parent reusing the
+		// indexed materialization): read through to the data.
+		return b.build(pn.Children[0], true)
+
+	case physical.InvokeOp:
+		child, err := b.build(pn.Children[0], true)
+		if err != nil {
+			return nil, err
+		}
+		return &invokeIter{child: child, env: b.env}, nil
+
+	case physical.BaseIndex:
+		// Base index access consumed as plain data: scan the table.
+		op := pn.E.LE.Op.(algebra.Scan)
+		tab, err := b.db.Table(op.Table)
+		if err != nil {
+			return nil, err
+		}
+		return newTableScan(tab.Heap, requalify(tab.Schema, op.Alias)), nil
+	}
+	return nil, fmt.Errorf("exec: cannot instantiate %v", pn.E.Kind)
+}
+
+func (b *builder) buildNLJoin(pn *physical.PlanNode) (Iterator, error) {
+	left, err := b.build(pn.Children[0], true)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.build(pn.Children[1], true)
+	if err != nil {
+		return nil, err
+	}
+	op := pn.E.LE.Op.(algebra.Join)
+	schema := left.Schema().Concat(right.Schema())
+	pred, err := compilePred(op.Pred, schema, b.env)
+	if err != nil {
+		return nil, err
+	}
+	return &nlJoin{left: left, right: right, pred: pred, schema: schema}, nil
+}
+
+func (b *builder) buildMergeJoin(pn *physical.PlanNode) (Iterator, error) {
+	left, err := b.build(pn.Children[0], true)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.build(pn.Children[1], true)
+	if err != nil {
+		return nil, err
+	}
+	// Inputs must arrive sorted on the join keys; when a link was replaced
+	// by a differently-sorted materialization, re-sort explicitly.
+	if !sortedOn(pn.Children[0], pn.E.SortCols) {
+		left = &sortIter{child: left, cols: pn.E.SortCols}
+	}
+	if !sortedOn(pn.Children[1], pn.E.RightCols) {
+		right = &sortIter{child: right, cols: pn.E.RightCols}
+	}
+	op := pn.E.LE.Op.(algebra.Join)
+	schema := left.Schema().Concat(right.Schema())
+	pred, err := compilePred(op.Pred, schema, b.env)
+	if err != nil {
+		return nil, err
+	}
+	mj := &mergeJoin{left: left, right: right, pred: pred, schema: schema}
+	for _, c := range pn.E.SortCols {
+		mj.lIdx = append(mj.lIdx, left.Schema().IndexOf(c))
+	}
+	for _, c := range pn.E.RightCols {
+		mj.rIdx = append(mj.rIdx, right.Schema().IndexOf(c))
+	}
+	for _, ix := range append(append([]int(nil), mj.lIdx...), mj.rIdx...) {
+		if ix < 0 {
+			return nil, fmt.Errorf("exec: merge key missing from input schema")
+		}
+	}
+	return mj, nil
+}
+
+func (b *builder) buildIndexJoin(pn *physical.PlanNode) (Iterator, error) {
+	outer, err := b.build(pn.Children[0], true)
+	if err != nil {
+		return nil, err
+	}
+	src, err := b.resolveIndexedSource(pn.Children[1], pn.E.IxCol)
+	if err != nil {
+		return nil, err
+	}
+	op := pn.E.LE.Op.(algebra.Join)
+	schema := outer.Schema().Concat(src.schema)
+	pred, err := compilePred(op.Pred, schema, b.env)
+	if err != nil {
+		return nil, err
+	}
+	keyFn, err := compileScalar(algebra.ColExpr{C: pn.E.SortCols[0]}, outer.Schema(), b.env)
+	if err != nil {
+		return nil, err
+	}
+	return &indexJoin{outer: outer, inner: src, keyFn: keyFn, pred: pred, schema: schema}, nil
+}
+
+// resolveIndexedSource turns an index-property plan node into a probe-able
+// source: a base table with a stored index, or a (possibly just-built)
+// temp table with a temp index.
+func (b *builder) resolveIndexedSource(pn *physical.PlanNode, col algebra.Column) (*indexedSource, error) {
+	switch pn.E.Kind {
+	case physical.BaseIndex:
+		op := pn.E.LE.Op.(algebra.Scan)
+		tab, err := b.db.Table(op.Table)
+		if err != nil {
+			return nil, err
+		}
+		idx, ok := tab.Indexes[col.Name]
+		if !ok {
+			// Build the stored index lazily on first use: catalog indexes
+			// are metadata; the storage side materializes them on demand.
+			idx, err = b.db.BuildIndex(tab, col.Name)
+			if err != nil {
+				return nil, err
+			}
+		}
+		schema := requalify(tab.Schema, op.Alias)
+		return &indexedSource{heap: tab.Heap, index: idx, keyIdx: schema.IndexOf(col), schema: schema}, nil
+
+	case physical.IndexBuildEnf:
+		name := tempName(pn)
+		temp, err := b.db.Temp(name)
+		if err != nil {
+			// Transient index join inner: build temp + index now.
+			if err := b.materialize(pn); err != nil {
+				return nil, err
+			}
+			temp, err = b.db.Temp(name)
+			if err != nil {
+				return nil, err
+			}
+		}
+		idx, ok := temp.Indexes[col.Name]
+		if !ok {
+			idx, err = b.db.BuildIndex(temp, col.Name)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &indexedSource{heap: temp.Heap, index: idx, keyIdx: temp.Schema.IndexOf(col), schema: temp.Schema}, nil
+	}
+	return nil, fmt.Errorf("exec: node %d (%v) is not an indexed source", pn.N.ID, pn.E.Kind)
+}
+
+// invokeIter runs its child once per parameter binding, concatenating the
+// outputs (correlated evaluation of a nested query, §5).
+type invokeIter struct {
+	child Iterator
+	env   *Env
+
+	sets    []map[string]algebra.Value
+	setIdx  int
+	opened  bool
+	started bool
+}
+
+func (iv *invokeIter) Open() error {
+	iv.sets = iv.env.ParamSets
+	if len(iv.sets) == 0 {
+		iv.sets = []map[string]algebra.Value{{}}
+	}
+	iv.setIdx = 0
+	iv.opened, iv.started = true, false
+	return nil
+}
+
+func (iv *invokeIter) Next() (storage.Row, bool, error) {
+	for iv.setIdx < len(iv.sets) {
+		if !iv.started {
+			for k, v := range iv.sets[iv.setIdx] {
+				iv.env.Params[k] = v
+			}
+			if err := iv.child.Open(); err != nil {
+				return nil, false, err
+			}
+			iv.started = true
+		}
+		r, ok, err := iv.child.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return r, true, nil
+		}
+		if err := iv.child.Close(); err != nil {
+			return nil, false, err
+		}
+		iv.setIdx++
+		iv.started = false
+	}
+	return nil, false, nil
+}
+
+func (iv *invokeIter) Close() error {
+	if iv.started {
+		return iv.child.Close()
+	}
+	return nil
+}
+
+func (iv *invokeIter) Schema() algebra.Schema { return iv.child.Schema() }
+
+// requalify rewrites a stored schema's relation qualifiers to an alias.
+func requalify(s algebra.Schema, alias string) algebra.Schema {
+	out := make(algebra.Schema, len(s))
+	for i, ci := range s {
+		out[i] = algebra.ColInfo{Col: algebra.Col(alias, ci.Col.Name), Typ: ci.Typ}
+	}
+	return out
+}
+
+// sortedOn reports whether the plan node's delivered property guarantees
+// the given sort order.
+func sortedOn(pn *physical.PlanNode, cols []algebra.Column) bool {
+	return pn.N.Prop.Satisfies(physical.SortProp(cols...)) ||
+		deliveredSort(pn).Satisfies(physical.SortProp(cols...))
+}
+
+// deliveredSort infers the sort order an operator actually delivers.
+func deliveredSort(pn *physical.PlanNode) physical.Prop {
+	switch pn.E.Kind {
+	case physical.SortEnf:
+		return physical.SortProp(pn.E.SortCols...)
+	case physical.MergeJoin:
+		return physical.SortProp(pn.E.SortCols...)
+	case physical.SortAgg:
+		return physical.SortProp(pn.E.SortCols...)
+	}
+	return pn.N.Prop
+}
+
+// singleColPred matches col op (const|param) predicates.
+func singleColPred(p algebra.Predicate) (algebra.Column, algebra.CmpOp, algebra.Scalar, bool) {
+	if len(p.Conj) != 1 || len(p.Conj[0].Disj) != 1 {
+		return algebra.Column{}, 0, nil, false
+	}
+	c := p.Conj[0].Disj[0]
+	if l, ok := c.L.(algebra.ColExpr); ok {
+		switch c.R.(type) {
+		case algebra.ConstExpr, algebra.ParamExpr:
+			return l.C, c.Op, c.R, true
+		}
+	}
+	if r, ok := c.R.(algebra.ColExpr); ok {
+		switch c.L.(type) {
+		case algebra.ConstExpr, algebra.ParamExpr:
+			return r.C, c.Op.Flip(), c.L, true
+		}
+	}
+	return algebra.Column{}, 0, nil, false
+}

@@ -1,0 +1,544 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+
+	"mqo/internal/algebra"
+	"mqo/internal/cost"
+	"mqo/internal/dag"
+)
+
+// AlgKind enumerates implementation algorithms and enforcers.
+type AlgKind uint8
+
+// Implementation algorithms (paper §6: sort-based aggregation, merge join,
+// nested loops join, indexed join, indexed select, relation scan) plus the
+// enforcers and structural operators.
+const (
+	SeqScan AlgKind = iota
+	BaseIndex
+	IndexSelect
+	Filter
+	BNLJoin
+	MergeJoin
+	IndexJoin
+	SortAgg
+	ScalarAgg
+	ProjectOp
+	SortEnf
+	IndexBuildEnf
+	Batch
+	InvokeOp
+)
+
+// String names the algorithm for plan printing.
+func (k AlgKind) String() string {
+	return [...]string{
+		"SeqScan", "BaseIndex", "IndexSelect", "Filter", "BNLJoin",
+		"MergeJoin", "IndexJoin", "SortAgg", "ScalarAgg", "Project",
+		"Sort", "IndexBuild", "Batch", "Invoke",
+	}[k]
+}
+
+// PExpr is a physical operation node: one implementation algorithm applied
+// to child physical equivalence nodes.
+type PExpr struct {
+	Kind     AlgKind
+	LE       *dag.Expr // originating logical expression (nil for enforcers)
+	Children []*Node
+	Weights  []float64 // per-child cost multiplier (Invoke: #invocations)
+	Node     *Node     // owner
+	OpCost   cost.Cost // execution cost of this operator alone
+
+	// Algorithm parameters.
+	SortCols  []algebra.Column // Sort enforcer order / merge-join left keys / sort-agg order
+	RightCols []algebra.Column // merge-join right keys
+	IxCol     algebra.Column   // index column (IndexSelect, IndexJoin, IndexBuild, BaseIndex)
+}
+
+// Node is a physical equivalence node: a logical group constrained to a
+// physical property.
+type Node struct {
+	ID      int
+	LG      *dag.Group
+	Prop    Prop
+	Exprs   []*PExpr
+	Parents []*PExpr
+	Topo    int // topological number: children before parents
+
+	// Cost is the current computation cost of the node under the costing
+	// state (set of materialized nodes); maintained by costing.go.
+	Cost cost.Cost
+
+	// MatCost is the additional cost of materializing the node's result
+	// when first computed (sequential write; 0 for index nodes whose
+	// enforcer already writes data and index).
+	MatCost cost.Cost
+
+	// ReuseSeq is the cost of reusing the materialized result by
+	// sequential scan (0 for index nodes: probe costs are charged at the
+	// consuming operator).
+	ReuseSeq cost.Cost
+
+	// Sharable is set by the sharability analysis (§4.1): true when the
+	// logical group's maximal degree of sharing exceeds one.
+	Sharable bool
+}
+
+// Blocks returns the estimated size of the node's result in blocks.
+func (n *Node) Blocks(m cost.Model) float64 { return n.LG.Rel.Blocks(m) }
+
+// DAG is the physical AND-OR DAG over a logical DAG.
+type DAG struct {
+	L     *dag.DAG
+	Model cost.Model
+
+	Nodes []*Node // in topological order: children before parents
+	Root  *Node
+	// QueryRoots are the physical nodes of the individual query roots (any
+	// property), in query order.
+	QueryRoots []*Node
+
+	byGroup map[*dag.Group][]*Node
+	memo    map[nodeKey]*Node
+	nextID  int
+
+	costing costState
+}
+
+type nodeKey struct {
+	g    *dag.Group
+	prop string
+}
+
+// Build constructs the physical DAG for a finalized, expanded logical DAG.
+func Build(l *dag.DAG, model cost.Model) (*DAG, error) {
+	if l.Root == nil {
+		return nil, fmt.Errorf("physical: logical DAG not finalized")
+	}
+	pd := &DAG{
+		L: l, Model: model,
+		byGroup: map[*dag.Group][]*Node{},
+		memo:    map[nodeKey]*Node{},
+	}
+	root, err := pd.build(l.Root, AnyProp())
+	if err != nil {
+		return nil, err
+	}
+	pd.Root = root
+	for _, qr := range l.QueryRoots {
+		n, err := pd.build(qr.Find(), AnyProp())
+		if err != nil {
+			return nil, err
+		}
+		pd.QueryRoots = append(pd.QueryRoots, n)
+	}
+	pd.assignTopo()
+	pd.initCosting()
+	return pd, nil
+}
+
+// NodesOf returns the physical nodes of a logical group.
+func (pd *DAG) NodesOf(g *dag.Group) []*Node { return pd.byGroup[g.Find()] }
+
+// build returns the physical node for (g, prop), creating it and its
+// reachable sub-DAG on first use.
+func (pd *DAG) build(g *dag.Group, prop Prop) (*Node, error) {
+	g = g.Find()
+	key := nodeKey{g: g, prop: prop.Key()}
+	if n, ok := pd.memo[key]; ok {
+		return n, nil
+	}
+	n := &Node{ID: pd.nextID, LG: g, Prop: prop}
+	pd.nextID++
+	pd.memo[key] = n
+	pd.Nodes = append(pd.Nodes, n)
+	pd.byGroup[g] = append(pd.byGroup[g], n)
+
+	for _, le := range g.Exprs {
+		if err := pd.addImplementations(n, le); err != nil {
+			return nil, err
+		}
+	}
+	if err := pd.addEnforcers(n); err != nil {
+		return nil, err
+	}
+	if len(n.Exprs) == 0 {
+		return nil, fmt.Errorf("physical: no implementation for group %d with property %s", g.ID, prop)
+	}
+
+	blocks := n.Blocks(pd.Model)
+	if prop.HasIx {
+		n.MatCost = 0
+		n.ReuseSeq = 0
+	} else {
+		n.MatCost = pd.Model.WriteCost(blocks)
+		n.ReuseSeq = pd.Model.ScanCost(blocks)
+	}
+	return n, nil
+}
+
+// addExpr wires a physical expression into its owner and children.
+func (pd *DAG) addExpr(e *PExpr) {
+	if e.Weights == nil {
+		e.Weights = make([]float64, len(e.Children))
+		for i := range e.Weights {
+			e.Weights[i] = 1
+		}
+	}
+	e.Node.Exprs = append(e.Node.Exprs, e)
+	for _, c := range e.Children {
+		c.Parents = append(c.Parents, e)
+	}
+}
+
+// addImplementations adds every applicable algorithm for logical expression
+// le to node n (whose property the algorithm's delivered property must
+// satisfy).
+func (pd *DAG) addImplementations(n *Node, le *dag.Expr) error {
+	m := pd.Model
+	g := n.LG
+	outBlocks := g.Rel.Blocks(m)
+
+	switch op := le.Op.(type) {
+	case algebra.Scan:
+		t, err := pd.L.Est.Cat.Table(op.Table)
+		if err != nil {
+			return err
+		}
+		// Sequential scan: delivers the clustered order if any.
+		var delivered Prop
+		for _, ix := range t.Indexes {
+			if ix.Clustered {
+				delivered = SortProp(algebra.Col(op.Alias, ix.Column))
+				break
+			}
+		}
+		if delivered.Satisfies(n.Prop) {
+			pd.addExpr(&PExpr{Kind: SeqScan, LE: le, Node: n, OpCost: m.ScanCost(outBlocks)})
+		}
+		// Existing base index: zero-cost access point for index consumers.
+		if n.Prop.HasIx && n.Prop.Index.Rel == op.Alias {
+			if exists, _ := t.IndexOn(n.Prop.Index.Name); exists {
+				pd.addExpr(&PExpr{Kind: BaseIndex, LE: le, Node: n, OpCost: 0, IxCol: n.Prop.Index})
+			}
+		}
+
+	case algebra.Select:
+		child := le.Children[0].Find()
+		// Filter over a child delivering the required sort order.
+		if !n.Prop.HasIx {
+			cn, err := pd.build(child, Prop{Sort: n.Prop.Sort})
+			if err != nil {
+				return err
+			}
+			pd.addExpr(&PExpr{
+				Kind: Filter, LE: le, Node: n, Children: []*Node{cn},
+				OpCost: m.CPUCost(child.Rel.Blocks(m)),
+			})
+		}
+		// Index select for a single-column comparison.
+		if col, cop, _, ok := singleColOrParam(op.Pred); ok && cop != algebra.NE && !n.Prop.HasIx && len(n.Prop.Sort) == 0 {
+			if pd.indexable(child, col) {
+				cn, err := pd.build(child, IndexProp(col))
+				if err != nil {
+					return err
+				}
+				matchRows := g.Rel.Rows
+				clustered := pd.hasClusteredBase(child, col)
+				pd.addExpr(&PExpr{
+					Kind: IndexSelect, LE: le, Node: n, Children: []*Node{cn},
+					OpCost: m.IndexProbeCost(1, matchRows, child.Rel.Width, clustered),
+					IxCol:  col,
+				})
+			}
+		}
+
+	case algebra.Join:
+		l, r := le.Children[0].Find(), le.Children[1].Find()
+		lBlocks, rBlocks := l.Rel.Blocks(m), r.Rel.Blocks(m)
+		lc, rc := op.Pred.EquiJoinColumns(l.Schema, r.Schema)
+		sortPairs(lc, rc)
+		// Block nested loops: always applicable.
+		if !n.Prop.HasIx && len(n.Prop.Sort) == 0 {
+			ln, err := pd.build(l, AnyProp())
+			if err != nil {
+				return err
+			}
+			rn, err := pd.build(r, AnyProp())
+			if err != nil {
+				return err
+			}
+			pd.addExpr(&PExpr{
+				Kind: BNLJoin, LE: le, Node: n, Children: []*Node{ln, rn},
+				OpCost: m.BlockNLJoinCost(lBlocks, rBlocks, outBlocks, l.Rel.Rows, r.Rel.Rows),
+			})
+		}
+		// Merge join: requires equijoin columns; delivers sort on left keys.
+		if len(lc) > 0 && !n.Prop.HasIx && SortProp(lc...).Satisfies(n.Prop) {
+			ln, err := pd.build(l, SortProp(lc...))
+			if err != nil {
+				return err
+			}
+			rn, err := pd.build(r, SortProp(rc...))
+			if err != nil {
+				return err
+			}
+			pd.addExpr(&PExpr{
+				Kind: MergeJoin, LE: le, Node: n, Children: []*Node{ln, rn},
+				OpCost:   m.MergeJoinCost(lBlocks, rBlocks, outBlocks, l.Rel.Rows, r.Rel.Rows, g.Rel.Rows),
+				SortCols: lc, RightCols: rc,
+			})
+		}
+		// Index nested loops: probe an index on the first right-side key.
+		if len(lc) > 0 && !n.Prop.HasIx && len(n.Prop.Sort) == 0 {
+			ixCol := rc[0]
+			if pd.indexable(r, ixCol) {
+				ln, err := pd.build(l, AnyProp())
+				if err != nil {
+					return err
+				}
+				rn, err := pd.build(r, IndexProp(ixCol))
+				if err != nil {
+					return err
+				}
+				matchPerProbe := g.Rel.Rows / maxf(1, l.Rel.Rows)
+				clustered := pd.hasClusteredBase(r, ixCol)
+				pd.addExpr(&PExpr{
+					Kind: IndexJoin, LE: le, Node: n, Children: []*Node{ln, rn},
+					OpCost:   m.IndexProbeCost(l.Rel.Rows, matchPerProbe, r.Rel.Width, clustered),
+					SortCols: lc[:1], RightCols: rc[:1], IxCol: ixCol,
+				})
+			}
+		}
+
+	case algebra.Aggregate:
+		child := le.Children[0].Find()
+		inBlocks := child.Rel.Blocks(m)
+		if len(op.GroupBy) == 0 {
+			if !n.Prop.HasIx && len(n.Prop.Sort) == 0 {
+				cn, err := pd.build(child, AnyProp())
+				if err != nil {
+					return err
+				}
+				pd.addExpr(&PExpr{Kind: ScalarAgg, LE: le, Node: n, Children: []*Node{cn}, OpCost: m.CPUCost(inBlocks)})
+			}
+			return nil
+		}
+		gb := canonicalCols(op.GroupBy)
+		if !n.Prop.HasIx && SortProp(gb...).Satisfies(n.Prop) {
+			cn, err := pd.build(child, SortProp(gb...))
+			if err != nil {
+				return err
+			}
+			pd.addExpr(&PExpr{
+				Kind: SortAgg, LE: le, Node: n, Children: []*Node{cn},
+				OpCost: m.AggregateCost(inBlocks, outBlocks), SortCols: gb,
+			})
+		}
+
+	case algebra.Project:
+		if !n.Prop.HasIx && len(n.Prop.Sort) == 0 {
+			cn, err := pd.build(le.Children[0].Find(), AnyProp())
+			if err != nil {
+				return err
+			}
+			pd.addExpr(&PExpr{Kind: ProjectOp, LE: le, Node: n, Children: []*Node{cn},
+				OpCost: m.CPUCost(le.Children[0].Find().Rel.Blocks(m))})
+		}
+
+	case algebra.NoOp:
+		if n.Prop.IsAny() {
+			children := make([]*Node, len(le.Children))
+			for i, c := range le.Children {
+				cn, err := pd.build(c.Find(), AnyProp())
+				if err != nil {
+					return err
+				}
+				children[i] = cn
+			}
+			pd.addExpr(&PExpr{Kind: Batch, LE: le, Node: n, Children: children, OpCost: 0})
+		}
+
+	case algebra.Invoke:
+		if n.Prop.IsAny() {
+			cn, err := pd.build(le.Children[0].Find(), AnyProp())
+			if err != nil {
+				return err
+			}
+			pd.addExpr(&PExpr{
+				Kind: InvokeOp, LE: le, Node: n, Children: []*Node{cn},
+				Weights: []float64{float64(op.Times)}, OpCost: 0,
+			})
+		}
+
+	default:
+		return fmt.Errorf("physical: unknown logical operator %T", le.Op)
+	}
+	return nil
+}
+
+// addEnforcers adds the sort enforcer / index-build enforcer for non-Any
+// properties.
+func (pd *DAG) addEnforcers(n *Node) error {
+	if n.Prop.IsAny() {
+		return nil
+	}
+	base, err := pd.build(n.LG, AnyProp())
+	if err != nil {
+		return err
+	}
+	m := pd.Model
+	blocks := n.Blocks(m)
+	if n.Prop.HasIx {
+		// Skip the build enforcer when a zero-cost base index access exists.
+		for _, e := range n.Exprs {
+			if e.Kind == BaseIndex {
+				return nil
+			}
+		}
+		pd.addExpr(&PExpr{
+			Kind: IndexBuildEnf, Node: n, Children: []*Node{base},
+			OpCost: m.WriteCost(blocks) + m.IndexBuildCost(n.LG.Rel.Rows, 8),
+			IxCol:  n.Prop.Index,
+		})
+		return nil
+	}
+	pd.addExpr(&PExpr{
+		Kind: SortEnf, Node: n, Children: []*Node{base},
+		OpCost: m.SortCost(blocks, n.LG.Rel.Rows), SortCols: n.Prop.Sort,
+	})
+	return nil
+}
+
+// indexable reports whether an index on col can exist for group g: either a
+// base table with a catalog index on col, or any group at all (a temporary
+// index can be built on a materialized result, §5). Parameter-dependent
+// groups cannot be materialized, hence cannot carry a temp index, unless a
+// base index already exists.
+func (pd *DAG) indexable(g *dag.Group, col algebra.Column) bool {
+	if !g.Schema.Has(col) {
+		return false
+	}
+	if pd.baseIndexOn(g, col) {
+		return true
+	}
+	return !g.ParamDep
+}
+
+// baseIndexOn reports whether g is a base-scan group whose table has a
+// catalog index on col.
+func (pd *DAG) baseIndexOn(g *dag.Group, col algebra.Column) bool {
+	for _, e := range g.Exprs {
+		sc, ok := e.Op.(algebra.Scan)
+		if !ok || sc.Alias != col.Rel {
+			continue
+		}
+		if t, err := pd.L.Est.Cat.Table(sc.Table); err == nil {
+			if exists, _ := t.IndexOn(col.Name); exists {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasClusteredBase reports whether g is a base-scan group with a clustered
+// catalog index on col.
+func (pd *DAG) hasClusteredBase(g *dag.Group, col algebra.Column) bool {
+	for _, e := range g.Exprs {
+		sc, ok := e.Op.(algebra.Scan)
+		if !ok || sc.Alias != col.Rel {
+			continue
+		}
+		if t, err := pd.L.Est.Cat.Table(sc.Table); err == nil {
+			if exists, clustered := t.IndexOn(col.Name); exists && clustered {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// assignTopo numbers nodes so that every expression's children precede its
+// owner, via iterative post-order DFS over all nodes.
+func (pd *DAG) assignTopo() {
+	visited := map[*Node]bool{}
+	topo := 0
+	var order []*Node
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		for _, e := range n.Exprs {
+			for _, c := range e.Children {
+				visit(c)
+			}
+		}
+		n.Topo = topo
+		topo++
+		order = append(order, n)
+	}
+	// Visit from the root first, then any stragglers (nodes built for
+	// query roots only).
+	if pd.Root != nil {
+		visit(pd.Root)
+	}
+	for _, n := range pd.Nodes {
+		visit(n)
+	}
+	pd.Nodes = order
+}
+
+// singleColOrParam matches predicates of the form col op (const|param).
+func singleColOrParam(p algebra.Predicate) (algebra.Column, algebra.CmpOp, algebra.Scalar, bool) {
+	if len(p.Conj) != 1 || len(p.Conj[0].Disj) != 1 {
+		return algebra.Column{}, 0, nil, false
+	}
+	c := p.Conj[0].Disj[0]
+	if l, ok := c.L.(algebra.ColExpr); ok {
+		switch c.R.(type) {
+		case algebra.ConstExpr, algebra.ParamExpr:
+			return l.C, c.Op, c.R, true
+		}
+	}
+	if r, ok := c.R.(algebra.ColExpr); ok {
+		switch c.L.(type) {
+		case algebra.ConstExpr, algebra.ParamExpr:
+			return r.C, c.Op.Flip(), c.L, true
+		}
+	}
+	return algebra.Column{}, 0, nil, false
+}
+
+// sortPairs sorts the paired key columns by the left column for canonical
+// merge keys.
+func sortPairs(lc, rc []algebra.Column) {
+	sort.Sort(&pairSorter{lc, rc})
+}
+
+type pairSorter struct{ l, r []algebra.Column }
+
+func (p *pairSorter) Len() int           { return len(p.l) }
+func (p *pairSorter) Less(i, j int) bool { return p.l[i].Less(p.l[j]) }
+func (p *pairSorter) Swap(i, j int) {
+	p.l[i], p.l[j] = p.l[j], p.l[i]
+	p.r[i], p.r[j] = p.r[j], p.r[i]
+}
+
+// canonicalCols returns a sorted copy of cols.
+func canonicalCols(cols []algebra.Column) []algebra.Column {
+	out := append([]algebra.Column(nil), cols...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

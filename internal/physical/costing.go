@@ -1,0 +1,244 @@
+package physical
+
+import (
+	"container/heap"
+
+	"mqo/internal/cost"
+	"mqo/internal/dag"
+)
+
+// costState tracks the set of materialized nodes and supports full and
+// incremental recosting of the DAG (paper Figure 5).
+type costState struct {
+	mat        map[*Node]bool
+	matByGroup map[*dag.Group][]*Node
+
+	// Counters for the Figure 10 / §6.3 experiments.
+	Propagations   int64 // nodes popped from the propagation heap
+	Recomputations int64 // incremental UpdateCost invocations
+}
+
+// initCosting initializes the costing state and runs a full bottom-up pass.
+func (pd *DAG) initCosting() {
+	pd.costing = costState{mat: map[*Node]bool{}, matByGroup: map[*dag.Group][]*Node{}}
+	pd.Recost()
+}
+
+// Materialized reports whether n is currently materialized.
+func (pd *DAG) Materialized(n *Node) bool { return pd.costing.mat[n] }
+
+// MaterializedSet returns the current set of materialized nodes.
+func (pd *DAG) MaterializedSet() []*Node {
+	out := make([]*Node, 0, len(pd.costing.mat))
+	for n := range pd.costing.mat {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Counters returns the (propagations, recomputations) instrumentation.
+func (pd *DAG) Counters() (int64, int64) {
+	return pd.costing.Propagations, pd.costing.Recomputations
+}
+
+// ResetCounters zeroes the instrumentation counters.
+func (pd *DAG) ResetCounters() {
+	pd.costing.Propagations, pd.costing.Recomputations = 0, 0
+}
+
+// reusableBy reports whether some materialized node of c's logical group
+// can serve c's requirement, excluding owner (a node must not account its
+// own materialization while computing its own cost). When the consumer is
+// an enforcer of the same group (owner.LG == c.LG), only c's own
+// materialization qualifies: allowing a sibling's would let two sibling
+// materializations cyclically claim to derive from each other.
+func (pd *DAG) reusableBy(c, owner *Node) bool {
+	sameGroup := owner != nil && owner.LG == c.LG
+	for _, m := range pd.costing.matByGroup[c.LG] {
+		if m == owner || (sameGroup && m != c) {
+			continue
+		}
+		if m.Prop.Satisfies(c.Prop) {
+			return true
+		}
+	}
+	return false
+}
+
+// childCost is the paper's C(e): the cost of input c as seen by a consuming
+// operator owned by owner — min(cost, reusecost) when a satisfying
+// materialization exists.
+func (pd *DAG) childCost(c, owner *Node) cost.Cost {
+	if pd.reusableBy(c, owner) && c.ReuseSeq < c.Cost {
+		return c.ReuseSeq
+	}
+	return c.Cost
+}
+
+// exprCost computes the cost of one physical operation node under the
+// current materialization state.
+func (pd *DAG) exprCost(e *PExpr) cost.Cost {
+	total := e.OpCost
+	for i, c := range e.Children {
+		total += e.Weights[i] * pd.childCost(c, e.Node)
+	}
+	return total
+}
+
+// nodeCost computes min over the node's operation nodes.
+func (pd *DAG) nodeCost(n *Node) cost.Cost {
+	best := cost.Cost(0)
+	for i, e := range n.Exprs {
+		c := pd.exprCost(e)
+		if i == 0 || c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+// Recost performs a full bottom-up costing pass in topological order.
+func (pd *DAG) Recost() {
+	for _, n := range pd.Nodes {
+		n.Cost = pd.nodeCost(n)
+	}
+}
+
+// TotalCost is bestcost(Q, S): the cost of the best plan for the batch root
+// given the current materialized set, including the cost of computing and
+// materializing every member (paper §4, Figure 5's TotalCost).
+func (pd *DAG) TotalCost() cost.Cost {
+	total := pd.Root.Cost
+	for m := range pd.costing.mat {
+		total += m.Cost + m.MatCost
+	}
+	return total
+}
+
+// nodeHeap is a min-heap of nodes ordered by topological number, used to
+// propagate cost changes upward without revisiting nodes (paper Figure 5).
+type nodeHeap struct {
+	items  []*Node
+	inHeap map[*Node]bool
+}
+
+func (h *nodeHeap) Len() int           { return len(h.items) }
+func (h *nodeHeap) Less(i, j int) bool { return h.items[i].Topo < h.items[j].Topo }
+func (h *nodeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(*Node)) }
+func (h *nodeHeap) Pop() interface{} {
+	n := h.items[len(h.items)-1]
+	h.items = h.items[:len(h.items)-1]
+	return n
+}
+
+func (h *nodeHeap) add(n *Node) {
+	if !h.inHeap[n] {
+		h.inHeap[n] = true
+		heap.Push(h, n)
+	}
+}
+
+func (h *nodeHeap) pop() *Node {
+	n := heap.Pop(h).(*Node)
+	delete(h.inHeap, n)
+	return n
+}
+
+// SetMaterialized toggles the materialization status of n and incrementally
+// propagates the cost change to affected ancestors, in topological order so
+// no node is processed twice (the paper's incremental cost update,
+// Figure 5). It returns the number of nodes whose cost was re-examined.
+func (pd *DAG) SetMaterialized(n *Node, on bool) int {
+	cs := &pd.costing
+	if cs.mat[n] == on {
+		return 0
+	}
+	if on {
+		cs.mat[n] = true
+		cs.matByGroup[n.LG] = append(cs.matByGroup[n.LG], n)
+	} else {
+		delete(cs.mat, n)
+		sibs := cs.matByGroup[n.LG]
+		for i, m := range sibs {
+			if m == n {
+				cs.matByGroup[n.LG] = append(sibs[:i], sibs[i+1:]...)
+				break
+			}
+		}
+	}
+	cs.Recomputations++
+
+	// Seed the heap with every sibling node whose consumers may now see a
+	// different input cost (the changed set S△S′ of Figure 5).
+	h := &nodeHeap{inHeap: map[*Node]bool{}}
+	forced := map[*Node]bool{}
+	for _, s := range pd.byGroup[n.LG] {
+		if n.Prop.Satisfies(s.Prop) {
+			forced[s] = true
+			h.add(s)
+		}
+	}
+
+	touched := 0
+	for h.Len() > 0 {
+		cur := h.pop()
+		cs.Propagations++
+		touched++
+		old := cur.Cost
+		cur.Cost = pd.nodeCost(cur)
+		if cur.Cost != old || forced[cur] {
+			for _, p := range cur.Parents {
+				h.add(p.Node)
+			}
+		}
+	}
+	return touched
+}
+
+// SetMaterializedRaw toggles materialization state without incremental
+// propagation; the caller is responsible for calling Recost. It exists for
+// the §6.3 ablation that disables incremental cost update, and for tests.
+func (pd *DAG) SetMaterializedRaw(n *Node, on bool) {
+	cs := &pd.costing
+	if cs.mat[n] == on {
+		return
+	}
+	if on {
+		cs.mat[n] = true
+		cs.matByGroup[n.LG] = append(cs.matByGroup[n.LG], n)
+		return
+	}
+	delete(cs.mat, n)
+	sibs := cs.matByGroup[n.LG]
+	for i, m := range sibs {
+		if m == n {
+			cs.matByGroup[n.LG] = append(sibs[:i], sibs[i+1:]...)
+			break
+		}
+	}
+}
+
+// BestCostWith computes bestcost(Q, S) for an explicit set S with a full
+// from-scratch costing pass, leaving the costing state as it found it. It
+// is the non-incremental reference implementation used by tests and by the
+// greedy ablation with incremental update disabled.
+func (pd *DAG) BestCostWith(set []*Node) cost.Cost {
+	saved := pd.MaterializedSet()
+	for _, m := range saved {
+		pd.SetMaterializedRaw(m, false)
+	}
+	for _, m := range set {
+		pd.SetMaterializedRaw(m, true)
+	}
+	pd.Recost()
+	total := pd.TotalCost()
+	for _, m := range set {
+		pd.SetMaterializedRaw(m, false)
+	}
+	for _, m := range saved {
+		pd.SetMaterializedRaw(m, true)
+	}
+	pd.Recost()
+	return total
+}

@@ -1,0 +1,270 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+	"mqo/internal/cost"
+	"mqo/internal/dag"
+)
+
+func testCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	for _, n := range []string{"A", "B", "C", "D"} {
+		cat.Add(&catalog.Table{
+			Name: n,
+			Cols: []catalog.ColDef{
+				catalog.IntCol("id", 10000),
+				catalog.IntCol("fk", 1000),
+				catalog.IntColRange("num", 100, 1, 100),
+			},
+			Rows:    10000,
+			Indexes: []catalog.IndexDef{{Column: "id", Clustered: true}},
+		})
+	}
+	return cat
+}
+
+func buildDAG(t *testing.T, queries ...*algebra.Tree) *DAG {
+	t.Helper()
+	ld := dag.New(cost.Estimator{Cat: testCatalog()})
+	for _, q := range queries {
+		if _, err := ld.AddQuery(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ld.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Subsume(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ld.Expand(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ld.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	pd, err := Build(ld, cost.DefaultModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pd
+}
+
+func chain(tables []string, selConst int64) *algebra.Tree {
+	t := algebra.SelectT(algebra.Cmp(algebra.Col(tables[0], "num"), algebra.GE, algebra.IntVal(selConst)),
+		algebra.ScanT(tables[0]))
+	for i := 1; i < len(tables); i++ {
+		pred := algebra.ColEq(algebra.Col(tables[i-1], "fk"), algebra.Col(tables[i], "id"))
+		t = algebra.JoinT(pred, t, algebra.ScanT(tables[i]))
+	}
+	return t
+}
+
+func TestPropSatisfies(t *testing.T) {
+	a, b := algebra.Col("r", "a"), algebra.Col("r", "b")
+	cases := []struct {
+		p, r Prop
+		want bool
+	}{
+		{AnyProp(), AnyProp(), true},
+		{SortProp(a), AnyProp(), true},
+		{AnyProp(), SortProp(a), false},
+		{SortProp(a, b), SortProp(a), true},
+		{SortProp(a), SortProp(a, b), false},
+		{SortProp(b), SortProp(a), false},
+		{IndexProp(a), IndexProp(a), true},
+		{IndexProp(a), IndexProp(b), false},
+		{SortProp(a), IndexProp(a), false},
+		{IndexProp(a), AnyProp(), true},
+		{IndexProp(a), SortProp(a), false},
+	}
+	for i, c := range cases {
+		if got := c.p.Satisfies(c.r); got != c.want {
+			t.Errorf("case %d: %s.Satisfies(%s) = %v, want %v", i, c.p, c.r, got, c.want)
+		}
+	}
+}
+
+func TestBuildTopologicalOrder(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B", "C"}, 50))
+	for _, n := range pd.Nodes {
+		for _, e := range n.Exprs {
+			for _, c := range e.Children {
+				if c.Topo >= n.Topo {
+					t.Fatalf("topology violated: child %d (topo %d) not before parent %d (topo %d)",
+						c.ID, c.Topo, n.ID, n.Topo)
+				}
+			}
+		}
+	}
+	if pd.Root.Topo != len(pd.Nodes)-1 && pd.Root != pd.Nodes[len(pd.Nodes)-1] {
+		// Root must be last in the order when reachable stragglers exist.
+		t.Log("root not last; acceptable only if query-root-only nodes trail")
+	}
+}
+
+func TestEveryNodeHasImplementation(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B", "C", "D"}, 50))
+	for _, n := range pd.Nodes {
+		if len(n.Exprs) == 0 {
+			t.Fatalf("node %d (%s) has no implementations", n.ID, n.Prop)
+		}
+		if n.Cost < 0 {
+			t.Fatalf("node %d has negative cost", n.ID)
+		}
+	}
+}
+
+func TestCostingPositiveAndMonotoneAtRoot(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B", "C"}, 50), chain([]string{"A", "B", "D"}, 50))
+	if pd.Root.Cost <= 0 {
+		t.Fatal("root cost must be positive")
+	}
+	base := pd.TotalCost()
+	// Materializing anything can only be modeled; TotalCost accounts for
+	// the extra materialization cost, so it may go up or down, but Root
+	// computation cost alone can never increase.
+	for _, n := range pd.Nodes[:len(pd.Nodes)/2] {
+		rootBefore := pd.Root.Cost
+		pd.SetMaterialized(n, true)
+		if pd.Root.Cost > rootBefore+1e-9 {
+			t.Fatalf("materializing node %d increased root computation cost", n.ID)
+		}
+		pd.SetMaterialized(n, false)
+	}
+	if got := pd.TotalCost(); got != base {
+		t.Fatalf("toggling all nodes off did not restore cost: %v vs %v", got, base)
+	}
+}
+
+// TestIncrementalMatchesScratch is the central §4.2 correctness property:
+// incremental cost update must agree with from-scratch recosting for random
+// materialization sets.
+func TestIncrementalMatchesScratch(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B", "C"}, 50), chain([]string{"B", "C", "D"}, 60))
+	rng := rand.New(rand.NewSource(7))
+	var current []*Node
+	for trial := 0; trial < 60; trial++ {
+		// Random toggle.
+		n := pd.Nodes[rng.Intn(len(pd.Nodes))]
+		if n == pd.Root || n.LG.ParamDep {
+			continue
+		}
+		if pd.Materialized(n) {
+			pd.SetMaterialized(n, false)
+			for i, m := range current {
+				if m == n {
+					current = append(current[:i], current[i+1:]...)
+					break
+				}
+			}
+		} else {
+			pd.SetMaterialized(n, true)
+			current = append(current, n)
+		}
+		incr := pd.TotalCost()
+		scratch := pd.BestCostWith(current)
+		if diff := incr - scratch; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("trial %d: incremental %v != scratch %v (set size %d)", trial, incr, scratch, len(current))
+		}
+	}
+}
+
+func TestMergeJoinUsesSortedInputs(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B"}, 50))
+	var mjs int
+	for _, n := range pd.Nodes {
+		for _, e := range n.Exprs {
+			if e.Kind == MergeJoin {
+				mjs++
+				for _, c := range e.Children {
+					if len(c.Prop.Sort) == 0 {
+						t.Error("merge join child lacks sort property")
+					}
+				}
+			}
+		}
+	}
+	if mjs == 0 {
+		t.Error("no merge join generated for equijoin")
+	}
+}
+
+func TestIndexJoinOnBaseIndex(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B"}, 50))
+	var ij int
+	for _, n := range pd.Nodes {
+		for _, e := range n.Exprs {
+			if e.Kind == IndexJoin {
+				ij++
+				inner := e.Children[1]
+				if !inner.Prop.HasIx {
+					t.Error("index join inner lacks index property")
+				}
+			}
+		}
+	}
+	if ij == 0 {
+		t.Error("no index join generated despite base index on id")
+	}
+}
+
+func TestExtractPlanCoversQueries(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B", "C"}, 50), chain([]string{"A", "B", "D"}, 50))
+	p := pd.ExtractPlan()
+	if p.Root == nil || p.Root.E.Kind != Batch {
+		t.Fatal("plan root is not the batch node")
+	}
+	if len(p.Root.Children) != 2 {
+		t.Fatalf("batch has %d children, want 2", len(p.Root.Children))
+	}
+	// Without materializations there must be no Mat marks.
+	p.Root.Walk(func(pn *PlanNode) {
+		if pn.Mat {
+			t.Error("unexpected materialized plan node in Volcano plan")
+		}
+	})
+}
+
+func TestExtractPlanWithMaterialization(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B", "C"}, 50), chain([]string{"A", "B", "D"}, 50))
+	// Find the shared σ(A)⋈B group node (any prop) and materialize it.
+	var shared *Node
+	for _, n := range pd.Nodes {
+		if n.Prop.IsAny() && len(n.LG.Schema) == 6 &&
+			n.LG.Schema.Has(algebra.Col("A", "id")) && n.LG.Schema.Has(algebra.Col("B", "id")) {
+			shared = n
+			break
+		}
+	}
+	if shared == nil {
+		t.Fatal("no shared join node found")
+	}
+	pd.SetMaterialized(shared, true)
+	p := pd.ExtractPlan()
+	if len(p.Mats) != 1 {
+		t.Fatalf("plan has %d materializations, want 1", len(p.Mats))
+	}
+	if p.Mats[0].N != shared || !p.Mats[0].Mat {
+		t.Error("materialized plan node mismatch")
+	}
+}
+
+func TestSetMaterializedIdempotent(t *testing.T) {
+	pd := buildDAG(t, chain([]string{"A", "B"}, 50))
+	n := pd.Nodes[0]
+	if pd.SetMaterialized(n, true) == 0 {
+		t.Error("first materialization should touch nodes")
+	}
+	if pd.SetMaterialized(n, true) != 0 {
+		t.Error("repeated materialization should be a no-op")
+	}
+	pd.SetMaterialized(n, false)
+	if pd.TotalCost() != pd.BestCostWith(nil) {
+		t.Error("state not restored")
+	}
+}

@@ -1,0 +1,161 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mqo/internal/cost"
+)
+
+// PlanNode is one node of an extracted evaluation plan. A plan is a DAG:
+// nodes chosen for more than one parent appear once with multiple parents,
+// which is how sharing (materialized or recomputed) is represented.
+type PlanNode struct {
+	N        *Node
+	E        *PExpr
+	Children []*PlanNode
+
+	// Mat marks plan nodes whose result is materialized: computed once,
+	// written to temporary storage, and read by every consumer.
+	Mat bool
+
+	// NumParents counts distinct parent plan-node links; it is the basis
+	// of the numuses⁻ underestimate used by Volcano-SH (paper §3.2).
+	NumParents int
+}
+
+// Plan is a consolidated evaluation plan for the batch: the root plan node
+// plus the computation plans of materialized nodes in dependency order.
+type Plan struct {
+	Root *PlanNode
+	// Mats holds materialized plan nodes in topological (dependency)
+	// order: earlier entries never read later ones.
+	Mats []*PlanNode
+	// ByNode maps physical nodes to their unique plan node.
+	ByNode map[*Node]*PlanNode
+}
+
+// NewPlan returns an empty plan for incremental extraction (Volcano-RU).
+func NewPlan() *Plan { return &Plan{ByNode: map[*Node]*PlanNode{}} }
+
+// ExtractPlan extracts the best consolidated plan for the batch under the
+// current costing state. With an empty materialized set this is exactly the
+// basic Volcano best plan (paper §3.1); with a non-empty set, inputs whose
+// reuse is cheaper than recomputation link to the materialized node's plan
+// node, which is marked Mat.
+func (pd *DAG) ExtractPlan() *Plan {
+	p := NewPlan()
+	p.Root = pd.ExtractInto(p, pd.Root)
+	pd.FinishPlan(p)
+	return p
+}
+
+// FinishPlan marks the current materialized set in the plan and fills the
+// dependency-ordered Mats list, extracting computation plans for
+// materialized nodes not already present.
+func (pd *DAG) FinishPlan(p *Plan) {
+	var mats []*Node
+	for m := range pd.costing.mat {
+		mats = append(mats, m)
+	}
+	sort.Slice(mats, func(i, j int) bool { return mats[i].Topo < mats[j].Topo })
+	for _, m := range mats {
+		pn := pd.ExtractInto(p, m)
+		pn.Mat = true
+		p.Mats = append(p.Mats, pn)
+	}
+}
+
+// ExtractInto extracts (memoized) the plan node for n into p, following the
+// current costing state's choices. When an input is served more cheaply by
+// a materialized node of the same group, the link goes to that node's plan
+// node, so sharing appears as a DAG edge rather than a plan copy.
+func (pd *DAG) ExtractInto(p *Plan, n *Node) *PlanNode {
+	if pn, ok := p.ByNode[n]; ok {
+		return pn
+	}
+	pn := &PlanNode{N: n}
+	p.ByNode[n] = pn
+	var best *PExpr
+	bestCost := cost.Cost(0)
+	for i, e := range n.Exprs {
+		c := pd.exprCost(e)
+		if i == 0 || c < bestCost {
+			best, bestCost = e, c
+		}
+	}
+	pn.E = best
+	pn.Children = make([]*PlanNode, len(best.Children))
+	for i, c := range best.Children {
+		target := c
+		if m := pd.bestSatisfyingMat(c, n); m != nil && c.ReuseSeq < c.Cost {
+			target = m
+		}
+		cp := pd.ExtractInto(p, target)
+		cp.NumParents++
+		pn.Children[i] = cp
+	}
+	return pn
+}
+
+// bestSatisfyingMat returns a materialized node serving c's requirement, or
+// nil. It mirrors reusableBy's same-group restriction so extracted plans
+// match the costs computed for them.
+func (pd *DAG) bestSatisfyingMat(c, owner *Node) *Node {
+	sameGroup := owner != nil && owner.LG == c.LG
+	for _, m := range pd.costing.matByGroup[c.LG] {
+		if m == owner || (sameGroup && m != c) {
+			continue
+		}
+		if m.Prop.Satisfies(c.Prop) {
+			return m
+		}
+	}
+	return nil
+}
+
+// Walk visits every plan node reachable from pn once, children first.
+func (pn *PlanNode) Walk(f func(*PlanNode)) {
+	seen := map[*PlanNode]bool{}
+	var rec func(*PlanNode)
+	rec = func(n *PlanNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, c := range n.Children {
+			rec(c)
+		}
+		f(n)
+	}
+	rec(pn)
+}
+
+// String renders the plan with sharing and materialization annotations.
+func (p *Plan) String() string {
+	var b strings.Builder
+	seen := map[*PlanNode]bool{}
+	var rec func(pn *PlanNode, depth int)
+	rec = func(pn *PlanNode, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		if seen[pn] {
+			fmt.Fprintf(&b, "↑shared node %d (%s)\n", pn.N.ID, pn.E.Kind)
+			return
+		}
+		seen[pn] = true
+		fmt.Fprintf(&b, "%s [node %d, %s, rows %.0f]", pn.E.Kind, pn.N.ID, pn.N.Prop, pn.N.LG.Rel.Rows)
+		if pn.Mat {
+			b.WriteString(" MATERIALIZED")
+		}
+		if pn.E.LE != nil {
+			fmt.Fprintf(&b, " %s", pn.E.LE.Op.String())
+		}
+		b.WriteByte('\n')
+		for _, c := range pn.Children {
+			rec(c, depth+1)
+		}
+	}
+	rec(p.Root, 0)
+	return b.String()
+}

@@ -1,0 +1,77 @@
+// Package physical implements the physical AND-OR DAG (paper §2.2): for
+// each logical equivalence node, one physical node per interesting physical
+// property (sort order, presence of a temporary index), with operation
+// nodes for every applicable implementation algorithm and enforcers (sort,
+// index build). It also implements the Volcano costing of the DAG given a
+// set of materialized nodes (§3.1), both from scratch and incrementally
+// (§4.2), which all three MQO heuristics build on.
+package physical
+
+import (
+	"strings"
+
+	"mqo/internal/algebra"
+)
+
+// Prop is a physical property: a required/delivered sort order, or access
+// through an index on a column. A property never carries both (index nodes
+// exist solely to feed index-based operators). The zero Prop is the "any"
+// property.
+type Prop struct {
+	Sort  []algebra.Column // sort order, outermost first
+	Index algebra.Column   // index availability on this column
+	HasIx bool
+}
+
+// AnyProp is the "no requirement" property.
+func AnyProp() Prop { return Prop{} }
+
+// SortProp is a sort-order requirement.
+func SortProp(cols ...algebra.Column) Prop { return Prop{Sort: cols} }
+
+// IndexProp is an index-availability requirement.
+func IndexProp(col algebra.Column) Prop { return Prop{Index: col, HasIx: true} }
+
+// IsAny reports whether the property imposes no requirement.
+func (p Prop) IsAny() bool { return len(p.Sort) == 0 && !p.HasIx }
+
+// Key is a canonical map key for the property.
+func (p Prop) Key() string {
+	if p.HasIx {
+		return "ix:" + p.Index.String()
+	}
+	if len(p.Sort) == 0 {
+		return "any"
+	}
+	parts := make([]string, len(p.Sort))
+	for i, c := range p.Sort {
+		parts[i] = c.String()
+	}
+	return "sort:" + strings.Join(parts, ",")
+}
+
+// String renders the property for plan output.
+func (p Prop) String() string { return p.Key() }
+
+// Satisfies reports whether a result delivered with property p can be used
+// where r is required: any sort order satisfies the empty requirement, a
+// sort order satisfies any prefix of itself, and an index requirement is
+// satisfied only by the same index.
+func (p Prop) Satisfies(r Prop) bool {
+	if r.HasIx {
+		return p.HasIx && p.Index == r.Index
+	}
+	if p.HasIx {
+		// An index node carries no sort guarantee for sequential readers.
+		return len(r.Sort) == 0
+	}
+	if len(r.Sort) > len(p.Sort) {
+		return false
+	}
+	for i, c := range r.Sort {
+		if p.Sort[i] != c {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package physical
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mqo/internal/algebra"
+)
+
+// randProp builds a random property over a small column universe.
+func randProp(r *rand.Rand) Prop {
+	cols := []algebra.Column{
+		algebra.Col("t", "a"), algebra.Col("t", "b"), algebra.Col("t", "c"),
+	}
+	switch r.Intn(3) {
+	case 0:
+		return AnyProp()
+	case 1:
+		n := 1 + r.Intn(3)
+		perm := r.Perm(len(cols))[:n]
+		s := make([]algebra.Column, n)
+		for i, p := range perm {
+			s[i] = cols[p]
+		}
+		return SortProp(s...)
+	default:
+		return IndexProp(cols[r.Intn(len(cols))])
+	}
+}
+
+// TestSatisfiesReflexiveTransitive checks the partial-order laws that the
+// costing and extraction logic rely on: p ⊨ p, and p ⊨ q ∧ q ⊨ r → p ⊨ r.
+func TestSatisfiesReflexiveTransitive(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p, q, s := randProp(r), randProp(r), randProp(r)
+		if !p.Satisfies(p) {
+			return false
+		}
+		if p.Satisfies(q) && q.Satisfies(s) && !p.Satisfies(s) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSatisfiesImpliesAnySatisfied ensures anything satisfies Any, and Any
+// satisfies only Any-or-nothing requirements.
+func TestSatisfiesAnyLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randProp(r)
+		if !p.Satisfies(AnyProp()) {
+			return false
+		}
+		if AnyProp().Satisfies(p) && !p.IsAny() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropKeyCanonical ensures equal properties have equal keys and
+// different sort prefixes differ.
+func TestPropKeyCanonical(t *testing.T) {
+	a, b := algebra.Col("t", "a"), algebra.Col("t", "b")
+	if SortProp(a, b).Key() == SortProp(b, a).Key() {
+		t.Error("different sort orders share a key")
+	}
+	if SortProp(a).Key() != SortProp(a).Key() || IndexProp(a).Key() != IndexProp(a).Key() {
+		t.Error("equal properties produce different keys")
+	}
+	if AnyProp().Key() != "any" {
+		t.Errorf("any key = %q", AnyProp().Key())
+	}
+}

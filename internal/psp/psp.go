@@ -1,0 +1,135 @@
+// Package psp implements the paper's scaleup workload (§6.2): relations
+// PSP1..PSP22 with schema (P, SP, NUM) of 20,000–40,000 tuples at 25 tuples
+// per block, component queries SQ1..SQ18 — each a pair of five-relation
+// chain queries differing in one selection constant — and the composite
+// queries CQ1..CQ5, where CQi spans relations PSP1..PSP(4i+2) with 32i−16
+// join predicates and 8i−4 selection predicates.
+package psp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+	"mqo/internal/storage"
+)
+
+// NumRelations is the number of PSP relations (paper: 22).
+const NumRelations = 22
+
+// NumMax is the upper bound of the NUM column's value range.
+const NumMax = 1000
+
+// RelName returns the name of the i-th relation (1-based).
+func RelName(i int) string { return fmt.Sprintf("PSP%d", i) }
+
+// rowsOf returns the deterministic "random" row count in [20000, 40000]
+// for relation i, scaled.
+func rowsOf(i int, scale float64) int64 {
+	rng := rand.New(rand.NewSource(int64(i) * 7919))
+	n := 20000 + rng.Int63n(20001)
+	n = int64(float64(n) * scale)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// Catalog builds the PSP catalog at the given scale (1.0 = the paper's
+// sizes). Column widths give 25 tuples per 4 KB block, as in the paper. No
+// indices exist on the base relations.
+func Catalog(scale float64) *catalog.Catalog {
+	cat := catalog.New()
+	for i := 1; i <= NumRelations; i++ {
+		rows := rowsOf(i, scale)
+		p := catalog.IntColRange("P", rows, 1, rows)
+		sp := catalog.IntColRange("SP", rows, 1, rows)
+		num := catalog.IntColRange("NUM", NumMax, 1, NumMax)
+		p.Width, sp.Width, num.Width = 54, 54, 55 // 163 bytes ≈ 25 tuples/block
+		cat.Add(&catalog.Table{
+			Name: RelName(i),
+			Cols: []catalog.ColDef{p, sp, num},
+			Rows: rows,
+		})
+	}
+	return cat
+}
+
+// selConsts returns the pair (a_i, b_i) of distinct selection constants of
+// component query SQi.
+func selConsts(i int) (int64, int64) {
+	a := int64(200 + 10*i)
+	b := int64(500 + 10*i)
+	return a, b
+}
+
+// chain builds one five-relation chain query starting at PSPi with
+// selection NUM >= sel on the first relation: join predicates
+// PSPj.SP = PSP(j+1).P for j = i..i+3.
+func chain(i int, sel int64) *algebra.Tree {
+	first := RelName(i)
+	t := algebra.SelectT(
+		algebra.Cmp(algebra.Col(first, "NUM"), algebra.GE, algebra.IntVal(sel)),
+		algebra.ScanT(first))
+	for j := i; j < i+4; j++ {
+		l, r := RelName(j), RelName(j+1)
+		t = algebra.JoinT(algebra.ColEq(algebra.Col(l, "SP"), algebra.Col(r, "P")), t, algebra.ScanT(r))
+	}
+	return t
+}
+
+// SQ returns component query i (1-based): a pair of chain queries over
+// PSPi..PSP(i+4) differing only in the first relation's selection constant.
+func SQ(i int) [2]*algebra.Tree {
+	a, b := selConsts(i)
+	return [2]*algebra.Tree{chain(i, a), chain(i, b)}
+}
+
+// CQ returns composite query i (1..5): component queries SQ1..SQ(4i−2),
+// i.e. 8i−4 chain queries over PSP1..PSP(4i+2).
+func CQ(i int) []*algebra.Tree {
+	if i < 1 {
+		i = 1
+	}
+	if i > 5 {
+		i = 5
+	}
+	var out []*algebra.Tree
+	for s := 1; s <= 4*i-2; s++ {
+		pair := SQ(s)
+		out = append(out, pair[0], pair[1])
+	}
+	return out
+}
+
+// LoadDB generates deterministic data for the PSP relations at the given
+// scale into db, with SP values referencing the next relation's P range so
+// chains produce non-empty joins.
+func LoadDB(db *storage.DB, scale float64, seed int64) error {
+	cat := Catalog(scale)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 1; i <= NumRelations; i++ {
+		name := RelName(i)
+		ct := cat.MustTable(name)
+		nextRows := ct.Rows
+		if i < NumRelations {
+			nextRows = cat.MustTable(RelName(i + 1)).Rows
+		}
+		tab, err := db.CreateTable(name, ct.Schema(name))
+		if err != nil {
+			return err
+		}
+		for r := int64(0); r < ct.Rows; r++ {
+			row := storage.Row{
+				algebra.IntVal(r + 1),
+				algebra.IntVal(rng.Int63n(nextRows) + 1),
+				algebra.IntVal(rng.Int63n(NumMax) + 1),
+			}
+			if _, err := tab.Heap.Insert(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

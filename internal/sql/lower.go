@@ -1,0 +1,351 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+)
+
+// resolver maps names to qualified algebra columns against the statement's
+// FROM list.
+type resolver struct {
+	cat     *catalog.Catalog
+	aliases []fromItem
+	tables  map[string]*catalog.Table // alias -> table
+}
+
+func newResolver(cat *catalog.Catalog, from []fromItem) (*resolver, error) {
+	r := &resolver{cat: cat, aliases: from, tables: map[string]*catalog.Table{}}
+	for _, fi := range from {
+		if _, dup := r.tables[fi.alias]; dup {
+			return nil, fmt.Errorf("sql: duplicate alias %q", fi.alias)
+		}
+		t, err := cat.Table(fi.table)
+		if err != nil {
+			return nil, err
+		}
+		r.tables[fi.alias] = t
+	}
+	return r, nil
+}
+
+// column resolves a column reference to a qualified algebra column.
+func (r *resolver) column(c colRef) (algebra.Column, error) {
+	if c.qual != "" {
+		t, ok := r.tables[c.qual]
+		if !ok {
+			return algebra.Column{}, fmt.Errorf("sql: unknown alias %q", c.qual)
+		}
+		if t.Col(c.name) == nil {
+			return algebra.Column{}, fmt.Errorf("sql: no column %q in %q", c.name, c.qual)
+		}
+		return algebra.Col(c.qual, c.name), nil
+	}
+	var found []string
+	for _, fi := range r.aliases {
+		if r.tables[fi.alias].Col(c.name) != nil {
+			found = append(found, fi.alias)
+		}
+	}
+	switch len(found) {
+	case 1:
+		return algebra.Col(found[0], c.name), nil
+	case 0:
+		return algebra.Column{}, fmt.Errorf("sql: unknown column %q", c.name)
+	default:
+		return algebra.Column{}, fmt.Errorf("sql: ambiguous column %q (in %v)", c.name, found)
+	}
+}
+
+// scalar lowers an expression (no aggregates allowed).
+func (r *resolver) scalar(e exprNode) (algebra.Scalar, error) {
+	switch n := e.(type) {
+	case colRef:
+		c, err := r.column(n)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.ColExpr{C: c}, nil
+	case litNode:
+		return algebra.ConstExpr{V: n.v}, nil
+	case paramNode:
+		return algebra.ParamExpr{Name: n.name}, nil
+	case binNode:
+		l, err := r.scalar(n.l)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := r.scalar(n.r)
+		if err != nil {
+			return nil, err
+		}
+		return algebra.BinExpr{Op: n.op, L: l, R: rr}, nil
+	case aggNode:
+		return nil, fmt.Errorf("sql: aggregate not allowed here")
+	}
+	return nil, fmt.Errorf("sql: unknown expression %T", e)
+}
+
+// exprAliases collects the FROM aliases an expression references.
+func (r *resolver) exprAliases(e exprNode, into map[string]bool) error {
+	switch n := e.(type) {
+	case colRef:
+		c, err := r.column(n)
+		if err != nil {
+			return err
+		}
+		into[c.Rel] = true
+	case binNode:
+		if err := r.exprAliases(n.l, into); err != nil {
+			return err
+		}
+		return r.exprAliases(n.r, into)
+	case aggNode:
+		if n.arg != nil {
+			return r.exprAliases(n.arg, into)
+		}
+	}
+	return nil
+}
+
+// lower converts a parsed statement to a logical algebra tree: per-table
+// selections on the scans, equijoin conjuncts on a connected join tree,
+// remaining conjuncts in a final selection, then aggregation or projection.
+func lower(cat *catalog.Catalog, st *stmt) (*algebra.Tree, error) {
+	if len(st.from) == 0 {
+		return nil, fmt.Errorf("sql: empty FROM")
+	}
+	r, err := newResolver(cat, st.from)
+	if err != nil {
+		return nil, err
+	}
+
+	// Classify WHERE conjuncts by the aliases they reference.
+	type conjunct struct {
+		pred    algebra.Predicate
+		aliases map[string]bool
+	}
+	var single = map[string]algebra.Predicate{} // alias -> ANDed predicate
+	var multi []conjunct
+	for _, c := range st.where {
+		al := map[string]bool{}
+		if err := r.exprAliases(c.l, al); err != nil {
+			return nil, err
+		}
+		if err := r.exprAliases(c.r, al); err != nil {
+			return nil, err
+		}
+		l, err := r.scalar(c.l)
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := r.scalar(c.r)
+		if err != nil {
+			return nil, err
+		}
+		pred := algebra.Predicate{Conj: []algebra.Clause{{Disj: []algebra.Comparison{{L: l, Op: c.op, R: rhs}}}}}
+		switch len(al) {
+		case 0:
+			// constant predicate: keep as residual
+			multi = append(multi, conjunct{pred: pred, aliases: al})
+		case 1:
+			for a := range al {
+				single[a] = single[a].And(pred)
+			}
+		default:
+			multi = append(multi, conjunct{pred: pred, aliases: al})
+		}
+	}
+
+	// Per-table subtrees: scan plus pushed selection.
+	sub := map[string]*algebra.Tree{}
+	for _, fi := range st.from {
+		t := algebra.ScanAs(fi.table, fi.alias)
+		if p, ok := single[fi.alias]; ok && !p.IsTrue() {
+			t = algebra.SelectT(p, t)
+		}
+		sub[fi.alias] = t
+	}
+
+	// Build a connected join tree greedily: start with the first table,
+	// repeatedly attach a table linked to the joined set by a pending
+	// conjunct (cross product as a last resort).
+	joined := map[string]bool{st.from[0].alias: true}
+	tree := sub[st.from[0].alias]
+	remaining := make([]fromItem, 0, len(st.from)-1)
+	remaining = append(remaining, st.from[1:]...)
+	pending := multi
+
+	takeConjuncts := func() algebra.Predicate {
+		// Collect pending conjuncts fully covered by the joined set.
+		var pred algebra.Predicate
+		var rest []conjunct
+		for _, c := range pending {
+			covered := true
+			for a := range c.aliases {
+				if !joined[a] {
+					covered = false
+					break
+				}
+			}
+			if covered {
+				pred = pred.And(c.pred)
+			} else {
+				rest = append(rest, c)
+			}
+		}
+		pending = rest
+		return pred
+	}
+
+	for len(remaining) > 0 {
+		// Prefer a table connected to the current set.
+		pick := -1
+		for i, fi := range remaining {
+			for _, c := range pending {
+				if !c.aliases[fi.alias] {
+					continue
+				}
+				connected := false
+				for a := range c.aliases {
+					if joined[a] {
+						connected = true
+					}
+				}
+				if connected {
+					pick = i
+					break
+				}
+			}
+			if pick >= 0 {
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // cross product fallback
+		}
+		fi := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		joined[fi.alias] = true
+		pred := takeConjuncts()
+		tree = algebra.JoinT(pred, tree, sub[fi.alias])
+	}
+	if residual := takeConjuncts(); !residual.IsTrue() {
+		tree = algebra.SelectT(residual, tree)
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("sql: internal error: %d unplaced conjuncts", len(pending))
+	}
+
+	return lowerSelectList(r, st, tree)
+}
+
+// lowerSelectList applies aggregation or projection on top of the join
+// tree.
+func lowerSelectList(r *resolver, st *stmt, tree *algebra.Tree) (*algebra.Tree, error) {
+	hasAgg := false
+	for _, it := range st.items {
+		if _, ok := it.expr.(aggNode); ok {
+			hasAgg = true
+		}
+	}
+	if !hasAgg && len(st.groupBy) > 0 {
+		return nil, fmt.Errorf("sql: GROUP BY without aggregates")
+	}
+	if hasAgg {
+		var gb []algebra.Column
+		for _, g := range st.groupBy {
+			c, err := r.column(g)
+			if err != nil {
+				return nil, err
+			}
+			gb = append(gb, c)
+		}
+		var aggs []algebra.AggExpr
+		for i, it := range st.items {
+			an, ok := it.expr.(aggNode)
+			if !ok {
+				// Plain columns in an aggregate query must be group-by
+				// columns; they come through the group-by output.
+				c, ok := it.expr.(colRef)
+				if !ok {
+					return nil, fmt.Errorf("sql: non-aggregate select item %d in aggregate query", i)
+				}
+				col, err := r.column(c)
+				if err != nil {
+					return nil, err
+				}
+				found := false
+				for _, g := range gb {
+					if g == col {
+						found = true
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("sql: column %v not in GROUP BY", col)
+				}
+				continue
+			}
+			name := it.as
+			if name == "" {
+				name = "agg" + strconv.Itoa(i)
+			}
+			var arg algebra.Scalar
+			if an.arg != nil {
+				var err error
+				arg, err = r.scalar(an.arg)
+				if err != nil {
+					return nil, err
+				}
+			}
+			aggs = append(aggs, algebra.AggExpr{Func: an.fn, Arg: arg, As: algebra.Col("q", name)})
+		}
+		if len(aggs) == 0 {
+			return nil, fmt.Errorf("sql: aggregate query without aggregate outputs")
+		}
+		return algebra.AggT(gb, aggs, tree), nil
+	}
+	if st.star {
+		return tree, nil
+	}
+	// Plain projection.
+	var exprs []algebra.NamedScalar
+	for i, it := range st.items {
+		s, err := r.scalar(it.expr)
+		if err != nil {
+			return nil, err
+		}
+		name := it.as
+		typ := algebra.TFloat
+		if c, ok := it.expr.(colRef); ok {
+			col, err := r.column(c)
+			if err != nil {
+				return nil, err
+			}
+			if name == "" {
+				name = col.Name
+			}
+			typ = colType(r, col)
+			if it.as == "" {
+				exprs = append(exprs, algebra.NamedScalar{Expr: s, As: col, Typ: typ})
+				continue
+			}
+		}
+		if name == "" {
+			name = "col" + strconv.Itoa(i)
+		}
+		exprs = append(exprs, algebra.NamedScalar{Expr: s, As: algebra.Col("q", name), Typ: typ})
+	}
+	return algebra.NewTree(algebra.Project{Exprs: exprs}, tree), nil
+}
+
+func colType(r *resolver, c algebra.Column) algebra.Type {
+	if t, ok := r.tables[c.Rel]; ok {
+		if cd := t.Col(c.Name); cd != nil {
+			return cd.Typ
+		}
+	}
+	return algebra.TFloat
+}

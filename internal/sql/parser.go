@@ -1,0 +1,382 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+)
+
+// --- AST ---
+
+type exprNode interface{ exprMark() }
+
+type colRef struct {
+	qual string // alias or empty
+	name string
+}
+
+type litNode struct{ v algebra.Value }
+
+type paramNode struct{ name string }
+
+type binNode struct {
+	op   algebra.ArithOp
+	l, r exprNode
+}
+
+type aggNode struct {
+	fn  algebra.AggFunc
+	arg exprNode // nil for COUNT(*)
+}
+
+func (colRef) exprMark()    {}
+func (litNode) exprMark()   {}
+func (paramNode) exprMark() {}
+func (binNode) exprMark()   {}
+func (aggNode) exprMark()   {}
+
+type cmpNode struct {
+	l  exprNode
+	op algebra.CmpOp
+	r  exprNode
+}
+
+type selectItem struct {
+	expr exprNode
+	as   string
+}
+
+type fromItem struct {
+	table string
+	alias string
+}
+
+type stmt struct {
+	star    bool
+	items   []selectItem
+	from    []fromItem
+	where   []cmpNode
+	groupBy []colRef
+}
+
+// --- parser ---
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) kw(s string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && strings.EqualFold(t.text, s)
+}
+
+func (p *parser) expectKw(s string) error {
+	if !p.kw(s) {
+		return fmt.Errorf("sql: expected %s at %d, found %q", s, p.peek().pos, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.peek()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("sql: expected %q at %d, found %q", s, t.pos, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) sym(s string) bool {
+	t := p.peek()
+	if t.kind == tokSymbol && t.text == s {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// ParseBatch parses semicolon-separated SELECT statements and lowers each
+// against the catalog.
+func ParseBatch(cat *catalog.Catalog, src string) ([]*algebra.Tree, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []*algebra.Tree
+	for {
+		for p.sym(";") {
+		}
+		if p.peek().kind == tokEOF {
+			break
+		}
+		st, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		tree, err := lower(cat, st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tree)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sql: no statements")
+	}
+	return out, nil
+}
+
+// Parse parses a single SELECT statement.
+func Parse(cat *catalog.Catalog, src string) (*algebra.Tree, error) {
+	batch, err := ParseBatch(cat, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(batch) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, found %d", len(batch))
+	}
+	return batch[0], nil
+}
+
+func (p *parser) parseSelect() (*stmt, error) {
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	st := &stmt{}
+	if p.sym("*") {
+		st.star = true
+	} else {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := selectItem{expr: e}
+			if p.kw("as") {
+				p.next()
+				t := p.next()
+				if t.kind != tokIdent {
+					return nil, fmt.Errorf("sql: expected alias after AS at %d", t.pos)
+				}
+				item.as = t.text
+			}
+			st.items = append(st.items, item)
+			if !p.sym(",") {
+				break
+			}
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	for {
+		t := p.next()
+		if t.kind != tokIdent {
+			return nil, fmt.Errorf("sql: expected table name at %d", t.pos)
+		}
+		fi := fromItem{table: t.text, alias: t.text}
+		if p.kw("as") {
+			p.next()
+			a := p.next()
+			if a.kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected alias at %d", a.pos)
+			}
+			fi.alias = a.text
+		} else if p.peek().kind == tokIdent && !p.kw("where") && !p.kw("group") {
+			fi.alias = p.next().text
+		}
+		st.from = append(st.from, fi)
+		if !p.sym(",") {
+			break
+		}
+	}
+	if p.kw("where") {
+		p.next()
+		for {
+			c, err := p.parseComparison()
+			if err != nil {
+				return nil, err
+			}
+			st.where = append(st.where, c)
+			if !p.kw("and") {
+				break
+			}
+			p.next()
+		}
+	}
+	if p.kw("group") {
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			c, ok := e.(colRef)
+			if !ok {
+				return nil, fmt.Errorf("sql: GROUP BY items must be columns")
+			}
+			st.groupBy = append(st.groupBy, c)
+			if !p.sym(",") {
+				break
+			}
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseComparison() (cmpNode, error) {
+	l, err := p.parseExpr()
+	if err != nil {
+		return cmpNode{}, err
+	}
+	t := p.next()
+	var op algebra.CmpOp
+	switch t.text {
+	case "=":
+		op = algebra.EQ
+	case "<>", "!=":
+		op = algebra.NE
+	case "<":
+		op = algebra.LT
+	case "<=":
+		op = algebra.LE
+	case ">":
+		op = algebra.GT
+	case ">=":
+		op = algebra.GE
+	default:
+		return cmpNode{}, fmt.Errorf("sql: expected comparison operator at %d, found %q", t.pos, t.text)
+	}
+	r, err := p.parseExpr()
+	if err != nil {
+		return cmpNode{}, err
+	}
+	return cmpNode{l: l, op: op, r: r}, nil
+}
+
+// parseExpr handles + and - over terms.
+func (p *parser) parseExpr() (exprNode, error) {
+	l, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		op := algebra.Add
+		if t.text == "-" {
+			op = algebra.Sub
+		}
+		l = binNode{op: op, l: l, r: r}
+	}
+}
+
+// parseTerm handles * and / over primaries.
+func (p *parser) parseTerm() (exprNode, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokSymbol || (t.text != "*" && t.text != "/") {
+			return l, nil
+		}
+		p.next()
+		r, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		op := algebra.Mul
+		if t.text == "/" {
+			op = algebra.Div
+		}
+		l = binNode{op: op, l: l, r: r}
+	}
+}
+
+var aggFuncs = map[string]algebra.AggFunc{
+	"sum": algebra.Sum, "count": algebra.CountAll, "min": algebra.Min,
+	"max": algebra.Max, "avg": algebra.Avg,
+}
+
+func (p *parser) parsePrimary() (exprNode, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad number %q", t.text)
+			}
+			return litNode{v: algebra.FloatVal(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad number %q", t.text)
+		}
+		return litNode{v: algebra.IntVal(i)}, nil
+	case tokString:
+		return litNode{v: algebra.StringVal(t.text)}, nil
+	case tokParam:
+		return paramNode{name: t.text}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected %q at %d", t.text, t.pos)
+	case tokIdent:
+		name := strings.ToLower(t.text)
+		if fn, ok := aggFuncs[name]; ok && p.peek().kind == tokSymbol && p.peek().text == "(" {
+			p.next() // (
+			if p.sym("*") {
+				if err := p.expectSym(")"); err != nil {
+					return nil, err
+				}
+				return aggNode{fn: algebra.CountAll}, nil
+			}
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSym(")"); err != nil {
+				return nil, err
+			}
+			return aggNode{fn: fn, arg: arg}, nil
+		}
+		if p.peek().kind == tokSymbol && p.peek().text == "." {
+			p.next()
+			c := p.next()
+			if c.kind != tokIdent {
+				return nil, fmt.Errorf("sql: expected column after %q.", t.text)
+			}
+			return colRef{qual: t.text, name: c.text}, nil
+		}
+		return colRef{name: t.text}, nil
+	}
+	return nil, fmt.Errorf("sql: unexpected token at %d", t.pos)
+}

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"fmt"
+
+	"mqo/internal/algebra"
+	"mqo/internal/cost"
+)
+
+// Table is a stored relation: a heap file, its schema (column order of
+// stored rows), and secondary B+-tree indices keyed by column name.
+type Table struct {
+	Name    string
+	Schema  algebra.Schema
+	Heap    *HeapFile
+	Indexes map[string]*BTree
+}
+
+// DB is a set of stored tables over one buffer pool, plus a temp-table
+// namespace used by materialization during plan execution.
+type DB struct {
+	Pool   *BufferPool
+	tables map[string]*Table
+	temps  map[string]*Table
+}
+
+// NewDB creates a database with the given buffer-pool capacity in pages.
+func NewDB(poolPages int) *DB {
+	return &DB{
+		Pool:   NewBufferPool(NewPager(), poolPages),
+		tables: map[string]*Table{},
+		temps:  map[string]*Table{},
+	}
+}
+
+// CreateTable registers an empty base table. The schema's column order is
+// the stored row layout.
+func (db *DB) CreateTable(name string, schema algebra.Schema) (*Table, error) {
+	if _, ok := db.tables[name]; ok {
+		return nil, fmt.Errorf("storage: table %q already exists", name)
+	}
+	t := &Table{Name: name, Schema: schema, Heap: NewHeapFile(db.Pool), Indexes: map[string]*BTree{}}
+	db.tables[name] = t
+	return t, nil
+}
+
+// Table looks up a base table.
+func (db *DB) Table(name string) (*Table, error) {
+	if t, ok := db.tables[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("storage: unknown table %q", name)
+}
+
+// CreateTemp registers a temporary table (materialized intermediate
+// result), replacing any previous temp with the same name.
+func (db *DB) CreateTemp(name string, schema algebra.Schema) *Table {
+	t := &Table{Name: name, Schema: schema, Heap: NewHeapFile(db.Pool), Indexes: map[string]*BTree{}}
+	db.temps[name] = t
+	return t
+}
+
+// Temp looks up a temporary table.
+func (db *DB) Temp(name string) (*Table, error) {
+	if t, ok := db.temps[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("storage: unknown temp table %q", name)
+}
+
+// DropTemps discards all temporary tables (their pages remain allocated in
+// the pager; the simulation does not model space reclamation).
+func (db *DB) DropTemps() { db.temps = map[string]*Table{} }
+
+// BuildIndex creates a B+-tree index on the named column of t.
+func (db *DB) BuildIndex(t *Table, column string) (*BTree, error) {
+	idx := t.Schema.IndexOf(algebra.Col(t.Name, column))
+	if idx < 0 {
+		// Temp tables carry qualified columns from arbitrary relations:
+		// fall back to matching the bare column name.
+		for i, ci := range t.Schema {
+			if ci.Col.Name == column {
+				idx = i
+				break
+			}
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("storage: column %q not in table %q", column, t.Name)
+	}
+	bt, err := NewBTree(db.Pool)
+	if err != nil {
+		return nil, err
+	}
+	err = t.Heap.Scan(func(rid RID, r Row) error {
+		return bt.Insert(r[idx], rid)
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Indexes[column] = bt
+	return bt, nil
+}
+
+// SimulatedTime converts the pool's I/O counters into estimated seconds
+// under the paper's cost model, the measurement reported by the Figure 7
+// substitute experiment.
+func (db *DB) SimulatedTime(m cost.Model) float64 {
+	s := db.Pool.Stats
+	return float64(s.Reads)*m.ReadS + float64(s.Writes)*m.WriteS +
+		float64(s.Reads+s.Writes)*m.CPUS
+}

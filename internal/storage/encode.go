@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mqo/internal/algebra"
+)
+
+// Row is one stored tuple.
+type Row []algebra.Value
+
+// Clone deep-copies a row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// encodeRow serializes a row: per value, one type byte followed by a fixed
+// 8-byte payload for numerics or a u16-length-prefixed byte string.
+func encodeRow(r Row) []byte {
+	size := 0
+	for _, v := range r {
+		size++
+		if v.Typ == algebra.TString {
+			size += 2 + len(v.S)
+		} else {
+			size += 8
+		}
+	}
+	buf := make([]byte, 0, size)
+	for _, v := range r {
+		buf = append(buf, byte(v.Typ))
+		switch v.Typ {
+		case algebra.TInt, algebra.TDate:
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+		case algebra.TFloat:
+			buf = binary.LittleEndian.AppendUint64(buf, floatBits(v.F))
+		case algebra.TString:
+			buf = binary.LittleEndian.AppendUint16(buf, uint16(len(v.S)))
+			buf = append(buf, v.S...)
+		}
+	}
+	return buf
+}
+
+// decodeRow parses a serialized row.
+func decodeRow(buf []byte) (Row, error) {
+	var r Row
+	for len(buf) > 0 {
+		t := algebra.Type(buf[0])
+		buf = buf[1:]
+		switch t {
+		case algebra.TInt, algebra.TDate:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("storage: truncated numeric value")
+			}
+			v := int64(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+			if t == algebra.TInt {
+				r = append(r, algebra.IntVal(v))
+			} else {
+				r = append(r, algebra.DateVal(v))
+			}
+		case algebra.TFloat:
+			if len(buf) < 8 {
+				return nil, fmt.Errorf("storage: truncated float value")
+			}
+			r = append(r, algebra.FloatVal(bitsFloat(binary.LittleEndian.Uint64(buf))))
+			buf = buf[8:]
+		case algebra.TString:
+			if len(buf) < 2 {
+				return nil, fmt.Errorf("storage: truncated string length")
+			}
+			n := int(binary.LittleEndian.Uint16(buf))
+			buf = buf[2:]
+			if len(buf) < n {
+				return nil, fmt.Errorf("storage: truncated string payload")
+			}
+			r = append(r, algebra.StringVal(string(buf[:n])))
+			buf = buf[n:]
+		default:
+			return nil, fmt.Errorf("storage: unknown value type %d", t)
+		}
+	}
+	return r, nil
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

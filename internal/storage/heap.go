@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Slotted heap page layout:
+//
+//	[0:2]  numSlots (u16)
+//	[2:4]  freeStart (u16) — offset of the first free byte after the slot array
+//	[4:6]  freeEnd (u16)   — offset one past the last free byte (records grow down)
+//	then numSlots slot entries of 4 bytes each: offset (u16), length (u16)
+//
+// Records are stored from the end of the page downward; the slot array grows
+// upward. A record's RID is (page, slot).
+const (
+	hdrSize  = 6
+	slotSize = 4
+)
+
+// RID identifies a stored record.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+func pageNumSlots(p []byte) uint16  { return binary.LittleEndian.Uint16(p[0:2]) }
+func pageFreeStart(p []byte) uint16 { return binary.LittleEndian.Uint16(p[2:4]) }
+func pageFreeEnd(p []byte) uint16   { return binary.LittleEndian.Uint16(p[4:6]) }
+
+func initHeapPage(p []byte) {
+	binary.LittleEndian.PutUint16(p[0:2], 0)
+	binary.LittleEndian.PutUint16(p[2:4], hdrSize)
+	binary.LittleEndian.PutUint16(p[4:6], PageSize)
+}
+
+func slotAt(p []byte, i uint16) (off, length uint16) {
+	base := hdrSize + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p[base : base+2]), binary.LittleEndian.Uint16(p[base+2 : base+4])
+}
+
+// pageInsert stores rec in the page, returning its slot, or false when the
+// page lacks space.
+func pageInsert(p []byte, rec []byte) (uint16, bool) {
+	n := pageNumSlots(p)
+	freeStart := pageFreeStart(p)
+	freeEnd := pageFreeEnd(p)
+	need := len(rec) + slotSize
+	if int(freeEnd)-int(freeStart) < need {
+		return 0, false
+	}
+	newEnd := freeEnd - uint16(len(rec))
+	copy(p[newEnd:freeEnd], rec)
+	base := hdrSize + int(n)*slotSize
+	binary.LittleEndian.PutUint16(p[base:base+2], newEnd)
+	binary.LittleEndian.PutUint16(p[base+2:base+4], uint16(len(rec)))
+	binary.LittleEndian.PutUint16(p[0:2], n+1)
+	binary.LittleEndian.PutUint16(p[2:4], freeStart+slotSize)
+	binary.LittleEndian.PutUint16(p[4:6], newEnd)
+	return n, true
+}
+
+// HeapFile is an append-only sequence of slotted pages holding rows.
+type HeapFile struct {
+	pool  *BufferPool
+	pages []PageID
+	rows  int64
+}
+
+// NewHeapFile creates an empty heap file on the pool.
+func NewHeapFile(pool *BufferPool) *HeapFile { return &HeapFile{pool: pool} }
+
+// Rows returns the number of stored rows.
+func (h *HeapFile) Rows() int64 { return h.rows }
+
+// NumPages returns the number of pages in the file.
+func (h *HeapFile) NumPages() int { return len(h.pages) }
+
+// Insert appends a row and returns its RID.
+func (h *HeapFile) Insert(r Row) (RID, error) {
+	rec := encodeRow(r)
+	if len(rec)+hdrSize+slotSize > PageSize {
+		return RID{}, fmt.Errorf("storage: row of %d bytes exceeds page capacity", len(rec))
+	}
+	if len(h.pages) > 0 {
+		pid := h.pages[len(h.pages)-1]
+		data, err := h.pool.Get(pid)
+		if err != nil {
+			return RID{}, err
+		}
+		if slot, ok := pageInsert(data, rec); ok {
+			h.pool.MarkDirty(pid)
+			h.rows++
+			return RID{Page: pid, Slot: slot}, nil
+		}
+	}
+	pid, data, err := h.pool.Allocate()
+	if err != nil {
+		return RID{}, err
+	}
+	initHeapPage(data)
+	slot, ok := pageInsert(data, rec)
+	if !ok {
+		return RID{}, fmt.Errorf("storage: row does not fit in a fresh page")
+	}
+	h.pool.MarkDirty(pid)
+	h.pages = append(h.pages, pid)
+	h.rows++
+	return RID{Page: pid, Slot: slot}, nil
+}
+
+// Get fetches the row at rid.
+func (h *HeapFile) Get(rid RID) (Row, error) {
+	data, err := h.pool.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	if rid.Slot >= pageNumSlots(data) {
+		return nil, fmt.Errorf("storage: slot %d out of range on page %d", rid.Slot, rid.Page)
+	}
+	off, length := slotAt(data, rid.Slot)
+	return decodeRow(data[off : off+length])
+}
+
+// Scan visits every row in file order. The callback must not retain the row
+// unless it clones it.
+func (h *HeapFile) Scan(f func(rid RID, r Row) error) error {
+	for _, pid := range h.pages {
+		data, err := h.pool.Get(pid)
+		if err != nil {
+			return err
+		}
+		n := pageNumSlots(data)
+		for s := uint16(0); s < n; s++ {
+			off, length := slotAt(data, s)
+			row, err := decodeRow(data[off : off+length])
+			if err != nil {
+				return err
+			}
+			if err := f(RID{Page: pid, Slot: s}, row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Package storage implements the paged storage engine the execution engine
+// runs on: a pager over fixed 4 KB pages, a buffer pool with LRU eviction
+// and I/O accounting, slotted heap pages, heap files, and B+-tree indices.
+//
+// The engine substitutes for the commercial DBMS the paper used in its
+// Figure 7 execution experiment: every page read/write is counted, so a run
+// reports a simulated I/O time using the paper's cost constants alongside
+// wall-clock time.
+package storage
+
+import (
+	"fmt"
+)
+
+// PageSize is the block size of the paper's cost model (§6).
+const PageSize = 4096
+
+// PageID identifies a page in the pager.
+type PageID int32
+
+// InvalidPage is the nil page id.
+const InvalidPage PageID = -1
+
+// IOStats counts physical page operations (buffer-pool misses and
+// write-backs, not logical accesses).
+type IOStats struct {
+	Reads  int64 // pages read from the backing store
+	Writes int64 // pages written to the backing store
+	Hits   int64 // buffer pool hits
+}
+
+// Pager is the backing store: an in-memory array of pages standing in for a
+// disk volume.
+type Pager struct {
+	pages [][]byte
+}
+
+// NewPager returns an empty pager.
+func NewPager() *Pager { return &Pager{} }
+
+// Allocate creates a new zeroed page and returns its id.
+func (p *Pager) Allocate() PageID {
+	p.pages = append(p.pages, make([]byte, PageSize))
+	return PageID(len(p.pages) - 1)
+}
+
+// NumPages returns the number of allocated pages.
+func (p *Pager) NumPages() int { return len(p.pages) }
+
+func (p *Pager) read(id PageID, buf []byte) error {
+	if int(id) < 0 || int(id) >= len(p.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf, p.pages[id])
+	return nil
+}
+
+func (p *Pager) write(id PageID, buf []byte) error {
+	if int(id) < 0 || int(id) >= len(p.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(p.pages[id], buf)
+	return nil
+}
+
+// frame is one buffer-pool slot.
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	prev  *frame
+	next  *frame
+}
+
+// BufferPool caches pages with LRU replacement and accounts I/O.
+type BufferPool struct {
+	pager    *Pager
+	capacity int
+	frames   map[PageID]*frame
+	head     *frame // most recently used
+	tail     *frame // least recently used
+	Stats    IOStats
+}
+
+// NewBufferPool creates a pool holding up to capacity pages (at least 8).
+func NewBufferPool(pager *Pager, capacity int) *BufferPool {
+	if capacity < 8 {
+		capacity = 8
+	}
+	return &BufferPool{pager: pager, capacity: capacity, frames: map[PageID]*frame{}}
+}
+
+// Get returns the page's buffer, faulting it in if needed. The buffer stays
+// valid until the next Get/Allocate; callers must not hold it across calls.
+func (bp *BufferPool) Get(id PageID) ([]byte, error) {
+	if f, ok := bp.frames[id]; ok {
+		bp.Stats.Hits++
+		bp.touch(f)
+		return f.data, nil
+	}
+	f, err := bp.fault(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.data, nil
+}
+
+// MarkDirty flags a page so eviction writes it back.
+func (bp *BufferPool) MarkDirty(id PageID) {
+	if f, ok := bp.frames[id]; ok {
+		f.dirty = true
+	}
+}
+
+// Allocate creates a new page and faults it in dirty.
+func (bp *BufferPool) Allocate() (PageID, []byte, error) {
+	id := bp.pager.Allocate()
+	f, err := bp.fault(id)
+	if err != nil {
+		return InvalidPage, nil, err
+	}
+	f.dirty = true
+	return id, f.data, nil
+}
+
+// Flush writes back all dirty pages.
+func (bp *BufferPool) Flush() error {
+	for _, f := range bp.frames {
+		if f.dirty {
+			if err := bp.pager.write(f.id, f.data); err != nil {
+				return err
+			}
+			bp.Stats.Writes++
+			f.dirty = false
+		}
+	}
+	return nil
+}
+
+// ResetStats zeroes the I/O counters.
+func (bp *BufferPool) ResetStats() { bp.Stats = IOStats{} }
+
+func (bp *BufferPool) fault(id PageID) (*frame, error) {
+	if len(bp.frames) >= bp.capacity {
+		if err := bp.evict(); err != nil {
+			return nil, err
+		}
+	}
+	f := &frame{id: id, data: make([]byte, PageSize)}
+	if err := bp.pager.read(id, f.data); err != nil {
+		return nil, err
+	}
+	bp.Stats.Reads++
+	bp.frames[id] = f
+	bp.pushFront(f)
+	return f, nil
+}
+
+func (bp *BufferPool) evict() error {
+	victim := bp.tail
+	if victim == nil {
+		return fmt.Errorf("storage: buffer pool empty during eviction")
+	}
+	if victim.dirty {
+		if err := bp.pager.write(victim.id, victim.data); err != nil {
+			return err
+		}
+		bp.Stats.Writes++
+	}
+	bp.unlink(victim)
+	delete(bp.frames, victim.id)
+	return nil
+}
+
+func (bp *BufferPool) touch(f *frame) {
+	bp.unlink(f)
+	bp.pushFront(f)
+}
+
+func (bp *BufferPool) pushFront(f *frame) {
+	f.prev = nil
+	f.next = bp.head
+	if bp.head != nil {
+		bp.head.prev = f
+	}
+	bp.head = f
+	if bp.tail == nil {
+		bp.tail = f
+	}
+}
+
+func (bp *BufferPool) unlink(f *frame) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else if bp.head == f {
+		bp.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else if bp.tail == f {
+		bp.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}

@@ -1,0 +1,336 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mqo/internal/algebra"
+)
+
+func TestRowEncodeDecodeRoundTrip(t *testing.T) {
+	rows := []Row{
+		{algebra.IntVal(42), algebra.StringVal("hello"), algebra.FloatVal(3.25)},
+		{algebra.DateVal(9000), algebra.IntVal(-7)},
+		{algebra.StringVal("")},
+		{},
+	}
+	for _, r := range rows {
+		got, err := decodeRow(encodeRow(r))
+		if err != nil {
+			t.Fatalf("decode(%v): %v", r, err)
+		}
+		if len(got) != len(r) {
+			t.Fatalf("round trip length mismatch: %v vs %v", got, r)
+		}
+		for i := range r {
+			if algebra.Compare(got[i], r[i]) != 0 || got[i].Typ != r[i].Typ {
+				t.Errorf("round trip value mismatch at %d: %v vs %v", i, got[i], r[i])
+			}
+		}
+	}
+}
+
+func TestRowEncodeDecodeQuick(t *testing.T) {
+	f := func(i int64, fv float64, s string, d int64) bool {
+		if len(s) > 1000 {
+			s = s[:1000]
+		}
+		r := Row{algebra.IntVal(i), algebra.FloatVal(fv), algebra.StringVal(s), algebra.DateVal(d)}
+		got, err := decodeRow(encodeRow(r))
+		if err != nil || len(got) != 4 {
+			return false
+		}
+		return got[0].I == i && got[1].F == fv && got[2].S == s && got[3].I == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeapFileInsertScanGet(t *testing.T) {
+	db := NewDB(64)
+	h := NewHeapFile(db.Pool)
+	const n = 5000
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		rid, err := h.Insert(Row{algebra.IntVal(int64(i)), algebra.StringVal("row")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if h.Rows() != n {
+		t.Fatalf("Rows() = %d, want %d", h.Rows(), n)
+	}
+	if h.NumPages() < 2 {
+		t.Fatal("expected multiple pages")
+	}
+	// Scan order is insertion order.
+	i := 0
+	err := h.Scan(func(rid RID, r Row) error {
+		if r[0].I != int64(i) {
+			t.Fatalf("scan out of order at %d: got %d", i, r[0].I)
+		}
+		i++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != n {
+		t.Fatalf("scanned %d rows, want %d", i, n)
+	}
+	// Random access.
+	for _, k := range []int{0, 1, 777, n - 1} {
+		r, err := h.Get(rids[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r[0].I != int64(k) {
+			t.Errorf("Get(%v) = %d, want %d", rids[k], r[0].I, k)
+		}
+	}
+}
+
+func TestHeapRejectsOversizedRow(t *testing.T) {
+	db := NewDB(16)
+	h := NewHeapFile(db.Pool)
+	big := make([]byte, PageSize)
+	if _, err := h.Insert(Row{algebra.StringVal(string(big))}); err == nil {
+		t.Error("expected oversized row to be rejected")
+	}
+}
+
+func TestBufferPoolEvictionPreservesData(t *testing.T) {
+	db := NewDB(8) // tiny pool forces eviction
+	h := NewHeapFile(db.Pool)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(Row{algebra.IntVal(int64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := int64(0)
+	if err := h.Scan(func(rid RID, r Row) error { sum += r[0].I; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("sum after eviction = %d, want %d", sum, want)
+	}
+	if db.Pool.Stats.Reads == 0 || db.Pool.Stats.Writes == 0 {
+		t.Error("expected physical reads and writes with a tiny pool")
+	}
+}
+
+func TestBTreeInsertSearchOrdered(t *testing.T) {
+	db := NewDB(256)
+	bt, err := NewBTree(db.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	keys := make([]int64, n)
+	for i := range keys {
+		keys[i] = rng.Int63n(5000) // duplicates on purpose
+		if err := bt.Insert(algebra.IntVal(keys[i]), RID{Page: PageID(i), Slot: uint16(i % 100)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bt.Height() < 2 {
+		t.Error("tree should have split")
+	}
+	// Full iteration yields all keys in sorted order.
+	it, err := bt.SeekFirst()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for {
+		k, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, k.I)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	if len(got) != n {
+		t.Fatalf("iterated %d entries, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("order mismatch at %d: %d vs %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestBTreeSeekRange(t *testing.T) {
+	db := NewDB(256)
+	bt, err := NewBTree(db.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		if err := bt.Insert(algebra.IntVal(int64(i*2)), RID{Page: PageID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, err := bt.Seek(algebra.IntVal(501))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _, ok, err := it.Next()
+	if err != nil || !ok {
+		t.Fatal("expected entry after seek")
+	}
+	if k.I != 502 {
+		t.Errorf("Seek(501) landed on %d, want 502", k.I)
+	}
+}
+
+// TestBTreeAgainstModel cross-checks the tree against a sorted-slice model
+// with random keys including strings.
+func TestBTreeAgainstModel(t *testing.T) {
+	db := NewDB(512)
+	bt, err := NewBTree(db.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	var model []int64
+	for i := 0; i < 5000; i++ {
+		k := rng.Int63n(100000)
+		model = append(model, k)
+		if err := bt.Insert(algebra.IntVal(k), RID{Page: PageID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Slice(model, func(i, j int) bool { return model[i] < model[j] })
+	for trial := 0; trial < 50; trial++ {
+		from := rng.Int63n(100000)
+		it, err := bt.Seek(algebra.IntVal(from))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Model: first key >= from.
+		idx := sort.Search(len(model), func(i int) bool { return model[i] >= from })
+		for j := 0; j < 10; j++ {
+			k, _, ok, err := it.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if idx+j >= len(model) {
+				if ok {
+					t.Fatalf("tree has extra key %v past model end", k.I)
+				}
+				break
+			}
+			if !ok {
+				t.Fatalf("tree ended early; model has %d", model[idx+j])
+			}
+			if k.I != model[idx+j] {
+				t.Fatalf("Seek(%d)[%d] = %d, model %d", from, j, k.I, model[idx+j])
+			}
+		}
+	}
+}
+
+func TestBTreeStringKeys(t *testing.T) {
+	db := NewDB(256)
+	bt, err := NewBTree(db.Pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for i, w := range words {
+		if err := bt.Insert(algebra.StringVal(w), RID{Page: PageID(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it, _ := bt.SeekFirst()
+	var got []string
+	for {
+		k, _, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, k.S)
+	}
+	want := []string{"alpha", "bravo", "charlie", "delta", "echo"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("string order mismatch: %v", got)
+		}
+	}
+}
+
+func TestDBTablesAndIndexes(t *testing.T) {
+	db := NewDB(128)
+	schema := algebra.Schema{
+		{Col: algebra.Col("emp", "id"), Typ: algebra.TInt},
+		{Col: algebra.Col("emp", "dept"), Typ: algebra.TInt},
+	}
+	tab, err := db.CreateTable("emp", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("emp", schema); err == nil {
+		t.Error("duplicate CreateTable should fail")
+	}
+	for i := 0; i < 500; i++ {
+		if _, err := tab.Heap.Insert(Row{algebra.IntVal(int64(i)), algebra.IntVal(int64(i % 7))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bt, err := db.BuildIndex(tab, "dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := bt.Seek(algebra.IntVal(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		k, rid, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || k.I != 3 {
+			break
+		}
+		r, err := tab.Heap.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r[1].I != 3 {
+			t.Fatalf("index pointed at wrong row %v", r)
+		}
+		count++
+	}
+	if count != 71 { // i%7==3 for i in [0,500): ceil(497/7) = 71 values
+		t.Errorf("dept=3 count = %d, want 71", count)
+	}
+	if _, err := db.Table("none"); err == nil {
+		t.Error("unknown table lookup should fail")
+	}
+	tmp := db.CreateTemp("t1", schema)
+	if tmp == nil {
+		t.Fatal("CreateTemp failed")
+	}
+	if _, err := db.Temp("t1"); err != nil {
+		t.Error(err)
+	}
+	db.DropTemps()
+	if _, err := db.Temp("t1"); err == nil {
+		t.Error("temp should be gone after DropTemps")
+	}
+}

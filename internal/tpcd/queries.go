@@ -1,0 +1,283 @@
+package tpcd
+
+import (
+	"mqo/internal/algebra"
+)
+
+// Shorthand builders.
+func col(rel, name string) algebra.Column { return algebra.Col(rel, name) }
+
+// revenue is l.lprice * (1 - l.ldisc).
+func revenue() algebra.Scalar {
+	return algebra.BinExpr{
+		Op: algebra.Mul,
+		L:  algebra.ColOf("lineitem", "lprice"),
+		R:  algebra.BinExpr{Op: algebra.Sub, L: algebra.ConstOf(algebra.FloatVal(1)), R: algebra.ColOf("lineitem", "ldisc")},
+	}
+}
+
+// dateRange builds lo <= col < hi.
+func dateRange(c algebra.Column, lo, hi int64) algebra.Predicate {
+	return algebra.Cmp(c, algebra.GE, algebra.DateVal(lo)).And(algebra.Cmp(c, algebra.LT, algebra.DateVal(hi)))
+}
+
+// Q3 is the shipping-priority query: customers of one market segment,
+// orders before a date, lineitems shipped after it, revenue per order.
+// The variant shifts the date constant (the paper's "repeated twice with
+// different selection constants").
+func Q3(variant int) *algebra.Tree {
+	date := int64(1100 + 200*variant)
+	cust := algebra.SelectT(algebra.Cmp(col("customer", "cseg"), algebra.EQ, algebra.StringVal("BUILDING")),
+		algebra.ScanT("customer"))
+	ord := algebra.SelectT(algebra.Cmp(col("orders", "odate"), algebra.LT, algebra.DateVal(date)),
+		algebra.ScanT("orders"))
+	li := algebra.SelectT(algebra.Cmp(col("lineitem", "lship"), algebra.GT, algebra.DateVal(date)),
+		algebra.ScanT("lineitem"))
+	j := algebra.JoinT(algebra.ColEq(col("orders", "ok"), col("lineitem", "lok")),
+		algebra.JoinT(algebra.ColEq(col("customer", "ck"), col("orders", "ock")), cust, ord), li)
+	return algebra.AggT(
+		[]algebra.Column{col("lineitem", "lok"), col("orders", "odate"), col("orders", "oprio")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: revenue(), As: col("q3", "revenue")}},
+		j)
+}
+
+// Q5 is local-supplier volume: revenue by nation within one region and
+// order-date year.
+func Q5(variant int) *algebra.Tree {
+	lo := int64(365 + 365*variant)
+	reg := algebra.SelectT(algebra.Cmp(col("region", "rname"), algebra.EQ, algebra.StringVal("ASIA")),
+		algebra.ScanT("region"))
+	nat := algebra.JoinT(algebra.ColEq(col("region", "rk"), col("nation", "nrk")), reg, algebra.ScanT("nation"))
+	cust := algebra.JoinT(algebra.ColEq(col("nation", "nk"), col("customer", "cnk")), nat, algebra.ScanT("customer"))
+	ord := algebra.SelectT(dateRange(col("orders", "odate"), lo, lo+365), algebra.ScanT("orders"))
+	co := algebra.JoinT(algebra.ColEq(col("customer", "ck"), col("orders", "ock")), cust, ord)
+	li := algebra.JoinT(algebra.ColEq(col("orders", "ok"), col("lineitem", "lok")), co, algebra.ScanT("lineitem"))
+	sup := algebra.JoinT(
+		algebra.ColEq(col("lineitem", "lsk"), col("supplier", "sk")).
+			And(algebra.ColEq(col("supplier", "snk"), col("nation", "nk"))),
+		li, algebra.ScanT("supplier"))
+	return algebra.AggT(
+		[]algebra.Column{col("nation", "nname")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: revenue(), As: col("q5", "revenue")}},
+		sup)
+}
+
+// Q7 is volume shipping between two nations: supplier nation n1 ships to
+// customer nation n2.
+func Q7(variant int) *algebra.Tree {
+	n1 := NationName(3 + variant)
+	n2 := NationName(9 + variant)
+	sn := algebra.SelectT(algebra.Cmp(col("n1", "nname"), algebra.EQ, algebra.StringVal(n1)),
+		algebra.ScanAs("nation", "n1"))
+	sup := algebra.JoinT(algebra.ColEq(col("supplier", "snk"), col("n1", "nk")), algebra.ScanT("supplier"), sn)
+	li := algebra.JoinT(algebra.ColEq(col("lineitem", "lsk"), col("supplier", "sk")), algebra.ScanT("lineitem"), sup)
+	ord := algebra.JoinT(algebra.ColEq(col("orders", "ok"), col("lineitem", "lok")), algebra.ScanT("orders"), li)
+	cust := algebra.JoinT(algebra.ColEq(col("customer", "ck"), col("orders", "ock")), algebra.ScanT("customer"), ord)
+	cn := algebra.SelectT(algebra.Cmp(col("n2", "nname"), algebra.EQ, algebra.StringVal(n2)),
+		algebra.ScanAs("nation", "n2"))
+	j := algebra.JoinT(algebra.ColEq(col("customer", "cnk"), col("n2", "nk")), cust, cn)
+	return algebra.AggT(
+		[]algebra.Column{col("n1", "nname"), col("n2", "nname")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: revenue(), As: col("q7", "revenue")}},
+		j)
+}
+
+// Q9 is product-type profit: profit by supplier nation for parts of one
+// manufacturer.
+func Q9(variant int) *algebra.Tree {
+	mfgr := Mfgrs[variant%len(Mfgrs)]
+	part := algebra.SelectT(algebra.Cmp(col("part", "pmfgr"), algebra.EQ, algebra.StringVal(mfgr)),
+		algebra.ScanT("part"))
+	li := algebra.JoinT(algebra.ColEq(col("part", "pk"), col("lineitem", "lpk")), part, algebra.ScanT("lineitem"))
+	sup := algebra.JoinT(algebra.ColEq(col("lineitem", "lsk"), col("supplier", "sk")), li, algebra.ScanT("supplier"))
+	ps := algebra.JoinT(
+		algebra.ColEq(col("partsupp", "pspk"), col("lineitem", "lpk")).
+			And(algebra.ColEq(col("partsupp", "pssk"), col("lineitem", "lsk"))),
+		sup, algebra.ScanT("partsupp"))
+	nat := algebra.JoinT(algebra.ColEq(col("supplier", "snk"), col("nation", "nk")), ps, algebra.ScanT("nation"))
+	profit := algebra.BinExpr{
+		Op: algebra.Sub,
+		L:  revenue(),
+		R: algebra.BinExpr{Op: algebra.Mul,
+			L: algebra.ColOf("partsupp", "pscost"), R: algebra.ColOf("lineitem", "lqty")},
+	}
+	return algebra.AggT(
+		[]algebra.Column{col("nation", "nname")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: profit, As: col("q9", "profit")}},
+		nat)
+}
+
+// Q10 is returned-item reporting: revenue lost to returns by customer.
+func Q10(variant int) *algebra.Tree {
+	lo := int64(700 + 90*variant)
+	ord := algebra.SelectT(dateRange(col("orders", "odate"), lo, lo+90), algebra.ScanT("orders"))
+	cust := algebra.JoinT(algebra.ColEq(col("customer", "ck"), col("orders", "ock")),
+		algebra.ScanT("customer"), ord)
+	li := algebra.SelectT(algebra.Cmp(col("lineitem", "lret"), algebra.EQ, algebra.StringVal("R")),
+		algebra.ScanT("lineitem"))
+	j := algebra.JoinT(algebra.ColEq(col("orders", "ok"), col("lineitem", "lok")), cust, li)
+	nat := algebra.JoinT(algebra.ColEq(col("customer", "cnk"), col("nation", "nk")), j, algebra.ScanT("nation"))
+	return algebra.AggT(
+		[]algebra.Column{col("customer", "ck"), col("nation", "nname")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: revenue(), As: col("q10", "revenue")}},
+		nat)
+}
+
+// psValue is ps.pscost * ps.psqty, the Q11 value expression.
+func psValue() algebra.Scalar {
+	return algebra.BinExpr{Op: algebra.Mul,
+		L: algebra.ColOf("partsupp", "pscost"), R: algebra.ColOf("partsupp", "psqty")}
+}
+
+// q11Join is partsupp ⋈ supplier ⋈ σ(nname)(nation) — the common
+// subexpression of Q11's two aggregates.
+func q11Join(nation string) *algebra.Tree {
+	sup := algebra.JoinT(algebra.ColEq(col("partsupp", "pssk"), col("supplier", "sk")),
+		algebra.ScanT("partsupp"), algebra.ScanT("supplier"))
+	nat := algebra.SelectT(algebra.Cmp(col("nation", "nname"), algebra.EQ, algebra.StringVal(nation)),
+		algebra.ScanT("nation"))
+	return algebra.JoinT(algebra.ColEq(col("supplier", "snk"), col("nation", "nk")), sup, nat)
+}
+
+// Q11 is important-stock identification: part values within one nation
+// exceeding a fraction of the total. Its two aggregates (per-part and
+// grand total) share the same three-way join, and the grand total is
+// derivable from the per-part aggregate by re-aggregation — the paper's
+// aggregate-subsumption case.
+func Q11() *algebra.Tree {
+	j := q11Join(NationName(7))
+	perPart := algebra.AggT(
+		[]algebra.Column{col("partsupp", "pspk")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: psValue(), As: col("q11", "value")}},
+		j)
+	total := algebra.AggT(nil,
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: psValue(), As: col("q11", "total")}},
+		q11Join(NationName(7)))
+	cross := algebra.JoinT(algebra.TruePred(), perPart, total)
+	filter := algebra.Predicate{Conj: []algebra.Clause{{Disj: []algebra.Comparison{{
+		L:  algebra.ColOf("q11", "value"),
+		Op: algebra.GT,
+		R: algebra.BinExpr{Op: algebra.Mul,
+			L: algebra.ConstOf(algebra.FloatVal(0.0001)), R: algebra.ColOf("q11", "total")},
+	}}}}}
+	return algebra.SelectT(filter, cross)
+}
+
+// Q15 is top supplier: suppliers achieving the maximum revenue over a
+// quarter. The revenue view is used twice (once aggregated to its max),
+// the paper's shared-view case.
+func Q15() *algebra.Tree {
+	lo := int64(1200)
+	li := algebra.SelectT(dateRange(col("lineitem", "lship"), lo, lo+90), algebra.ScanT("lineitem"))
+	rev := algebra.AggT(
+		[]algebra.Column{col("lineitem", "lsk")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: revenue(), As: col("q15", "rev")}},
+		li)
+	li2 := algebra.SelectT(dateRange(col("lineitem", "lship"), lo, lo+90), algebra.ScanT("lineitem"))
+	rev2 := algebra.AggT(
+		[]algebra.Column{col("lineitem", "lsk")},
+		[]algebra.AggExpr{{Func: algebra.Sum, Arg: revenue(), As: col("q15", "rev")}},
+		li2)
+	maxRev := algebra.AggT(nil,
+		[]algebra.AggExpr{{Func: algebra.Max, Arg: algebra.ColOf("q15", "rev"), As: col("q15", "maxrev")}},
+		rev2)
+	cross := algebra.JoinT(algebra.TruePred(), rev, maxRev)
+	top := algebra.SelectT(algebra.ColCmp(col("q15", "rev"), algebra.EQ, col("q15", "maxrev")), cross)
+	return algebra.JoinT(algebra.ColEq(col("supplier", "sk"), col("lineitem", "lsk")),
+		algebra.ScanT("supplier"), top)
+}
+
+// q2Invariant is the parameter-independent part of Q2's nested query —
+// partsupp ⋈ supplier ⋈ nation ⋈ σ(rname)(region) — which is also a
+// subexpression of the outer query, the paper's motivating case for
+// sharing across nested-query invocations (§5).
+func q2Invariant() *algebra.Tree {
+	sup := algebra.JoinT(algebra.ColEq(col("partsupp", "pssk"), col("supplier", "sk")),
+		algebra.ScanT("partsupp"), algebra.ScanT("supplier"))
+	nat := algebra.JoinT(algebra.ColEq(col("supplier", "snk"), col("nation", "nk")), sup, algebra.ScanT("nation"))
+	reg := algebra.SelectT(algebra.Cmp(col("region", "rname"), algebra.EQ, algebra.StringVal("EUROPE")),
+		algebra.ScanT("region"))
+	return algebra.JoinT(algebra.ColEq(col("nation", "nrk"), col("region", "rk")), nat, reg)
+}
+
+// Q2Invocations estimates the number of nested-query invocations of Q2 at
+// a scale factor: the number of parts passing the outer selection.
+func Q2Invocations(sf float64) int64 {
+	n := int64(200000 * sf / 50)
+	if n < 10 {
+		n = 10
+	}
+	return n
+}
+
+// Q2 is the minimum-cost-supplier query in correlated form: the batch is
+// the outer query plus the nested query invoked once per outer binding of
+// p_partkey. Both roots share the invariant join q2Invariant.
+func Q2(sf float64) []*algebra.Tree {
+	outer := algebra.JoinT(algebra.ColEq(col("part", "pk"), col("partsupp", "pspk")),
+		algebra.SelectT(algebra.Cmp(col("part", "psize"), algebra.EQ, algebra.IntVal(15)), algebra.ScanT("part")),
+		q2Invariant())
+	innerSel := algebra.SelectT(algebra.CmpParam(col("partsupp", "pspk"), algebra.EQ, "pk"), q2Invariant())
+	inner := algebra.AggT(nil,
+		[]algebra.AggExpr{{Func: algebra.Min, Arg: algebra.ColOf("partsupp", "pscost"), As: col("q2", "minc")}},
+		innerSel)
+	nested := algebra.NewTree(algebra.Invoke{Times: Q2Invocations(sf)}, inner)
+	return []*algebra.Tree{outer, nested}
+}
+
+// Q2NI is the paper's "not in"-style variant: the correlation predicate is
+// PS_PARTKEY <> P_PARTKEY, which defeats index access to the inner and
+// makes materializing the invariant dramatically more valuable (§6.1
+// reports a factor ~9 improvement for Greedy).
+func Q2NI(sf float64) []*algebra.Tree {
+	outer := algebra.JoinT(algebra.ColEq(col("part", "pk"), col("partsupp", "pspk")),
+		algebra.SelectT(algebra.Cmp(col("part", "psize"), algebra.EQ, algebra.IntVal(15)), algebra.ScanT("part")),
+		q2Invariant())
+	innerSel := algebra.SelectT(algebra.CmpParam(col("partsupp", "pspk"), algebra.NE, "pk"), q2Invariant())
+	inner := algebra.AggT(nil,
+		[]algebra.AggExpr{{Func: algebra.Min, Arg: algebra.ColOf("partsupp", "pscost"), As: col("q2", "minc")}},
+		innerSel)
+	nested := algebra.NewTree(algebra.Invoke{Times: Q2Invocations(sf)}, inner)
+	return []*algebra.Tree{outer, nested}
+}
+
+// Q2D is the decorrelated form of Q2 (the paper's Q2-D): the per-part
+// minimum is computed once by aggregation over the invariant join, renamed,
+// and joined back to the outer query; the invariant join appears twice and
+// is the sharing opportunity.
+func Q2D() []*algebra.Tree {
+	mins := algebra.AggT(
+		[]algebra.Column{col("partsupp", "pspk")},
+		[]algebra.AggExpr{{Func: algebra.Min, Arg: algebra.ColOf("partsupp", "pscost"), As: col("q2", "minc")}},
+		q2Invariant())
+	renamed := algebra.NewTree(algebra.Project{Exprs: []algebra.NamedScalar{
+		{Expr: algebra.ColOf("partsupp", "pspk"), As: col("q2", "gpk"), Typ: algebra.TInt},
+		{Expr: algebra.ColOf("q2", "minc"), As: col("q2", "minc"), Typ: algebra.TFloat},
+	}}, mins)
+	outer := algebra.JoinT(algebra.ColEq(col("part", "pk"), col("partsupp", "pspk")),
+		algebra.SelectT(algebra.Cmp(col("part", "psize"), algebra.EQ, algebra.IntVal(15)), algebra.ScanT("part")),
+		q2Invariant())
+	final := algebra.JoinT(
+		algebra.ColEq(col("partsupp", "pspk"), col("q2", "gpk")).
+			And(algebra.ColEq(col("partsupp", "pscost"), col("q2", "minc"))),
+		outer, renamed)
+	return []*algebra.Tree{final}
+}
+
+// BatchQueries returns the paper's batched-TPCD workload: queries Q3, Q5,
+// Q7, Q9, Q10, each twice with different selection constants; BQi is the
+// first i pairs (Experiment 2).
+func BatchQueries(i int) []*algebra.Tree {
+	makers := []func(int) *algebra.Tree{Q3, Q5, Q7, Q9, Q10}
+	if i < 1 {
+		i = 1
+	}
+	if i > len(makers) {
+		i = len(makers)
+	}
+	var out []*algebra.Tree
+	for _, mk := range makers[:i] {
+		out = append(out, mk(0), mk(1))
+	}
+	return out
+}

@@ -1,0 +1,243 @@
+// Package tpcd provides the TPC-D substrate of the paper's evaluation
+// (§6.1): the benchmark schema with scale-factor-parameterized statistics,
+// a deterministic data generator for execution experiments, and algebra
+// formulations of the queries used in Experiments 1 and 2 — Q2 (correlated
+// and decorrelated), Q11, Q15, and the batch queries Q3, Q5, Q7, Q9, Q10.
+//
+// The catalog statistics follow the TPC-D row counts (lineitem = 6M × SF
+// etc.), so pure-optimization experiments run with SF 1 or SF 100 stats as
+// in the paper even though stored data is generated at a laptop scale.
+package tpcd
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
+	"mqo/internal/storage"
+)
+
+// Date range used for o_orderdate and l_shipdate, in days since epoch.
+const (
+	DateLo = 0
+	DateHi = 2555 // seven years
+)
+
+// Segments and names used by the generator and query constants.
+var (
+	Segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	Regions  = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"}
+	Mfgrs    = []string{"MFGR#1", "MFGR#2", "MFGR#3", "MFGR#4", "MFGR#5"}
+	Flags    = []string{"A", "N", "R"}
+)
+
+// NationName returns the generated name of nation k (0..24).
+func NationName(k int) string { return fmt.Sprintf("NATION%02d", k) }
+
+// tableSpec drives both catalog stats and data generation.
+type tableSpec struct {
+	name string
+	rows func(sf float64) int64
+	cols []catalog.ColDef // stats filled per SF in Catalog
+}
+
+func round64(f float64) int64 {
+	if f < 1 {
+		return 1
+	}
+	return int64(f)
+}
+
+// Catalog builds the TPC-D catalog with statistics at the given scale
+// factor. Clustered indices exist on every primary key, matching the
+// paper's setup.
+func Catalog(sf float64) *catalog.Catalog {
+	cat := catalog.New()
+	nation := round64(25)
+	supplier := round64(10000 * sf)
+	customer := round64(150000 * sf)
+	part := round64(200000 * sf)
+	partsupp := round64(800000 * sf)
+	orders := round64(1500000 * sf)
+	lineitem := round64(6000000 * sf)
+
+	cat.Add(&catalog.Table{
+		Name: "region", Rows: 5,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("rk", 5),
+			catalog.StrCol("rname", 12, 5),
+		},
+		Indexes: []catalog.IndexDef{{Column: "rk", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "nation", Rows: nation,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("nk", nation),
+			catalog.StrCol("nname", 12, nation),
+			catalog.IntColRange("nrk", 5, 1, 5),
+		},
+		Indexes: []catalog.IndexDef{{Column: "nk", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "supplier", Rows: supplier,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("sk", supplier),
+			catalog.IntColRange("snk", nation, 1, nation),
+			catalog.FloatColRange("sacctbal", supplier, -999, 9999),
+		},
+		Indexes: []catalog.IndexDef{{Column: "sk", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "customer", Rows: customer,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("ck", customer),
+			catalog.IntColRange("cnk", nation, 1, nation),
+			catalog.StrCol("cseg", 10, 5),
+		},
+		Indexes: []catalog.IndexDef{{Column: "ck", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "part", Rows: part,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("pk", part),
+			catalog.IntColRange("psize", 50, 1, 50),
+			catalog.StrCol("ptype", 20, 150),
+			catalog.StrCol("pmfgr", 8, 5),
+		},
+		Indexes: []catalog.IndexDef{{Column: "pk", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "partsupp", Rows: partsupp,
+		Cols: []catalog.ColDef{
+			catalog.IntColRange("pspk", part, 1, part),
+			catalog.IntColRange("pssk", supplier, 1, supplier),
+			catalog.FloatColRange("pscost", 1000, 1, 1000),
+			catalog.IntColRange("psqty", 9999, 1, 9999),
+		},
+		Indexes: []catalog.IndexDef{{Column: "pspk", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "orders", Rows: orders,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("ok", orders),
+			catalog.IntColRange("ock", customer, 1, customer),
+			catalog.DateColRange("odate", DateHi-DateLo, DateLo, DateHi),
+			catalog.IntColRange("oprio", 5, 1, 5),
+		},
+		Indexes: []catalog.IndexDef{{Column: "ok", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "lineitem", Rows: lineitem,
+		Cols: []catalog.ColDef{
+			catalog.IntColRange("lok", orders, 1, orders),
+			catalog.IntColRange("lpk", part, 1, part),
+			catalog.IntColRange("lsk", supplier, 1, supplier),
+			catalog.FloatColRange("lprice", 100000, 900, 105000),
+			catalog.FloatColRange("ldisc", 11, 0, 0.1),
+			catalog.DateColRange("lship", DateHi-DateLo, DateLo, DateHi),
+			catalog.IntColRange("lqty", 50, 1, 50),
+			catalog.StrCol("lret", 1, 3),
+		},
+		Indexes: []catalog.IndexDef{{Column: "lok", Clustered: true}},
+	})
+	return cat
+}
+
+// LoadDB generates deterministic data at the given scale factor into db,
+// consistent with Catalog(sf): all foreign keys reference existing rows and
+// value ranges match the statistics. Execution experiments use small sf
+// (e.g. 0.002); optimization-only experiments need no data at all.
+func LoadDB(db *storage.DB, sf float64, seed int64) error {
+	cat := Catalog(sf)
+	rng := rand.New(rand.NewSource(seed))
+	counts := map[string]int64{}
+	for _, name := range []string{"region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"} {
+		ct := cat.MustTable(name)
+		counts[name] = ct.Rows
+		tab, err := db.CreateTable(name, ct.Schema(name))
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < ct.Rows; i++ {
+			row, err := genRow(name, i, counts, rng)
+			if err != nil {
+				return err
+			}
+			if _, err := tab.Heap.Insert(row); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func genRow(name string, i int64, counts map[string]int64, rng *rand.Rand) (storage.Row, error) {
+	pick := func(n int64) int64 { return rng.Int63n(n) + 1 }
+	switch name {
+	case "region":
+		return storage.Row{algebra.IntVal(i + 1), algebra.StringVal(Regions[i%5])}, nil
+	case "nation":
+		return storage.Row{
+			algebra.IntVal(i + 1),
+			algebra.StringVal(NationName(int(i))),
+			algebra.IntVal(i%5 + 1),
+		}, nil
+	case "supplier":
+		return storage.Row{
+			algebra.IntVal(i + 1),
+			algebra.IntVal(pick(counts["nation"])),
+			algebra.FloatVal(rng.Float64()*10998 - 999),
+		}, nil
+	case "customer":
+		return storage.Row{
+			algebra.IntVal(i + 1),
+			algebra.IntVal(pick(counts["nation"])),
+			algebra.StringVal(Segments[rng.Intn(5)]),
+		}, nil
+	case "part":
+		return storage.Row{
+			algebra.IntVal(i + 1),
+			algebra.IntVal(pick(50)),
+			algebra.StringVal(fmt.Sprintf("TYPE%03d", rng.Intn(150))),
+			algebra.StringVal(Mfgrs[rng.Intn(5)]),
+		}, nil
+	case "partsupp":
+		// Stored in pspk order: the catalog declares a clustered index on
+		// pspk, so the heap must actually be sorted on it.
+		pspk := i/4 + 1
+		if pspk > counts["part"] {
+			pspk = counts["part"]
+		}
+		return storage.Row{
+			algebra.IntVal(pspk),
+			algebra.IntVal(pick(counts["supplier"])),
+			algebra.FloatVal(1 + rng.Float64()*999),
+			algebra.IntVal(pick(9999)),
+		}, nil
+	case "orders":
+		return storage.Row{
+			algebra.IntVal(i + 1),
+			algebra.IntVal(pick(counts["customer"])),
+			algebra.DateVal(DateLo + rng.Int63n(DateHi-DateLo+1)),
+			algebra.IntVal(pick(5)),
+		}, nil
+	case "lineitem":
+		// Stored in lok order (clustered index on lok).
+		lok := i/4 + 1
+		if lok > counts["orders"] {
+			lok = counts["orders"]
+		}
+		return storage.Row{
+			algebra.IntVal(lok),
+			algebra.IntVal(pick(counts["part"])),
+			algebra.IntVal(pick(counts["supplier"])),
+			algebra.FloatVal(900 + rng.Float64()*104100),
+			algebra.FloatVal(float64(rng.Intn(11)) / 100),
+			algebra.DateVal(DateLo + rng.Int63n(DateHi-DateLo+1)),
+			algebra.IntVal(pick(50)),
+			algebra.StringVal(Flags[rng.Intn(3)]),
+		}, nil
+	}
+	return nil, fmt.Errorf("tpcd: unknown table %q", name)
+}

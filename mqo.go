@@ -1,0 +1,83 @@
+// Package mqo is a from-scratch Go implementation of "Efficient and
+// Extensible Algorithms for Multi Query Optimization" (Roy, Seshadri,
+// Sudarshan, Bhobe; SIGMOD 2000): a Volcano-style cost-based optimizer over
+// AND-OR DAGs with three multi-query-optimization heuristics — Volcano-SH,
+// Volcano-RU and Greedy — plus the storage and execution substrate needed
+// to run the optimized plans.
+//
+// This package is the public façade: it re-exports the types and entry
+// points of the internal packages that downstream users need. A typical
+// session is:
+//
+//	cat := catalog.New()              // or tpcd.Catalog(1)
+//	queries := []*algebra.Tree{...}   // build queries in the algebra
+//	dag, err := mqo.BuildDAG(cat, mqo.DefaultModel(), queries)
+//	res, err := mqo.Optimize(dag, mqo.Greedy, mqo.Options{})
+//	// res.Plan is executable via the exec engine; res.Cost is the
+//	// estimated cost; res.Materialized lists shared intermediate results.
+package mqo
+
+import (
+	"mqo/internal/catalog"
+	"mqo/internal/core"
+	"mqo/internal/cost"
+	"mqo/internal/physical"
+)
+
+// Re-exported core types.
+type (
+	// Algorithm selects one of the paper's optimization strategies.
+	Algorithm = core.Algorithm
+	// Options configures optimization (greedy ablations, RU order).
+	Options = core.Options
+	// GreedyOptions are the §6.3 ablation switches.
+	GreedyOptions = core.GreedyOptions
+	// Result is an optimized batch: plan, cost, materialized set, stats.
+	Result = core.Result
+	// Stats is per-run instrumentation (opt time, greedy counters).
+	Stats = core.Stats
+	// Model holds the cost-model constants (§6).
+	Model = cost.Model
+	// Catalog describes base relations and statistics.
+	Catalog = catalog.Catalog
+	// DAG is the physical AND-OR DAG for a query batch.
+	DAG = physical.DAG
+	// Plan is a consolidated, executable evaluation plan.
+	Plan = physical.Plan
+)
+
+// The four strategies of the paper's §6.
+const (
+	Volcano   = core.Volcano
+	VolcanoSH = core.VolcanoSH
+	VolcanoRU = core.VolcanoRU
+	Greedy    = core.Greedy
+)
+
+// BuildDAG constructs the expanded logical AND-OR DAG for a batch of
+// queries (with unification and subsumption derivations) and the physical
+// DAG over it.
+var BuildDAG = core.BuildDAG
+
+// Optimize runs the selected algorithm and returns the plan, its estimated
+// cost and instrumentation.
+var Optimize = core.Optimize
+
+// ComputeSharability runs the §4.1 degree-of-sharing analysis, marking
+// sharable physical nodes and returning per-group degrees.
+var ComputeSharability = core.ComputeSharability
+
+// DefaultModel returns the paper's cost constants (4 KB blocks, 10 ms seek,
+// 2/4 ms per block read/write, 0.2 ms CPU per block, 6 MB per operator).
+var DefaultModel = cost.DefaultModel
+
+// NewCatalog returns an empty catalog.
+var NewCatalog = catalog.New
+
+// AbstractParameterized implements the paper's §8 workload abstraction:
+// queries differing only in selection constants are merged into one
+// parameterized query invoked multiple times.
+var AbstractParameterized = core.AbstractParameterized
+
+// Abstraction is the result of AbstractParameterized.
+type Abstraction = core.Abstraction

@@ -1,0 +1,69 @@
+package mqo
+
+import (
+	"fmt"
+	"testing"
+
+	"mqo/internal/algebra"
+	"mqo/internal/sql"
+	"mqo/internal/tpcd"
+)
+
+// TestFacadeRoundTrip exercises the public API end to end: catalog, SQL
+// parsing, DAG construction, and all four algorithms.
+func TestFacadeRoundTrip(t *testing.T) {
+	cat := tpcd.Catalog(1)
+	batch, err := sql.ParseBatch(cat, `
+		SELECT nname, SUM(lprice) AS rev FROM lineitem, supplier, nation
+		WHERE lsk = sk AND snk = nk AND lship > 2000 GROUP BY nname;
+		SELECT nname, COUNT(*) AS n FROM lineitem, supplier, nation
+		WHERE lsk = sk AND snk = nk AND lship > 2200 GROUP BY nname`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := BuildDAG(cat, DefaultModel(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var volcano, greedy float64
+	for _, alg := range []Algorithm{Volcano, VolcanoSH, VolcanoRU, Greedy} {
+		res, err := Optimize(pd, alg, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if res.Cost <= 0 {
+			t.Fatalf("%v: bad cost", alg)
+		}
+		switch alg {
+		case Volcano:
+			volcano = res.Cost
+		case Greedy:
+			greedy = res.Cost
+		}
+	}
+	if greedy > volcano {
+		t.Errorf("greedy (%f) worse than volcano (%f)", greedy, volcano)
+	}
+	degrees := ComputeSharability(pd)
+	if len(degrees) == 0 {
+		t.Error("no sharability degrees computed")
+	}
+}
+
+// ExampleOptimize shows the minimal optimization session on a sharable
+// batch.
+func ExampleOptimize() {
+	cat := tpcd.Catalog(1)
+	q1 := tpcd.Q11()
+	pd, err := BuildDAG(cat, DefaultModel(), []*algebra.Tree{q1})
+	if err != nil {
+		panic(err)
+	}
+	v, _ := Optimize(pd, Volcano, Options{})
+	g, _ := Optimize(pd, Greedy, Options{})
+	fmt.Printf("greedy beats volcano: %v\n", g.Cost < v.Cost)
+	fmt.Printf("materialized shared results: %v\n", len(g.Materialized) > 0)
+	// Output:
+	// greedy beats volcano: true
+	// materialized shared results: true
+}
