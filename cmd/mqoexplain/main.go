@@ -6,11 +6,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"mqo"
 	"mqo/internal/algebra"
 	"mqo/internal/catalog"
 	"mqo/internal/core"
@@ -50,14 +52,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	alg := core.Greedy
-	switch strings.ToLower(*algName) {
-	case "volcano":
-		alg = core.Volcano
-	case "volcano-sh", "sh":
-		alg = core.VolcanoSH
-	case "volcano-ru", "ru":
-		alg = core.VolcanoRU
+	alg, err := mqo.ParseAlgorithm(*algName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mqoexplain: %v\n", err)
+		os.Exit(2)
 	}
 
 	pd, err := core.BuildDAG(cat, cost.DefaultModel(), queries)
@@ -92,7 +90,7 @@ func main() {
 		}
 	}
 
-	res, err := core.Optimize(pd, alg, core.Options{})
+	res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mqoexplain: %v\n", err)
 		os.Exit(1)

@@ -10,19 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"mqo/internal/algebra"
-	"mqo/internal/catalog"
-	"mqo/internal/core"
-	"mqo/internal/cost"
-	"mqo/internal/exec"
+	"mqo"
 	"mqo/internal/psp"
-	"mqo/internal/sql"
-	"mqo/internal/storage"
 	"mqo/internal/tpcd"
 )
 
@@ -35,84 +29,67 @@ func main() {
 	sqlSrc := flag.String("sql", "", "semicolon-separated SELECT batch over the TPC-D schema (overrides -workload)")
 	flag.Parse()
 
-	alg, err := parseAlg(*algName)
+	alg, err := mqo.ParseAlgorithm(*algName)
 	if err != nil {
 		fail(err)
 	}
 
-	db := storage.NewDB(*pool)
+	db := mqo.NewDB(*pool)
 	var (
-		queries []*algebra.Tree
-		cat     *catalog.Catalog
+		batch = mqo.Batch{Algorithm: alg}
+		opt   *mqo.Optimizer
 	)
 	if *sqlSrc != "" {
-		cat = tpcd.Catalog(*sf)
-		queries, err = sql.ParseBatch(cat, *sqlSrc)
+		// Parse before generating data, so bad SQL fails fast.
+		opt, err = mqo.Open(tpcd.Catalog(*sf), mqo.WithDB(db))
+		if err == nil {
+			batch.Queries, err = opt.ParseSQL(*sqlSrc)
+		}
 		if err == nil {
 			err = tpcd.LoadDB(db, *sf, 1)
 		}
 	} else {
-		queries, cat, err = namedWorkload(*workload, *n, *sf, db)
+		var cat *mqo.Catalog
+		batch.Queries, cat, err = namedWorkload(*workload, *n, *sf, db)
+		if err == nil {
+			opt, err = mqo.Open(cat, mqo.WithDB(db))
+		}
 	}
 	if err != nil {
 		fail(err)
 	}
-
-	model := cost.DefaultModel()
-	pd, err := core.BuildDAG(cat, model, queries)
+	res, err := opt.Run(context.Background(), batch)
 	if err != nil {
 		fail(err)
 	}
-	res, err := core.Optimize(pd, alg, core.Options{})
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("queries=%d algorithm=%v\n", len(queries), alg)
+	fmt.Printf("queries=%d algorithm=%v\n", len(res.Queries), alg)
 	fmt.Printf("estimated cost: %.2f s   optimization time: %v   materialized nodes: %d\n",
 		res.Cost, res.Stats.OptTime, len(res.Materialized))
 	fmt.Println(res.Plan)
 
-	results, stats, err := exec.Run(db, model, res.Plan, nil)
-	if err != nil {
-		fail(err)
-	}
 	fmt.Printf("executed: %d queries, %d rows total, reads=%d writes=%d, simulated time %.3f s, wall %v\n",
-		len(results), stats.RowsOut, stats.IO.Reads, stats.IO.Writes, stats.SimTime, stats.Wall)
-	for i, qr := range results {
+		len(res.Queries), res.Exec.RowsOut, res.Exec.IO.Reads, res.Exec.IO.Writes, res.Exec.SimTime, res.Exec.Wall)
+	for i, qr := range res.Queries {
 		fmt.Printf("  query %d: %d rows\n", i, len(qr.Rows))
 	}
 }
 
 // namedWorkload loads one of the built-in workloads into db and returns
 // its queries and catalog.
-func namedWorkload(workload string, n int, sf float64, db *storage.DB) ([]*algebra.Tree, *catalog.Catalog, error) {
+func namedWorkload(workload string, n int, sf float64, db *mqo.DB) ([]*mqo.Query, *mqo.Catalog, error) {
 	switch workload {
 	case "bq":
 		return tpcd.BatchQueries(n), tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
 	case "q11":
-		return []*algebra.Tree{tpcd.Q11()}, tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
+		return []*mqo.Query{tpcd.Q11()}, tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
 	case "q15":
-		return []*algebra.Tree{tpcd.Q15()}, tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
+		return []*mqo.Query{tpcd.Q15()}, tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
 	case "q2d":
 		return tpcd.Q2D(), tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
 	case "cq":
 		return psp.CQ(n), psp.Catalog(sf), psp.LoadDB(db, sf, 1)
 	}
 	return nil, nil, fmt.Errorf("unknown workload %q", workload)
-}
-
-func parseAlg(s string) (core.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "volcano":
-		return core.Volcano, nil
-	case "volcano-sh", "sh":
-		return core.VolcanoSH, nil
-	case "volcano-ru", "ru":
-		return core.VolcanoRU, nil
-	case "greedy":
-		return core.Greedy, nil
-	}
-	return 0, fmt.Errorf("unknown algorithm %q", s)
 }
 
 func fail(err error) {

@@ -7,13 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mqo/internal/core"
-	"mqo/internal/cost"
-	"mqo/internal/exec"
-	"mqo/internal/storage"
+	"mqo"
 	"mqo/internal/tpcd"
 )
 
@@ -23,25 +21,23 @@ func main() {
 		sf    = 0.005 // execution data scale
 	)
 	queries := tpcd.BatchQueries(batch)
-	model := cost.DefaultModel()
+	ctx := context.Background()
 
 	// Optimization study at SF 1 statistics, as in the paper's Figure 8.
-	statsCat := tpcd.Catalog(1)
-	pd, err := core.BuildDAG(statsCat, model, queries)
+	study, err := mqo.Open(tpcd.Catalog(1))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("batch BQ%d: %d queries, DAG with %d groups / %d operation nodes\n\n",
-		batch, len(queries), len(pd.L.LiveGroups()), pd.L.NumExprs())
-	for _, alg := range core.Algorithms() {
-		res, err := core.Optimize(pd, alg, core.Options{})
+	fmt.Printf("batch BQ%d: %d queries\n\n", batch, len(queries))
+	for _, alg := range mqo.Algorithms() {
+		res, err := study.OptimizeBatch(ctx, queries, alg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-11v estimated cost %9.1f s (optimization %v)\n", alg, res.Cost, res.Stats.OptTime.Round(1000))
 	}
 
-	greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+	greedy, err := study.OptimizeBatch(ctx, queries, mqo.Greedy)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,27 +47,24 @@ func main() {
 			m.ID, m.Prop, m.LG.Rel.Rows, m.Cost, m.MatCost, m.ReuseSeq)
 	}
 
-	// Execution comparison on generated data.
-	db := storage.NewDB(512)
+	// Execution comparison on generated data: a second session at the
+	// execution scale, with a database attached.
+	db := mqo.NewDB(512)
 	if err := tpcd.LoadDB(db, sf, 42); err != nil {
 		log.Fatal(err)
 	}
-	execCat := tpcd.Catalog(sf)
-	pdExec, err := core.BuildDAG(execCat, model, queries)
+	runner, err := mqo.Open(tpcd.Catalog(sf), mqo.WithDB(db))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nexecuting at SF %g:\n", sf)
-	for _, alg := range []core.Algorithm{core.Volcano, core.Greedy} {
-		res, err := core.Optimize(pdExec, alg, core.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		results, stats, err := exec.Run(db, model, res.Plan, nil)
+	for _, alg := range []mqo.Algorithm{mqo.Volcano, mqo.Greedy} {
+		res, err := runner.Run(ctx, mqo.Batch{Queries: queries, Algorithm: alg})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-11v reads=%5d writes=%5d simulated=%6.3f s wall=%v queries=%d rows=%d\n",
-			alg, stats.IO.Reads, stats.IO.Writes, stats.SimTime, stats.Wall.Round(1000000), len(results), stats.RowsOut)
+			alg, res.Exec.IO.Reads, res.Exec.IO.Writes, res.Exec.SimTime,
+			res.Exec.Wall.Round(1000000), len(res.Queries), res.Exec.RowsOut)
 	}
 }

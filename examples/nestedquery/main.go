@@ -12,31 +12,27 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mqo/internal/algebra"
-	"mqo/internal/core"
-	"mqo/internal/cost"
-	"mqo/internal/exec"
-	"mqo/internal/storage"
+	"mqo"
 	"mqo/internal/tpcd"
 )
 
 func main() {
-	model := cost.DefaultModel()
-	cat := tpcd.Catalog(1)
+	ctx := context.Background()
+	study, err := mqo.Open(tpcd.Catalog(1))
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	show := func(label string, queries []*algebra.Tree) {
-		pd, err := core.BuildDAG(cat, model, queries)
+	show := func(label string, queries []*mqo.Query) {
+		volcano, err := study.OptimizeBatch(ctx, queries, mqo.Volcano)
 		if err != nil {
 			log.Fatal(err)
 		}
-		volcano, err := core.Optimize(pd, core.Volcano, core.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+		greedy, err := study.OptimizeBatch(ctx, queries, mqo.Greedy)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,30 +50,30 @@ func main() {
 	// Correlated execution at a small scale, with one binding per outer
 	// part key.
 	const sf = 0.005
-	db := storage.NewDB(512)
+	db := mqo.NewDB(512)
 	if err := tpcd.LoadDB(db, sf, 5); err != nil {
 		log.Fatal(err)
 	}
 	k := tpcd.Q2Invocations(sf)
-	sets := make([]map[string]algebra.Value, 0, k)
+	sets := make([]map[string]mqo.Value, 0, k)
 	for i := int64(1); i <= k; i++ {
-		sets = append(sets, map[string]algebra.Value{"pk": algebra.IntVal(i)})
+		sets = append(sets, map[string]mqo.Value{"pk": mqo.IntVal(i)})
 	}
-	pd, err := core.BuildDAG(tpcd.Catalog(sf), model, tpcd.Q2(sf))
+	runner, err := mqo.Open(tpcd.Catalog(sf), mqo.WithDB(db))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ncorrelated execution at SF %g (%d invocations):\n", sf, k)
-	for _, alg := range []core.Algorithm{core.Volcano, core.Greedy} {
-		res, err := core.Optimize(pd, alg, core.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		_, stats, err := exec.Run(db, model, res.Plan, &exec.Env{ParamSets: sets})
+	for _, alg := range []mqo.Algorithm{mqo.Volcano, mqo.Greedy} {
+		res, err := runner.Run(ctx, mqo.Batch{
+			Queries:   tpcd.Q2(sf),
+			Algorithm: alg,
+			ParamSets: sets,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-8v reads=%5d writes=%5d simulated=%6.3f s wall=%v\n",
-			alg, stats.IO.Reads, stats.IO.Writes, stats.SimTime, stats.Wall.Round(1000000))
+			alg, res.Exec.IO.Reads, res.Exec.IO.Writes, res.Exec.SimTime, res.Exec.Wall.Round(1000000))
 	}
 }

@@ -1,107 +1,93 @@
-// Quickstart: build two queries that share a subexpression, optimize the
-// batch with each algorithm, execute the best plan, and print the results.
+// Quickstart: the session API end to end, using only the public mqo
+// package — define a schema, load data, open a session, optimize a SQL
+// batch with each algorithm, and execute the best plan.
 //
 // The scenario is the paper's Example 1.1 in miniature: two reports over
-// the same filtered join σ(R)⋈S, extended by different third relations.
-// Plain Volcano optimizes each query alone; Greedy discovers that
-// materializing the shared join once is globally cheaper.
+// the same filtered join σ(R)⋈S, extended differently. Plain Volcano
+// optimizes each query alone; Greedy discovers that materializing the
+// shared join once is globally cheaper.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"mqo/internal/algebra"
-	"mqo/internal/catalog"
-	"mqo/internal/core"
-	"mqo/internal/cost"
-	"mqo/internal/exec"
-	"mqo/internal/storage"
+	"mqo"
 )
 
 func main() {
 	// 1. Define and load three base relations R(id, fk, num), S, T.
-	db := storage.NewDB(1024)
-	cat := catalog.New()
+	db := mqo.NewDB(1024)
+	cat := mqo.NewCatalog()
 	rng := rand.New(rand.NewSource(1))
 	const rows = 5000
 	for _, name := range []string{"R", "S", "T"} {
-		schema := algebra.Schema{
-			{Col: algebra.Col(name, "id"), Typ: algebra.TInt},
-			{Col: algebra.Col(name, "fk"), Typ: algebra.TInt},
-			{Col: algebra.Col(name, "num"), Typ: algebra.TInt},
+		schema := mqo.Schema{
+			{Col: mqo.Col(name, "id"), Typ: mqo.TInt},
+			{Col: mqo.Col(name, "fk"), Typ: mqo.TInt},
+			{Col: mqo.Col(name, "num"), Typ: mqo.TInt},
 		}
 		tab, err := db.CreateTable(name, schema)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for i := 0; i < rows; i++ {
-			_, err := tab.Heap.Insert(storage.Row{
-				algebra.IntVal(int64(i + 1)),
-				algebra.IntVal(rng.Int63n(rows) + 1),
-				algebra.IntVal(rng.Int63n(1000) + 1),
+			_, err := tab.Heap.Insert(mqo.Row{
+				mqo.IntVal(int64(i + 1)),
+				mqo.IntVal(rng.Int63n(rows) + 1),
+				mqo.IntVal(rng.Int63n(1000) + 1),
 			})
 			if err != nil {
 				log.Fatal(err)
 			}
 		}
-		cat.Add(&catalog.Table{
+		cat.Add(&mqo.Table{
 			Name: name,
-			Cols: []catalog.ColDef{
-				catalog.IntCol("id", rows),
-				catalog.IntColRange("fk", rows, 1, rows),
-				catalog.IntColRange("num", 1000, 1, 1000),
+			Cols: []mqo.ColDef{
+				mqo.IntCol("id", rows),
+				mqo.IntColRange("fk", rows, 1, rows),
+				mqo.IntColRange("num", 1000, 1, 1000),
 			},
 			Rows: rows,
 		})
 	}
 
-	// 2. Two queries sharing σ(num>=990)(R) ⋈ S.
-	shared := func() *algebra.Tree {
-		return algebra.JoinT(
-			algebra.ColEq(algebra.Col("R", "fk"), algebra.Col("S", "id")),
-			algebra.SelectT(algebra.Cmp(algebra.Col("R", "num"), algebra.GE, algebra.IntVal(990)),
-				algebra.ScanT("R")),
-			algebra.ScanT("S"))
-	}
-	q1 := algebra.JoinT(algebra.ColEq(algebra.Col("S", "fk"), algebra.Col("T", "id")),
-		shared(), algebra.ScanT("T"))
-	q2 := algebra.AggT(
-		[]algebra.Column{algebra.Col("S", "id")},
-		[]algebra.AggExpr{{Func: algebra.CountAll, As: algebra.Col("q", "n")}},
-		shared())
-	queries := []*algebra.Tree{q1, q2}
-
-	// 3. Build the shared AND-OR DAG once and optimize with each strategy.
-	model := cost.DefaultModel()
-	pd, err := core.BuildDAG(cat, model, queries)
+	// 2. One session handle owns catalog, cost model, plan cache and DB.
+	opt, err := mqo.Open(cat, mqo.WithDB(db), mqo.WithPlanCache(16))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("DAG: %d equivalence nodes, %d operation nodes, %d physical nodes\n\n",
-		len(pd.L.LiveGroups()), pd.L.NumExprs(), len(pd.Nodes))
 
-	var best *core.Result
-	for _, alg := range core.Algorithms() {
-		res, err := core.Optimize(pd, alg, core.Options{})
+	// 3. Two SQL queries sharing σ(num>=990)(R) ⋈ S; optimize the batch
+	// with every strategy.
+	const batch = `
+		SELECT T.id, T.num FROM R, S, T
+		WHERE R.num >= 990 AND R.fk = S.id AND S.fk = T.id;
+		SELECT S.id, COUNT(*) AS n FROM R, S
+		WHERE R.num >= 990 AND R.fk = S.id GROUP BY S.id`
+	ctx := context.Background()
+	for _, alg := range mqo.Algorithms() {
+		res, err := opt.OptimizeSQL(ctx, batch, alg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-11v estimated cost %8.3f s, optimization %8v, materialized %d\n",
 			alg, res.Cost, res.Stats.OptTime.Round(1000), len(res.Materialized))
-		best = res
 	}
 
-	// 4. Execute the Greedy plan (last optimized) and show the results.
-	fmt.Printf("\nGreedy plan:\n%s\n", best.Plan)
-	results, stats, err := exec.Run(db, model, best.Plan, nil)
+	// 4. Optimize-and-execute the Greedy plan in one call. The second
+	// optimization of the same batch is served from the plan cache.
+	res, err := opt.Run(ctx, mqo.Batch{SQL: batch, Algorithm: mqo.Greedy})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("\nGreedy plan:\n%s\n", res.Plan)
 	fmt.Printf("executed: %d rows total, %d page reads, %d page writes, simulated %0.3f s\n",
-		stats.RowsOut, stats.IO.Reads, stats.IO.Writes, stats.SimTime)
-	for i, qr := range results {
+		res.Exec.RowsOut, res.Exec.IO.Reads, res.Exec.IO.Writes, res.Exec.SimTime)
+	for i, qr := range res.Queries {
 		fmt.Printf("  query %d returned %d rows\n", i+1, len(qr.Rows))
 	}
+	fmt.Printf("plan cache: %+v\n", opt.CacheStats())
 }

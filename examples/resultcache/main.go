@@ -1,59 +1,72 @@
 // Result caching: the paper's §8 direction — apply the greedy benefit
-// machinery to a query *sequence* instead of a batch. A cache manager keeps
-// a bounded store of materialized intermediate results; each incoming query
-// is optimized against the cache (matched by canonical expression
-// fingerprints, so syntactically different but equivalent subexpressions
-// still hit), and the query's own intermediate results then compete for
-// cache space by value density.
+// machinery to a query *sequence* instead of a batch. A session's result
+// cache keeps a bounded store of materialized intermediate results; each
+// incoming query is optimized against the cache (matched by canonical
+// expression fingerprints, so syntactically different but equivalent
+// subexpressions still hit), and the query's own intermediate results then
+// compete for cache space by value density.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mqo/internal/algebra"
-	"mqo/internal/cache"
-	"mqo/internal/catalog"
-	"mqo/internal/cost"
+	"mqo"
 )
 
 func main() {
-	cat := catalog.New()
+	cat := mqo.NewCatalog()
 	for _, n := range []string{"R", "S", "T", "P"} {
-		cat.Add(&catalog.Table{
+		cat.Add(&mqo.Table{
 			Name: n,
-			Cols: []catalog.ColDef{
-				catalog.IntCol("id", 50000),
-				catalog.IntCol("fk", 5000),
-				catalog.IntColRange("num", 1000, 1, 1000),
+			Cols: []mqo.ColDef{
+				mqo.IntCol("id", 50000),
+				mqo.IntCol("fk", 5000),
+				mqo.IntColRange("num", 1000, 1, 1000),
 			},
 			Rows: 50000,
 		})
 	}
-	chain := func(tables []string, sel int64) *algebra.Tree {
-		t := algebra.SelectT(algebra.Cmp(algebra.Col(tables[0], "num"), algebra.GE, algebra.IntVal(sel)),
-			algebra.ScanT(tables[0]))
-		for i := 1; i < len(tables); i++ {
-			t = algebra.JoinT(algebra.ColEq(algebra.Col(tables[i-1], "fk"), algebra.Col(tables[i], "id")),
-				t, algebra.ScanT(tables[i]))
+	opt, err := mqo.Open(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	chainSQL := func(tables []string, sel int64) string {
+		from := ""
+		where := fmt.Sprintf("%s.num >= %d", tables[0], sel)
+		for i, t := range tables {
+			if i > 0 {
+				from += ", "
+				where += fmt.Sprintf(" AND %s.fk = %s.id", tables[i-1], t)
+			}
+			from += t
 		}
-		return t
+		return fmt.Sprintf("SELECT * FROM %s WHERE %s", from, where)
+	}
+	parse := func(sql string) *mqo.Query {
+		qs, err := opt.ParseSQL(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return qs[0]
 	}
 
-	m := cache.NewManager(cat, cost.DefaultModel(), 64<<20)
+	rc := opt.NewResultCache(64 << 20)
 	sequence := []struct {
 		label string
-		q     *algebra.Tree
+		q     *mqo.Query
 	}{
-		{"σ(R)⋈S⋈T", chain([]string{"R", "S", "T"}, 990)},
-		{"σ(R)⋈S⋈P (shares σ(R)⋈S)", chain([]string{"R", "S", "P"}, 990)},
-		{"σ(R)⋈S⋈T again (full hit)", chain([]string{"R", "S", "T"}, 990)},
-		{"σ(S)⋈T (fresh)", chain([]string{"S", "T"}, 980)},
-		{"σ(R)⋈S⋈P again", chain([]string{"R", "S", "P"}, 990)},
+		{"σ(R)⋈S⋈T", parse(chainSQL([]string{"R", "S", "T"}, 990))},
+		{"σ(R)⋈S⋈P (shares σ(R)⋈S)", parse(chainSQL([]string{"R", "S", "P"}, 990))},
+		{"σ(R)⋈S⋈T again (full hit)", parse(chainSQL([]string{"R", "S", "T"}, 990))},
+		{"σ(S)⋈T (fresh)", parse(chainSQL([]string{"S", "T"}, 980))},
+		{"σ(R)⋈S⋈P again", parse(chainSQL([]string{"R", "S", "P"}, 990))},
 	}
+	ctx := context.Background()
 	fmt.Printf("%-30s %12s %12s %6s %8s %8s\n", "query", "no-cache(s)", "cached(s)", "hits", "admitted", "evicted")
 	for _, step := range sequence {
-		dec, err := m.Process(step.q)
+		dec, err := rc.Process(ctx, step.q)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,8 +75,8 @@ func main() {
 			len(dec.HitKeys), len(dec.Admitted), len(dec.Evicted))
 	}
 	fmt.Println()
-	fmt.Println(m)
-	for _, e := range m.Entries() {
+	fmt.Println(rc)
+	for _, e := range rc.Entries() {
 		fmt.Printf("  entry prop=%-14s bytes=%9d hits=%d value=%.2f\n", e.Prop, e.Bytes, e.Hits, e.Value)
 	}
 }

@@ -7,32 +7,32 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"mqo/internal/core"
-	"mqo/internal/cost"
+	"mqo"
 	"mqo/internal/psp"
 )
 
 func main() {
-	model := cost.DefaultModel()
+	ctx := context.Background()
 	cat := psp.Catalog(1)
+	opt, err := mqo.Open(cat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("PSP scaleup (paper §6.2): CQi = 8i−4 five-relation chain queries")
 	fmt.Printf("%-5s %10s %10s %10s %12s %14s %14s\n",
 		"", "volcano_s", "greedy_s", "saved_%", "opt_time", "propagations", "recomputations")
 	for i := 1; i <= 5; i++ {
 		queries := psp.CQ(i)
-		pd, err := core.BuildDAG(cat, model, queries)
+		volcano, err := opt.OptimizeBatch(ctx, queries, mqo.Volcano)
 		if err != nil {
 			log.Fatal(err)
 		}
-		volcano, err := core.Optimize(pd, core.Volcano, core.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+		greedy, err := opt.OptimizeBatch(ctx, queries, mqo.Greedy)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -43,15 +43,27 @@ func main() {
 			greedy.Stats.CostPropagations, greedy.Stats.CostRecomputations)
 	}
 
-	// The §6.3 ablations on CQ2: what each optimization buys.
-	pd, err := core.BuildDAG(cat, model, psp.CQ(2))
-	if err != nil {
-		log.Fatal(err)
+	// The §6.3 ablations on CQ2: what each optimization buys. Each ablated
+	// configuration is its own session over the shared catalog.
+	session := func(g mqo.GreedyOptions) *mqo.Optimizer {
+		s, err := mqo.Open(cat, mqo.WithOptions(mqo.Options{Greedy: g}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return s
 	}
-	base, _ := core.Optimize(pd, core.Greedy, core.Options{})
-	noMono, _ := core.Optimize(pd, core.Greedy, core.Options{Greedy: core.GreedyOptions{DisableMonotonicity: true}})
-	noShar, _ := core.Optimize(pd, core.Greedy, core.Options{Greedy: core.GreedyOptions{DisableSharability: true}})
-	noIncr, _ := core.Optimize(pd, core.Greedy, core.Options{Greedy: core.GreedyOptions{DisableIncremental: true}})
+	cq2 := psp.CQ(2)
+	run := func(s *mqo.Optimizer) *mqo.Result {
+		res, err := s.OptimizeBatch(ctx, cq2, mqo.Greedy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	base := run(opt)
+	noMono := run(session(mqo.GreedyOptions{DisableMonotonicity: true}))
+	noShar := run(session(mqo.GreedyOptions{DisableSharability: true}))
+	noIncr := run(session(mqo.GreedyOptions{DisableIncremental: true}))
 	fmt.Println("\nCQ2 ablations (all must produce the same plan cost):")
 	fmt.Printf("  full greedy:          cost %.1f, %4d benefit recomputations, %v\n",
 		base.Cost, base.Stats.BenefitRecomputations, base.Stats.OptTime.Round(100000))

@@ -1,0 +1,3 @@
+module mqo
+
+go 1.24

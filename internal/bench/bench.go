@@ -8,6 +8,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -54,7 +55,7 @@ func optimizeAll(cat *catalog.Catalog, model cost.Model, queries []*algebra.Tree
 	}
 	var cells []Cell
 	for _, alg := range core.Algorithms() {
-		res, err := core.Optimize(pd, alg, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -141,7 +142,7 @@ func Figure7() (*Experiment, error) {
 		}
 		row := Row{Label: p.label, Extra: map[string]float64{}}
 		for _, alg := range []core.Algorithm{core.Volcano, core.Greedy} {
-			res, err := core.Optimize(pd, alg, core.Options{})
+			res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -150,7 +151,7 @@ func Figure7() (*Experiment, error) {
 				env.ParamSets = p.env.ParamSets
 			}
 			start := time.Now()
-			_, stats, err := exec.Run(db, model, res.Plan, env)
+			_, stats, err := exec.Run(context.Background(), db, model, res.Plan, env)
 			if err != nil {
 				return nil, fmt.Errorf("%s %v: %w", p.label, alg, err)
 			}
@@ -233,7 +234,7 @@ func Figure10() (*Experiment, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Optimize(pd, core.Greedy, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -270,11 +271,11 @@ func AblationMonotonicity(maxCQ int) (*Experiment, error) {
 		if err != nil {
 			return nil, err
 		}
-		with, err := core.Optimize(pd, core.Greedy, core.Options{})
+		with, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 		if err != nil {
 			return nil, err
 		}
-		without, err := core.Optimize(pd, core.Greedy,
+		without, err := core.Optimize(context.Background(), pd, core.Greedy,
 			core.Options{Greedy: core.GreedyOptions{DisableMonotonicity: true}})
 		if err != nil {
 			return nil, err
@@ -310,11 +311,11 @@ func AblationSharability(maxCQ int) (*Experiment, error) {
 		if err != nil {
 			return nil, err
 		}
-		with, err := core.Optimize(pd, core.Greedy, core.Options{})
+		with, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 		if err != nil {
 			return nil, err
 		}
-		without, err := core.Optimize(pd, core.Greedy,
+		without, err := core.Optimize(context.Background(), pd, core.Greedy,
 			core.Options{Greedy: core.GreedyOptions{DisableSharability: true}})
 		if err != nil {
 			return nil, err
@@ -354,7 +355,7 @@ func NoSharingOverhead() (*Experiment, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := core.Optimize(pd, core.Volcano, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, core.Volcano, core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -368,7 +369,7 @@ func NoSharingOverhead() (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
-	gres, err := core.Optimize(pd, core.Greedy, core.Options{})
+	gres, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -445,11 +446,11 @@ func SpaceBudgetCurve() (*Experiment, error) {
 	if err != nil {
 		return nil, err
 	}
-	volcano, err := core.Optimize(pd, core.Volcano, core.Options{})
+	volcano, err := core.Optimize(context.Background(), pd, core.Volcano, core.Options{})
 	if err != nil {
 		return nil, err
 	}
-	full, err := core.Optimize(pd, core.Greedy, core.Options{})
+	full, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -464,7 +465,7 @@ func SpaceBudgetCurve() (*Experiment, error) {
 		if budget < 1 {
 			budget = 1
 		}
-		res, err := core.Optimize(pd, core.Greedy,
+		res, err := core.Optimize(context.Background(), pd, core.Greedy,
 			core.Options{Greedy: core.GreedyOptions{SpaceBudgetBytes: budget}})
 		if err != nil {
 			return nil, err

@@ -11,6 +11,7 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -89,13 +90,20 @@ func entryKey(fp string, prop physical.Prop) string { return fp + "§" + prop.Ke
 // Process optimizes one query of the sequence against the current cache
 // state, then updates the cache: hits are reinforced, and the query's own
 // materialization-worthy intermediate results are admitted if their value
-// density beats the weakest entries.
-func (m *Manager) Process(q *algebra.Tree) (*Decision, error) {
-	m.clock++
+// density beats the weakest entries. A cancelled context aborts between
+// phases with ctx.Err(), leaving the cache state unchanged.
+func (m *Manager) Process(ctx context.Context, q *algebra.Tree) (*Decision, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pd, err := core.BuildDAG(m.Cat, m.Model, []*algebra.Tree{q})
 	if err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.clock++
 	fps := dag.CanonicalFingerprints(pd.L)
 
 	// Baseline: no cache.

@@ -1,6 +1,7 @@
 package cache
 
 import (
+	"context"
 	"testing"
 
 	"mqo/internal/algebra"
@@ -82,7 +83,7 @@ func TestCacheHitOnRepeatedQuery(t *testing.T) {
 	m := NewManager(testCatalog(), cost.DefaultModel(), 1<<30)
 	q := chain([]string{"R", "S", "T"}, 990)
 
-	first, err := m.Process(q)
+	first, err := m.Process(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestCacheHitOnRepeatedQuery(t *testing.T) {
 		t.Fatal("first query admitted nothing")
 	}
 
-	second, err := m.Process(q)
+	second, err := m.Process(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,10 +119,10 @@ func TestCacheHitOnRepeatedQuery(t *testing.T) {
 func TestCacheHitAcrossDifferentQueries(t *testing.T) {
 	m := NewManager(testCatalog(), cost.DefaultModel(), 1<<30)
 	// Two different queries sharing σ(R)⋈S.
-	if _, err := m.Process(chain([]string{"R", "S", "T"}, 990)); err != nil {
+	if _, err := m.Process(context.Background(), chain([]string{"R", "S", "T"}, 990)); err != nil {
 		t.Fatal(err)
 	}
-	dec, err := m.Process(chain([]string{"R", "S", "P"}, 990))
+	dec, err := m.Process(context.Background(), chain([]string{"R", "S", "P"}, 990))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestCacheBudgetRespectedAndEvicts(t *testing.T) {
 	}
 	evictions := 0
 	for _, q := range queries {
-		dec, err := m.Process(q)
+		dec, err := m.Process(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func TestCacheBudgetRespectedAndEvicts(t *testing.T) {
 
 func TestCacheZeroBudgetAdmitsNothing(t *testing.T) {
 	m := NewManager(testCatalog(), cost.DefaultModel(), 0)
-	dec, err := m.Process(chain([]string{"R", "S"}, 990))
+	dec, err := m.Process(context.Background(), chain([]string{"R", "S"}, 990))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"mqo/internal/algebra"
@@ -92,11 +93,11 @@ func TestAbstractionPreservesSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Optimize(pd, Greedy, Options{})
+	res, err := Optimize(context.Background(), pd, Greedy, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	results, _, err := exec.Run(db, cost.DefaultModel(), res.Plan, &exec.Env{ParamSets: abs.Bindings[0]})
+	results, _, err := exec.Run(context.Background(), db, cost.DefaultModel(), res.Plan, &exec.Env{ParamSets: abs.Bindings[0]})
 	if err != nil {
 		t.Fatal(err)
 	}

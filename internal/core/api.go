@@ -7,7 +7,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"mqo/internal/algebra"
@@ -28,13 +30,34 @@ const (
 	Greedy
 )
 
-// String names the algorithm as in the paper's figures.
+// String names the algorithm as in the paper's figures. Out-of-range
+// values render as "Algorithm(n)" instead of panicking.
 func (a Algorithm) String() string {
-	return [...]string{"Volcano", "Volcano-SH", "Volcano-RU", "Greedy"}[a]
+	names := [...]string{"Volcano", "Volcano-SH", "Volcano-RU", "Greedy"}
+	if a < 0 || int(a) >= len(names) {
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+	return names[a]
 }
 
 // Algorithms lists all strategies in presentation order.
 func Algorithms() []Algorithm { return []Algorithm{Volcano, VolcanoSH, VolcanoRU, Greedy} }
+
+// ParseAlgorithm maps a command-line name to an Algorithm. Accepted names
+// (case-insensitive): volcano, volcano-sh, sh, volcano-ru, ru, greedy.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "volcano":
+		return Volcano, nil
+	case "volcano-sh", "sh":
+		return VolcanoSH, nil
+	case "volcano-ru", "ru":
+		return VolcanoRU, nil
+	case "greedy":
+		return Greedy, nil
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q", name)
+}
 
 // GreedyOptions are the ablation switches of §6.3.
 type GreedyOptions struct {
@@ -99,6 +122,15 @@ func BuildDAG(cat *catalog.Catalog, model cost.Model, queries []*algebra.Tree) (
 			return nil, err
 		}
 	}
+	return FinishDAG(ld, model)
+}
+
+// FinishDAG expands an already-populated (pre-expansion) logical DAG —
+// unification and subsumption derivations, pseudo-root finalization — and
+// builds the physical DAG over it. Callers that need the unexpanded DAG
+// first (e.g. for canonical fingerprints) insert queries themselves and
+// hand the DAG over here, avoiding a second insertion pass.
+func FinishDAG(ld *dag.DAG, model cost.Model) (*physical.DAG, error) {
 	if err := ld.Expand(); err != nil {
 		return nil, err
 	}
@@ -126,7 +158,15 @@ func ClearMaterialized(pd *physical.DAG) {
 // Optimize runs the selected algorithm on the DAG and returns the resulting
 // plan, its estimated cost, and instrumentation. The DAG's costing state is
 // reset before the run and left reflecting the returned result.
-func Optimize(pd *physical.DAG, alg Algorithm, opt Options) (*Result, error) {
+//
+// The context is consulted at checkpoints inside the algorithms' main
+// loops (each greedy pick, each RU query pass, each SH round); when it is
+// cancelled, Optimize returns ctx.Err() promptly and the DAG's costing
+// state is unspecified (reset it with ClearMaterialized before reuse).
+func Optimize(ctx context.Context, pd *physical.DAG, alg Algorithm, opt Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	ClearMaterialized(pd)
 	pd.ResetCounters()
 	start := time.Now()
@@ -138,11 +178,11 @@ func Optimize(pd *physical.DAG, alg Algorithm, opt Options) (*Result, error) {
 	case Volcano:
 		res = optimizeVolcano(pd)
 	case VolcanoSH:
-		res = optimizeVolcanoSH(pd)
+		res, err = optimizeVolcanoSH(ctx, pd)
 	case VolcanoRU:
-		res = optimizeVolcanoRU(pd, opt)
+		res, err = optimizeVolcanoRU(ctx, pd, opt)
 	case Greedy:
-		res, err = optimizeGreedy(pd, opt.Greedy)
+		res, err = optimizeGreedy(ctx, pd, opt.Greedy)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", alg)
 	}

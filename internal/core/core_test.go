@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"mqo/internal/algebra"
@@ -46,7 +47,7 @@ func mustBuild(t *testing.T, queries ...*algebra.Tree) *physical.DAG {
 
 func mustOptimize(t *testing.T, pd *physical.DAG, alg Algorithm) *Result {
 	t.Helper()
-	res, err := Optimize(pd, alg, Options{})
+	res, err := Optimize(context.Background(), pd, alg, Options{})
 	if err != nil {
 		t.Fatalf("%v: %v", alg, err)
 	}
@@ -161,11 +162,11 @@ func TestGreedyMonotonicityMatchesExhaustive(t *testing.T) {
 	// heuristic on all tested queries; verify cost equality here.
 	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990),
 		chain([]string{"S", "T", "P"}, 980))
-	mono, err := Optimize(pd, Greedy, Options{})
+	mono, err := Optimize(context.Background(), pd, Greedy, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	exh, err := Optimize(pd, Greedy, Options{Greedy: GreedyOptions{DisableMonotonicity: true}})
+	exh, err := Optimize(context.Background(), pd, Greedy, Options{Greedy: GreedyOptions{DisableMonotonicity: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,11 +181,11 @@ func TestGreedyMonotonicityMatchesExhaustive(t *testing.T) {
 
 func TestGreedyIncrementalMatchesScratch(t *testing.T) {
 	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
-	incr, err := Optimize(pd, Greedy, Options{})
+	incr, err := Optimize(context.Background(), pd, Greedy, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	scratch, err := Optimize(pd, Greedy, Options{Greedy: GreedyOptions{DisableIncremental: true}})
+	scratch, err := Optimize(context.Background(), pd, Greedy, Options{Greedy: GreedyOptions{DisableIncremental: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,11 +196,11 @@ func TestGreedyIncrementalMatchesScratch(t *testing.T) {
 
 func TestGreedySharabilityAblationSameCost(t *testing.T) {
 	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
-	with, err := Optimize(pd, Greedy, Options{})
+	with, err := Optimize(context.Background(), pd, Greedy, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Optimize(pd, Greedy, Options{Greedy: GreedyOptions{DisableSharability: true}})
+	without, err := Optimize(context.Background(), pd, Greedy, Options{Greedy: GreedyOptions{DisableSharability: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +257,7 @@ func TestNestedQueryInvokeBenefits(t *testing.T) {
 func TestVolcanoRUOrderSensitivity(t *testing.T) {
 	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
 	both := mustOptimize(t, pd, VolcanoRU)
-	fwd, err := Optimize(pd, VolcanoRU, Options{RUForwardOnly: true})
+	fwd, err := Optimize(context.Background(), pd, VolcanoRU, Options{RUForwardOnly: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+// countdownCtx reports the context as cancelled after its Err method has
+// been consulted n times. Because Optimize's checkpoints poll ctx.Err(),
+// this deterministically triggers cancellation in the middle of an
+// algorithm's main loop, without any timing dependence.
+type countdownCtx struct {
+	context.Context
+	n int32
+}
+
+func (c *countdownCtx) Err() error {
+	if atomic.AddInt32(&c.n, -1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestOptimizePreCancelled: a context cancelled before the call aborts
+// every algorithm immediately with context.Canceled.
+func TestOptimizePreCancelled(t *testing.T) {
+	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range Algorithms() {
+		if _, err := Optimize(ctx, pd, alg, Options{}); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: got err %v, want context.Canceled", alg, err)
+		}
+	}
+}
+
+// TestGreedyCancelledMidLoop: cancellation that occurs after the greedy
+// loop has started (simulated deterministically with countdownCtx) aborts
+// the run with ctx.Err() instead of returning a result.
+func TestGreedyCancelledMidLoop(t *testing.T) {
+	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
+	// Sanity: uncancelled, the same DAG optimizes fine and has candidates
+	// for the greedy loop to iterate over.
+	res := mustOptimize(t, pd, Greedy)
+	if len(res.Materialized) == 0 {
+		t.Fatal("fixture has no shared results; greedy loop would be trivial")
+	}
+	for _, variant := range []struct {
+		name string
+		opt  Options
+	}{
+		{"monotonic", Options{}},
+		{"exhaustive", Options{Greedy: GreedyOptions{DisableMonotonicity: true}}},
+		{"space-budget", Options{Greedy: GreedyOptions{SpaceBudgetBytes: 1 << 30}}},
+	} {
+		// Survive the entry checkpoint (1 poll), then cancel on the first
+		// in-loop poll.
+		ctx := &countdownCtx{Context: context.Background(), n: 1}
+		_, err := Optimize(ctx, pd, Greedy, variant.opt)
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("greedy/%s: got err %v, want context.Canceled", variant.name, err)
+		}
+	}
+}
+
+// TestVolcanoRUCancelledMidLoop: the per-query RU loop honours
+// cancellation too.
+func TestVolcanoRUCancelledMidLoop(t *testing.T) {
+	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
+	ctx := &countdownCtx{Context: context.Background(), n: 1}
+	if _, err := Optimize(ctx, pd, VolcanoRU, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("volcano-ru: got err %v, want context.Canceled", err)
+	}
+}

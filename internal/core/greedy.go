@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 
 	"mqo/internal/cost"
 	"mqo/internal/dag"
@@ -18,7 +19,7 @@ import (
 //
 // Each optimization can be disabled through GreedyOptions for the §6.3
 // ablation experiments.
-func optimizeGreedy(pd *physical.DAG, opt GreedyOptions) (*Result, error) {
+func optimizeGreedy(ctx context.Context, pd *physical.DAG, opt GreedyOptions) (*Result, error) {
 	var degrees map[*dag.Group]float64
 	if opt.DisableSharability {
 		MarkAllSharable(pd)
@@ -53,13 +54,17 @@ func optimizeGreedy(pd *physical.DAG, opt GreedyOptions) (*Result, error) {
 		return base - with
 	}
 
+	var err error
 	switch {
 	case opt.SpaceBudgetBytes > 0:
-		chosen = greedySpaceBudget(pd, candidates, benefit, opt.SpaceBudgetBytes)
+		chosen, err = greedySpaceBudget(ctx, pd, candidates, benefit, opt.SpaceBudgetBytes)
 	case opt.DisableMonotonicity:
-		chosen = greedyExhaustive(pd, candidates, benefit)
+		chosen, err = greedyExhaustive(ctx, pd, candidates, benefit)
 	default:
-		chosen = greedyMonotonic(pd, candidates, degrees, benefit)
+		chosen, err = greedyMonotonic(ctx, pd, candidates, degrees, benefit)
+	}
+	if err != nil {
+		return nil, err
 	}
 
 	res := &Result{Cost: pd.TotalCost(), Plan: pd.ExtractPlan(), Materialized: chosen}
@@ -78,8 +83,8 @@ func candidateNode(pd *physical.DAG, n *physical.Node) bool {
 // candidates are picked in order of benefit per unit of materialized-result
 // space until the temporary-storage budget is exhausted. Benefits are
 // recomputed each round (the candidate sets are small once a budget bites).
-func greedySpaceBudget(pd *physical.DAG, candidates []*physical.Node,
-	benefit func(*physical.Node) cost.Cost, budget int64) []*physical.Node {
+func greedySpaceBudget(ctx context.Context, pd *physical.DAG, candidates []*physical.Node,
+	benefit func(*physical.Node) cost.Cost, budget int64) ([]*physical.Node, error) {
 
 	sizeOf := func(n *physical.Node) int64 {
 		s := int64(n.LG.Rel.Blocks(pd.Model)) * pd.Model.BlockSize
@@ -92,6 +97,9 @@ func greedySpaceBudget(pd *physical.DAG, candidates []*physical.Node,
 	var chosen []*physical.Node
 	used := int64(0)
 	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestIdx := -1
 		bestRate := 0.0
 		for i, n := range remaining {
@@ -117,15 +125,18 @@ func greedySpaceBudget(pd *physical.DAG, candidates []*physical.Node,
 		used += sizeOf(n)
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 	}
-	return chosen
+	return chosen, nil
 }
 
 // greedyExhaustive is Figure 4 without the monotonicity heuristic: every
 // remaining candidate's benefit is recomputed each iteration.
-func greedyExhaustive(pd *physical.DAG, candidates []*physical.Node, benefit func(*physical.Node) cost.Cost) []*physical.Node {
+func greedyExhaustive(ctx context.Context, pd *physical.DAG, candidates []*physical.Node, benefit func(*physical.Node) cost.Cost) ([]*physical.Node, error) {
 	remaining := append([]*physical.Node(nil), candidates...)
 	var chosen []*physical.Node
 	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bestIdx, bestBen := -1, cost.Cost(0)
 		for i, n := range remaining {
 			b := benefit(n)
@@ -141,7 +152,7 @@ func greedyExhaustive(pd *physical.DAG, candidates []*physical.Node, benefit fun
 		chosen = append(chosen, n)
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
 	}
-	return chosen
+	return chosen, nil
 }
 
 // benefitHeap is a max-heap of candidates ordered by benefit upper bound.
@@ -170,8 +181,8 @@ func (h *benefitHeap) Pop() interface{} {
 // orders candidates by benefit upper bound (initially cost × degree of
 // sharing); the top candidate's benefit is recomputed and the candidate is
 // chosen only if it stays on top, so most candidates are never recomputed.
-func greedyMonotonic(pd *physical.DAG, candidates []*physical.Node, degrees map[*dag.Group]float64,
-	benefit func(*physical.Node) cost.Cost) []*physical.Node {
+func greedyMonotonic(ctx context.Context, pd *physical.DAG, candidates []*physical.Node, degrees map[*dag.Group]float64,
+	benefit func(*physical.Node) cost.Cost) ([]*physical.Node, error) {
 
 	h := &benefitHeap{}
 	for _, n := range candidates {
@@ -187,6 +198,9 @@ func greedyMonotonic(pd *physical.DAG, candidates []*physical.Node, degrees map[
 	var chosen []*physical.Node
 	version := 0
 	for h.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		top := heap.Pop(h).(*benefitItem)
 		exact := top.version == version
 		if !exact {
@@ -206,5 +220,5 @@ func greedyMonotonic(pd *physical.DAG, candidates []*physical.Node, degrees map[
 		chosen = append(chosen, top.n)
 		version++
 	}
-	return chosen
+	return chosen, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"mqo/internal/cost"
@@ -15,7 +16,7 @@ func TestGreedyAblationsAgreeOnPSP(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := Optimize(pd, Greedy, Options{})
+	base, err := Optimize(context.Background(), pd, Greedy, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestGreedyAblationsAgreeOnPSP(t *testing.T) {
 		{DisableIncremental: true},
 		{DisableMonotonicity: true, DisableIncremental: true},
 	} {
-		res, err := Optimize(pd, Greedy, Options{Greedy: opt})
+		res, err := Optimize(context.Background(), pd, Greedy, Options{Greedy: opt})
 		if err != nil {
 			t.Fatalf("%+v: %v", opt, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -42,12 +43,12 @@ func TestRandomBatchesInvariants(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		volcano, err := Optimize(pd, Volcano, Options{})
+		volcano, err := Optimize(context.Background(), pd, Volcano, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		for _, alg := range []Algorithm{VolcanoSH, VolcanoRU, Greedy} {
-			res, err := Optimize(pd, alg, Options{})
+			res, err := Optimize(context.Background(), pd, alg, Options{})
 			if err != nil {
 				t.Fatalf("trial %d %v: %v", trial, alg, err)
 			}
@@ -55,14 +56,14 @@ func TestRandomBatchesInvariants(t *testing.T) {
 				t.Errorf("trial %d: %v cost %f exceeds Volcano %f", trial, alg, res.Cost, volcano.Cost)
 			}
 		}
-		greedy, err := Optimize(pd, Greedy, Options{})
+		greedy, err := Optimize(context.Background(), pd, Greedy, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		if diff := pd.TotalCost() - pd.BestCostWith(pd.MaterializedSet()); diff > 1e-6 || diff < -1e-6 {
 			t.Errorf("trial %d: incremental state inconsistent (%v)", trial, diff)
 		}
-		exh, err := Optimize(pd, Greedy, Options{Greedy: GreedyOptions{DisableMonotonicity: true}})
+		exh, err := Optimize(context.Background(), pd, Greedy, Options{Greedy: GreedyOptions{DisableMonotonicity: true}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func TestGreedyBenefitNonNegativeSteps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Optimize(pd, Greedy, Options{})
+	res, err := Optimize(context.Background(), pd, Greedy, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"mqo/internal/cost"
@@ -17,11 +18,11 @@ func TestSpaceBudgetedGreedy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	volcano, err := Optimize(pd, Volcano, Options{})
+	volcano, err := Optimize(context.Background(), pd, Volcano, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := Optimize(pd, Greedy, Options{})
+	full, err := Optimize(context.Background(), pd, Greedy, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestSpaceBudgetedGreedy(t *testing.T) {
 		if budget <= 0 {
 			budget = 1
 		}
-		res, err := Optimize(pd, Greedy, Options{Greedy: GreedyOptions{SpaceBudgetBytes: budget}})
+		res, err := Optimize(context.Background(), pd, Greedy, Options{Greedy: GreedyOptions{SpaceBudgetBytes: budget}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -61,7 +62,7 @@ func TestSpaceBudgetedGreedy(t *testing.T) {
 	// A budget at least as large as the unconstrained choice must be at
 	// least as good as... the unconstrained plan may differ slightly since
 	// benefit-per-space reorders picks; require it within 5%.
-	big, err := Optimize(pd, Greedy, Options{Greedy: GreedyOptions{SpaceBudgetBytes: 100 * fullSize}})
+	big, err := Optimize(context.Background(), pd, Greedy, Options{Greedy: GreedyOptions{SpaceBudgetBytes: 100 * fullSize}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"mqo/internal/physical"
 )
 
@@ -10,19 +12,26 @@ import (
 // then run Volcano-SH over the combined DAG-structured plan for the final
 // materialization decisions. Both the given and the reverse query order are
 // tried and the cheaper result returned (§3.3), unless opt.RUForwardOnly.
-func optimizeVolcanoRU(pd *physical.DAG, opt Options) *Result {
+func optimizeVolcanoRU(ctx context.Context, pd *physical.DAG, opt Options) (*Result, error) {
 	n := len(pd.QueryRoots)
 	forward := make([]int, n)
 	for i := range forward {
 		forward[i] = i
 	}
-	best := runRUOrder(pd, forward)
+	best, err := runRUOrder(ctx, pd, forward)
+	if err != nil {
+		return nil, err
+	}
 	if !opt.RUForwardOnly && n > 1 {
 		reverse := make([]int, n)
 		for i := range reverse {
 			reverse[i] = n - 1 - i
 		}
-		if r := runRUOrder(pd, reverse); r.Cost < best.Cost {
+		r, err := runRUOrder(ctx, pd, reverse)
+		if err != nil {
+			return nil, err
+		}
+		if r.Cost < best.Cost {
 			best = r
 		}
 	}
@@ -31,17 +40,20 @@ func optimizeVolcanoRU(pd *physical.DAG, opt Options) *Result {
 	for _, m := range best.Materialized {
 		pd.SetMaterialized(m, true)
 	}
-	return best
+	return best, nil
 }
 
 // runRUOrder runs one Volcano-RU pass over the queries in the given order.
-func runRUOrder(pd *physical.DAG, order []int) *Result {
+func runRUOrder(ctx context.Context, pd *physical.DAG, order []int) (*Result, error) {
 	ClearMaterialized(pd)
 	plan := physical.NewPlan()
 	count := map[*physical.Node]int{}
 	queryPlans := make([]*physical.PlanNode, len(pd.QueryRoots))
 
 	for _, qi := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		qn := pd.QueryRoots[qi]
 		// Optimize Q_i assuming the current candidate set N is
 		// materialized; nodes shared with earlier plans keep their cached
@@ -77,6 +89,9 @@ func runRUOrder(pd *physical.DAG, order []int) *Result {
 	plan.Root = root
 	plan.ByNode[pd.Root] = root
 
-	total, mats := volcanoSHOnPlan(pd, plan)
-	return &Result{Cost: total, Plan: plan, Materialized: mats}
+	total, mats, err := volcanoSHOnPlan(ctx, pd, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cost: total, Plan: plan, Materialized: mats}, nil
 }

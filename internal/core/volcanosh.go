@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"mqo/internal/cost"
@@ -12,19 +13,22 @@ import (
 // subsumption prepass, then decide bottom-up which nodes to materialize
 // using the numuses⁻ underestimate, and undo unused subsumption
 // derivations.
-func optimizeVolcanoSH(pd *physical.DAG) *Result {
+func optimizeVolcanoSH(ctx context.Context, pd *physical.DAG) (*Result, error) {
 	pd.Recost()
 	plan := physical.NewPlan()
 	plan.Root = pd.ExtractInto(plan, pd.Root)
-	total, mats := volcanoSHOnPlan(pd, plan)
-	return &Result{Cost: total, Plan: plan, Materialized: mats}
+	total, mats, err := volcanoSHOnPlan(ctx, pd, plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cost: total, Plan: plan, Materialized: mats}, nil
 }
 
 // volcanoSHOnPlan runs the Volcano-SH materialization pass over an already
 // extracted consolidated plan (also the second phase of Volcano-RU). It
 // rewrites the plan in place (subsumption switches, Mat marks, Mats list)
 // and returns the total cost and materialized set.
-func volcanoSHOnPlan(pd *physical.DAG, plan *physical.Plan) (cost.Cost, []*physical.Node) {
+func volcanoSHOnPlan(ctx context.Context, pd *physical.DAG, plan *physical.Plan) (cost.Cost, []*physical.Node, error) {
 	sh := &shState{
 		pd:        pd,
 		plan:      plan,
@@ -39,13 +43,17 @@ func volcanoSHOnPlan(pd *physical.DAG, plan *physical.Plan) (cost.Cost, []*physi
 	// re-decide after every undo until the plan is stable. Each round can
 	// only shrink the set of active switches, so this terminates.
 	for {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
 		sh.mat = map[*physical.PlanNode]bool{}
 		sh.decide()
 		if !sh.undo() {
 			break
 		}
 	}
-	return sh.finish()
+	total, mats := sh.finish()
+	return total, mats, nil
 }
 
 type shState struct {

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -86,7 +87,7 @@ func checkBatchAllAlgorithms(t *testing.T, db *storage.DB, cat *catalog.Catalog,
 		t.Fatal(err)
 	}
 	for _, alg := range core.Algorithms() {
-		res, err := core.Optimize(pd, alg, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -94,7 +95,7 @@ func checkBatchAllAlgorithms(t *testing.T, db *storage.DB, cat *catalog.Catalog,
 		if env != nil {
 			e.ParamSets = env.ParamSets
 		}
-		results, _, err := Run(db, model, res.Plan, e)
+		results, _, err := Run(context.Background(), db, model, res.Plan, e)
 		if err != nil {
 			t.Fatalf("%v run: %v\nplan:\n%s", alg, err, res.Plan)
 		}
@@ -184,12 +185,12 @@ func TestRunStatsAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := core.Optimize(pd, core.Volcano, core.Options{})
+	res, err := core.Optimize(context.Background(), pd, core.Volcano, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	db.Pool.ResetStats()
-	_, stats, err := Run(db, model, res.Plan, nil)
+	_, stats, err := Run(context.Background(), db, model, res.Plan, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,13 +218,13 @@ func TestMaterializationSharingReducesIO(t *testing.T) {
 	}
 
 	run := func(alg core.Algorithm) RunStats {
-		res, err := core.Optimize(pd, alg, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
 		fresh := storage.NewDB(64) // small pool so I/O is visible
 		copyWorld(t, db, fresh)
-		_, stats, err := Run(fresh, model, res.Plan, nil)
+		_, stats, err := Run(context.Background(), fresh, model, res.Plan, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -82,11 +83,11 @@ func TestMergeJoinMatchesNLJoin(t *testing.T) {
 			right: &sliceIter{rows: rrows, schema: rs},
 			pred:  pred, schema: schema,
 		}
-		mjRows, err := drain(mj)
+		mjRows, err := drain(context.Background(), mj)
 		if err != nil {
 			t.Fatal(err)
 		}
-		nlRows, err := drain(nl)
+		nlRows, err := drain(context.Background(), nl)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestSortIterOrdersAndIsStable(t *testing.T) {
 	schema := intSchema("t", "k", "seq")
 	rows := intRows([]int64{3, 0}, []int64{1, 1}, []int64{3, 2}, []int64{1, 3}, []int64{2, 4})
 	s := &sortIter{child: &sliceIter{rows: rows, schema: schema}, cols: []algebra.Column{algebra.Col("t", "k")}}
-	out, err := drain(s)
+	out, err := drain(context.Background(), s)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestInvokeIterRunsPerBinding(t *testing.T) {
 		pred:  pred,
 	}
 	iv := &invokeIter{child: child, env: env}
-	out, err := drain(iv)
+	out, err := drain(context.Background(), iv)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestProjectComputesExpressions(t *testing.T) {
 		funcs:  []valueFunc{f},
 		schema: algebra.Schema{{Col: algebra.Col("q", "x"), Typ: algebra.TFloat}},
 	}
-	out, err := drain(p)
+	out, err := drain(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}

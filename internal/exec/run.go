@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -31,18 +32,26 @@ type RunStats struct {
 // results (in dependency order), executes every query of the batch, and
 // reports per-query results plus measured statistics. Temporary tables are
 // dropped before returning.
-func Run(db *storage.DB, model cost.Model, plan *physical.Plan, env *Env) ([]QueryResult, RunStats, error) {
+//
+// The context is checked between materializations and periodically while
+// draining iterator output; a cancelled context aborts the run with
+// ctx.Err() (temporary tables are still dropped).
+func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.Plan, env *Env) ([]QueryResult, RunStats, error) {
 	if env == nil {
 		env = &Env{}
 	}
 	if env.Params == nil {
 		env.Params = map[string]algebra.Value{}
 	}
-	b := &builder{db: db, env: env}
+	b := &builder{ctx: ctx, db: db, env: env}
+	defer db.DropTemps()
 	start := time.Now()
 	before := db.Pool.Stats
 
 	for _, m := range plan.Mats {
+		if err := ctx.Err(); err != nil {
+			return nil, RunStats{}, err
+		}
 		if err := b.materialize(m); err != nil {
 			return nil, RunStats{}, err
 		}
@@ -59,7 +68,7 @@ func Run(db *storage.DB, model cost.Model, plan *physical.Plan, env *Env) ([]Que
 		if err != nil {
 			return nil, RunStats{}, err
 		}
-		rows, err := drain(it)
+		rows, err := drain(ctx, it)
 		if err != nil {
 			return nil, RunStats{}, err
 		}
@@ -81,18 +90,26 @@ func Run(db *storage.DB, model cost.Model, plan *physical.Plan, env *Env) ([]Que
 	}
 	stats.SimTime = float64(stats.IO.Reads)*model.ReadS + float64(stats.IO.Writes)*model.WriteS +
 		float64(stats.IO.Reads+stats.IO.Writes)*model.CPUS
-	db.DropTemps()
 	return results, stats, nil
 }
 
-// drain exhausts an iterator.
-func drain(it Iterator) ([]storage.Row, error) {
+// drainCheckEvery is how many rows drain pulls between context checks;
+// checking per row would put a (locking) ctx.Err call on the hot path.
+const drainCheckEvery = 1024
+
+// drain exhausts an iterator, honouring context cancellation.
+func drain(ctx context.Context, it Iterator) ([]storage.Row, error) {
 	if err := it.Open(); err != nil {
 		return nil, err
 	}
 	defer it.Close()
 	var rows []storage.Row
-	for {
+	for n := 0; ; n++ {
+		if n%drainCheckEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		r, ok, err := it.Next()
 		if err != nil {
 			return nil, err
@@ -106,6 +123,7 @@ func drain(it Iterator) ([]storage.Row, error) {
 
 // builder instantiates iterators for plan nodes.
 type builder struct {
+	ctx context.Context
 	db  *storage.DB
 	env *Env
 }
@@ -130,7 +148,7 @@ func (b *builder) materialize(pn *physical.PlanNode) error {
 	if err != nil {
 		return err
 	}
-	rows, err := drain(it)
+	rows, err := drain(b.ctx, it)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package psp
 
 import (
+	"context"
 	"testing"
 
 	"mqo/internal/algebra"
@@ -69,8 +70,8 @@ func TestSQPairSharesJoinsAndSubsumes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	volcano, _ := core.Optimize(pd, core.Volcano, core.Options{})
-	greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+	volcano, _ := core.Optimize(context.Background(), pd, core.Volcano, core.Options{})
+	greedy, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestCQ1AllAlgorithms(t *testing.T) {
 	}
 	costs := map[core.Algorithm]float64{}
 	for _, alg := range core.Algorithms() {
-		res, err := core.Optimize(pd, alg, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -112,7 +113,7 @@ func TestGreedyCountersGrowWithScale(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := core.Optimize(pd, core.Greedy, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -146,11 +147,11 @@ func TestExecutePSPEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, alg := range []core.Algorithm{core.Volcano, core.Greedy} {
-		res, err := core.Optimize(pd, alg, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		results, _, err := exec.Run(db, model, res.Plan, nil)
+		results, _, err := exec.Run(context.Background(), db, model, res.Plan, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}

@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -203,11 +204,11 @@ func TestSQLEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, alg := range []core.Algorithm{core.Volcano, core.Greedy} {
-		res, err := core.Optimize(pd, alg, core.Options{})
+		res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		results, _, err := exec.Run(db, model, res.Plan, nil)
+		results, _, err := exec.Run(context.Background(), db, model, res.Plan, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}

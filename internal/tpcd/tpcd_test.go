@@ -1,6 +1,7 @@
 package tpcd
 
 import (
+	"context"
 	"testing"
 
 	"mqo/internal/algebra"
@@ -71,7 +72,7 @@ func TestAllQueriesBuildAndOptimize(t *testing.T) {
 		}
 		var costs []float64
 		for _, alg := range core.Algorithms() {
-			res, err := core.Optimize(pd, alg, core.Options{})
+			res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 			if err != nil {
 				t.Fatalf("%s %v: %v", name, alg, err)
 			}
@@ -96,8 +97,8 @@ func TestQ11GreedyFindsSharing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	volcano, _ := core.Optimize(pd, core.Volcano, core.Options{})
-	greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+	volcano, _ := core.Optimize(context.Background(), pd, core.Volcano, core.Options{})
+	greedy, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,8 +117,8 @@ func TestQ2GreedyBeatsVolcano(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	volcano, _ := core.Optimize(pd, core.Volcano, core.Options{})
-	greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+	volcano, _ := core.Optimize(context.Background(), pd, core.Volcano, core.Options{})
+	greedy, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,8 +133,8 @@ func TestQ2NILargeImprovement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	volcano, _ := core.Optimize(pd, core.Volcano, core.Options{})
-	greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+	volcano, _ := core.Optimize(context.Background(), pd, core.Volcano, core.Options{})
+	greedy, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,8 +153,8 @@ func TestRenamedBatchHasNoSharing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	volcano, _ := core.Optimize(pd, core.Volcano, core.Options{})
-	greedy, err := core.Optimize(pd, core.Greedy, core.Options{})
+	volcano, _ := core.Optimize(context.Background(), pd, core.Volcano, core.Options{})
+	greedy, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,11 +201,11 @@ func TestExecuteTPCDQueriesEndToEnd(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		for _, alg := range []core.Algorithm{core.Volcano, core.Greedy} {
-			res, err := core.Optimize(pd, alg, core.Options{})
+			res, err := core.Optimize(context.Background(), pd, alg, core.Options{})
 			if err != nil {
 				t.Fatalf("%s %v: %v", name, alg, err)
 			}
-			results, _, err := exec.Run(db, model, res.Plan, nil)
+			results, _, err := exec.Run(context.Background(), db, model, res.Plan, nil)
 			if err != nil {
 				t.Fatalf("%s %v run: %v\nplan:\n%s", name, alg, err, res.Plan)
 			}

@@ -2,29 +2,43 @@
 // Extensible Algorithms for Multi Query Optimization" (Roy, Seshadri,
 // Sudarshan, Bhobe; SIGMOD 2000): a Volcano-style cost-based optimizer over
 // AND-OR DAGs with three multi-query-optimization heuristics — Volcano-SH,
-// Volcano-RU and Greedy — plus the storage and execution substrate needed
-// to run the optimized plans.
+// Volcano-RU and Greedy — plus a SQL front end, a storage engine and an
+// iterator-based executor able to run the optimized plans.
 //
-// This package is the public façade: it re-exports the types and entry
-// points of the internal packages that downstream users need. A typical
-// session is:
+// The public surface is session-oriented: Open returns an *Optimizer that
+// owns the catalog, cost model, plan cache and (optionally) an attached
+// database, and is safe for concurrent use by multiple goroutines. A
+// typical session goes from SQL text to executed rows:
 //
-//	cat := catalog.New()              // or tpcd.Catalog(1)
-//	queries := []*algebra.Tree{...}   // build queries in the algebra
-//	dag, err := mqo.BuildDAG(cat, mqo.DefaultModel(), queries)
-//	res, err := mqo.Optimize(dag, mqo.Greedy, mqo.Options{})
-//	// res.Plan is executable via the exec engine; res.Cost is the
-//	// estimated cost; res.Materialized lists shared intermediate results.
+//	db := mqo.NewDB(1024)
+//	cat := tpcd.Catalog(0.01)        // or build one with mqo.NewCatalog()
+//	opt, err := mqo.Open(cat, mqo.WithDB(db), mqo.WithPlanCache(128))
+//	res, err := opt.Run(ctx, mqo.Batch{
+//		SQL: "SELECT nname, SUM(lprice) AS rev FROM lineitem, supplier, nation " +
+//			"WHERE lsk = sk AND snk = nk GROUP BY nname",
+//		Algorithm: mqo.Greedy,
+//	})
+//	// res.Queries[0].Rows holds the result; res.Cost the estimated cost;
+//	// res.Materialized the shared intermediate results Greedy chose.
+//
+// Optimization without execution is available through OptimizeSQL and
+// OptimizeBatch; ParseAlgorithm maps user-facing names ("greedy",
+// "volcano-ru", ...) to Algorithm values; NewResultCache exposes the
+// paper's §8 result-caching manager for query sequences.
 package mqo
 
 import (
+	"mqo/internal/algebra"
+	"mqo/internal/cache"
 	"mqo/internal/catalog"
 	"mqo/internal/core"
 	"mqo/internal/cost"
+	"mqo/internal/exec"
 	"mqo/internal/physical"
+	"mqo/internal/storage"
 )
 
-// Re-exported core types.
+// Re-exported types: the vocabulary of a session.
 type (
 	// Algorithm selects one of the paper's optimization strategies.
 	Algorithm = core.Algorithm
@@ -40,10 +54,43 @@ type (
 	Model = cost.Model
 	// Catalog describes base relations and statistics.
 	Catalog = catalog.Catalog
-	// DAG is the physical AND-OR DAG for a query batch.
-	DAG = physical.DAG
+	// Table is one catalog entry: schema, statistics, indexes.
+	Table = catalog.Table
+	// ColDef describes one column of a base table.
+	ColDef = catalog.ColDef
+	// IndexDef describes an index available on a base table.
+	IndexDef = catalog.IndexDef
 	// Plan is a consolidated, executable evaluation plan.
 	Plan = physical.Plan
+	// Query is one query of a batch, expressed in the logical algebra.
+	Query = algebra.Tree
+	// Value is a runtime SQL value (parameter bindings, result rows).
+	Value = algebra.Value
+	// Type is a SQL value type (TInt, TFloat, TString, TDate).
+	Type = algebra.Type
+	// Column is a qualified column reference.
+	Column = algebra.Column
+	// ColInfo is one column of a schema: reference plus type.
+	ColInfo = algebra.ColInfo
+	// Schema describes the columns of a relation or result.
+	Schema = algebra.Schema
+	// Row is one stored or result row.
+	Row = storage.Row
+	// DB is the storage engine an Optimizer executes plans against.
+	DB = storage.DB
+	// QueryResult is the executed output of one query of a batch.
+	QueryResult = exec.QueryResult
+	// RunStats is the measured execution profile of a batch run.
+	RunStats = exec.RunStats
+	// ResultCache is the paper's §8 result-caching manager: it processes a
+	// query *sequence*, keeping a bounded store of materialized results.
+	ResultCache = cache.Manager
+	// CacheDecision reports what one ResultCache.Process call did.
+	CacheDecision = cache.Decision
+	// CacheEntry is one cached materialized result.
+	CacheEntry = cache.Entry
+	// Abstraction is the result of AbstractParameterized.
+	Abstraction = core.Abstraction
 )
 
 // The four strategies of the paper's §6.
@@ -54,30 +101,58 @@ const (
 	Greedy    = core.Greedy
 )
 
-// BuildDAG constructs the expanded logical AND-OR DAG for a batch of
-// queries (with unification and subsumption derivations) and the physical
-// DAG over it.
-var BuildDAG = core.BuildDAG
+// SQL value types.
+const (
+	TInt    = algebra.TInt
+	TFloat  = algebra.TFloat
+	TString = algebra.TString
+	TDate   = algebra.TDate
+)
 
-// Optimize runs the selected algorithm and returns the plan, its estimated
-// cost and instrumentation.
-var Optimize = core.Optimize
+// Col builds a qualified column reference (alias, name).
+func Col(qual, name string) Column { return algebra.Col(qual, name) }
 
-// ComputeSharability runs the §4.1 degree-of-sharing analysis, marking
-// sharable physical nodes and returning per-group degrees.
-var ComputeSharability = core.ComputeSharability
+// Algorithms lists all strategies in presentation order.
+func Algorithms() []Algorithm { return core.Algorithms() }
+
+// ParseAlgorithm maps a user-facing name to an Algorithm. Accepted names
+// (case-insensitive): volcano, volcano-sh, sh, volcano-ru, ru, greedy.
+func ParseAlgorithm(name string) (Algorithm, error) { return core.ParseAlgorithm(name) }
 
 // DefaultModel returns the paper's cost constants (4 KB blocks, 10 ms seek,
 // 2/4 ms per block read/write, 0.2 ms CPU per block, 6 MB per operator).
-var DefaultModel = cost.DefaultModel
+func DefaultModel() Model { return cost.DefaultModel() }
 
 // NewCatalog returns an empty catalog.
-var NewCatalog = catalog.New
+func NewCatalog() *Catalog { return catalog.New() }
+
+// Column-definition helpers for building catalog tables.
+var (
+	// IntCol is an integer column with the given distinct count.
+	IntCol = catalog.IntCol
+	// IntColRange is an integer column with distinct count and value range.
+	IntColRange = catalog.IntColRange
+	// FloatColRange is a float column with distinct count and value range.
+	FloatColRange = catalog.FloatColRange
+	// DateColRange is a date column with distinct count and value range.
+	DateColRange = catalog.DateColRange
+	// StrCol is a string column with the given width and distinct count.
+	StrCol = catalog.StrCol
+)
+
+// Value constructors for parameter bindings and loaded rows.
+var (
+	IntVal    = algebra.IntVal
+	FloatVal  = algebra.FloatVal
+	StringVal = algebra.StringVal
+	DateVal   = algebra.DateVal
+)
+
+// NewDB creates an in-process database with a buffer pool of the given
+// number of pages, for use with WithDB.
+func NewDB(poolPages int) *DB { return storage.NewDB(poolPages) }
 
 // AbstractParameterized implements the paper's §8 workload abstraction:
 // queries differing only in selection constants are merged into one
 // parameterized query invoked multiple times.
-var AbstractParameterized = core.AbstractParameterized
-
-// Abstraction is the result of AbstractParameterized.
-type Abstraction = core.Abstraction
+func AbstractParameterized(batch []*Query) *Abstraction { return core.AbstractParameterized(batch) }

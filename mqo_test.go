@@ -1,33 +1,29 @@
 package mqo
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
-	"mqo/internal/algebra"
-	"mqo/internal/sql"
 	"mqo/internal/tpcd"
 )
 
-// TestFacadeRoundTrip exercises the public API end to end: catalog, SQL
-// parsing, DAG construction, and all four algorithms.
-func TestFacadeRoundTrip(t *testing.T) {
-	cat := tpcd.Catalog(1)
-	batch, err := sql.ParseBatch(cat, `
+// TestSessionRoundTrip exercises the public API end to end: open a
+// session, parse SQL, and optimize the batch with all four algorithms.
+func TestSessionRoundTrip(t *testing.T) {
+	opt, err := Open(tpcd.Catalog(1), WithModel(DefaultModel()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const batch = `
 		SELECT nname, SUM(lprice) AS rev FROM lineitem, supplier, nation
 		WHERE lsk = sk AND snk = nk AND lship > 2000 GROUP BY nname;
 		SELECT nname, COUNT(*) AS n FROM lineitem, supplier, nation
-		WHERE lsk = sk AND snk = nk AND lship > 2200 GROUP BY nname`)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pd, err := BuildDAG(cat, DefaultModel(), batch)
-	if err != nil {
-		t.Fatal(err)
-	}
+		WHERE lsk = sk AND snk = nk AND lship > 2200 GROUP BY nname`
+	ctx := context.Background()
 	var volcano, greedy float64
-	for _, alg := range []Algorithm{Volcano, VolcanoSH, VolcanoRU, Greedy} {
-		res, err := Optimize(pd, alg, Options{})
+	for _, alg := range Algorithms() {
+		res, err := opt.OptimizeSQL(ctx, batch, alg)
 		if err != nil {
 			t.Fatalf("%v: %v", alg, err)
 		}
@@ -44,23 +40,47 @@ func TestFacadeRoundTrip(t *testing.T) {
 	if greedy > volcano {
 		t.Errorf("greedy (%f) worse than volcano (%f)", greedy, volcano)
 	}
-	degrees := ComputeSharability(pd)
-	if len(degrees) == 0 {
-		t.Error("no sharability degrees computed")
+}
+
+// TestParseAlgorithm covers the shared name mapping used by every command.
+func TestParseAlgorithm(t *testing.T) {
+	for name, want := range map[string]Algorithm{
+		"volcano": Volcano, "Volcano-SH": VolcanoSH, "sh": VolcanoSH,
+		"volcano-ru": VolcanoRU, "RU": VolcanoRU, "greedy": Greedy,
+	} {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseAlgorithm("simplex"); err == nil {
+		t.Error("ParseAlgorithm accepted an unknown name")
 	}
 }
 
-// ExampleOptimize shows the minimal optimization session on a sharable
-// batch.
-func ExampleOptimize() {
-	cat := tpcd.Catalog(1)
-	q1 := tpcd.Q11()
-	pd, err := BuildDAG(cat, DefaultModel(), []*algebra.Tree{q1})
+// TestAlgorithmString: out-of-range values must render, not panic.
+func TestAlgorithmString(t *testing.T) {
+	if s := Algorithm(42).String(); s != "Algorithm(42)" {
+		t.Errorf("got %q, want %q", s, "Algorithm(42)")
+	}
+	if s := Algorithm(-1).String(); s != "Algorithm(-1)" {
+		t.Errorf("got %q, want %q", s, "Algorithm(-1)")
+	}
+	if s := Greedy.String(); s != "Greedy" {
+		t.Errorf("got %q, want %q", s, "Greedy")
+	}
+}
+
+// ExampleOpen shows the minimal optimization session.
+func ExampleOpen() {
+	opt, err := Open(tpcd.Catalog(1))
 	if err != nil {
 		panic(err)
 	}
-	v, _ := Optimize(pd, Volcano, Options{})
-	g, _ := Optimize(pd, Greedy, Options{})
+	ctx := context.Background()
+	batch := []*Query{tpcd.Q11()}
+	v, _ := opt.OptimizeBatch(ctx, batch, Volcano)
+	g, _ := opt.OptimizeBatch(ctx, batch, Greedy)
 	fmt.Printf("greedy beats volcano: %v\n", g.Cost < v.Cost)
 	fmt.Printf("materialized shared results: %v\n", len(g.Materialized) > 0)
 	// Output:

@@ -1,0 +1,238 @@
+package mqo
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+
+	"mqo/internal/cache"
+	"mqo/internal/catalog"
+	"mqo/internal/core"
+	"mqo/internal/cost"
+	"mqo/internal/dag"
+	"mqo/internal/exec"
+	"mqo/internal/sql"
+	"mqo/internal/storage"
+)
+
+// Optimizer is a session handle: it owns a catalog, a cost model, an
+// optional plan cache and an optional attached database, and turns SQL text
+// or algebra queries into optimized — and, with a database, executed —
+// plans.
+//
+// An Optimizer is safe for concurrent use by multiple goroutines. Each
+// optimization call builds its own AND-OR DAG, so no two calls ever share
+// a DAG's mutable costing state; the plan cache is mutex-guarded, and plan
+// execution on the attached database is serialized internally. Results
+// returned from the plan cache are shared between callers and must be
+// treated as read-only.
+type Optimizer struct {
+	cat   *catalog.Catalog
+	model cost.Model
+	opts  core.Options
+	db    *storage.DB
+	cache *planCache
+
+	// execMu serializes plan execution: the storage engine's buffer pool
+	// and temp-table namespace are not safe for concurrent mutation.
+	execMu sync.Mutex
+}
+
+// Option configures an Optimizer at Open time.
+type Option func(*Optimizer)
+
+// WithModel replaces the default cost model.
+func WithModel(m Model) Option { return func(o *Optimizer) { o.model = m } }
+
+// WithDB attaches a database, enabling Run. The Optimizer takes ownership
+// of plan execution on the database: callers must not execute plans on it
+// concurrently through other means.
+func WithDB(db *DB) Option { return func(o *Optimizer) { o.db = db } }
+
+// WithPlanCache enables a fingerprint-keyed LRU cache of optimized plans
+// holding up to n batches. Batches whose queries have equal canonical
+// fingerprints (same logical expressions, in order) optimized with the
+// same algorithm share one cached Result.
+func WithPlanCache(n int) Option { return func(o *Optimizer) { o.cache = newPlanCache(n) } }
+
+// WithSpaceBudget bounds the total size of materialized results chosen by
+// Greedy to the given number of bytes (the paper's §8 extension).
+func WithSpaceBudget(bytes int64) Option {
+	return func(o *Optimizer) { o.opts.Greedy.SpaceBudgetBytes = bytes }
+}
+
+// WithOptions replaces the full optimization options (ablation switches,
+// RU order). Later options still override individual fields.
+func WithOptions(opt Options) Option { return func(o *Optimizer) { o.opts = opt } }
+
+// Open creates an optimizer session over the given catalog.
+func Open(cat *Catalog, opts ...Option) (*Optimizer, error) {
+	if cat == nil {
+		return nil, fmt.Errorf("mqo: Open: nil catalog")
+	}
+	o := &Optimizer{cat: cat, model: cost.DefaultModel()}
+	for _, opt := range opts {
+		opt(o)
+	}
+	return o, nil
+}
+
+// Catalog returns the session's catalog.
+func (o *Optimizer) Catalog() *Catalog { return o.cat }
+
+// Model returns the session's cost model.
+func (o *Optimizer) Model() Model { return o.model }
+
+// DB returns the attached database, or nil.
+func (o *Optimizer) DB() *DB { return o.db }
+
+// ParseAlgorithm maps a user-facing name to an Algorithm; see the
+// package-level ParseAlgorithm.
+func (o *Optimizer) ParseAlgorithm(name string) (Algorithm, error) { return ParseAlgorithm(name) }
+
+// ParseSQL parses a semicolon-separated batch of SELECT statements against
+// the session catalog into algebra queries.
+func (o *Optimizer) ParseSQL(sqlText string) ([]*Query, error) {
+	return sql.ParseBatch(o.cat, sqlText)
+}
+
+// OptimizeBatch optimizes a batch of algebra queries with the selected
+// algorithm. The batch's AND-OR DAG is built fresh for the call (or the
+// whole Result is served from the plan cache when enabled), so concurrent
+// calls never interfere. A cancelled context aborts the optimization
+// promptly with ctx.Err().
+func (o *Optimizer) OptimizeBatch(ctx context.Context, queries []*Query, alg Algorithm) (*Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("mqo: OptimizeBatch: empty query batch")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ld := dag.New(cost.Estimator{Cat: o.cat})
+	roots := make([]*dag.Group, len(queries))
+	for i, q := range queries {
+		g, err := ld.AddQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		roots[i] = g
+	}
+	var key string
+	if o.cache != nil {
+		key = o.batchKey(ld, roots, alg)
+		if res, ok := o.cache.get(key); ok {
+			return res, nil
+		}
+	}
+	pd, err := core.FinishDAG(ld, o.model)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Optimize(ctx, pd, alg, o.opts)
+	if err != nil {
+		return nil, err
+	}
+	if o.cache != nil && key != "" {
+		o.cache.put(key, res)
+	}
+	return res, nil
+}
+
+// OptimizeSQL parses a semicolon-separated SQL batch and optimizes it; see
+// OptimizeBatch.
+func (o *Optimizer) OptimizeSQL(ctx context.Context, sqlText string, alg Algorithm) (*Result, error) {
+	queries, err := o.ParseSQL(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return o.OptimizeBatch(ctx, queries, alg)
+}
+
+// Batch describes one optimize-then-execute request for Run. Exactly one
+// of SQL and Queries must be set; setting both (or neither) is an error.
+type Batch struct {
+	// SQL is a semicolon-separated batch of SELECT statements, parsed
+	// against the session catalog.
+	SQL string
+	// Queries is the batch in algebra form.
+	Queries []*Query
+	// Algorithm selects the optimization strategy (zero value: Volcano).
+	Algorithm Algorithm
+	// ParamSets drives parameterized (correlated / §8 abstracted) plans:
+	// the parameter-dependent part runs once per binding set.
+	ParamSets []map[string]Value
+}
+
+// ExecResult is the outcome of Run: the optimization Result plus the
+// executed rows and the measured execution profile.
+type ExecResult struct {
+	*Result
+	// Queries holds per-query rows, in batch order.
+	Queries []QueryResult
+	// Exec reports measured page I/O, simulated time and wall time.
+	Exec RunStats
+}
+
+// Run optimizes the batch and executes the resulting plan on the attached
+// database: shared results are materialized once, every query of the batch
+// runs against them, and per-query rows plus measured statistics are
+// returned. Requires WithDB. Execution is serialized across goroutines; a
+// cancelled context aborts both optimization and execution with ctx.Err().
+func (o *Optimizer) Run(ctx context.Context, batch Batch) (*ExecResult, error) {
+	if o.db == nil {
+		return nil, fmt.Errorf("mqo: Run: no database attached (use WithDB)")
+	}
+	if len(batch.Queries) > 0 && batch.SQL != "" {
+		return nil, fmt.Errorf("mqo: Run: set exactly one of Batch.SQL and Batch.Queries, not both")
+	}
+	queries := batch.Queries
+	if len(queries) == 0 && batch.SQL != "" {
+		var err error
+		if queries, err = o.ParseSQL(batch.SQL); err != nil {
+			return nil, err
+		}
+	}
+	res, err := o.OptimizeBatch(ctx, queries, batch.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	env := &exec.Env{ParamSets: batch.ParamSets}
+	o.execMu.Lock()
+	defer o.execMu.Unlock()
+	results, stats, err := exec.Run(ctx, o.db, o.model, res.Plan, env)
+	if err != nil {
+		return nil, err
+	}
+	return &ExecResult{Result: res, Queries: results, Exec: stats}, nil
+}
+
+// NewResultCache creates a §8 result-cache manager bound to the session's
+// catalog and cost model, with the given byte budget for cached results.
+// The returned manager processes a query sequence and is independent of
+// the plan cache (which caches whole-batch plans, not results).
+func (o *Optimizer) NewResultCache(budgetBytes int64) *ResultCache {
+	return cache.NewManager(o.cat, o.model, budgetBytes)
+}
+
+// CacheStats returns plan-cache accounting; zero-valued when the plan
+// cache is disabled.
+func (o *Optimizer) CacheStats() CacheStats {
+	if o.cache == nil {
+		return CacheStats{}
+	}
+	return o.cache.stats()
+}
+
+// batchKey derives the plan-cache key of a batch: the canonical logical
+// fingerprints of the query roots (computed on the not-yet-expanded DAG —
+// reusing the machinery that lets the §8 result cache match expressions
+// across queries) combined with the algorithm and options.
+func (o *Optimizer) batchKey(ld *dag.DAG, roots []*dag.Group, alg Algorithm) string {
+	fps := dag.CanonicalFingerprints(ld)
+	parts := make([]string, len(roots))
+	for i, g := range roots {
+		parts[i] = fps[g.Find()]
+	}
+	return fmt.Sprintf("%v|%+v|%s", alg, o.opts, strings.Join(parts, ";"))
+}

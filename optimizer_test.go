@@ -1,0 +1,280 @@
+package mqo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"mqo/internal/tpcd"
+)
+
+const (
+	sqlRevenue = `SELECT nname, SUM(lprice) AS rev FROM lineitem, supplier, nation
+		WHERE lsk = sk AND snk = nk AND lship > 2000 GROUP BY nname`
+	sqlCounts = `SELECT nname, COUNT(*) AS n FROM lineitem, supplier, nation
+		WHERE lsk = sk AND snk = nk AND lship > 2200 GROUP BY nname`
+	sqlBatch = sqlRevenue + ";" + sqlCounts
+)
+
+// TestConcurrentOptimize hammers one session handle from many goroutines
+// mixing OptimizeBatch and OptimizeSQL (run under -race in CI): every call
+// must succeed and produce the same cost as a serial run.
+func TestConcurrentOptimize(t *testing.T) {
+	opt, err := Open(tpcd.Catalog(1), WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := opt.OptimizeSQL(ctx, sqlBatch, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries, err := opt.ParseSQL(sqlBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines*4)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				var res *Result
+				var err error
+				alg := Algorithms()[(g+i)%4]
+				if i%2 == 0 {
+					res, err = opt.OptimizeSQL(ctx, sqlBatch, alg)
+				} else {
+					res, err = opt.OptimizeBatch(ctx, queries, alg)
+				}
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v: %v", g, alg, err)
+					return
+				}
+				if alg == Greedy && res.Cost != want.Cost {
+					errs <- fmt.Errorf("goroutine %d: greedy cost %f, serial run got %f", g, res.Cost, want.Cost)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// countdownCtx reports cancellation after Err has been polled n times,
+// triggering it deterministically inside the optimizer's main loop.
+type countdownCtx struct {
+	context.Context
+	n int32
+}
+
+func (c *countdownCtx) Err() error {
+	if atomic.AddInt32(&c.n, -1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestOptimizeCancellation: a cancelled context aborts a Greedy run with
+// context.Canceled — both when cancelled up front and mid-greedy-loop.
+func TestOptimizeCancellation(t *testing.T) {
+	opt, err := Open(tpcd.Catalog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := opt.OptimizeSQL(pre, sqlBatch, Greedy); !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled: got %v, want context.Canceled", err)
+	}
+	// Survive the OptimizeBatch and core.Optimize entry checkpoints, then
+	// cancel at the first poll inside the greedy pick loop.
+	mid := &countdownCtx{Context: context.Background(), n: 2}
+	if _, err := opt.OptimizeSQL(mid, sqlBatch, Greedy); !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-loop: got %v, want context.Canceled", err)
+	}
+}
+
+// TestPlanCacheAccounting checks hit/miss bookkeeping: identical batches
+// (even parsed from separate SQL strings) hit; different algorithms or
+// different queries miss; eviction respects the LRU capacity.
+func TestPlanCacheAccounting(t *testing.T) {
+	opt, err := Open(tpcd.Catalog(1), WithPlanCache(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	first, err := opt.OptimizeSQL(ctx, sqlBatch, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := opt.OptimizeSQL(ctx, sqlBatch, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("identical batch was not served from the plan cache")
+	}
+	if s := opt.CacheStats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("after repeat: stats %+v, want 1 hit / 1 miss / 1 entry", s)
+	}
+
+	if _, err := opt.OptimizeSQL(ctx, sqlBatch, VolcanoSH); err != nil {
+		t.Fatal(err)
+	}
+	if s := opt.CacheStats(); s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("different algorithm should miss: stats %+v", s)
+	}
+
+	// A third distinct key evicts the least recently used entry (cap 2).
+	if _, err := opt.OptimizeSQL(ctx, sqlRevenue, Greedy); err != nil {
+		t.Fatal(err)
+	}
+	if s := opt.CacheStats(); s.Entries != 2 || s.Cap != 2 {
+		t.Errorf("eviction: stats %+v, want 2 entries at cap 2", s)
+	}
+
+	// The cacheless session reports zeroes and still optimizes.
+	plain, err := Open(tpcd.Catalog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.OptimizeSQL(ctx, sqlRevenue, Greedy); err != nil {
+		t.Fatal(err)
+	}
+	if s := plain.CacheStats(); s != (CacheStats{}) {
+		t.Errorf("disabled cache reported %+v", s)
+	}
+}
+
+// TestRunSQL goes the whole way: SQL text in, executed rows out, on a
+// small generated TPC-D instance.
+func TestRunSQL(t *testing.T) {
+	const sf = 0.002
+	db := NewDB(1024)
+	if err := tpcd.LoadDB(db, sf, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := opt.Run(context.Background(), Batch{SQL: sqlBatch, Algorithm: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Queries) != 2 {
+		t.Fatalf("got %d query results, want 2", len(res.Queries))
+	}
+	if res.Exec.RowsOut == 0 || len(res.Queries[0].Rows) == 0 {
+		t.Error("executed batch returned no rows")
+	}
+	if res.Cost <= 0 {
+		t.Error("missing optimization result in ExecResult")
+	}
+}
+
+// TestRunConcurrent launches several goroutines through Run on one handle;
+// execution is serialized internally, results must match.
+func TestRunConcurrent(t *testing.T) {
+	const sf = 0.002
+	db := NewDB(1024)
+	if err := tpcd.LoadDB(db, sf, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := opt.Run(context.Background(), Batch{SQL: sqlRevenue, Algorithm: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := opt.Run(context.Background(), Batch{SQL: sqlRevenue, Algorithm: Greedy})
+			if err != nil {
+				errs <- fmt.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			if len(res.Queries[0].Rows) != len(want.Queries[0].Rows) {
+				errs <- fmt.Errorf("goroutine %d: %d rows, want %d", g, len(res.Queries[0].Rows), len(want.Queries[0].Rows))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestRunErrors: Run without a database, and Batch with nothing to run.
+func TestRunErrors(t *testing.T) {
+	opt, err := Open(tpcd.Catalog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Run(context.Background(), Batch{SQL: sqlRevenue}); err == nil {
+		t.Error("Run without WithDB should fail")
+	}
+	withDB, err := Open(tpcd.Catalog(1), WithDB(NewDB(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := withDB.Run(context.Background(), Batch{}); err == nil {
+		t.Error("Run with an empty batch should fail")
+	}
+	queries, err := withDB.ParseSQL(sqlRevenue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := withDB.Run(context.Background(), Batch{SQL: sqlCounts, Queries: queries}); err == nil {
+		t.Error("Run with both SQL and Queries set should fail")
+	}
+	if _, err := Open(nil); err == nil {
+		t.Error("Open(nil) should fail")
+	}
+}
+
+// TestResultCacheSession: the §8 result-cache manager is reachable from a
+// session and observes hits across a query sequence.
+func TestResultCacheSession(t *testing.T) {
+	opt, err := Open(tpcd.Catalog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := opt.NewResultCache(64 << 20)
+	queries, err := opt.ParseSQL(sqlRevenue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := rc.Process(ctx, queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := rc.Process(ctx, queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.HitKeys) == 0 {
+		t.Error("repeated query produced no cache hits")
+	}
+	if dec.CostWithCache >= dec.CostNoCache {
+		t.Errorf("cache did not reduce cost: %f >= %f", dec.CostWithCache, dec.CostNoCache)
+	}
+}

@@ -1,0 +1,73 @@
+package mqo
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is plan-cache accounting: how many OptimizeBatch/OptimizeSQL
+// calls were served from the cache versus optimized fresh.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+	Cap     int
+}
+
+// planCache is a mutex-guarded LRU of optimized batch Results keyed by the
+// batch's canonical fingerprint string.
+type planCache struct {
+	mu     sync.Mutex
+	cap    int
+	lru    *list.List // front = most recently used; values are *planEntry
+	byKey  map[string]*list.Element
+	hits   int64
+	misses int64
+}
+
+type planEntry struct {
+	key string
+	res *Result
+}
+
+func newPlanCache(n int) *planCache {
+	if n < 1 {
+		n = 1
+	}
+	return &planCache{cap: n, lru: list.New(), byKey: map[string]*list.Element{}}
+}
+
+func (c *planCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*planEntry).res, true
+}
+
+func (c *planCache) put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*planEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(&planEntry{key: key, res: res})
+	for c.lru.Len() > c.cap {
+		last := c.lru.Back()
+		c.lru.Remove(last)
+		delete(c.byKey, last.Value.(*planEntry).key)
+	}
+}
+
+func (c *planCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Cap: c.cap}
+}
