@@ -1,11 +1,16 @@
 // Command mqobench regenerates the paper's experiments. With no flags it
 // runs every experiment; -experiment selects one of: fig6, q2ni, fig7,
 // fig8, fig9, fig10, monotonicity, sharability, nosharing, memory, scale.
+// With -json the results are emitted as a machine-readable JSON array
+// (one element per experiment) instead of the human-readable tables —
+// the format CI archives as a benchmark trajectory.
 //
 //	mqobench -experiment fig6
+//	mqobench -experiment fig6 -json > fig6.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +21,7 @@ import (
 func main() {
 	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|all)")
 	maxCQ := flag.Int("maxcq", 3, "largest PSP composite for the ablation experiments (1-5)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
 	type runner struct {
@@ -37,21 +43,31 @@ func main() {
 		{"space", bench.SpaceBudgetCurve},
 	}
 
-	ran := false
+	var results []*bench.Experiment
 	for _, r := range runners {
 		if *which != "all" && *which != r.name {
 			continue
 		}
-		ran = true
 		exp, err := r.run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mqobench: %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
-		fmt.Println(exp)
+		if !*asJSON {
+			fmt.Println(exp)
+		}
+		results = append(results, exp)
 	}
-	if !ran {
+	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "mqobench: unknown experiment %q\n", *which)
 		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "mqobench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,85 @@
+// Command mqoserver is a concurrent query service over generated TPC-D
+// data: an HTTP+JSON front end whose adaptive micro-batcher coalesces
+// concurrent requests into multi-query-optimization batches.
+//
+//	mqoserver -addr :8080 -sf 0.01 -max-batch 8 -max-wait 2ms -alg greedy
+//
+// Endpoints:
+//
+//	POST /query  {"sql": "SELECT ...", "timeout_ms": 0}
+//	GET  /stats  batching + plan-cache accounting
+//
+// Concurrent POST /query requests that land in the same batching window
+// are optimized and executed together; each caller receives its own rows
+// plus the batch's sharing report (size, shared vs. no-sharing cost).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"mqo"
+	"mqo/internal/tpcd"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		sf        = flag.Float64("sf", 0.01, "TPC-D scale factor for the generated data")
+		seed      = flag.Int64("seed", 1, "data generator seed")
+		pool      = flag.Int("pool", 1024, "buffer pool size in pages")
+		planCache = flag.Int("plancache", 128, "plan-cache capacity in batches (0 disables)")
+		maxBatch  = flag.Int("max-batch", 8, "flush a batching window at this many queries")
+		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max time the first query of a window waits")
+		workers   = flag.Int("workers", 2, "concurrently in-flight batches")
+		algName   = flag.String("alg", "greedy", "optimization algorithm (volcano|volcano-sh|volcano-ru|greedy)")
+	)
+	flag.Parse()
+
+	handler, svc, err := newService(*sf, *seed, *pool, *planCache, mqo.BatchingOptions{
+		MaxBatch: *maxBatch,
+		MaxWait:  *maxWait,
+		Workers:  *workers,
+	}, *algName)
+	if err != nil {
+		log.Fatalf("mqoserver: %v", err)
+	}
+	defer svc.Close()
+
+	log.Printf("mqoserver: serving TPC-D sf=%g on %s (max-batch %d, max-wait %s, %s)",
+		*sf, *addr, *maxBatch, *maxWait, *algName)
+	log.Fatal(http.ListenAndServe(*addr, handler))
+}
+
+// newService boots the whole stack: generated TPC-D data, a session
+// optimizer with a plan cache, the micro-batching service and its HTTP
+// handler. Shared with the end-to-end test.
+func newService(sf float64, seed int64, poolPages, planCache int, cfg mqo.BatchingOptions, algName string) (http.Handler, *mqo.Service, error) {
+	alg, err := mqo.ParseAlgorithm(algName)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Algorithm = alg
+	cfg.UseVolcano = alg == mqo.Volcano
+
+	db := mqo.NewDB(poolPages)
+	if err := tpcd.LoadDB(db, sf, seed); err != nil {
+		return nil, nil, fmt.Errorf("loading TPC-D data: %w", err)
+	}
+	opts := []mqo.Option{mqo.WithDB(db)}
+	if planCache > 0 {
+		opts = append(opts, mqo.WithPlanCache(planCache))
+	}
+	opt, err := mqo.Open(tpcd.Catalog(sf), opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	svc, err := mqo.Serve(opt, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mqo.ServiceHandler(svc), svc, nil
+}

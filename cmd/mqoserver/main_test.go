@@ -1,0 +1,196 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mqo"
+)
+
+const (
+	sqlRevenue = `SELECT nname, SUM(lprice) AS rev FROM lineitem, supplier, nation
+		WHERE lsk = sk AND snk = nk AND lship > 2000 GROUP BY nname`
+	sqlCounts = `SELECT nname, COUNT(*) AS n FROM lineitem, supplier, nation
+		WHERE lsk = sk AND snk = nk AND lship > 2200 GROUP BY nname`
+)
+
+type queryReply struct {
+	Columns []string        `json:"columns"`
+	Rows    [][]interface{} `json:"rows"`
+	Batch   struct {
+		Seq         int64   `json:"seq"`
+		Size        int     `json:"size"`
+		Cost        float64 `json:"cost"`
+		NoShareCost float64 `json:"no_share_cost"`
+		CacheHit    bool    `json:"cache_hit"`
+		Algorithm   string  `json:"algorithm"`
+	} `json:"batch"`
+}
+
+type statsReply struct {
+	Service struct {
+		Submitted int64            `json:"submitted"`
+		Batches   int64            `json:"batches"`
+		Queries   int64            `json:"queries"`
+		SizeHist  map[string]int64 `json:"size_hist"`
+		CostSaved float64          `json:"cost_saved"`
+	} `json:"service"`
+	PlanCache mqo.CacheStats `json:"plan_cache"`
+}
+
+// TestEndToEnd boots the full mqoserver stack over HTTP, fires concurrent
+// clients at it, and asserts the micro-batcher actually coalesced them
+// into shared MQO batches: fewer batches than clients, a batch-size
+// distribution with multi-query batches, and estimated cost saved versus
+// no sharing. This is the CI gate for "batched sharing occurred".
+func TestEndToEnd(t *testing.T) {
+	const clients = 12
+	handler, svc, err := newService(0.002, 1, 1024, 64, mqo.BatchingOptions{
+		MaxBatch: clients,
+		MaxWait:  500 * time.Millisecond,
+		Workers:  2,
+	}, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	// Fire concurrent clients, alternating two queries that share their
+	// lineitem ⋈ supplier ⋈ nation join.
+	var wg sync.WaitGroup
+	replies := make([]queryReply, clients)
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sql := sqlRevenue
+			if i%2 == 1 {
+				sql = sqlCounts
+			}
+			body, _ := json.Marshal(map[string]string{"sql": sql})
+			resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("client %d: status %d", i, resp.StatusCode)
+				return
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&replies[i]); err != nil {
+				errs <- fmt.Errorf("client %d: decode: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Every client got its own query's result, not a neighbour's.
+	seqs := map[int64]bool{}
+	for i, r := range replies {
+		wantCol := "q.rev"
+		if i%2 == 1 {
+			wantCol = "q.n"
+		}
+		if len(r.Columns) != 2 || r.Columns[1] != wantCol {
+			t.Errorf("client %d: columns %v, want [nation.nname %s]", i, r.Columns, wantCol)
+		}
+		if len(r.Rows) == 0 {
+			t.Errorf("client %d: no rows", i)
+		}
+		// Coalescing is asserted in aggregate below (batch count, size
+		// histogram, cost saved): a straggler client legitimately landing
+		// in its own window must not fail the gate.
+		if r.Batch.Algorithm != "Greedy" {
+			t.Errorf("client %d: algorithm %q", i, r.Batch.Algorithm)
+		}
+		seqs[r.Batch.Seq] = true
+	}
+	if len(seqs) >= clients {
+		t.Errorf("%d clients ran as %d batches: no coalescing happened", clients, len(seqs))
+	}
+	// Both query shapes in one window share their three-way join: the
+	// shared plan must beat the no-sharing baseline.
+	for i, r := range replies {
+		if r.Batch.Size >= 2 && r.Batch.NoShareCost <= r.Batch.Cost {
+			t.Errorf("client %d: batch of %d saved nothing (cost %.3f, no-share %.3f)",
+				i, r.Batch.Size, r.Batch.Cost, r.Batch.NoShareCost)
+		}
+	}
+
+	// GET /stats reports the batch-size distribution and the cost saved.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats statsReply
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Service.Submitted != clients || stats.Service.Queries != clients {
+		t.Errorf("stats: submitted %d queries %d, want %d each",
+			stats.Service.Submitted, stats.Service.Queries, clients)
+	}
+	if stats.Service.Batches >= clients {
+		t.Errorf("stats: %d batches for %d clients, want coalescing", stats.Service.Batches, clients)
+	}
+	multi := false
+	for size, n := range stats.Service.SizeHist {
+		if v, _ := strconv.Atoi(size); v > 1 && n > 0 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Errorf("stats: size_hist %v reports no multi-query batch", stats.Service.SizeHist)
+	}
+	if stats.Service.CostSaved <= 0 {
+		t.Errorf("stats: cost_saved %.3f, want > 0", stats.Service.CostSaved)
+	}
+}
+
+// TestBadRequests covers the HTTP error paths.
+func TestBadRequests(t *testing.T) {
+	handler, svc, err := newService(0.002, 1, 256, 0, mqo.BatchingOptions{
+		MaxBatch: 1, MaxWait: time.Millisecond,
+	}, "volcano-ru")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	for _, tc := range []struct {
+		body string
+		want int
+	}{
+		{`{"sql": "SELEC nname FROM nation"}`, http.StatusUnprocessableEntity},                            // parse error
+		{`not json`, http.StatusBadRequest},                                                               // bad body
+		{`{"sql": "SELECT nname FROM nation; SELECT nname FROM nation"}`, http.StatusUnprocessableEntity}, // two statements
+	} {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("body %q: status %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+	}
+}

@@ -100,12 +100,21 @@ type Stats struct {
 }
 
 // Result is the outcome of optimizing a batch.
+//
+// A Result may be shared between goroutines (the session plan cache hands
+// cached results to every hitter): treat the Plan's nodes and the
+// Materialized entries as immutable.
 type Result struct {
 	Algorithm    Algorithm
 	Cost         cost.Cost
 	Plan         *physical.Plan
 	Materialized []*physical.Node
-	Stats        Stats
+	// NoShareCost is the estimated cost of the batch's best no-sharing
+	// plan (the basic Volcano baseline), captured on the same DAG before
+	// the selected algorithm ran. NoShareCost - Cost is the estimated
+	// benefit multi-query optimization won for this batch.
+	NoShareCost cost.Cost
+	Stats       Stats
 }
 
 // BuildDAG constructs the expanded logical DAG for a batch of queries,
@@ -169,6 +178,7 @@ func Optimize(ctx context.Context, pd *physical.DAG, alg Algorithm, opt Options)
 	}
 	ClearMaterialized(pd)
 	pd.ResetCounters()
+	noShare := pd.TotalCost() // Volcano baseline: empty materialized set
 	start := time.Now()
 	var (
 		res *Result
@@ -190,6 +200,7 @@ func Optimize(ctx context.Context, pd *physical.DAG, alg Algorithm, opt Options)
 		return nil, err
 	}
 	res.Algorithm = alg
+	res.NoShareCost = noShare
 	res.Stats.OptTime = time.Since(start)
 	res.Stats.CostPropagations, res.Stats.CostRecomputations = pd.Counters()
 	res.Stats.DAGGroups = len(pd.L.LiveGroups())

@@ -30,8 +30,10 @@ type RunStats struct {
 
 // Run executes an optimized plan against the database: materializes shared
 // results (in dependency order), executes every query of the batch, and
-// reports per-query results plus measured statistics. Temporary tables are
-// dropped before returning.
+// reports per-query results plus measured statistics. The run's temporary
+// tables live in a private per-run namespace and are dropped before
+// returning, so concurrent Run calls on one DB are safe: they serialize on
+// the database's run lock and can never observe each other's temps.
 //
 // The context is checked between materializations and periodically while
 // draining iterator output; a cancelled context aborts the run with
@@ -43,8 +45,9 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 	if env.Params == nil {
 		env.Params = map[string]algebra.Value{}
 	}
-	b := &builder{ctx: ctx, db: db, env: env}
-	defer db.DropTemps()
+	run := db.BeginRun()
+	defer run.End()
+	b := &builder{ctx: ctx, db: db, temps: run, env: env}
 	start := time.Now()
 	before := db.Pool.Stats
 
@@ -121,11 +124,13 @@ func drain(ctx context.Context, it Iterator) ([]storage.Row, error) {
 	}
 }
 
-// builder instantiates iterators for plan nodes.
+// builder instantiates iterators for plan nodes. Temps (materialized
+// intermediates) go through the run's private namespace.
 type builder struct {
-	ctx context.Context
-	db  *storage.DB
-	env *Env
+	ctx   context.Context
+	db    *storage.DB
+	temps *storage.RunTemps
+	env   *Env
 }
 
 // tempName is the temp-table name of a materialized plan node.
@@ -135,7 +140,7 @@ func tempName(pn *physical.PlanNode) string { return "mat_" + strconv.Itoa(pn.N.
 // for index-property nodes). Mats arrive in dependency order, so children
 // temps already exist.
 func (b *builder) materialize(pn *physical.PlanNode) error {
-	if _, err := b.db.Temp(tempName(pn)); err == nil {
+	if _, err := b.temps.Temp(tempName(pn)); err == nil {
 		return nil // already materialized
 	}
 	src := pn
@@ -152,7 +157,7 @@ func (b *builder) materialize(pn *physical.PlanNode) error {
 	if err != nil {
 		return err
 	}
-	temp := b.db.CreateTemp(tempName(pn), it.Schema())
+	temp := b.temps.CreateTemp(tempName(pn), it.Schema())
 	for _, r := range rows {
 		if _, err := temp.Heap.Insert(r); err != nil {
 			return err
@@ -171,7 +176,7 @@ func (b *builder) materialize(pn *physical.PlanNode) error {
 // recomputing.
 func (b *builder) build(pn *physical.PlanNode, asConsumer bool) (Iterator, error) {
 	if asConsumer && pn.Mat {
-		temp, err := b.db.Temp(tempName(pn))
+		temp, err := b.temps.Temp(tempName(pn))
 		if err != nil {
 			return nil, fmt.Errorf("exec: materialized node %d not yet computed: %w", pn.N.ID, err)
 		}
@@ -410,13 +415,13 @@ func (b *builder) resolveIndexedSource(pn *physical.PlanNode, col algebra.Column
 
 	case physical.IndexBuildEnf:
 		name := tempName(pn)
-		temp, err := b.db.Temp(name)
+		temp, err := b.temps.Temp(name)
 		if err != nil {
 			// Transient index join inner: build temp + index now.
 			if err := b.materialize(pn); err != nil {
 				return nil, err
 			}
-			temp, err = b.db.Temp(name)
+			temp, err = b.temps.Temp(name)
 			if err != nil {
 				return nil, err
 			}

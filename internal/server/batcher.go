@@ -1,0 +1,379 @@
+// Package server implements the concurrent query service behind mqo.Serve:
+// an adaptive micro-batching scheduler that coalesces independently
+// submitted queries into multi-query-optimization batches.
+//
+// The paper's algorithms win by optimizing queries *together*; production
+// traffic arrives as independent concurrent requests. The Batcher bridges
+// the two: a submission joins the currently open batching window, the
+// window flushes when it fills (MaxBatch) or ages out (MaxWait), the
+// coalesced batch runs through one optimize+execute pass, and each waiter
+// receives exactly its own query's rows. A worker-pool semaphore lets the
+// next window's optimization overlap the previous window's execution.
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"mqo/internal/algebra"
+	"mqo/internal/exec"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("server: batcher closed")
+
+// Config tunes the batching window and worker pool. The zero value is
+// usable: Normalize fills in defaults.
+type Config struct {
+	// MaxBatch flushes the window immediately once this many queries are
+	// pending (default 8).
+	MaxBatch int
+	// MaxWait is the longest the first query of a window waits before the
+	// window flushes regardless of size (default 2ms).
+	MaxWait time.Duration
+	// Workers bounds how many batches may be in flight at once (default
+	// 2: one optimizing while another executes; execution itself
+	// serializes on the database's run lock).
+	Workers int
+}
+
+// Normalize returns cfg with defaults filled in.
+func (cfg Config) Normalize() Config {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = 2 * time.Millisecond
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	return cfg
+}
+
+// BatchResult is what a Runner returns for one coalesced batch: per-query
+// results in submission order plus batch-level accounting.
+type BatchResult struct {
+	// PerQuery holds one result per submitted query, in the order the
+	// queries were handed to the Runner.
+	PerQuery []exec.QueryResult
+	// Cost is the estimated cost of the executed (shared) plan.
+	Cost float64
+	// NoShareCost is the estimated cost of the best no-sharing plan for
+	// the same batch (the Volcano baseline).
+	NoShareCost float64
+	// CacheHit reports whether the plan came from the session plan cache.
+	CacheHit bool
+	// Algorithm names the optimization strategy that produced the plan.
+	Algorithm string
+	// Exec is the measured execution profile of the batch run.
+	Exec exec.RunStats
+}
+
+// Runner optimizes and executes one coalesced batch. It is called from
+// worker goroutines and must be safe for concurrent use. The context is
+// cancelled when every waiter of the batch has given up.
+type Runner func(ctx context.Context, queries []*algebra.Tree) (*BatchResult, error)
+
+// BatchInfo describes the batch a query was answered by.
+type BatchInfo struct {
+	// Seq is the batch's sequence number (1-based, per Batcher).
+	Seq int64 `json:"seq"`
+	// Size is how many queries shared the batch.
+	Size int `json:"size"`
+	// Cost and NoShareCost are the batch's estimated shared-plan and
+	// no-sharing (Volcano) costs, in cost-model seconds.
+	Cost        float64 `json:"cost"`
+	NoShareCost float64 `json:"no_share_cost"`
+	// CacheHit reports whether the plan came from the plan cache.
+	CacheHit bool `json:"cache_hit"`
+	// Algorithm names the optimization strategy used.
+	Algorithm string `json:"algorithm"`
+	// Wait is how long the query waited for its window to flush.
+	Wait time.Duration `json:"wait_ns"`
+	// Exec is the measured execution profile of the whole batch run.
+	Exec exec.RunStats `json:"exec"`
+}
+
+// Response is the per-query outcome of a batched run.
+type Response struct {
+	Result exec.QueryResult
+	Batch  BatchInfo
+}
+
+// Stats is the service's accounting, shaped for JSON (GET /stats).
+type Stats struct {
+	// Submitted counts queries accepted by Submit.
+	Submitted int64 `json:"submitted"`
+	// Batches counts executed batches; Queries counts the queries they
+	// carried (excluding ones cancelled before dispatch).
+	Batches int64 `json:"batches"`
+	Queries int64 `json:"queries"`
+	// Cancelled counts queries whose waiter gave up before their batch
+	// was dispatched; Errors counts queries whose batch failed.
+	Cancelled int64 `json:"cancelled"`
+	Errors    int64 `json:"errors"`
+	// SizeHist is the batch-size distribution: SizeHist[k] batches
+	// carried exactly k queries.
+	SizeHist map[int]int64 `json:"size_hist"`
+	MaxBatch int           `json:"max_batch_seen"`
+	// CostShared / CostNoShare total the estimated costs of the executed
+	// shared plans versus the no-sharing baselines for the same batches;
+	// CostSaved is the difference: estimated optimizer-cost-model seconds
+	// won by coalescing traffic into MQO batches.
+	CostShared  float64 `json:"cost_shared"`
+	CostNoShare float64 `json:"cost_no_share"`
+	CostSaved   float64 `json:"cost_saved"`
+	// PlanCacheHits counts batches answered from the session plan cache.
+	PlanCacheHits int64 `json:"plan_cache_hits"`
+}
+
+// request is one in-flight submission.
+type request struct {
+	ctx      context.Context
+	query    *algebra.Tree
+	enqueued time.Time
+	done     chan outcome // buffered(1): runBatch never blocks on a waiter
+}
+
+type outcome struct {
+	resp *Response
+	err  error
+}
+
+// Batcher coalesces Submit calls into batches and runs them on a bounded
+// worker pool. It keeps no background goroutine while idle: the only
+// goroutines are the per-window flush timer and in-flight batch runs.
+type Batcher struct {
+	cfg Config
+	run Runner
+
+	mu      sync.Mutex
+	pending []*request
+	timer   *time.Timer // flush timer of the open window, nil when none
+	winGen  int64       // bumped on every flush; stale timers check it
+	closed  bool
+	seq     int64
+	stats   Stats
+
+	sem chan struct{}  // worker slots
+	wg  sync.WaitGroup // in-flight batch runs
+}
+
+// NewBatcher creates a batcher over the given runner.
+func NewBatcher(cfg Config, run Runner) *Batcher {
+	cfg = cfg.Normalize()
+	return &Batcher{
+		cfg:   cfg,
+		run:   run,
+		sem:   make(chan struct{}, cfg.Workers),
+		stats: Stats{SizeHist: map[int]int64{}},
+	}
+}
+
+// Submit enqueues one query and blocks until its batch has run (returning
+// this query's rows) or ctx is done (returning ctx.Err()). A waiter that
+// gives up does not fail its batch: the batch still runs for the others,
+// and is only cancelled once every waiter has gone.
+func (b *Batcher) Submit(ctx context.Context, q *algebra.Tree) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	req := &request{ctx: ctx, query: q, enqueued: time.Now(), done: make(chan outcome, 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.stats.Submitted++
+	b.pending = append(b.pending, req)
+	if len(b.pending) >= b.cfg.MaxBatch {
+		b.flushLocked()
+	} else if b.timer == nil {
+		// First query of a new window: arm the age-out flush. The timer
+		// captures the window generation so a callback that loses the
+		// race against a size flush cannot touch the next window.
+		gen := b.winGen
+		b.timer = time.AfterFunc(b.cfg.MaxWait, func() { b.flushWindow(gen) })
+	}
+	b.mu.Unlock()
+
+	select {
+	case out := <-req.done:
+		return out.resp, out.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// flushWindow is the timer callback: flush whatever the window holds —
+// unless the window the timer was armed for is already gone (a size
+// flush won the race), in which case the next window's timer stands.
+func (b *Batcher) flushWindow(gen int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.winGen != gen {
+		return
+	}
+	b.timer = nil
+	if len(b.pending) > 0 {
+		b.flushLocked()
+	}
+}
+
+// flushLocked closes the open window and dispatches its batch. Callers
+// hold b.mu.
+func (b *Batcher) flushLocked() {
+	b.winGen++
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(batch) == 0 {
+		return
+	}
+	b.wg.Add(1)
+	go b.runBatch(batch)
+}
+
+// runBatch executes one flushed batch on a worker slot and demultiplexes
+// per-query results back to the waiters.
+func (b *Batcher) runBatch(batch []*request) {
+	defer b.wg.Done()
+	flushed := time.Now() // batching wait ends here; queue+run time is Exec's
+	b.sem <- struct{}{}
+	defer func() { <-b.sem }()
+
+	// Drop requests whose waiter already gave up; they have stopped
+	// listening, and optimizing their query helps no one.
+	live := batch[:0]
+	var cancelled int64
+	for _, req := range batch {
+		if req.ctx.Err() != nil {
+			cancelled++
+			continue
+		}
+		live = append(live, req)
+	}
+	if cancelled > 0 {
+		b.mu.Lock()
+		b.stats.Cancelled += cancelled
+		b.mu.Unlock()
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// The batch context is independent of any single waiter: one waiter
+	// cancelling must not fail the batch for the rest. Only when every
+	// waiter has gone is the whole run aborted.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var remaining sync.WaitGroup
+	remaining.Add(len(live))
+	stops := make([]func() bool, len(live))
+	for i, req := range live {
+		stops[i] = context.AfterFunc(req.ctx, remaining.Done)
+	}
+	go func() {
+		remaining.Wait()
+		cancel()
+	}()
+	defer func() {
+		for _, stop := range stops {
+			if stop() {
+				remaining.Done()
+			}
+		}
+	}()
+
+	queries := make([]*algebra.Tree, len(live))
+	for i, req := range live {
+		queries[i] = req.query
+	}
+	b.mu.Lock()
+	b.seq++
+	seq := b.seq
+	b.mu.Unlock()
+
+	res, err := b.run(ctx, queries)
+	if err == nil && len(res.PerQuery) != len(queries) {
+		err = errors.New("server: runner returned wrong result count")
+	}
+
+	b.mu.Lock()
+	if err != nil {
+		b.stats.Errors += int64(len(live))
+	} else {
+		b.stats.Batches++
+		b.stats.Queries += int64(len(live))
+		b.stats.SizeHist[len(live)]++
+		if len(live) > b.stats.MaxBatch {
+			b.stats.MaxBatch = len(live)
+		}
+		b.stats.CostShared += res.Cost
+		b.stats.CostNoShare += res.NoShareCost
+		b.stats.CostSaved += res.NoShareCost - res.Cost
+		if res.CacheHit {
+			b.stats.PlanCacheHits++
+		}
+	}
+	b.mu.Unlock()
+
+	for i, req := range live {
+		if err != nil {
+			req.done <- outcome{err: err}
+			continue
+		}
+		req.done <- outcome{resp: &Response{
+			Result: res.PerQuery[i],
+			Batch: BatchInfo{
+				Seq:         seq,
+				Size:        len(live),
+				Cost:        res.Cost,
+				NoShareCost: res.NoShareCost,
+				CacheHit:    res.CacheHit,
+				Algorithm:   res.Algorithm,
+				Wait:        flushed.Sub(req.enqueued),
+				Exec:        res.Exec,
+			},
+		}}
+	}
+}
+
+// Flush dispatches the open window immediately, without waiting for it to
+// fill or age out. It does not wait for the batch to finish.
+func (b *Batcher) Flush() {
+	b.mu.Lock()
+	b.flushLocked()
+	b.mu.Unlock()
+}
+
+// Stats returns a snapshot of the accounting.
+func (b *Batcher) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.stats
+	s.SizeHist = make(map[int]int64, len(b.stats.SizeHist))
+	for k, v := range b.stats.SizeHist {
+		s.SizeHist[k] = v
+	}
+	return s
+}
+
+// Close flushes the open window, waits for in-flight batches, and makes
+// further Submits fail with ErrClosed. Close is idempotent.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		b.flushLocked()
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}

@@ -1,0 +1,320 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mqo/internal/algebra"
+	"mqo/internal/exec"
+	"mqo/internal/storage"
+)
+
+// echoRunner returns, for every query, one row holding the query's
+// registered id, so tests can verify each waiter got exactly its own
+// query's result back. It also records the batches it saw.
+type echoRunner struct {
+	mu      sync.Mutex
+	ids     map[*algebra.Tree]int64
+	batches [][]int64
+	delay   time.Duration
+	err     error
+}
+
+func newEchoRunner() *echoRunner { return &echoRunner{ids: map[*algebra.Tree]int64{}} }
+
+func (e *echoRunner) register() *algebra.Tree {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	q := &algebra.Tree{}
+	e.ids[q] = int64(len(e.ids) + 1)
+	return q
+}
+
+func (e *echoRunner) run(ctx context.Context, queries []*algebra.Tree) (*BatchResult, error) {
+	if e.delay > 0 {
+		select {
+		case <-time.After(e.delay):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return nil, e.err
+	}
+	var seen []int64
+	res := &BatchResult{NoShareCost: float64(len(queries)), Cost: 1, Algorithm: "echo"}
+	for _, q := range queries {
+		id, ok := e.ids[q]
+		if !ok {
+			return nil, errors.New("unknown query")
+		}
+		seen = append(seen, id)
+		res.PerQuery = append(res.PerQuery, exec.QueryResult{
+			Rows: []storage.Row{{algebra.IntVal(id)}},
+		})
+	}
+	e.batches = append(e.batches, seen)
+	return res, nil
+}
+
+func (e *echoRunner) id(q *algebra.Tree) int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ids[q]
+}
+
+func (e *echoRunner) batchSizes() []int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var sizes []int
+	for _, b := range e.batches {
+		sizes = append(sizes, len(b))
+	}
+	return sizes
+}
+
+// submitN fires n concurrent Submits and waits for them all.
+func submitN(t *testing.T, b *Batcher, e *echoRunner, n int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		q := e.register()
+		id := e.id(q)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := b.Submit(context.Background(), q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := resp.Result.Rows[0][0].I; got != id {
+				errs <- fmt.Errorf("query %d got row %d", id, got)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestSizeFlush: the window flushes immediately when it fills, well before
+// MaxWait.
+func TestSizeFlush(t *testing.T) {
+	e := newEchoRunner()
+	b := NewBatcher(Config{MaxBatch: 4, MaxWait: time.Hour}, e.run)
+	defer b.Close()
+
+	done := make(chan struct{})
+	go func() { submitN(t, b, e, 4); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("size-triggered flush never happened (would have waited MaxWait)")
+	}
+	if sizes := e.batchSizes(); len(sizes) != 1 || sizes[0] != 4 {
+		t.Errorf("batches %v, want one batch of 4", sizes)
+	}
+	if s := b.Stats(); s.Batches != 1 || s.Queries != 4 || s.SizeHist[4] != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+// TestWindowFlush: a window that never fills still flushes after MaxWait.
+func TestWindowFlush(t *testing.T) {
+	e := newEchoRunner()
+	b := NewBatcher(Config{MaxBatch: 100, MaxWait: 20 * time.Millisecond}, e.run)
+	defer b.Close()
+
+	start := time.Now()
+	submitN(t, b, e, 3)
+	if waited := time.Since(start); waited < 15*time.Millisecond {
+		t.Errorf("flushed after %s, before the window aged out", waited)
+	}
+	if sizes := e.batchSizes(); len(sizes) != 1 || sizes[0] != 3 {
+		t.Errorf("batches %v, want one batch of 3", sizes)
+	}
+	// The next submission opens a fresh window with its own timer.
+	submitN(t, b, e, 1)
+	if sizes := e.batchSizes(); len(sizes) != 2 {
+		t.Errorf("second window never flushed: %v", sizes)
+	}
+}
+
+// TestCancelledWaiterDoesNotFailBatch: one waiter giving up neither fails
+// nor stalls the batch for the others, and the departed query is not
+// executed.
+func TestCancelledWaiterDoesNotFailBatch(t *testing.T) {
+	e := newEchoRunner()
+	b := NewBatcher(Config{MaxBatch: 100, MaxWait: 50 * time.Millisecond}, e.run)
+	defer b.Close()
+
+	quitter := e.register()
+	qctx, qcancel := context.WithCancel(context.Background())
+	quitErr := make(chan error, 1)
+	go func() {
+		_, err := b.Submit(qctx, quitter)
+		quitErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond) // let the quitter join the window
+	qcancel()
+
+	submitN(t, b, e, 2) // join the same window, then wait for the flush
+	if err := <-quitErr; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter got %v, want context.Canceled", err)
+	}
+	if sizes := e.batchSizes(); len(sizes) != 1 || sizes[0] != 2 {
+		t.Errorf("batches %v, want one batch of 2 (quitter dropped)", sizes)
+	}
+	if s := b.Stats(); s.Cancelled != 1 || s.Queries != 2 {
+		t.Errorf("stats %+v, want 1 cancelled / 2 executed", s)
+	}
+}
+
+// TestAllWaitersGoneCancelsBatch: when every waiter of a dispatched batch
+// gives up, the batch context is cancelled so the runner can abort.
+func TestAllWaitersGoneCancelsBatch(t *testing.T) {
+	started := make(chan struct{})
+	aborted := make(chan error, 1)
+	run := func(ctx context.Context, queries []*algebra.Tree) (*BatchResult, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			aborted <- ctx.Err()
+			return nil, ctx.Err()
+		case <-time.After(5 * time.Second):
+			aborted <- nil
+			return nil, errors.New("never cancelled")
+		}
+	}
+	b := NewBatcher(Config{MaxBatch: 1, MaxWait: time.Hour}, run)
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go b.Submit(ctx, &algebra.Tree{})
+	<-started
+	cancel()
+	select {
+	case err := <-aborted:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("runner saw %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch context never cancelled after all waiters left")
+	}
+}
+
+// TestRunnerErrorReachesEveryWaiter: a failed batch reports the error to
+// each of its waiters.
+func TestRunnerErrorReachesEveryWaiter(t *testing.T) {
+	boom := errors.New("boom")
+	e := newEchoRunner()
+	e.err = boom
+	b := NewBatcher(Config{MaxBatch: 3, MaxWait: time.Hour}, e.run)
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for i := 0; i < 3; i++ {
+		q := e.register()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := b.Submit(context.Background(), q); errors.Is(err, boom) {
+				failures.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if failures.Load() != 3 {
+		t.Errorf("%d waiters saw the batch error, want 3", failures.Load())
+	}
+	if s := b.Stats(); s.Errors != 3 || s.Batches != 0 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+// TestCloseFlushesAndRejects: Close dispatches the open window, waits for
+// it, and makes later Submits fail with ErrClosed.
+func TestCloseFlushesAndRejects(t *testing.T) {
+	e := newEchoRunner()
+	b := NewBatcher(Config{MaxBatch: 100, MaxWait: time.Hour}, e.run)
+
+	done := make(chan error, 1)
+	q := e.register()
+	go func() {
+		_, err := b.Submit(context.Background(), q)
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	b.Close()
+	if err := <-done; err != nil {
+		t.Errorf("waiter of the final flush got %v", err)
+	}
+	if _, err := b.Submit(context.Background(), e.register()); !errors.Is(err, ErrClosed) {
+		t.Errorf("post-Close Submit got %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+// TestStress hammers the batcher from many goroutines (run with -race):
+// every submission must come back with its own id, and coalescing must
+// produce fewer batches than submissions.
+func TestStress(t *testing.T) {
+	e := newEchoRunner()
+	e.delay = 200 * time.Microsecond
+	b := NewBatcher(Config{MaxBatch: 8, MaxWait: time.Millisecond, Workers: 4}, e.run)
+	defer b.Close()
+
+	const n = 200
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		q := e.register()
+		id := e.id(q)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := b.Submit(context.Background(), q)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if got := resp.Result.Rows[0][0].I; got != id {
+				errs <- fmt.Errorf("query %d got row %d", id, got)
+			}
+			if resp.Batch.Size < 1 || resp.Batch.Seq < 1 {
+				errs <- fmt.Errorf("bad batch info %+v", resp.Batch)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	s := b.Stats()
+	if s.Queries != n || s.Submitted != n {
+		t.Errorf("stats %+v, want %d queries", s, n)
+	}
+	if s.Batches >= n {
+		t.Errorf("%d batches for %d submissions: no coalescing", s.Batches, n)
+	}
+	var hist int64
+	for _, c := range s.SizeHist {
+		hist += c
+	}
+	if hist != s.Batches {
+		t.Errorf("size histogram sums to %d, want %d batches", hist, s.Batches)
+	}
+}

@@ -2,6 +2,9 @@ package storage
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
+	"sync"
 
 	"mqo/internal/algebra"
 	"mqo/internal/cost"
@@ -18,10 +21,21 @@ type Table struct {
 
 // DB is a set of stored tables over one buffer pool, plus a temp-table
 // namespace used by materialization during plan execution.
+//
+// Catalog operations (CreateTable, Table, CreateTemp, Temp, DropTemps) are
+// safe for concurrent use. Page access — heap files, B-trees and the buffer
+// pool — is single-threaded by design: plan executions acquire the run lock
+// (BeginRun) so whole runs serialize while each keeps its temporary tables
+// in a private namespace.
 type DB struct {
-	Pool   *BufferPool
+	Pool *BufferPool
+
+	mu     sync.RWMutex // guards tables and temps
 	tables map[string]*Table
 	temps  map[string]*Table
+
+	runMu  sync.Mutex // serializes plan executions (page access)
+	runSeq int64      // distinct namespace per run; guarded by mu
 }
 
 // NewDB creates a database with the given buffer-pool capacity in pages.
@@ -33,9 +47,60 @@ func NewDB(poolPages int) *DB {
 	}
 }
 
+// RunTemps is one plan execution's view of the database: exclusive use of
+// the page layer plus a private temp-table namespace, so concurrent runs on
+// the same DB can never read or drop each other's intermediates.
+type RunTemps struct {
+	db     *DB
+	prefix string
+	ended  bool
+}
+
+// BeginRun acquires the database's execution lock and opens a fresh
+// per-run temp namespace. It blocks while another run is in progress.
+// Callers must call End exactly once when done.
+func (db *DB) BeginRun() *RunTemps {
+	db.runMu.Lock()
+	db.mu.Lock()
+	db.runSeq++
+	prefix := "run" + strconv.FormatInt(db.runSeq, 10) + "/"
+	db.mu.Unlock()
+	return &RunTemps{db: db, prefix: prefix}
+}
+
+// CreateTemp registers a temporary table in the run's namespace, replacing
+// any previous temp of the run with the same name.
+func (r *RunTemps) CreateTemp(name string, schema algebra.Schema) *Table {
+	return r.db.CreateTemp(r.prefix+name, schema)
+}
+
+// Temp looks up a temporary table of the run.
+func (r *RunTemps) Temp(name string) (*Table, error) {
+	return r.db.Temp(r.prefix + name)
+}
+
+// End drops the run's temporary tables and releases the execution lock.
+// Safe to call once per run only.
+func (r *RunTemps) End() {
+	if r.ended {
+		return
+	}
+	r.ended = true
+	r.db.mu.Lock()
+	for name := range r.db.temps {
+		if strings.HasPrefix(name, r.prefix) {
+			delete(r.db.temps, name)
+		}
+	}
+	r.db.mu.Unlock()
+	r.db.runMu.Unlock()
+}
+
 // CreateTable registers an empty base table. The schema's column order is
 // the stored row layout.
 func (db *DB) CreateTable(name string, schema algebra.Schema) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, ok := db.tables[name]; ok {
 		return nil, fmt.Errorf("storage: table %q already exists", name)
 	}
@@ -46,6 +111,8 @@ func (db *DB) CreateTable(name string, schema algebra.Schema) (*Table, error) {
 
 // Table looks up a base table.
 func (db *DB) Table(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if t, ok := db.tables[name]; ok {
 		return t, nil
 	}
@@ -53,24 +120,42 @@ func (db *DB) Table(name string) (*Table, error) {
 }
 
 // CreateTemp registers a temporary table (materialized intermediate
-// result), replacing any previous temp with the same name.
+// result), replacing any previous temp with the same name. Plan execution
+// uses per-run namespaces (BeginRun) instead of calling this directly.
 func (db *DB) CreateTemp(name string, schema algebra.Schema) *Table {
 	t := &Table{Name: name, Schema: schema, Heap: NewHeapFile(db.Pool), Indexes: map[string]*BTree{}}
+	db.mu.Lock()
 	db.temps[name] = t
+	db.mu.Unlock()
 	return t
 }
 
 // Temp looks up a temporary table.
 func (db *DB) Temp(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if t, ok := db.temps[name]; ok {
 		return t, nil
 	}
 	return nil, fmt.Errorf("storage: unknown temp table %q", name)
 }
 
-// DropTemps discards all temporary tables (their pages remain allocated in
-// the pager; the simulation does not model space reclamation).
-func (db *DB) DropTemps() { db.temps = map[string]*Table{} }
+// NumTemps returns the number of live temporary tables (all namespaces).
+func (db *DB) NumTemps() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.temps)
+}
+
+// DropTemps discards all temporary tables of every namespace (their pages
+// remain allocated in the pager; the simulation does not model space
+// reclamation). Runs drop their own namespace on End; DropTemps remains
+// for tests and tools that want a clean slate.
+func (db *DB) DropTemps() {
+	db.mu.Lock()
+	db.temps = map[string]*Table{}
+	db.mu.Unlock()
+}
 
 // BuildIndex creates a B+-tree index on the named column of t.
 func (db *DB) BuildIndex(t *Table, column string) (*BTree, error) {

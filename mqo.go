@@ -25,6 +25,13 @@
 // OptimizeBatch; ParseAlgorithm maps user-facing names ("greedy",
 // "volcano-ru", ...) to Algorithm values; NewResultCache exposes the
 // paper's §8 result-caching manager for query sequences.
+//
+// For live traffic — independent concurrent requests rather than a
+// pre-assembled batch — Serve (or Optimizer.Submit) runs an adaptive
+// micro-batching service that coalesces whatever arrives within a
+// batching window into one MQO batch, executes the shared plan once, and
+// hands each caller its own query's rows; ServiceHandler exposes the
+// service over HTTP+JSON (see cmd/mqoserver).
 package mqo
 
 import (

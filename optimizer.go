@@ -24,9 +24,9 @@ import (
 // An Optimizer is safe for concurrent use by multiple goroutines. Each
 // optimization call builds its own AND-OR DAG, so no two calls ever share
 // a DAG's mutable costing state; the plan cache is mutex-guarded, and plan
-// execution on the attached database is serialized internally. Results
-// returned from the plan cache are shared between callers and must be
-// treated as read-only.
+// executions serialize on the attached database's run lock, each in a
+// private temp-table namespace. Plan-cache hits hand each caller a
+// defensive copy whose shared plan nodes must be treated as read-only.
 type Optimizer struct {
 	cat   *catalog.Catalog
 	model cost.Model
@@ -34,9 +34,11 @@ type Optimizer struct {
 	db    *storage.DB
 	cache *planCache
 
-	// execMu serializes plan execution: the storage engine's buffer pool
-	// and temp-table namespace are not safe for concurrent mutation.
-	execMu sync.Mutex
+	// Micro-batching service behind Submit, started on first use.
+	svcCfg  BatchingOptions
+	svcOnce sync.Once
+	svc     *Service
+	svcErr  error
 }
 
 // Option configures an Optimizer at Open time.
@@ -65,6 +67,11 @@ func WithSpaceBudget(bytes int64) Option {
 // WithOptions replaces the full optimization options (ablation switches,
 // RU order). Later options still override individual fields.
 func WithOptions(opt Options) Option { return func(o *Optimizer) { o.opts = opt } }
+
+// WithBatching tunes the micro-batching service behind Optimizer.Submit
+// (window size, max wait, workers, algorithm). It does not start the
+// service; the first Submit does.
+func WithBatching(cfg BatchingOptions) Option { return func(o *Optimizer) { o.svcCfg = cfg } }
 
 // Open creates an optimizer session over the given catalog.
 func Open(cat *Catalog, opts ...Option) (*Optimizer, error) {
@@ -103,18 +110,25 @@ func (o *Optimizer) ParseSQL(sqlText string) ([]*Query, error) {
 // calls never interfere. A cancelled context aborts the optimization
 // promptly with ctx.Err().
 func (o *Optimizer) OptimizeBatch(ctx context.Context, queries []*Query, alg Algorithm) (*Result, error) {
+	res, _, err := o.optimizeBatch(ctx, queries, alg)
+	return res, err
+}
+
+// optimizeBatch is OptimizeBatch plus a flag reporting whether the result
+// was served from the plan cache (the batching service's hit accounting).
+func (o *Optimizer) optimizeBatch(ctx context.Context, queries []*Query, alg Algorithm) (*Result, bool, error) {
 	if len(queries) == 0 {
-		return nil, fmt.Errorf("mqo: OptimizeBatch: empty query batch")
+		return nil, false, fmt.Errorf("mqo: OptimizeBatch: empty query batch")
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	ld := dag.New(cost.Estimator{Cat: o.cat})
 	roots := make([]*dag.Group, len(queries))
 	for i, q := range queries {
 		g, err := ld.AddQuery(q)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		roots[i] = g
 	}
@@ -122,21 +136,24 @@ func (o *Optimizer) OptimizeBatch(ctx context.Context, queries []*Query, alg Alg
 	if o.cache != nil {
 		key = o.batchKey(ld, roots, alg)
 		if res, ok := o.cache.get(key); ok {
-			return res, nil
+			return res, true, nil
 		}
 	}
 	pd, err := core.FinishDAG(ld, o.model)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	res, err := core.Optimize(ctx, pd, alg, o.opts)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	if o.cache != nil && key != "" {
+		// Hand the miss caller a defensive copy too: the stored entry is
+		// what every later hit clones from, so no caller may alias it.
 		o.cache.put(key, res)
+		res = cloneResult(res)
 	}
-	return res, nil
+	return res, false, nil
 }
 
 // OptimizeSQL parses a semicolon-separated SQL batch and optimizes it; see
@@ -177,8 +194,9 @@ type ExecResult struct {
 // Run optimizes the batch and executes the resulting plan on the attached
 // database: shared results are materialized once, every query of the batch
 // runs against them, and per-query rows plus measured statistics are
-// returned. Requires WithDB. Execution is serialized across goroutines; a
-// cancelled context aborts both optimization and execution with ctx.Err().
+// returned. Requires WithDB. Concurrent executions serialize on the
+// database's run lock, each in its own temp-table namespace; a cancelled
+// context aborts both optimization and execution with ctx.Err().
 func (o *Optimizer) Run(ctx context.Context, batch Batch) (*ExecResult, error) {
 	if o.db == nil {
 		return nil, fmt.Errorf("mqo: Run: no database attached (use WithDB)")
@@ -198,13 +216,25 @@ func (o *Optimizer) Run(ctx context.Context, batch Batch) (*ExecResult, error) {
 		return nil, err
 	}
 	env := &exec.Env{ParamSets: batch.ParamSets}
-	o.execMu.Lock()
-	defer o.execMu.Unlock()
 	results, stats, err := exec.Run(ctx, o.db, o.model, res.Plan, env)
 	if err != nil {
 		return nil, err
 	}
 	return &ExecResult{Result: res, Queries: results, Exec: stats}, nil
+}
+
+// Submit enqueues one SELECT for micro-batched execution on the session's
+// batching service, starting the service on first use (tune it with
+// WithBatching). Unlike Run — which executes the caller's batch alone —
+// Submit coalesces concurrent callers' queries into one MQO batch, so
+// independent requests share work. Requires WithDB. Blocks until the
+// batch has run or ctx is done.
+func (o *Optimizer) Submit(ctx context.Context, sqlText string) (*Answer, error) {
+	o.svcOnce.Do(func() { o.svc, o.svcErr = Serve(o, o.svcCfg) })
+	if o.svcErr != nil {
+		return nil, o.svcErr
+	}
+	return o.svc.Submit(ctx, sqlText)
 }
 
 // NewResultCache creates a §8 result-cache manager bound to the session's

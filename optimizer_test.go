@@ -122,17 +122,36 @@ func TestPlanCacheAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first != second {
+	// A hit serves the cached plan through a defensive copy: the Result
+	// struct and its top-level slices are fresh per caller, but the plan
+	// root (and every plan node) is the shared cached one.
+	if first == second {
+		t.Error("cache hit returned the cached *Result itself, want a defensive copy")
+	}
+	if first.Plan.Root != second.Plan.Root {
 		t.Error("identical batch was not served from the plan cache")
 	}
-	if s := opt.CacheStats(); s.Hits != 1 || s.Misses != 1 || s.Entries != 1 {
-		t.Errorf("after repeat: stats %+v, want 1 hit / 1 miss / 1 entry", s)
+	if first.Cost != second.Cost || first.NoShareCost != second.NoShareCost {
+		t.Errorf("copy diverges: %+v vs %+v", first, second)
+	}
+	// One hitter mutating its slices must not corrupt another hit.
+	second.Materialized = append(second.Materialized, nil)
+	second.Plan.Mats = append(second.Plan.Mats, nil)
+	third, err := opt.OptimizeSQL(ctx, sqlBatch, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(third.Materialized) != len(first.Materialized) || len(third.Plan.Mats) != len(first.Plan.Mats) {
+		t.Error("a caller's append leaked into a later cache hit")
+	}
+	if s := opt.CacheStats(); s.Hits != 2 || s.Misses != 1 || s.Entries != 1 {
+		t.Errorf("after repeats: stats %+v, want 2 hits / 1 miss / 1 entry", s)
 	}
 
 	if _, err := opt.OptimizeSQL(ctx, sqlBatch, VolcanoSH); err != nil {
 		t.Fatal(err)
 	}
-	if s := opt.CacheStats(); s.Hits != 1 || s.Misses != 2 {
+	if s := opt.CacheStats(); s.Hits != 2 || s.Misses != 2 {
 		t.Errorf("different algorithm should miss: stats %+v", s)
 	}
 

@@ -2,7 +2,10 @@ package mqo
 
 import (
 	"container/list"
+	"maps"
 	"sync"
+
+	"mqo/internal/physical"
 )
 
 // CacheStats is plan-cache accounting: how many OptimizeBatch/OptimizeSQL
@@ -16,6 +19,12 @@ type CacheStats struct {
 
 // planCache is a mutex-guarded LRU of optimized batch Results keyed by the
 // batch's canonical fingerprint string.
+//
+// Hits return a defensive copy: the Result struct and its top-level slices
+// (Materialized, Plan.Mats) and the Plan struct itself are cloned per
+// caller, so one hitter appending to or reordering those cannot corrupt
+// another's view. The plan *nodes* stay shared — they are immutable once
+// extracted and must be treated as read-only by every consumer.
 type planCache struct {
 	mu     sync.Mutex
 	cap    int
@@ -47,7 +56,22 @@ func (c *planCache) get(key string) (*Result, bool) {
 	}
 	c.hits++
 	c.lru.MoveToFront(el)
-	return el.Value.(*planEntry).res, true
+	return cloneResult(el.Value.(*planEntry).res), true
+}
+
+// cloneResult shallow-copies a cached Result: fresh Result and Plan
+// structs, fresh top-level slices and plan-node map, shared (immutable)
+// plan nodes.
+func cloneResult(r *Result) *Result {
+	cp := *r
+	cp.Materialized = append([]*physical.Node(nil), r.Materialized...)
+	if r.Plan != nil {
+		p := *r.Plan
+		p.Mats = append([]*physical.PlanNode(nil), r.Plan.Mats...)
+		p.ByNode = maps.Clone(r.Plan.ByNode)
+		cp.Plan = &p
+	}
+	return &cp
 }
 
 func (c *planCache) put(key string, res *Result) {

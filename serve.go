@@ -1,0 +1,239 @@
+package mqo
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"mqo/internal/algebra"
+	"mqo/internal/exec"
+	"mqo/internal/server"
+)
+
+// BatchingOptions tunes the micro-batching service (Serve, Submit). The
+// zero value means: windows of up to 8 queries, 2ms max wait, 2 workers,
+// Greedy by default (the paper's strongest heuristic).
+type BatchingOptions struct {
+	// MaxBatch flushes a window immediately once this many queries are
+	// pending (default 8).
+	MaxBatch int
+	// MaxWait is the longest the first query of a window waits before
+	// the window flushes regardless of size (default 2ms).
+	MaxWait time.Duration
+	// Workers bounds concurrently in-flight batches: while one batch
+	// executes (serialized on the database's run lock), the next can
+	// already optimize (default 2).
+	Workers int
+	// Algorithm selects the optimization strategy for coalesced batches.
+	// The zero value selects Greedy.
+	Algorithm Algorithm
+	// UseVolcano forces the plain Volcano baseline (no sharing) when set
+	// together with a zero Algorithm; it exists because Volcano is the
+	// Algorithm zero value and would otherwise be unreachable as an
+	// explicit choice.
+	UseVolcano bool
+}
+
+// BatchInfo describes the batch that answered a submitted query: sequence
+// number, size, estimated shared vs. no-sharing cost, plan-cache hit,
+// wait time and the batch's measured execution profile.
+type BatchInfo = server.BatchInfo
+
+// ServiceStats is the batching service's accounting: batch-size
+// distribution, cancelled waiters, and estimated cost saved versus
+// optimizing every query alone.
+type ServiceStats = server.Stats
+
+// Answer is the per-query outcome of a micro-batched execution.
+type Answer struct {
+	// Query holds this submission's rows and schema — only its own, even
+	// though the batch computed several queries' results in one run.
+	Query QueryResult
+	// Batch describes the coalesced batch that produced the answer.
+	Batch BatchInfo
+}
+
+// Service is a running micro-batching query service over one Optimizer:
+// concurrent Submit calls coalesce into MQO batches (whatever arrives
+// within the batching window runs as one optimize+execute pass), and each
+// caller gets exactly its own query's rows back.
+type Service struct {
+	opt *Optimizer
+	alg Algorithm
+	b   *server.Batcher
+}
+
+// Serve starts a micro-batching service over the session. Requires a
+// session with an attached database (WithDB). Close the service to flush
+// and reject further submissions; the Optimizer itself stays usable.
+func Serve(o *Optimizer, cfg BatchingOptions) (*Service, error) {
+	if o == nil {
+		return nil, fmt.Errorf("mqo: Serve: nil optimizer")
+	}
+	if o.db == nil {
+		return nil, fmt.Errorf("mqo: Serve: no database attached (use WithDB)")
+	}
+	alg := cfg.Algorithm
+	if alg == Volcano && !cfg.UseVolcano {
+		alg = Greedy
+	}
+	s := &Service{opt: o, alg: alg}
+	s.b = server.NewBatcher(server.Config{
+		MaxBatch: cfg.MaxBatch,
+		MaxWait:  cfg.MaxWait,
+		Workers:  cfg.Workers,
+	}, s.runBatch)
+	return s, nil
+}
+
+// Submit enqueues exactly one SELECT statement and blocks until its batch
+// has run or ctx is done. Queries from concurrent Submit calls that land
+// in the same batching window are optimized and executed together; a
+// caller that gives up (ctx cancelled) does not fail the batch for the
+// other waiters. Parameterized queries are not supported through Submit —
+// use Run, which executes the caller's batch alone with its ParamSets.
+func (s *Service) Submit(ctx context.Context, sqlText string) (*Answer, error) {
+	queries, err := s.opt.ParseSQL(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if len(queries) != 1 {
+		return nil, fmt.Errorf("mqo: Submit: want exactly one SELECT, got %d", len(queries))
+	}
+	return s.SubmitQuery(ctx, queries[0])
+}
+
+// SubmitQuery is Submit for an already-parsed algebra query.
+func (s *Service) SubmitQuery(ctx context.Context, q *Query) (*Answer, error) {
+	resp, err := s.b.Submit(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	return &Answer{Query: resp.Result, Batch: resp.Batch}, nil
+}
+
+// Stats snapshots the service's accounting.
+func (s *Service) Stats() ServiceStats { return s.b.Stats() }
+
+// Flush dispatches the open batching window immediately.
+func (s *Service) Flush() { s.b.Flush() }
+
+// Close flushes the open window, waits for in-flight batches and makes
+// further Submits fail. The underlying Optimizer stays usable.
+func (s *Service) Close() { s.b.Close() }
+
+// runBatch is the server.Runner: one coalesced batch through the session
+// optimizer (plan cache first) and the executor.
+func (s *Service) runBatch(ctx context.Context, queries []*algebra.Tree) (*server.BatchResult, error) {
+	res, hit, err := s.opt.optimizeBatch(ctx, queries, s.alg)
+	if err != nil {
+		return nil, err
+	}
+	results, stats, err := exec.Run(ctx, s.opt.db, s.opt.model, res.Plan, &exec.Env{})
+	if err != nil {
+		return nil, err
+	}
+	return &server.BatchResult{
+		PerQuery:    results,
+		Cost:        res.Cost,
+		NoShareCost: res.NoShareCost,
+		CacheHit:    hit,
+		Algorithm:   res.Algorithm.String(),
+		Exec:        stats,
+	}, nil
+}
+
+// queryRequest is the POST /query body.
+type queryRequest struct {
+	SQL string `json:"sql"`
+	// TimeoutMS optionally bounds the request server-side.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// queryResponse is the POST /query reply.
+type queryResponse struct {
+	Columns []string        `json:"columns"`
+	Types   []string        `json:"types"`
+	Rows    [][]interface{} `json:"rows"`
+	Batch   BatchInfo       `json:"batch"`
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	Service   ServiceStats `json:"service"`
+	PlanCache CacheStats   `json:"plan_cache"`
+}
+
+// ServiceHandler exposes a Service over HTTP+JSON:
+//
+//	POST /query  {"sql": "SELECT ..."}      -> columns, rows, batch info
+//	GET  /stats                             -> batching + plan-cache stats
+//
+// It is the handler cmd/mqoserver serves and examples/server drives.
+func ServiceHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
+		var req queryRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		ctx := r.Context()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		ans, err := s.Submit(ctx, req.SQL)
+		if err != nil {
+			code := http.StatusUnprocessableEntity
+			if ctx.Err() != nil {
+				code = http.StatusGatewayTimeout
+			}
+			httpError(w, code, err)
+			return
+		}
+		resp := queryResponse{Batch: ans.Batch, Rows: make([][]interface{}, len(ans.Query.Rows))}
+		for _, ci := range ans.Query.Schema {
+			resp.Columns = append(resp.Columns, ci.Col.String())
+			resp.Types = append(resp.Types, ci.Typ.String())
+		}
+		for i, row := range ans.Query.Rows {
+			out := make([]interface{}, len(row))
+			for j, v := range row {
+				out[j] = jsonValue(v)
+			}
+			resp.Rows[i] = out
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, statsResponse{Service: s.Stats(), PlanCache: s.opt.CacheStats()})
+	})
+	return mux
+}
+
+// jsonValue converts a SQL value to its natural JSON representation
+// (dates as days-since-epoch integers).
+func jsonValue(v Value) interface{} {
+	switch v.Typ {
+	case algebra.TInt, algebra.TDate:
+		return v.I
+	case algebra.TFloat:
+		return v.F
+	default:
+		return v.S
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,247 @@
+package mqo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"mqo/internal/tpcd"
+)
+
+// rowSet renders rows as a sorted multiset of strings, for order-
+// insensitive comparison.
+func rowSet(rows []Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		s := ""
+		for _, v := range r {
+			s += v.String() + "|"
+		}
+		out[i] = s
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalRows(a, b []Row) bool {
+	as, bs := rowSet(a), rowSet(b)
+	if len(as) != len(bs) {
+		return false
+	}
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSubmitCoalesces is the acceptance test for the micro-batching
+// service: K concurrent Submits on one session coalesce into fewer than K
+// optimizer batches, every client receives exactly its own query's rows
+// (verified against solo runs), and the service stats report the
+// batch-size distribution and the estimated cost saved versus no sharing.
+// Run under -race in CI.
+func TestSubmitCoalesces(t *testing.T) {
+	const (
+		sf = 0.002
+		k  = 16
+	)
+	db := NewDB(1024)
+	if err := tpcd.LoadDB(db, sf, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithPlanCache(8),
+		WithBatching(BatchingOptions{MaxBatch: k, MaxWait: 500 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth: each query executed alone.
+	sqls := []string{sqlRevenue, sqlCounts}
+	want := make([][]Row, len(sqls))
+	for i, q := range sqls {
+		solo, err := opt.Run(context.Background(), Batch{SQL: q, Algorithm: Greedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = solo.Queries[0].Rows
+	}
+
+	var wg sync.WaitGroup
+	answers := make([]*Answer, k)
+	errs := make(chan error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ans, err := opt.Submit(context.Background(), sqls[i%len(sqls)])
+			if err != nil {
+				errs <- fmt.Errorf("client %d: %v", i, err)
+				return
+			}
+			answers[i] = ans
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	batches := map[int64]bool{}
+	for i, ans := range answers {
+		if !equalRows(ans.Query.Rows, want[i%len(sqls)]) {
+			t.Errorf("client %d: batched rows differ from solo execution", i)
+		}
+		batches[ans.Batch.Seq] = true
+	}
+	if len(batches) >= k {
+		t.Errorf("%d concurrent Submits ran as %d batches; want coalescing (< %d)", k, len(batches), k)
+	}
+
+	stats := opt.svc.Stats()
+	if stats.Queries != k {
+		t.Errorf("stats: %d queries executed, want %d", stats.Queries, k)
+	}
+	if int64(len(batches)) != stats.Batches {
+		t.Errorf("stats: %d batches, clients saw %d", stats.Batches, len(batches))
+	}
+	var histSum, multi int64
+	for size, n := range stats.SizeHist {
+		histSum += n
+		if size > 1 {
+			multi += n
+		}
+	}
+	if histSum != stats.Batches || multi == 0 {
+		t.Errorf("size histogram %v: want sums to %d with a multi-query batch", stats.SizeHist, stats.Batches)
+	}
+	if stats.CostSaved <= 0 || stats.CostNoShare <= stats.CostShared {
+		t.Errorf("stats report no sharing won: %+v", stats)
+	}
+}
+
+// TestSubmitRejectsMultiStatement: Submit is strictly one query per call.
+func TestSubmitRejectsMultiStatement(t *testing.T) {
+	db := NewDB(256)
+	if err := tpcd.LoadDB(db, 0.002, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Open(tpcd.Catalog(0.002), WithDB(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := opt.Submit(context.Background(), sqlBatch); err == nil {
+		t.Error("multi-statement Submit succeeded, want error")
+	}
+}
+
+// TestServeRequiresDB: the batching service needs an attached database.
+func TestServeRequiresDB(t *testing.T) {
+	opt, err := Open(tpcd.Catalog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Serve(opt, BatchingOptions{}); err == nil {
+		t.Error("Serve without WithDB succeeded, want error")
+	}
+	if _, err := opt.Submit(context.Background(), sqlRevenue); err == nil {
+		t.Error("Submit without WithDB succeeded, want error")
+	}
+}
+
+// TestSubmitHonoursContext: a Submit whose context is cancelled returns
+// promptly without failing other waiters in the same window.
+func TestSubmitHonoursContext(t *testing.T) {
+	db := NewDB(1024)
+	if err := tpcd.LoadDB(db, 0.002, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Open(tpcd.Catalog(0.002), WithDB(db),
+		WithBatching(BatchingOptions{MaxBatch: 8, MaxWait: 100 * time.Millisecond}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	quit := make(chan error, 1)
+	go func() {
+		_, err := opt.Submit(ctx, sqlCounts)
+		quit <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+
+	ans, err := opt.Submit(context.Background(), sqlRevenue)
+	if err != nil {
+		t.Fatalf("surviving waiter failed: %v", err)
+	}
+	if len(ans.Query.Rows) == 0 {
+		t.Error("surviving waiter got no rows")
+	}
+	if err := <-quit; !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled waiter got %v, want context.Canceled", err)
+	}
+}
+
+// TestConcurrentRunsOneDB: two sessions sharing one storage DB may Run
+// concurrently — runs serialize on the DB's run lock, each with a private
+// temp namespace, so results match solo execution and no temp leaks.
+func TestConcurrentRunsOneDB(t *testing.T) {
+	const sf = 0.002
+	db := NewDB(1024)
+	if err := tpcd.LoadDB(db, sf, 1); err != nil {
+		t.Fatal(err)
+	}
+	optA, err := Open(tpcd.Catalog(sf), WithDB(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	optB, err := Open(tpcd.Catalog(sf), WithDB(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := optA.Run(context.Background(), Batch{SQL: sqlBatch, Algorithm: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		opt := optA
+		if g%2 == 1 {
+			opt = optB
+		}
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				res, err := opt.Run(context.Background(), Batch{SQL: sqlBatch, Algorithm: Greedy})
+				if err != nil {
+					errs <- fmt.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				for qi := range res.Queries {
+					if !equalRows(res.Queries[qi].Rows, want.Queries[qi].Rows) {
+						errs <- fmt.Errorf("goroutine %d: query %d rows corrupted by concurrent run", g, qi)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if n := db.NumTemps(); n != 0 {
+		t.Errorf("%d temp tables leaked after all runs ended", n)
+	}
+}
