@@ -14,13 +14,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"mqo/internal/bench"
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|all)")
+	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|all)")
 	maxCQ := flag.Int("maxcq", 3, "largest PSP composite for the ablation experiments (1-5)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the parallel what-if costing experiment")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
@@ -41,6 +43,7 @@ func main() {
 		{"memory", bench.MemorySensitivity},
 		{"scale", bench.ScaleSensitivity},
 		{"space", bench.SpaceBudgetCurve},
+		{"parallel", func() (*bench.Experiment, error) { return bench.ParallelSpeedup(*parallel) }},
 	}
 
 	var results []*bench.Experiment

@@ -26,6 +26,7 @@ func main() {
 	algName := flag.String("alg", "greedy", "algorithm: volcano|volcano-sh|volcano-ru|greedy")
 	sf := flag.Float64("sf", 0.002, "data scale factor for execution")
 	pool := flag.Int("pool", 1024, "buffer pool pages")
+	parallel := flag.Int("parallel", 1, "greedy benefit-evaluation workers (<=1: serial; plan is identical either way)")
 	sqlSrc := flag.String("sql", "", "semicolon-separated SELECT batch over the TPC-D schema (overrides -workload)")
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 	)
 	if *sqlSrc != "" {
 		// Parse before generating data, so bad SQL fails fast.
-		opt, err = mqo.Open(tpcd.Catalog(*sf), mqo.WithDB(db))
+		opt, err = mqo.Open(tpcd.Catalog(*sf), mqo.WithDB(db), mqo.WithParallelism(*parallel))
 		if err == nil {
 			batch.Queries, err = opt.ParseSQL(*sqlSrc)
 		}
@@ -52,7 +53,7 @@ func main() {
 		var cat *mqo.Catalog
 		batch.Queries, cat, err = namedWorkload(*workload, *n, *sf, db)
 		if err == nil {
-			opt, err = mqo.Open(cat, mqo.WithDB(db))
+			opt, err = mqo.Open(cat, mqo.WithDB(db), mqo.WithParallelism(*parallel))
 		}
 	}
 	if err != nil {

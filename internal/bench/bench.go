@@ -481,6 +481,88 @@ func SpaceBudgetCurve() (*Experiment, error) {
 	return e, nil
 }
 
+// ParallelSpeedup measures what concurrent what-if costing buys on the
+// TPC-D batch workload BQ5: greedy optimization wall-clock and benefit
+// recomputation counts, serial (Parallelism 1) vs parallel at the given
+// worker count, for both the monotonic heap loop and the exhaustive
+// (DisableMonotonicity) benefit loop — the §6.3 worst case, where nearly
+// all optimization time is candidate benefit recomputation. Both modes
+// must produce the identical plan cost; the parallel rows report the
+// speedup over their serial counterpart. This is the experiment CI
+// archives as BENCH_3.json.
+func ParallelSpeedup(workers int) (*Experiment, error) {
+	if workers < 2 {
+		workers = 2
+	}
+	cat := tpcd.Catalog(1)
+	model := cost.DefaultModel()
+	queries := tpcd.BatchQueries(5)
+	pd, err := core.BuildDAG(cat, model, queries)
+	if err != nil {
+		return nil, err
+	}
+
+	e := &Experiment{Name: "parallel", Title: fmt.Sprintf("Concurrent what-if costing: BQ5, serial vs %d workers", workers)}
+	run := func(opt core.GreedyOptions) (*core.Result, time.Duration, error) {
+		// Best of three: wall-clock is the quantity under test.
+		var best *core.Result
+		var bestWall time.Duration
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{Greedy: opt})
+			if err != nil {
+				return nil, 0, err
+			}
+			wall := time.Since(start)
+			if best == nil || wall < bestWall {
+				best, bestWall = res, wall
+			}
+		}
+		return best, bestWall, nil
+	}
+	for _, mode := range []struct {
+		label string
+		opt   core.GreedyOptions
+	}{
+		{"monotonic", core.GreedyOptions{}},
+		{"exhaustive", core.GreedyOptions{DisableMonotonicity: true}},
+	} {
+		serialOpt, parallelOpt := mode.opt, mode.opt
+		serialOpt.Parallelism = 1
+		parallelOpt.Parallelism = workers
+		serial, serialWall, err := run(serialOpt)
+		if err != nil {
+			return nil, err
+		}
+		parallel, parallelWall, err := run(parallelOpt)
+		if err != nil {
+			return nil, err
+		}
+		if serial.Cost != parallel.Cost {
+			return nil, fmt.Errorf("parallel plan cost %v diverged from serial %v (%s)", parallel.Cost, serial.Cost, mode.label)
+		}
+		e.Rows = append(e.Rows, Row{
+			Label: mode.label,
+			Cells: []Cell{
+				{Alg: core.Greedy, Cost: serial.Cost, OptTime: serialWall, Stats: serial.Stats},
+				{Alg: core.Greedy, Cost: parallel.Cost, OptTime: parallelWall, Stats: parallel.Stats},
+			},
+			Extra: map[string]float64{
+				"workers":                  float64(workers),
+				"serial_wall_ms":           float64(serialWall.Microseconds()) / 1000,
+				"parallel_wall_ms":         float64(parallelWall.Microseconds()) / 1000,
+				"speedup_x":                float64(serialWall) / float64(parallelWall),
+				"serial_benefit_recomps":   float64(serial.Stats.BenefitRecomputations),
+				"parallel_benefit_recomps": float64(parallel.Stats.BenefitRecomputations),
+			},
+		})
+	}
+	e.Notes = append(e.Notes,
+		"Cells: [0] Parallelism=1, [1] Parallelism=workers. Costs are required to match: parallelism is a wall-clock knob, never a plan knob.",
+		"Speedup needs real cores: on a single-CPU host speedup_x ≈ 1 and only the overhead of the fan-out is visible.")
+	return e, nil
+}
+
 // String renders the experiment as an aligned text table.
 func (e *Experiment) String() string {
 	var b strings.Builder

@@ -74,6 +74,15 @@ type GreedyOptions struct {
 	// materialized results: candidates are chosen by benefit per unit of
 	// space until the budget is exhausted (the paper's §8 extension).
 	SpaceBudgetBytes int64
+	// Parallelism is the number of workers evaluating candidate benefits
+	// concurrently, each on its own physical.CostView overlay of the
+	// shared DAG. Values <= 1 evaluate serially. The materialization set,
+	// plan and cost are identical at every parallelism level (selection
+	// breaks ties by benefit, then node topological order, and the
+	// monotonic speculation schedule is worker-count independent); only
+	// wall-clock time changes. DisableIncremental forces serial
+	// evaluation, since from-scratch recosting mutates the shared DAG.
+	Parallelism int
 }
 
 // Options configures Optimize.

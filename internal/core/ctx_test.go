@@ -65,6 +65,74 @@ func TestGreedyCancelledMidLoop(t *testing.T) {
 	}
 }
 
+// TestGreedyCancelledBeforeCandidateScan: optimizeGreedy consults the
+// context before the sharability analysis and candidate scan, so a run
+// that is already dead does no stats work at all. countdownCtx n=1 is
+// consumed by Optimize's entry checkpoint; the very next poll — greedy's
+// pre-scan check — must abort the run.
+func TestGreedyCancelledBeforeCandidateScan(t *testing.T) {
+	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
+	ctx := &countdownCtx{Context: context.Background(), n: 1}
+	res, err := Optimize(ctx, pd, Greedy, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatalf("cancelled run leaked a Result (stats %+v)", res.Stats)
+	}
+}
+
+// TestCancelledRunDoesNotLeakStats: instrumentation accumulated by a
+// cancelled run (greedy candidate scans, benefit recomputations, CostView
+// propagation counters) must not surface in the Stats of a subsequent
+// successful run on the same DAG — serial or parallel.
+func TestCancelledRunDoesNotLeakStats(t *testing.T) {
+	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
+	for _, parallelism := range []int{1, 4} {
+		opt := Options{Greedy: GreedyOptions{Parallelism: parallelism}}
+		clean, err := Optimize(context.Background(), pd, Greedy, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cancel mid-loop: work happens, then the run dies.
+		ctx := &countdownCtx{Context: context.Background(), n: 2}
+		if res, err := Optimize(ctx, pd, Greedy, opt); !errors.Is(err, context.Canceled) || res != nil {
+			t.Fatalf("P=%d: cancelled run returned (%v, %v)", parallelism, res, err)
+		}
+		after, err := Optimize(context.Background(), pd, Greedy, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Stats.BenefitRecomputations != clean.Stats.BenefitRecomputations ||
+			after.Stats.CostPropagations != clean.Stats.CostPropagations ||
+			after.Stats.CostRecomputations != clean.Stats.CostRecomputations ||
+			after.Stats.Candidates != clean.Stats.Candidates {
+			t.Errorf("P=%d: stats after a cancelled run differ from a clean run:\nclean %+v\nafter %+v",
+				parallelism, clean.Stats, after.Stats)
+		}
+	}
+}
+
+// TestParallelGreedyCancelledMidLoop: cancellation aborts the worker
+// fan-out promptly too.
+func TestParallelGreedyCancelledMidLoop(t *testing.T) {
+	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
+	for _, variant := range []struct {
+		name string
+		opt  GreedyOptions
+	}{
+		{"monotonic", GreedyOptions{Parallelism: 4}},
+		{"exhaustive", GreedyOptions{DisableMonotonicity: true, Parallelism: 4}},
+		{"space-budget", GreedyOptions{SpaceBudgetBytes: 1 << 30, Parallelism: 4}},
+	} {
+		ctx := &countdownCtx{Context: context.Background(), n: 2}
+		res, err := Optimize(ctx, pd, Greedy, Options{Greedy: variant.opt})
+		if !errors.Is(err, context.Canceled) || res != nil {
+			t.Errorf("parallel greedy/%s: got (%v, %v), want (nil, context.Canceled)", variant.name, res, err)
+		}
+	}
+}
+
 // TestVolcanoRUCancelledMidLoop: the per-query RU loop honours
 // cancellation too.
 func TestVolcanoRUCancelledMidLoop(t *testing.T) {

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mqo/internal/cost"
+	"mqo/internal/tpcd"
+)
+
+// updateGolden regenerates the plan snapshots:
+//
+//	go test ./internal/core -run TestGoldenPlans -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden plan snapshots")
+
+// renderGolden is the canonical snapshot text of an optimization result:
+// algorithm, plan cost, the materialized set, then the consolidated plan.
+// It is compared byte-for-byte, so any costing or plan-choice change —
+// intended or not — shows up as a diff.
+func renderGolden(res *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "algorithm: %v\n", res.Algorithm)
+	fmt.Fprintf(&b, "cost: %.4f\n", res.Cost)
+	fmt.Fprintf(&b, "noshare: %.4f\n", res.NoShareCost)
+	ids := make([]string, len(res.Materialized))
+	for i, m := range res.Materialized {
+		ids[i] = fmt.Sprintf("%d", m.ID)
+	}
+	fmt.Fprintf(&b, "materialized: [%s]\n\n", strings.Join(ids, " "))
+	b.WriteString(res.Plan.String())
+	return b.String()
+}
+
+// TestGoldenPlans locks the optimizer's output on the paper's batched
+// TPC-D workloads BQ1..BQ5 under the three MQO heuristics. For Greedy the
+// parallel engine must reproduce the serial snapshot byte-for-byte.
+func TestGoldenPlans(t *testing.T) {
+	cat := tpcd.Catalog(1)
+	model := cost.DefaultModel()
+	for bq := 1; bq <= 5; bq++ {
+		pd, err := BuildDAG(cat, model, tpcd.BatchQueries(bq))
+		if err != nil {
+			t.Fatalf("BQ%d: %v", bq, err)
+		}
+		for _, alg := range []Algorithm{VolcanoSH, VolcanoRU, Greedy} {
+			name := fmt.Sprintf("bq%d_%s.plan", bq, strings.ToLower(alg.String()))
+			t.Run(name, func(t *testing.T) {
+				res, err := Optimize(context.Background(), pd, alg, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := renderGolden(res)
+
+				if alg == Greedy {
+					par, err := Optimize(context.Background(), pd, Greedy,
+						Options{Greedy: GreedyOptions{Parallelism: 8}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if pg := renderGolden(par); pg != got {
+						t.Fatalf("parallel greedy snapshot diverges from serial:\n%s", diffHint(got, pg))
+					}
+				}
+
+				path := filepath.Join("testdata", "golden", name)
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run with -update to create the snapshot)", err)
+				}
+				if got != string(want) {
+					t.Errorf("plan snapshot mismatch for %s (run with -update if the change is intended):\n%s",
+						name, diffHint(string(want), got))
+				}
+			})
+		}
+	}
+}
+
+// diffHint reports the first differing line of two snapshots.
+func diffHint(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("want %d lines, got %d lines", len(wl), len(gl))
+}

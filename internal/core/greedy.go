@@ -13,13 +13,24 @@ import (
 // three efficiency optimizations of §4:
 //
 //  1. only sharable nodes are candidates (§4.1);
-//  2. benefits are computed with incremental cost update (§4.2);
+//  2. benefits are computed with incremental cost update (§4.2), via
+//     physical.CostView overlays so candidate evaluations never touch the
+//     shared DAG and can run on a worker pool (GreedyOptions.Parallelism);
 //  3. the monotonicity heuristic maintains a heap of benefit upper bounds
-//     and recomputes only the top candidate's benefit (§4.3).
+//     and recomputes only the top candidates' benefits (§4.3).
 //
 // Each optimization can be disabled through GreedyOptions for the §6.3
-// ablation experiments.
+// ablation experiments. All selection steps break ties deterministically —
+// larger benefit first, then smaller topological number — so serial and
+// parallel runs choose the identical materialization set.
 func optimizeGreedy(ctx context.Context, pd *physical.DAG, opt GreedyOptions) (*Result, error) {
+	// Honour cancellation before the sharability analysis and candidate
+	// scan: no stats work should happen — let alone leak — for a run that
+	// is already dead.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
 	var degrees map[*dag.Group]float64
 	if opt.DisableSharability {
 		MarkAllSharable(pd)
@@ -40,34 +51,27 @@ func optimizeGreedy(ctx context.Context, pd *physical.DAG, opt GreedyOptions) (*
 	}
 	stats.Candidates = len(candidates)
 
-	var chosen []*physical.Node
-	benefit := func(n *physical.Node) cost.Cost {
-		stats.BenefitRecomputations++
-		base := pd.TotalCost()
-		if opt.DisableIncremental {
-			with := pd.BestCostWith(append(pd.MaterializedSet(), n))
-			return base - with
-		}
-		pd.SetMaterialized(n, true)
-		with := pd.TotalCost()
-		pd.SetMaterialized(n, false)
-		return base - with
-	}
+	ev := newBenefitEvaluator(pd, opt)
 
-	var err error
+	var (
+		chosen []*physical.Node
+		err    error
+	)
 	switch {
 	case opt.SpaceBudgetBytes > 0:
-		chosen, err = greedySpaceBudget(ctx, pd, candidates, benefit, opt.SpaceBudgetBytes)
+		chosen, err = greedySpaceBudget(ctx, pd, candidates, ev, opt.SpaceBudgetBytes)
 	case opt.DisableMonotonicity:
-		chosen, err = greedyExhaustive(ctx, pd, candidates, benefit)
+		chosen, err = greedyExhaustive(ctx, pd, candidates, ev)
 	default:
-		chosen, err = greedyMonotonic(ctx, pd, candidates, degrees, benefit)
+		chosen, err = greedyMonotonic(ctx, pd, candidates, degrees, ev)
 	}
+	ev.flushCounters()
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{Cost: pd.TotalCost(), Plan: pd.ExtractPlan(), Materialized: chosen}
+	stats.BenefitRecomputations = ev.recomps.Load()
 	res.Stats = stats
 	return res, nil
 }
@@ -82,9 +86,10 @@ func candidateNode(pd *physical.DAG, n *physical.Node) bool {
 // greedySpaceBudget implements the paper's §8 space-constrained variant:
 // candidates are picked in order of benefit per unit of materialized-result
 // space until the temporary-storage budget is exhausted. Benefits are
-// recomputed each round (the candidate sets are small once a budget bites).
+// recomputed each round, fanned out over the evaluator's workers (the
+// candidate sets are small once a budget bites).
 func greedySpaceBudget(ctx context.Context, pd *physical.DAG, candidates []*physical.Node,
-	benefit func(*physical.Node) cost.Cost, budget int64) ([]*physical.Node, error) {
+	ev *benefitEvaluator, budget int64) ([]*physical.Node, error) {
 
 	sizeOf := func(n *physical.Node) int64 {
 		s := int64(n.LG.Rel.Blocks(pd.Model)) * pd.Model.BlockSize
@@ -100,46 +105,62 @@ func greedySpaceBudget(ctx context.Context, pd *physical.DAG, candidates []*phys
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		bestIdx := -1
-		bestRate := 0.0
-		for i, n := range remaining {
-			size := sizeOf(n)
-			if used+size > budget {
-				continue
-			}
-			b := benefit(n)
-			if b <= 0 {
-				continue
-			}
-			rate := b / float64(size)
-			if bestIdx < 0 || rate > bestRate {
-				bestIdx, bestRate = i, rate
+		// Only candidates that still fit need benefits this round.
+		affordable := remaining[:0:0]
+		for _, n := range remaining {
+			if used+sizeOf(n) <= budget {
+				affordable = append(affordable, n)
 			}
 		}
-		if bestIdx < 0 {
+		bens, err := ev.evalMany(ctx, affordable)
+		if err != nil {
+			return nil, err
+		}
+		best := -1
+		bestRate := 0.0
+		for i, n := range affordable {
+			if bens[i] <= 0 {
+				continue
+			}
+			rate := bens[i] / float64(sizeOf(n))
+			if best < 0 || rate > bestRate {
+				best, bestRate = i, rate
+			}
+		}
+		if best < 0 {
 			break
 		}
-		n := remaining[bestIdx]
+		n := affordable[best]
 		pd.SetMaterialized(n, true)
 		chosen = append(chosen, n)
 		used += sizeOf(n)
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for i, m := range remaining {
+			if m == n {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
 	}
 	return chosen, nil
 }
 
 // greedyExhaustive is Figure 4 without the monotonicity heuristic: every
-// remaining candidate's benefit is recomputed each iteration.
-func greedyExhaustive(ctx context.Context, pd *physical.DAG, candidates []*physical.Node, benefit func(*physical.Node) cost.Cost) ([]*physical.Node, error) {
+// remaining candidate's benefit is recomputed each iteration, fanned out
+// over the evaluator's workers. Candidates stay in topological order, so
+// the first-maximum pick is the deterministic (benefit, then topo) rule.
+func greedyExhaustive(ctx context.Context, pd *physical.DAG, candidates []*physical.Node, ev *benefitEvaluator) ([]*physical.Node, error) {
 	remaining := append([]*physical.Node(nil), candidates...)
 	var chosen []*physical.Node
 	for len(remaining) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
+		bens, err := ev.evalMany(ctx, remaining)
+		if err != nil {
+			return nil, err
+		}
 		bestIdx, bestBen := -1, cost.Cost(0)
-		for i, n := range remaining {
-			b := benefit(n)
+		for i, b := range bens {
 			if bestIdx < 0 || b > bestBen {
 				bestIdx, bestBen = i, b
 			}
@@ -155,7 +176,7 @@ func greedyExhaustive(ctx context.Context, pd *physical.DAG, candidates []*physi
 	return chosen, nil
 }
 
-// benefitHeap is a max-heap of candidates ordered by benefit upper bound.
+// benefitItem is a max-heap entry: a candidate with its benefit upper bound.
 type benefitItem struct {
 	n *physical.Node
 	// ub is an upper bound on the candidate's current benefit (exact when
@@ -164,10 +185,20 @@ type benefitItem struct {
 	version int
 }
 
+// itemPrecedes is the deterministic total order of the monotonic heap:
+// larger bound first, topological number as the tie-break. Topo numbers
+// are unique, so the order is strict and heap contents never tie.
+func itemPrecedes(a, b *benefitItem) bool {
+	if a.ub != b.ub {
+		return a.ub > b.ub
+	}
+	return a.n.Topo < b.n.Topo
+}
+
 type benefitHeap []*benefitItem
 
 func (h benefitHeap) Len() int            { return len(h) }
-func (h benefitHeap) Less(i, j int) bool  { return h[i].ub > h[j].ub }
+func (h benefitHeap) Less(i, j int) bool  { return itemPrecedes(h[i], h[j]) }
 func (h benefitHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *benefitHeap) Push(x interface{}) { *h = append(*h, x.(*benefitItem)) }
 func (h *benefitHeap) Pop() interface{} {
@@ -179,10 +210,13 @@ func (h *benefitHeap) Pop() interface{} {
 
 // greedyMonotonic is Figure 4 with the §4.3 monotonicity heuristic: a heap
 // orders candidates by benefit upper bound (initially cost × degree of
-// sharing); the top candidate's benefit is recomputed and the candidate is
-// chosen only if it stays on top, so most candidates are never recomputed.
+// sharing); stale top entries are recomputed — up to speculationWidth per
+// round, concurrently — and a candidate is chosen only when its exact
+// benefit still tops the heap, so most candidates are never recomputed.
+// The recomputation sequence depends only on the heap state, never on the
+// worker count, so every parallelism level picks the same set.
 func greedyMonotonic(ctx context.Context, pd *physical.DAG, candidates []*physical.Node, degrees map[*dag.Group]float64,
-	benefit func(*physical.Node) cost.Cost) ([]*physical.Node, error) {
+	ev *benefitEvaluator) ([]*physical.Node, error) {
 
 	h := &benefitHeap{}
 	for _, n := range candidates {
@@ -201,24 +235,44 @@ func greedyMonotonic(ctx context.Context, pd *physical.DAG, candidates []*physic
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		top := heap.Pop(h).(*benefitItem)
-		exact := top.version == version
-		if !exact {
-			top.ub = benefit(top.n)
-			top.version = version
-		}
-		// The recomputed value is exact; if it still dominates every other
-		// upper bound, it is the true maximum (given monotonicity).
-		if h.Len() > 0 && top.ub < (*h)[0].ub {
-			heap.Push(h, top)
+		if (*h)[0].version == version {
+			// The top entry's benefit is exact and (given monotonicity)
+			// dominates every other upper bound: it is the true maximum.
+			top := heap.Pop(h).(*benefitItem)
+			if top.ub <= 0 {
+				break // maximum benefit is non-positive: done
+			}
+			pd.SetMaterialized(top.n, true)
+			chosen = append(chosen, top.n)
+			version++
 			continue
 		}
-		if top.ub <= 0 {
-			break // maximum benefit is non-positive: done
+		// Speculatively recompute the stale entries nearest the top. An
+		// exact entry bounds everything below it, so stop there.
+		var popped, stale []*benefitItem
+		for h.Len() > 0 && len(stale) < speculationWidth {
+			it := heap.Pop(h).(*benefitItem)
+			popped = append(popped, it)
+			if it.version == version {
+				break
+			}
+			stale = append(stale, it)
 		}
-		pd.SetMaterialized(top.n, true)
-		chosen = append(chosen, top.n)
-		version++
+		nodes := make([]*physical.Node, len(stale))
+		for i, it := range stale {
+			nodes[i] = it.n
+		}
+		bens, err := ev.evalMany(ctx, nodes)
+		if err != nil {
+			return nil, err
+		}
+		for i, it := range stale {
+			it.ub = bens[i]
+			it.version = version
+		}
+		for _, it := range popped {
+			heap.Push(h, it)
+		}
 	}
 	return chosen, nil
 }

@@ -191,3 +191,25 @@ func TestIndexProbeAndBuildCosts(t *testing.T) {
 		t.Error("index build must cost something")
 	}
 }
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b Cost
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + Tolerance/2, true},
+		{1, 1 - Tolerance/2, true},
+		{1, 1 + 2*Tolerance, false},
+		{0, Tolerance * 1.5, false},
+		{-1, 1, false},
+	}
+	for i, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Eq(%v, %v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+		if got := Eq(c.b, c.a); got != c.want {
+			t.Errorf("case %d: Eq(%v, %v) = %v, want %v (asymmetric)", i, c.b, c.a, got, c.want)
+		}
+	}
+}

@@ -11,6 +11,20 @@ import "math"
 // Cost is an estimated execution cost in seconds.
 type Cost = float64
 
+// Eq reports whether two costs agree within Tolerance. Incremental cost
+// propagation, overlay what-ifs and from-scratch recosting accumulate
+// float64 rounding in different orders; invariant checks comparing them
+// must use this instead of ==.
+func Eq(a, b Cost) bool {
+	d := a - b
+	return d <= Tolerance && d >= -Tolerance
+}
+
+// Tolerance is the cost-comparison slack used by Eq: far below any real
+// plan-cost difference, far above the rounding noise of reordered float64
+// summation.
+const Tolerance = 1e-6
+
 // Model holds the cost-model constants. The zero value is unusable; use
 // DefaultModel and adjust fields as needed (e.g. MemoryBytes for the §6.4
 // memory-sensitivity experiment).

@@ -12,10 +12,38 @@ import (
 type costState struct {
 	mat        map[*Node]bool
 	matByGroup map[*dag.Group][]*Node
+	// matList mirrors mat in topological order. Cost totals sum over this
+	// list, never over the map: float64 addition is not associative, so
+	// summing in Go's randomized map order could make two identical runs
+	// differ by an ulp — enough to flip a near-tie greedy pick and break
+	// the serial ≡ parallel plan guarantee.
+	matList []*Node
 
 	// Counters for the Figure 10 / §6.3 experiments.
 	Propagations   int64 // nodes popped from the propagation heap
 	Recomputations int64 // incremental UpdateCost invocations
+}
+
+// insertTopo inserts n into a Topo-sorted node list.
+func insertTopo(list []*Node, n *Node) []*Node {
+	i := len(list)
+	for i > 0 && list[i-1].Topo > n.Topo {
+		i--
+	}
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = n
+	return list
+}
+
+// removeNode removes n from a node list, preserving order.
+func removeNode(list []*Node, n *Node) []*Node {
+	for i, m := range list {
+		if m == n {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
 }
 
 // initCosting initializes the costing state and runs a full bottom-up pass.
@@ -27,13 +55,10 @@ func (pd *DAG) initCosting() {
 // Materialized reports whether n is currently materialized.
 func (pd *DAG) Materialized(n *Node) bool { return pd.costing.mat[n] }
 
-// MaterializedSet returns the current set of materialized nodes.
+// MaterializedSet returns the current set of materialized nodes, in
+// topological order.
 func (pd *DAG) MaterializedSet() []*Node {
-	out := make([]*Node, 0, len(pd.costing.mat))
-	for n := range pd.costing.mat {
-		out = append(out, n)
-	}
-	return out
+	return append([]*Node(nil), pd.costing.matList...)
 }
 
 // Counters returns the (propagations, recomputations) instrumentation.
@@ -46,20 +71,70 @@ func (pd *DAG) ResetCounters() {
 	pd.costing.Propagations, pd.costing.Recomputations = 0, 0
 }
 
+// AddCounters merges externally accumulated (propagations, recomputations)
+// counts — typically drained from CostViews after a what-if fan-out — into
+// the DAG's instrumentation, keeping Figure 10's counters meaningful under
+// concurrent benefit evaluation.
+func (pd *DAG) AddCounters(propagations, recomputations int64) {
+	pd.costing.Propagations += propagations
+	pd.costing.Recomputations += recomputations
+}
+
+// The costing primitives below are parameterized by an optional *CostView
+// overlay: with v == nil they read and describe the DAG's own (shared)
+// costing state; with a view they see the view's private materialization
+// delta and cost overrides instead, leaving the DAG untouched. This is the
+// single implementation of the paper's C(e)/cost recurrences used by both
+// the shared state machine and the concurrent what-if engine.
+
+// costIn is the current computation cost of n under the overlay.
+func (pd *DAG) costIn(v *CostView, n *Node) cost.Cost {
+	if v != nil {
+		if c, ok := v.over[n]; ok {
+			return c
+		}
+	}
+	return n.Cost
+}
+
+// matIn reports whether n is materialized under the overlay.
+func (pd *DAG) matIn(v *CostView, n *Node) bool {
+	if v == nil {
+		return pd.costing.mat[n]
+	}
+	if v.matDel[n] {
+		return false
+	}
+	return v.matAdd[n] || pd.costing.mat[n]
+}
+
 // reusableBy reports whether some materialized node of c's logical group
 // can serve c's requirement, excluding owner (a node must not account its
 // own materialization while computing its own cost). When the consumer is
 // an enforcer of the same group (owner.LG == c.LG), only c's own
 // materialization qualifies: allowing a sibling's would let two sibling
 // materializations cyclically claim to derive from each other.
-func (pd *DAG) reusableBy(c, owner *Node) bool {
+func (pd *DAG) reusableBy(v *CostView, c, owner *Node) bool {
 	sameGroup := owner != nil && owner.LG == c.LG
-	for _, m := range pd.costing.matByGroup[c.LG] {
+	usable := func(m *Node) bool {
 		if m == owner || (sameGroup && m != c) {
+			return false
+		}
+		return m.Prop.Satisfies(c.Prop)
+	}
+	for _, m := range pd.costing.matByGroup[c.LG] {
+		if v != nil && v.matDel[m] {
 			continue
 		}
-		if m.Prop.Satisfies(c.Prop) {
+		if usable(m) {
 			return true
+		}
+	}
+	if v != nil {
+		for _, m := range v.addByGroup[c.LG] {
+			if usable(m) {
+				return true
+			}
 		}
 	}
 	return false
@@ -68,28 +143,33 @@ func (pd *DAG) reusableBy(c, owner *Node) bool {
 // childCost is the paper's C(e): the cost of input c as seen by a consuming
 // operator owned by owner — min(cost, reusecost) when a satisfying
 // materialization exists.
-func (pd *DAG) childCost(c, owner *Node) cost.Cost {
-	if pd.reusableBy(c, owner) && c.ReuseSeq < c.Cost {
+func (pd *DAG) childCost(v *CostView, c, owner *Node) cost.Cost {
+	cc := pd.costIn(v, c)
+	if c.ReuseSeq < cc && pd.reusableBy(v, c, owner) {
 		return c.ReuseSeq
 	}
-	return c.Cost
+	return cc
 }
 
-// exprCost computes the cost of one physical operation node under the
-// current materialization state.
-func (pd *DAG) exprCost(e *PExpr) cost.Cost {
+// exprCostIn computes the cost of one physical operation node under the
+// overlay's materialization state.
+func (pd *DAG) exprCostIn(v *CostView, e *PExpr) cost.Cost {
 	total := e.OpCost
 	for i, c := range e.Children {
-		total += e.Weights[i] * pd.childCost(c, e.Node)
+		total += e.Weights[i] * pd.childCost(v, c, e.Node)
 	}
 	return total
 }
 
+// exprCost computes the cost of one physical operation node under the
+// current (shared) materialization state.
+func (pd *DAG) exprCost(e *PExpr) cost.Cost { return pd.exprCostIn(nil, e) }
+
 // nodeCost computes min over the node's operation nodes.
-func (pd *DAG) nodeCost(n *Node) cost.Cost {
+func (pd *DAG) nodeCost(v *CostView, n *Node) cost.Cost {
 	best := cost.Cost(0)
 	for i, e := range n.Exprs {
-		c := pd.exprCost(e)
+		c := pd.exprCostIn(v, e)
 		if i == 0 || c < best {
 			best = c
 		}
@@ -100,16 +180,17 @@ func (pd *DAG) nodeCost(n *Node) cost.Cost {
 // Recost performs a full bottom-up costing pass in topological order.
 func (pd *DAG) Recost() {
 	for _, n := range pd.Nodes {
-		n.Cost = pd.nodeCost(n)
+		n.Cost = pd.nodeCost(nil, n)
 	}
 }
 
 // TotalCost is bestcost(Q, S): the cost of the best plan for the batch root
 // given the current materialized set, including the cost of computing and
-// materializing every member (paper §4, Figure 5's TotalCost).
+// materializing every member (paper §4, Figure 5's TotalCost). Summation
+// runs in topological order so the result is bit-reproducible.
 func (pd *DAG) TotalCost() cost.Cost {
 	total := pd.Root.Cost
-	for m := range pd.costing.mat {
+	for _, m := range pd.costing.matList {
 		total += m.Cost + m.MatCost
 	}
 	return total
@@ -157,15 +238,11 @@ func (pd *DAG) SetMaterialized(n *Node, on bool) int {
 	if on {
 		cs.mat[n] = true
 		cs.matByGroup[n.LG] = append(cs.matByGroup[n.LG], n)
+		cs.matList = insertTopo(cs.matList, n)
 	} else {
 		delete(cs.mat, n)
-		sibs := cs.matByGroup[n.LG]
-		for i, m := range sibs {
-			if m == n {
-				cs.matByGroup[n.LG] = append(sibs[:i], sibs[i+1:]...)
-				break
-			}
-		}
+		cs.matByGroup[n.LG] = removeNode(cs.matByGroup[n.LG], n)
+		cs.matList = removeNode(cs.matList, n)
 	}
 	cs.Recomputations++
 
@@ -186,7 +263,7 @@ func (pd *DAG) SetMaterialized(n *Node, on bool) int {
 		cs.Propagations++
 		touched++
 		old := cur.Cost
-		cur.Cost = pd.nodeCost(cur)
+		cur.Cost = pd.nodeCost(nil, cur)
 		if cur.Cost != old || forced[cur] {
 			for _, p := range cur.Parents {
 				h.add(p.Node)
@@ -207,16 +284,12 @@ func (pd *DAG) SetMaterializedRaw(n *Node, on bool) {
 	if on {
 		cs.mat[n] = true
 		cs.matByGroup[n.LG] = append(cs.matByGroup[n.LG], n)
+		cs.matList = insertTopo(cs.matList, n)
 		return
 	}
 	delete(cs.mat, n)
-	sibs := cs.matByGroup[n.LG]
-	for i, m := range sibs {
-		if m == n {
-			cs.matByGroup[n.LG] = append(sibs[:i], sibs[i+1:]...)
-			break
-		}
-	}
+	cs.matByGroup[n.LG] = removeNode(cs.matByGroup[n.LG], n)
+	cs.matList = removeNode(cs.matList, n)
 }
 
 // BestCostWith computes bestcost(Q, S) for an explicit set S with a full

@@ -2,7 +2,6 @@ package physical
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"mqo/internal/cost"
@@ -55,12 +54,7 @@ func (pd *DAG) ExtractPlan() *Plan {
 // dependency-ordered Mats list, extracting computation plans for
 // materialized nodes not already present.
 func (pd *DAG) FinishPlan(p *Plan) {
-	var mats []*Node
-	for m := range pd.costing.mat {
-		mats = append(mats, m)
-	}
-	sort.Slice(mats, func(i, j int) bool { return mats[i].Topo < mats[j].Topo })
-	for _, m := range mats {
+	for _, m := range pd.costing.matList {
 		pn := pd.ExtractInto(p, m)
 		pn.Mat = true
 		p.Mats = append(p.Mats, pn)

@@ -1,0 +1,106 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"mqo/internal/catalog"
+)
+
+// fuzzCatalog mirrors the TPC-D aliases the example and command queries
+// use, without importing internal/tpcd (keeping the frontend's test
+// dependencies flat).
+func fuzzCatalog() *catalog.Catalog {
+	cat := catalog.New()
+	cat.Add(&catalog.Table{
+		Name: "lineitem",
+		Cols: []catalog.ColDef{
+			catalog.IntCol("lok", 1500000),
+			catalog.IntCol("lsk", 10000),
+			catalog.FloatColRange("lprice", 100000, 900, 105000),
+			catalog.IntColRange("lship", 2526, 1, 2526),
+		},
+		Rows: 6000000,
+	})
+	cat.Add(&catalog.Table{
+		Name: "supplier",
+		Cols: []catalog.ColDef{
+			catalog.IntCol("sk", 10000),
+			catalog.IntCol("snk", 25),
+		},
+		Rows: 10000,
+	})
+	cat.Add(&catalog.Table{
+		Name: "nation",
+		Cols: []catalog.ColDef{
+			catalog.IntCol("nk", 25),
+			catalog.StrCol("nname", 25, 25),
+		},
+		Rows: 25,
+	})
+	return cat
+}
+
+// TestParseDeepNestingRefused: pathologically nested expressions must be
+// rejected with an error before they can exhaust the goroutine stack (a
+// fatal, unrecoverable error the fuzzer's small inputs never reach).
+func TestParseDeepNestingRefused(t *testing.T) {
+	cat := fuzzCatalog()
+	for _, src := range []string{
+		"SELECT " + strings.Repeat("(", 200000) + "1" + strings.Repeat(")", 200000) + " FROM nation",
+		"SELECT " + strings.Repeat("sum(", 200000) + "nk" + strings.Repeat(")", 200000) + " FROM nation",
+		"SELECT " + strings.Repeat("(", 300000) + " FROM nation",
+	} {
+		if _, err := ParseBatch(cat, src); err == nil {
+			t.Error("deeply nested expression accepted")
+		}
+	}
+	// A reasonable nesting level still parses.
+	ok := "SELECT " + strings.Repeat("(", 50) + "nk" + strings.Repeat(")", 50) + " FROM nation"
+	if _, err := ParseBatch(cat, ok); err != nil {
+		t.Errorf("50-deep nesting rejected: %v", err)
+	}
+}
+
+// FuzzParse feeds arbitrary statement text through the full frontend —
+// lexer, parser, lowering — and requires it to return an error rather
+// than panic, whatever the input. Run continuously with
+//
+//	go test -fuzz=FuzzParse ./internal/sql
+func FuzzParse(f *testing.F) {
+	// Seed corpus: every SQL shape the examples, commands and service
+	// tests use, plus edge shapes (params, arithmetic, escapes, batches).
+	seeds := []string{
+		`SELECT nname, SUM(lprice) AS rev FROM lineitem, supplier, nation
+		 WHERE lsk = sk AND snk = nk AND lship > 2000 GROUP BY nname`,
+		`SELECT nname, COUNT(*) AS n FROM lineitem, supplier, nation
+		 WHERE lsk = sk AND snk = nk AND lship > 2200 GROUP BY nname`,
+		"SELECT nname FROM nation; SELECT nname FROM nation",
+		"SELECT * FROM nation WHERE nk = 7",
+		"SELECT * FROM lineitem, supplier WHERE lsk = sk AND lprice >= 1000.5",
+		"SELECT sk + 1, lprice * 2 AS double FROM lineitem, supplier WHERE lsk = sk",
+		"SELECT snk FROM supplier WHERE sk = ?pk",
+		"SELECT MIN(lprice) AS lo, MAX(lprice) AS hi FROM lineitem",
+		"SELECT nname FROM nation AS n2 WHERE n2.nk <> 3",
+		"SELECT 'it''s' FROM nation",
+		"select avg(lprice) from lineitem group by lsk",
+		"SELECT (sk) FROM supplier",
+		"",
+		";;;",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT a. FROM nation",
+		"SELECT ((((1)))) FROM nation",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cat := fuzzCatalog()
+	f.Fuzz(func(t *testing.T, src string) {
+		// Both outcomes are fine; panics are not.
+		trees, err := ParseBatch(cat, src)
+		if err == nil && len(trees) == 0 {
+			t.Error("ParseBatch returned no trees and no error")
+		}
+	})
+}

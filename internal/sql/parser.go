@@ -67,7 +67,17 @@ type stmt struct {
 type parser struct {
 	toks []token
 	pos  int
+	// depth tracks expression-nesting recursion (parenthesized and
+	// aggregate-argument expressions). Without a bound, adversarial input
+	// like "SELECT ((((…" recurses once per byte and exhausts the
+	// goroutine stack — which is a process-killing fatal error, not a
+	// recoverable panic — so the parser must refuse first.
+	depth int
 }
+
+// maxExprDepth bounds expression nesting; far beyond any real query, far
+// below stack exhaustion.
+const maxExprDepth = 500
 
 func (p *parser) peek() token { return p.toks[p.pos] }
 func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
@@ -266,6 +276,10 @@ func (p *parser) parseComparison() (cmpNode, error) {
 
 // parseExpr handles + and - over terms.
 func (p *parser) parseExpr() (exprNode, error) {
+	if p.depth++; p.depth > maxExprDepth {
+		return nil, fmt.Errorf("sql: expression nested deeper than %d at %d", maxExprDepth, p.peek().pos)
+	}
+	defer func() { p.depth-- }()
 	l, err := p.parseTerm()
 	if err != nil {
 		return nil, err

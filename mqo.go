@@ -24,7 +24,9 @@
 // Optimization without execution is available through OptimizeSQL and
 // OptimizeBatch; ParseAlgorithm maps user-facing names ("greedy",
 // "volcano-ru", ...) to Algorithm values; NewResultCache exposes the
-// paper's §8 result-caching manager for query sequences.
+// paper's §8 result-caching manager for query sequences. On large batches
+// the Greedy heuristic's benefit loop can fan out over multiple cores
+// (WithParallelism) without changing the chosen plan.
 //
 // For live traffic — independent concurrent requests rather than a
 // pre-assembled batch — Serve (or Optimizer.Submit) runs an adaptive

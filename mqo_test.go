@@ -42,6 +42,43 @@ func TestSessionRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWithParallelism: a parallel session must produce the identical plan,
+// cost and materialized set as a serial one — parallelism is a wall-clock
+// knob, never a plan knob.
+func TestWithParallelism(t *testing.T) {
+	const batch = `
+		SELECT nname, SUM(lprice) AS rev FROM lineitem, supplier, nation
+		WHERE lsk = sk AND snk = nk AND lship > 2000 GROUP BY nname;
+		SELECT nname, COUNT(*) AS n FROM lineitem, supplier, nation
+		WHERE lsk = sk AND snk = nk AND lship > 2200 GROUP BY nname`
+	ctx := context.Background()
+	serialOpt, err := Open(tpcd.Catalog(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelOpt, err := Open(tpcd.Catalog(1), WithParallelism(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := serialOpt.OptimizeSQL(ctx, batch, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := parallelOpt.OptimizeSQL(ctx, batch, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Cost != serial.Cost {
+		t.Errorf("parallel cost %v != serial cost %v", parallel.Cost, serial.Cost)
+	}
+	if len(parallel.Materialized) != len(serial.Materialized) {
+		t.Fatalf("materialized %d vs %d nodes", len(parallel.Materialized), len(serial.Materialized))
+	}
+	if parallel.Plan.String() != serial.Plan.String() {
+		t.Errorf("parallel plan differs from serial plan:\n%s\nvs\n%s", parallel.Plan, serial.Plan)
+	}
+}
+
 // TestParseAlgorithm covers the shared name mapping used by every command.
 func TestParseAlgorithm(t *testing.T) {
 	for name, want := range map[string]Algorithm{

@@ -64,6 +64,17 @@ func WithSpaceBudget(bytes int64) Option {
 	return func(o *Optimizer) { o.opts.Greedy.SpaceBudgetBytes = bytes }
 }
 
+// WithParallelism sets the number of workers Greedy uses to evaluate
+// candidate benefits concurrently, each on its own cost-view overlay of
+// the batch's DAG. The chosen plan, cost and materialized set are
+// identical at every parallelism level — only optimization wall-clock
+// changes — so plans stay reproducible. Values <= 1 keep the single-
+// threaded incremental evaluation, which wins on small batches where the
+// per-candidate work cannot amortize the fan-out.
+func WithParallelism(workers int) Option {
+	return func(o *Optimizer) { o.opts.Greedy.Parallelism = workers }
+}
+
 // WithOptions replaces the full optimization options (ablation switches,
 // RU order). Later options still override individual fields.
 func WithOptions(opt Options) Option { return func(o *Optimizer) { o.opts = opt } }
