@@ -20,9 +20,10 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|all)")
+	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|all)")
 	maxCQ := flag.Int("maxcq", 3, "largest PSP composite for the ablation experiments (1-5)")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the parallel what-if costing experiment")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the parallel what-if costing and multi-pick experiments")
+	multipick := flag.Int("multipick", 4, "multi-pick width k for the multipick experiment")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
@@ -44,6 +45,7 @@ func main() {
 		{"scale", bench.ScaleSensitivity},
 		{"space", bench.SpaceBudgetCurve},
 		{"parallel", func() (*bench.Experiment, error) { return bench.ParallelSpeedup(*parallel) }},
+		{"multipick", func() (*bench.Experiment, error) { return bench.MultiPickSpeedup(*parallel, *multipick) }},
 	}
 
 	var results []*bench.Experiment

@@ -26,7 +26,8 @@ func main() {
 	algName := flag.String("alg", "greedy", "algorithm: volcano|volcano-sh|volcano-ru|greedy")
 	sf := flag.Float64("sf", 0.002, "data scale factor for execution")
 	pool := flag.Int("pool", 1024, "buffer pool pages")
-	parallel := flag.Int("parallel", 1, "greedy benefit-evaluation workers (<=1: serial; plan is identical either way)")
+	parallel := flag.Int("parallel", 0, "search-substrate workers (0: auto-tune per phase, 1: serial, n: fan out; plan is identical at every setting)")
+	multipick := flag.Int("multipick", 1, "max greedy picks per evaluation wave (speculative multi-pick; plan is identical at every k)")
 	sqlSrc := flag.String("sql", "", "semicolon-separated SELECT batch over the TPC-D schema (overrides -workload)")
 	flag.Parse()
 
@@ -42,7 +43,7 @@ func main() {
 	)
 	if *sqlSrc != "" {
 		// Parse before generating data, so bad SQL fails fast.
-		opt, err = mqo.Open(tpcd.Catalog(*sf), mqo.WithDB(db), mqo.WithParallelism(*parallel))
+		opt, err = mqo.Open(tpcd.Catalog(*sf), mqo.WithDB(db), mqo.WithParallelism(*parallel), mqo.WithMultiPick(*multipick))
 		if err == nil {
 			batch.Queries, err = opt.ParseSQL(*sqlSrc)
 		}
@@ -53,7 +54,7 @@ func main() {
 		var cat *mqo.Catalog
 		batch.Queries, cat, err = namedWorkload(*workload, *n, *sf, db)
 		if err == nil {
-			opt, err = mqo.Open(cat, mqo.WithDB(db), mqo.WithParallelism(*parallel))
+			opt, err = mqo.Open(cat, mqo.WithDB(db), mqo.WithParallelism(*parallel), mqo.WithMultiPick(*multipick))
 		}
 	}
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"mqo/internal/core"
 	"mqo/internal/cost"
 	"mqo/internal/exec"
+	"mqo/internal/physical"
 	"mqo/internal/psp"
 	"mqo/internal/storage"
 	"mqo/internal/tpcd"
@@ -503,13 +504,13 @@ func ParallelSpeedup(workers int) (*Experiment, error) {
 	}
 
 	e := &Experiment{Name: "parallel", Title: fmt.Sprintf("Concurrent what-if costing: BQ5, serial vs %d workers", workers)}
-	run := func(opt core.GreedyOptions) (*core.Result, time.Duration, error) {
+	run := func(opt core.Options) (*core.Result, time.Duration, error) {
 		// Best of three: wall-clock is the quantity under test.
 		var best *core.Result
 		var bestWall time.Duration
 		for i := 0; i < 3; i++ {
 			start := time.Now()
-			res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{Greedy: opt})
+			res, err := core.Optimize(context.Background(), pd, core.Greedy, opt)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -522,10 +523,10 @@ func ParallelSpeedup(workers int) (*Experiment, error) {
 	}
 	for _, mode := range []struct {
 		label string
-		opt   core.GreedyOptions
+		opt   core.Options
 	}{
-		{"monotonic", core.GreedyOptions{}},
-		{"exhaustive", core.GreedyOptions{DisableMonotonicity: true}},
+		{"monotonic", core.Options{}},
+		{"exhaustive", core.Options{Greedy: core.GreedyOptions{DisableMonotonicity: true}}},
 	} {
 		serialOpt, parallelOpt := mode.opt, mode.opt
 		serialOpt.Parallelism = 1
@@ -560,6 +561,147 @@ func ParallelSpeedup(workers int) (*Experiment, error) {
 	e.Notes = append(e.Notes,
 		"Cells: [0] Parallelism=1, [1] Parallelism=workers. Costs are required to match: parallelism is a wall-clock knob, never a plan knob.",
 		"Speedup needs real cores: on a single-CPU host speedup_x ≈ 1 and only the overhead of the fan-out is visible.")
+	return e, nil
+}
+
+// MultiPickSpeedup measures what the speculative multi-pick engine and the
+// overlay-hosted Volcano-RU order passes buy. The greedy rows run on a
+// multi-tenant workload — independent per-tenant copies of the BQ1 batch,
+// the shape the micro-batching service produces — where every wave can
+// commit one pick per tenant: single-pick (k=1) vs multi-pick (k) wall
+// clock, benefit recomputations, evaluation waves and speculative-pick
+// counts, for both the monotonic and the exhaustive greedy loop. The
+// volcano-ru row runs BQ5 with the forward/reverse order passes serial vs
+// concurrent on private CostViews. Every mode pair must agree on plan cost
+// and (as a set) on the materialized nodes; the experiment errors out
+// otherwise. This is the experiment CI archives as BENCH_4.json.
+func MultiPickSpeedup(workers, k int) (*Experiment, error) {
+	if k < 2 {
+		k = 2
+	}
+	const tenants = 6
+	model := cost.DefaultModel()
+
+	e := &Experiment{Name: "multipick", Title: fmt.Sprintf(
+		"Speculative multi-pick (k=%d, %d tenants) and concurrent Volcano-RU", k, tenants)}
+
+	run := func(pd *physical.DAG, alg core.Algorithm, opt core.Options) (*core.Result, time.Duration, error) {
+		// Best of three: wall-clock is the quantity under test.
+		var best *core.Result
+		var bestWall time.Duration
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			res, err := core.Optimize(context.Background(), pd, alg, opt)
+			if err != nil {
+				return nil, 0, err
+			}
+			wall := time.Since(start)
+			if best == nil || wall < bestWall {
+				best, bestWall = res, wall
+			}
+		}
+		return best, bestWall, nil
+	}
+	sameSet := func(a, b *core.Result) bool {
+		if len(a.Materialized) != len(b.Materialized) {
+			return false
+		}
+		ids := map[int]int{}
+		for _, m := range a.Materialized {
+			ids[m.ID]++
+		}
+		for _, m := range b.Materialized {
+			ids[m.ID]--
+		}
+		for _, c := range ids {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	tenantDAG, err := core.BuildDAG(tpcd.TenantCatalog(1, tenants), model, tpcd.TenantBatch(1, tenants))
+	if err != nil {
+		return nil, err
+	}
+	for _, mode := range []struct {
+		label string
+		opt   core.Options
+	}{
+		{"monotonic", core.Options{Parallelism: workers}},
+		{"exhaustive", core.Options{Greedy: core.GreedyOptions{DisableMonotonicity: true}, Parallelism: workers}},
+	} {
+		singleOpt, multiOpt := mode.opt, mode.opt
+		singleOpt.MultiPick = 1
+		multiOpt.MultiPick = k
+		single, singleWall, err := run(tenantDAG, core.Greedy, singleOpt)
+		if err != nil {
+			return nil, err
+		}
+		multi, multiWall, err := run(tenantDAG, core.Greedy, multiOpt)
+		if err != nil {
+			return nil, err
+		}
+		if single.Cost != multi.Cost || !sameSet(single, multi) {
+			return nil, fmt.Errorf("multi-pick diverged from single-pick (%s): cost %v vs %v",
+				mode.label, multi.Cost, single.Cost)
+		}
+		e.Rows = append(e.Rows, Row{
+			Label: mode.label,
+			Cells: []Cell{
+				{Alg: core.Greedy, Cost: single.Cost, OptTime: singleWall, Stats: single.Stats},
+				{Alg: core.Greedy, Cost: multi.Cost, OptTime: multiWall, Stats: multi.Stats},
+			},
+			Extra: map[string]float64{
+				"k":                      float64(k),
+				"workers":                float64(workers),
+				"single_wall_ms":         float64(singleWall.Microseconds()) / 1000,
+				"multi_wall_ms":          float64(multiWall.Microseconds()) / 1000,
+				"speedup_x":              float64(singleWall) / float64(multiWall),
+				"single_benefit_recomps": float64(single.Stats.BenefitRecomputations),
+				"multi_benefit_recomps":  float64(multi.Stats.BenefitRecomputations),
+				"single_eval_waves":      float64(single.Stats.EvalWaves),
+				"multi_eval_waves":       float64(multi.Stats.EvalWaves),
+				"speculative_picks":      float64(multi.Stats.SpeculativePicks),
+			},
+		})
+	}
+
+	// Concurrent Volcano-RU: forward/reverse passes on private CostViews.
+	ruDAG, err := core.BuildDAG(tpcd.Catalog(1), model, tpcd.BatchQueries(5))
+	if err != nil {
+		return nil, err
+	}
+	ruSerial, ruSerialWall, err := run(ruDAG, core.VolcanoRU, core.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	ruConc, ruConcWall, err := run(ruDAG, core.VolcanoRU, core.Options{Parallelism: 2})
+	if err != nil {
+		return nil, err
+	}
+	if ruSerial.Cost != ruConc.Cost || !sameSet(ruSerial, ruConc) {
+		return nil, fmt.Errorf("concurrent volcano-ru diverged from serial: cost %v vs %v",
+			ruConc.Cost, ruSerial.Cost)
+	}
+	e.Rows = append(e.Rows, Row{
+		Label: "volcano-ru",
+		Cells: []Cell{
+			{Alg: core.VolcanoRU, Cost: ruSerial.Cost, OptTime: ruSerialWall, Stats: ruSerial.Stats},
+			{Alg: core.VolcanoRU, Cost: ruConc.Cost, OptTime: ruConcWall, Stats: ruConc.Stats},
+		},
+		Extra: map[string]float64{
+			"serial_wall_ms":   float64(ruSerialWall.Microseconds()) / 1000,
+			"parallel_wall_ms": float64(ruConcWall.Microseconds()) / 1000,
+			"speedup_x":        float64(ruSerialWall) / float64(ruConcWall),
+		},
+	})
+
+	e.Notes = append(e.Notes,
+		"Greedy rows: cells [0] MultiPick=1, [1] MultiPick=k; costs and materialized sets are required to match — speculation is a wall-clock knob, never a plan knob.",
+		"volcano-ru row: cells [0] Parallelism=1 (sequential order passes), [1] Parallelism=2 (forward/reverse concurrently on private CostViews).",
+		"Speedup needs real cores: on a single-CPU host the recomputation savings (multi_benefit_recomps vs single_benefit_recomps) are the portable signal.")
 	return e, nil
 }
 

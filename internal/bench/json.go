@@ -19,6 +19,8 @@ type jsonCell struct {
 	DAGGroups             int   `json:"dag_groups,omitempty"`
 	DAGExprs              int   `json:"dag_exprs,omitempty"`
 	PhysNodes             int   `json:"phys_nodes,omitempty"`
+	EvalWaves             int64 `json:"eval_waves,omitempty"`
+	SpeculativePicks      int64 `json:"speculative_picks,omitempty"`
 }
 
 type jsonRow struct {
@@ -55,6 +57,8 @@ func (e *Experiment) MarshalJSON() ([]byte, error) {
 				DAGGroups:             c.Stats.DAGGroups,
 				DAGExprs:              c.Stats.DAGExprs,
 				PhysNodes:             c.Stats.PhysNodes,
+				EvalWaves:             c.Stats.EvalWaves,
+				SpeculativePicks:      c.Stats.SpeculativePicks,
 			})
 		}
 		out.Rows = append(out.Rows, jr)

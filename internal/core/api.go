@@ -74,15 +74,6 @@ type GreedyOptions struct {
 	// materialized results: candidates are chosen by benefit per unit of
 	// space until the budget is exhausted (the paper's §8 extension).
 	SpaceBudgetBytes int64
-	// Parallelism is the number of workers evaluating candidate benefits
-	// concurrently, each on its own physical.CostView overlay of the
-	// shared DAG. Values <= 1 evaluate serially. The materialization set,
-	// plan and cost are identical at every parallelism level (selection
-	// breaks ties by benefit, then node topological order, and the
-	// monotonic speculation schedule is worker-count independent); only
-	// wall-clock time changes. DisableIncremental forces serial
-	// evaluation, since from-scratch recosting mutates the shared DAG.
-	Parallelism int
 }
 
 // Options configures Optimize.
@@ -92,6 +83,32 @@ type Options struct {
 	// default both the forward and reverse orders are tried and the
 	// cheaper plan kept (§3.3).
 	RUForwardOnly bool
+	// Parallelism is the worker count of the shared search substrate: the
+	// greedy benefit waves (each worker on its own physical.CostView
+	// overlay of the shared DAG), Volcano-RU's forward/reverse order
+	// passes (each on a private overlay), and the sharability analysis
+	// (one logical group per worker). 0 — the default — auto-tunes each
+	// phase: serial below the BENCH_3 crossover (work estimate = items ×
+	// DAG nodes), fanned out above it. 1 forces strictly serial execution;
+	// n > 1 forces n workers. The materialization set, plan and cost are
+	// identical at every setting (selection breaks ties by benefit, then
+	// node topological order, and the speculation schedules are
+	// worker-count independent); only wall-clock time changes.
+	// Greedy.DisableIncremental forces serial benefit evaluation, since
+	// from-scratch recosting mutates the shared DAG.
+	Parallelism int
+	// MultiPick is the maximum number of candidates the greedy engine may
+	// commit per benefit-evaluation wave (speculative multi-pick): beyond
+	// the first pick, only candidates whose conflict cones do not clash
+	// with any pick already committed in the wave — whose benefits are
+	// therefore provably unchanged — are committed, in benefit-then-topo
+	// rank order. 0 or 1 is classic single-pick. Every k returns the
+	// identical materialized set, plan and total cost (the order picks
+	// commit in may permute when independent candidates tie exactly in
+	// benefit); larger k skips the evaluation waves serial single-pick
+	// would have spent re-deriving unchanged benefits (Stats.EvalWaves /
+	// Stats.BenefitRecomputations shrink accordingly).
+	MultiPick int
 }
 
 // Stats carries instrumentation from one optimization run.
@@ -106,6 +123,11 @@ type Stats struct {
 	DAGGroups             int
 	DAGExprs              int
 	PhysNodes             int
+	// Search-engine instrumentation: EvalWaves counts benefit-evaluation
+	// waves, SpeculativePicks counts multi-pick commits beyond the first
+	// of a wave. Both depend on MultiPick but never on Parallelism.
+	EvalWaves        int64
+	SpeculativePicks int64
 }
 
 // Result is the outcome of optimizing a batch.
@@ -201,7 +223,7 @@ func Optimize(ctx context.Context, pd *physical.DAG, alg Algorithm, opt Options)
 	case VolcanoRU:
 		res, err = optimizeVolcanoRU(ctx, pd, opt)
 	case Greedy:
-		res, err = optimizeGreedy(ctx, pd, opt.Greedy)
+		res, err = optimizeGreedy(ctx, pd, opt)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %d", alg)
 	}

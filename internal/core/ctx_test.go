@@ -89,7 +89,7 @@ func TestGreedyCancelledBeforeCandidateScan(t *testing.T) {
 func TestCancelledRunDoesNotLeakStats(t *testing.T) {
 	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
 	for _, parallelism := range []int{1, 4} {
-		opt := Options{Greedy: GreedyOptions{Parallelism: parallelism}}
+		opt := Options{Parallelism: parallelism}
 		clean, err := Optimize(context.Background(), pd, Greedy, opt)
 		if err != nil {
 			t.Fatal(err)
@@ -119,14 +119,14 @@ func TestParallelGreedyCancelledMidLoop(t *testing.T) {
 	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
 	for _, variant := range []struct {
 		name string
-		opt  GreedyOptions
+		opt  Options
 	}{
-		{"monotonic", GreedyOptions{Parallelism: 4}},
-		{"exhaustive", GreedyOptions{DisableMonotonicity: true, Parallelism: 4}},
-		{"space-budget", GreedyOptions{SpaceBudgetBytes: 1 << 30, Parallelism: 4}},
+		{"monotonic", Options{Parallelism: 4}},
+		{"exhaustive", Options{Greedy: GreedyOptions{DisableMonotonicity: true}, Parallelism: 4}},
+		{"space-budget", Options{Greedy: GreedyOptions{SpaceBudgetBytes: 1 << 30}, Parallelism: 4}},
 	} {
 		ctx := &countdownCtx{Context: context.Background(), n: 2}
-		res, err := Optimize(ctx, pd, Greedy, Options{Greedy: variant.opt})
+		res, err := Optimize(ctx, pd, Greedy, variant.opt)
 		if !errors.Is(err, context.Canceled) || res != nil {
 			t.Errorf("parallel greedy/%s: got (%v, %v), want (nil, context.Canceled)", variant.name, res, err)
 		}
@@ -140,5 +140,71 @@ func TestVolcanoRUCancelledMidLoop(t *testing.T) {
 	ctx := &countdownCtx{Context: context.Background(), n: 1}
 	if _, err := Optimize(ctx, pd, VolcanoRU, Options{}); !errors.Is(err, context.Canceled) {
 		t.Errorf("volcano-ru: got err %v, want context.Canceled", err)
+	}
+}
+
+// TestVolcanoRUCancelledLeavesStateClean: the overlay-hosted order passes
+// never write to the shared DAG, so a run cancelled at ANY checkpoint —
+// mid-forward-pass, mid-reverse-pass, inside the SH phase — leaves the
+// DAG's costing state exactly as Optimize's entry reset left it: an empty
+// materialized set whose costs agree with scratch recosting. (Before the
+// overlay refactor, runRUOrder mutated shared state and restored it only
+// on success, so error paths could leave it half-cleared.)
+func TestVolcanoRUCancelledLeavesStateClean(t *testing.T) {
+	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990),
+		chain([]string{"S", "T", "P"}, 980))
+	for _, parallelism := range []int{1, 2} {
+		// Sweep the cancellation point across every checkpoint the
+		// algorithm polls, from "immediately" to "never reached".
+		for n := int32(1); n < 16; n++ {
+			ctx := &countdownCtx{Context: context.Background(), n: n}
+			res, err := Optimize(ctx, pd, VolcanoRU, Options{Parallelism: parallelism})
+			if err == nil {
+				break // countdown outlived the run: nothing left to probe
+			}
+			if !errors.Is(err, context.Canceled) || res != nil {
+				t.Fatalf("P=%d n=%d: cancelled run returned (%v, %v)", parallelism, n, res, err)
+			}
+			if got := pd.MaterializedSet(); len(got) != 0 {
+				t.Fatalf("P=%d n=%d: cancelled RU left %d nodes materialized on the shared DAG",
+					parallelism, n, len(got))
+			}
+			if want := pd.BestCostWith(nil); pd.TotalCost() != want {
+				t.Fatalf("P=%d n=%d: cancelled RU left inconsistent costs (%v vs scratch %v)",
+					parallelism, n, pd.TotalCost(), want)
+			}
+		}
+	}
+}
+
+// TestVolcanoRUCancelledRunDoesNotLeakStats mirrors the greedy post-cancel
+// hygiene test: instrumentation accumulated by a cancelled RU run must not
+// surface in the Stats of a subsequent successful run on the same DAG, and
+// the subsequent run must return the identical result.
+func TestVolcanoRUCancelledRunDoesNotLeakStats(t *testing.T) {
+	pd := mustBuild(t, chain([]string{"R", "S", "T"}, 990), chain([]string{"R", "S", "P"}, 990))
+	for _, parallelism := range []int{1, 2} {
+		opt := Options{Parallelism: parallelism}
+		clean, err := Optimize(context.Background(), pd, VolcanoRU, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := &countdownCtx{Context: context.Background(), n: 2}
+		if res, err := Optimize(ctx, pd, VolcanoRU, opt); !errors.Is(err, context.Canceled) || res != nil {
+			t.Fatalf("P=%d: cancelled run returned (%v, %v)", parallelism, res, err)
+		}
+		after, err := Optimize(context.Background(), pd, VolcanoRU, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after.Cost != clean.Cost || after.Plan.String() != clean.Plan.String() {
+			t.Errorf("P=%d: result after a cancelled run diverged (cost %v vs %v)",
+				parallelism, after.Cost, clean.Cost)
+		}
+		if after.Stats.CostPropagations != clean.Stats.CostPropagations ||
+			after.Stats.CostRecomputations != clean.Stats.CostRecomputations {
+			t.Errorf("P=%d: stats after a cancelled run differ from a clean run:\nclean %+v\nafter %+v",
+				parallelism, clean.Stats, after.Stats)
+		}
 	}
 }

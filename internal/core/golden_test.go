@@ -9,7 +9,10 @@ import (
 	"strings"
 	"testing"
 
+	"mqo/internal/algebra"
+	"mqo/internal/catalog"
 	"mqo/internal/cost"
+	"mqo/internal/psp"
 	"mqo/internal/tpcd"
 )
 
@@ -36,34 +39,85 @@ func renderGolden(res *Result) string {
 	return b.String()
 }
 
-// TestGoldenPlans locks the optimizer's output on the paper's batched
-// TPC-D workloads BQ1..BQ5 under the three MQO heuristics. For Greedy the
-// parallel engine must reproduce the serial snapshot byte-for-byte.
+// goldenWorkloads lists the snapshot workloads: the paper's batched TPC-D
+// composites BQ1..BQ5, the PSP scaleup composites CQ1..CQ3, and the
+// correlated / inverted / decorrelated Q2 family plus Q11 and Q15 — the
+// stand-alone §6.1 queries.
+func goldenWorkloads() []struct {
+	name    string
+	cat     *catalog.Catalog
+	queries []*algebra.Tree
+} {
+	tc := tpcd.Catalog(1)
+	pc := psp.Catalog(1)
+	return []struct {
+		name    string
+		cat     *catalog.Catalog
+		queries []*algebra.Tree
+	}{
+		{"bq1", tc, tpcd.BatchQueries(1)},
+		{"bq2", tc, tpcd.BatchQueries(2)},
+		{"bq3", tc, tpcd.BatchQueries(3)},
+		{"bq4", tc, tpcd.BatchQueries(4)},
+		{"bq5", tc, tpcd.BatchQueries(5)},
+		{"cq1", pc, psp.CQ(1)},
+		{"cq2", pc, psp.CQ(2)},
+		{"cq3", pc, psp.CQ(3)},
+		{"q2", tc, tpcd.Q2(1)},
+		{"q2ni", tc, tpcd.Q2NI(1)},
+		{"q2d", tc, tpcd.Q2D()},
+		{"q11", tc, []*algebra.Tree{tpcd.Q11()}},
+		{"q15", tc, []*algebra.Tree{tpcd.Q15()}},
+	}
+}
+
+// TestGoldenPlans locks the optimizer's output on the golden workloads
+// under the three MQO heuristics. For Greedy the parallel engine (P=8) and
+// the speculative multi-pick engine (k=4, P=2) must reproduce the serial
+// single-pick snapshot byte-for-byte; for Volcano-RU the concurrent order
+// passes (P=2) must reproduce the sequential snapshot.
 func TestGoldenPlans(t *testing.T) {
-	cat := tpcd.Catalog(1)
 	model := cost.DefaultModel()
-	for bq := 1; bq <= 5; bq++ {
-		pd, err := BuildDAG(cat, model, tpcd.BatchQueries(bq))
+	for _, w := range goldenWorkloads() {
+		pd, err := BuildDAG(w.cat, model, w.queries)
 		if err != nil {
-			t.Fatalf("BQ%d: %v", bq, err)
+			t.Fatalf("%s: %v", w.name, err)
 		}
 		for _, alg := range []Algorithm{VolcanoSH, VolcanoRU, Greedy} {
-			name := fmt.Sprintf("bq%d_%s.plan", bq, strings.ToLower(alg.String()))
+			name := fmt.Sprintf("%s_%s.plan", w.name, strings.ToLower(alg.String()))
 			t.Run(name, func(t *testing.T) {
-				res, err := Optimize(context.Background(), pd, alg, Options{})
+				res, err := Optimize(context.Background(), pd, alg, Options{Parallelism: 1})
 				if err != nil {
 					t.Fatal(err)
 				}
 				got := renderGolden(res)
 
-				if alg == Greedy {
-					par, err := Optimize(context.Background(), pd, Greedy,
-						Options{Greedy: GreedyOptions{Parallelism: 8}})
+				switch alg {
+				case Greedy:
+					for _, variant := range []struct {
+						label string
+						opt   Options
+					}{
+						{"parallel", Options{Parallelism: 8}},
+						{"multipick", Options{Parallelism: 2, MultiPick: 4}},
+					} {
+						vres, err := Optimize(context.Background(), pd, Greedy, variant.opt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if vg := renderGolden(vres); vg != got {
+							t.Fatalf("%s greedy snapshot diverges from serial:\n%s",
+								variant.label, diffHint(got, vg))
+						}
+					}
+				case VolcanoRU:
+					conc, err := Optimize(context.Background(), pd, VolcanoRU, Options{Parallelism: 2})
 					if err != nil {
 						t.Fatal(err)
 					}
-					if pg := renderGolden(par); pg != got {
-						t.Fatalf("parallel greedy snapshot diverges from serial:\n%s", diffHint(got, pg))
+					if cg := renderGolden(conc); cg != got {
+						t.Fatalf("concurrent volcano-ru snapshot diverges from sequential:\n%s",
+							diffHint(got, cg))
 					}
 				}
 

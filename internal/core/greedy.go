@@ -3,6 +3,7 @@ package core
 import (
 	"container/heap"
 	"context"
+	"sort"
 
 	"mqo/internal/cost"
 	"mqo/internal/dag"
@@ -10,20 +11,31 @@ import (
 )
 
 // optimizeGreedy implements the paper's Figure 4 greedy heuristic with the
-// three efficiency optimizations of §4:
+// three efficiency optimizations of §4, running on the shared search-engine
+// substrate (engine.go):
 //
-//  1. only sharable nodes are candidates (§4.1);
+//  1. only sharable nodes are candidates (§4.1), found by the — optionally
+//     fanned-out — sharability analysis;
 //  2. benefits are computed with incremental cost update (§4.2), via
 //     physical.CostView overlays so candidate evaluations never touch the
-//     shared DAG and can run on a worker pool (GreedyOptions.Parallelism);
+//     shared DAG and can run on a worker pool (Options.Parallelism);
 //  3. the monotonicity heuristic maintains a heap of benefit upper bounds
 //     and recomputes only the top candidates' benefits (§4.3).
 //
-// Each optimization can be disabled through GreedyOptions for the §6.3
+// With Options.MultiPick > 1 the loops additionally commit up to k
+// conflict-free picks per evaluation wave (speculative multi-pick): a
+// candidate whose conflict cone does not clash with any pick already
+// committed this wave has an unchanged benefit after those commits, so
+// committing it immediately reproduces the set serial single-pick would
+// have chosen over its following waves — skipping those waves'
+// recomputations entirely (see the engine's determinism contract for the
+// exact-tie order caveat).
+//
+// Each §4 optimization can be disabled through GreedyOptions for the §6.3
 // ablation experiments. All selection steps break ties deterministically —
-// larger benefit first, then smaller topological number — so serial and
-// parallel runs choose the identical materialization set.
-func optimizeGreedy(ctx context.Context, pd *physical.DAG, opt GreedyOptions) (*Result, error) {
+// larger benefit first, then smaller topological number — so serial,
+// parallel and multi-pick runs choose the identical materialization set.
+func optimizeGreedy(ctx context.Context, pd *physical.DAG, opts Options) (*Result, error) {
 	// Honour cancellation before the sharability analysis and candidate
 	// scan: no stats work should happen — let alone leak — for a run that
 	// is already dead.
@@ -32,10 +44,10 @@ func optimizeGreedy(ctx context.Context, pd *physical.DAG, opt GreedyOptions) (*
 	}
 
 	var degrees map[*dag.Group]float64
-	if opt.DisableSharability {
+	if opts.Greedy.DisableSharability {
 		MarkAllSharable(pd)
 	} else {
-		degrees = ComputeSharability(pd)
+		degrees = ComputeSharabilityN(pd, opts.Parallelism)
 	}
 
 	stats := Stats{}
@@ -51,27 +63,29 @@ func optimizeGreedy(ctx context.Context, pd *physical.DAG, opt GreedyOptions) (*
 	}
 	stats.Candidates = len(candidates)
 
-	ev := newBenefitEvaluator(pd, opt)
+	e := newSearchEngine(pd, opts, len(candidates))
 
 	var (
 		chosen []*physical.Node
 		err    error
 	)
 	switch {
-	case opt.SpaceBudgetBytes > 0:
-		chosen, err = greedySpaceBudget(ctx, pd, candidates, ev, opt.SpaceBudgetBytes)
-	case opt.DisableMonotonicity:
-		chosen, err = greedyExhaustive(ctx, pd, candidates, ev)
+	case opts.Greedy.SpaceBudgetBytes > 0:
+		chosen, err = greedySpaceBudget(ctx, pd, candidates, e, opts.Greedy.SpaceBudgetBytes)
+	case opts.Greedy.DisableMonotonicity:
+		chosen, err = greedyExhaustive(ctx, pd, candidates, e)
 	default:
-		chosen, err = greedyMonotonic(ctx, pd, candidates, degrees, ev)
+		chosen, err = greedyMonotonic(ctx, pd, candidates, degrees, e)
 	}
-	ev.flushCounters()
+	e.close()
 	if err != nil {
 		return nil, err
 	}
 
 	res := &Result{Cost: pd.TotalCost(), Plan: pd.ExtractPlan(), Materialized: chosen}
-	stats.BenefitRecomputations = ev.recomps.Load()
+	stats.BenefitRecomputations = e.recomps.Load()
+	stats.EvalWaves = e.waves
+	stats.SpeculativePicks = e.specPicks
 	res.Stats = stats
 	return res, nil
 }
@@ -83,13 +97,41 @@ func candidateNode(pd *physical.DAG, n *physical.Node) bool {
 	return n.Sharable && !n.LG.ParamDep && n != pd.Root && n.Cost > 0
 }
 
+// rankDesc returns candidate indices ordered by score descending. The
+// sort is stable over the candidates' topological order, so ties resolve
+// to the smaller topological number — the engine's deterministic pick rule.
+func rankDesc(scores []float64) []int {
+	rank := make([]int, len(scores))
+	for i := range rank {
+		rank[i] = i
+	}
+	sort.SliceStable(rank, func(a, b int) bool { return scores[rank[a]] > scores[rank[b]] })
+	return rank
+}
+
+// dropPicked removes the picked indices from nodes, preserving order.
+func dropPicked(nodes []*physical.Node, picked []int) []*physical.Node {
+	drop := make(map[int]bool, len(picked))
+	for _, i := range picked {
+		drop[i] = true
+	}
+	out := nodes[:0]
+	for i, n := range nodes {
+		if !drop[i] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
 // greedySpaceBudget implements the paper's §8 space-constrained variant:
 // candidates are picked in order of benefit per unit of materialized-result
 // space until the temporary-storage budget is exhausted. Benefits are
-// recomputed each round, fanned out over the evaluator's workers (the
-// candidate sets are small once a budget bites).
+// recomputed each wave, fanned out over the engine's workers; a candidate
+// that stops fitting the budget never fits again (consumption only grows),
+// so multi-pick may pass over it without changing later serial picks.
 func greedySpaceBudget(ctx context.Context, pd *physical.DAG, candidates []*physical.Node,
-	ev *benefitEvaluator, budget int64) ([]*physical.Node, error) {
+	e *searchEngine, budget int64) ([]*physical.Node, error) {
 
 	sizeOf := func(n *physical.Node) int64 {
 		s := int64(n.LG.Rel.Blocks(pd.Model)) * pd.Model.BlockSize
@@ -102,76 +144,72 @@ func greedySpaceBudget(ctx context.Context, pd *physical.DAG, candidates []*phys
 	var chosen []*physical.Node
 	used := int64(0)
 	for len(remaining) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		// Only candidates that still fit need benefits this round.
+		// Only candidates that still fit need benefits this wave.
 		affordable := remaining[:0:0]
 		for _, n := range remaining {
 			if used+sizeOf(n) <= budget {
 				affordable = append(affordable, n)
 			}
 		}
-		bens, err := ev.evalMany(ctx, affordable)
+		bens, cones, err := e.evalWave(ctx, affordable)
 		if err != nil {
 			return nil, err
 		}
-		best := -1
-		bestRate := 0.0
-		for i, n := range affordable {
-			if bens[i] <= 0 {
-				continue
-			}
-			rate := bens[i] / float64(sizeOf(n))
-			if best < 0 || rate > bestRate {
-				best, bestRate = i, rate
-			}
-		}
-		if best < 0 {
+		if len(affordable) == 0 {
 			break
 		}
-		n := affordable[best]
-		pd.SetMaterialized(n, true)
-		chosen = append(chosen, n)
-		used += sizeOf(n)
-		for i, m := range remaining {
-			if m == n {
-				remaining = append(remaining[:i], remaining[i+1:]...)
-				break
+		rates := make([]float64, len(affordable))
+		for i, n := range affordable {
+			if bens[i] > 0 {
+				rates[i] = bens[i] / float64(sizeOf(n))
 			}
 		}
+		picked := e.pickPrefix(rankDesc(rates), affordable, cones,
+			func(i int) bool { return bens[i] > 0 && used+sizeOf(affordable[i]) <= budget },
+			func(i int) bool { return used+sizeOf(affordable[i]) > budget },
+			func(i int) { used += sizeOf(affordable[i]) })
+		if len(picked) == 0 {
+			break
+		}
+		for _, i := range picked {
+			chosen = append(chosen, affordable[i])
+		}
+		pickedNodes := make(map[*physical.Node]bool, len(picked))
+		for _, i := range picked {
+			pickedNodes[affordable[i]] = true
+		}
+		kept := remaining[:0]
+		for _, n := range remaining {
+			if !pickedNodes[n] {
+				kept = append(kept, n)
+			}
+		}
+		remaining = kept
 	}
 	return chosen, nil
 }
 
 // greedyExhaustive is Figure 4 without the monotonicity heuristic: every
-// remaining candidate's benefit is recomputed each iteration, fanned out
-// over the evaluator's workers. Candidates stay in topological order, so
-// the first-maximum pick is the deterministic (benefit, then topo) rule.
-func greedyExhaustive(ctx context.Context, pd *physical.DAG, candidates []*physical.Node, ev *benefitEvaluator) ([]*physical.Node, error) {
+// remaining candidate's benefit is recomputed each wave, fanned out over
+// the engine's workers. Candidates stay in topological order, so the
+// ranked prefix pick is the deterministic (benefit, then topo) rule.
+func greedyExhaustive(ctx context.Context, pd *physical.DAG, candidates []*physical.Node, e *searchEngine) ([]*physical.Node, error) {
 	remaining := append([]*physical.Node(nil), candidates...)
 	var chosen []*physical.Node
 	for len(remaining) > 0 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		bens, err := ev.evalMany(ctx, remaining)
+		bens, cones, err := e.evalWave(ctx, remaining)
 		if err != nil {
 			return nil, err
 		}
-		bestIdx, bestBen := -1, cost.Cost(0)
-		for i, b := range bens {
-			if bestIdx < 0 || b > bestBen {
-				bestIdx, bestBen = i, b
-			}
-		}
-		if bestBen <= 0 {
+		picked := e.pickPrefix(rankDesc(bens), remaining, cones,
+			func(i int) bool { return bens[i] > 0 }, nil, nil)
+		if len(picked) == 0 {
 			break
 		}
-		n := remaining[bestIdx]
-		pd.SetMaterialized(n, true)
-		chosen = append(chosen, n)
-		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for _, i := range picked {
+			chosen = append(chosen, remaining[i])
+		}
+		remaining = dropPicked(remaining, picked)
 	}
 	return chosen, nil
 }
@@ -183,6 +221,10 @@ type benefitItem struct {
 	// version matches the chooser's version).
 	ub      cost.Cost
 	version int
+	// cone is the conflict cone captured when ub was last recomputed
+	// (multi-pick only, nil otherwise): the dirty-ancestor set of the
+	// what-if, used to prove exactness survives a commit.
+	cone physical.Cone
 }
 
 // itemPrecedes is the deterministic total order of the monotonic heap:
@@ -211,12 +253,20 @@ func (h *benefitHeap) Pop() interface{} {
 // greedyMonotonic is Figure 4 with the §4.3 monotonicity heuristic: a heap
 // orders candidates by benefit upper bound (initially cost × degree of
 // sharing); stale top entries are recomputed — up to speculationWidth per
-// round, concurrently — and a candidate is chosen only when its exact
+// wave, concurrently — and a candidate is chosen only when its exact
 // benefit still tops the heap, so most candidates are never recomputed.
 // The recomputation sequence depends only on the heap state, never on the
 // worker count, so every parallelism level picks the same set.
+//
+// Speculative multi-pick: committing a pick normally stales every heap
+// entry (version bump). With MultiPick > 1, entries that were exact for
+// the pre-commit state and whose conflict cones are disjoint from the pick
+// are promoted to the new version instead — their benefits are provably
+// unchanged — so when such an entry tops the heap it commits immediately,
+// skipping the recomputation wave serial single-pick would have spent
+// re-deriving the very same value.
 func greedyMonotonic(ctx context.Context, pd *physical.DAG, candidates []*physical.Node, degrees map[*dag.Group]float64,
-	ev *benefitEvaluator) ([]*physical.Node, error) {
+	e *searchEngine) ([]*physical.Node, error) {
 
 	h := &benefitHeap{}
 	for _, n := range candidates {
@@ -231,6 +281,7 @@ func greedyMonotonic(ctx context.Context, pd *physical.DAG, candidates []*physic
 
 	var chosen []*physical.Node
 	version := 0
+	picksInWave := 0
 	for h.Len() > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -242,11 +293,27 @@ func greedyMonotonic(ctx context.Context, pd *physical.DAG, candidates []*physic
 			if top.ub <= 0 {
 				break // maximum benefit is non-positive: done
 			}
-			pd.SetMaterialized(top.n, true)
+			e.commit(top.n)
 			chosen = append(chosen, top.n)
+			picksInWave++
+			if picksInWave > 1 {
+				e.specPicks++
+			}
 			version++
+			if picksInWave < e.multiPick && top.cone.Valid() {
+				// Promote entries whose exactness survives this commit:
+				// conflict-free benefits are bit-identical before and
+				// after, and promotion at every commit of the wave keeps
+				// surviving entries conflict-free with all its picks.
+				for _, it := range *h {
+					if it.version == version-1 && it.cone.Valid() && !top.cone.Conflicts(it.cone) {
+						it.version = version
+					}
+				}
+			}
 			continue
 		}
+		picksInWave = 0
 		// Speculatively recompute the stale entries nearest the top. An
 		// exact entry bounds everything below it, so stop there.
 		var popped, stale []*benefitItem
@@ -262,13 +329,16 @@ func greedyMonotonic(ctx context.Context, pd *physical.DAG, candidates []*physic
 		for i, it := range stale {
 			nodes[i] = it.n
 		}
-		bens, err := ev.evalMany(ctx, nodes)
+		bens, cones, err := e.evalWave(ctx, nodes)
 		if err != nil {
 			return nil, err
 		}
 		for i, it := range stale {
 			it.ub = bens[i]
 			it.version = version
+			if cones != nil {
+				it.cone = cones[i]
+			}
 		}
 		for _, it := range popped {
 			heap.Push(h, it)

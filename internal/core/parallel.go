@@ -2,104 +2,95 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
-
-	"mqo/internal/cost"
-	"mqo/internal/physical"
 )
 
 // speculationWidth is the fixed number of stale heap entries the monotonic
-// greedy loop recomputes per round. It is a constant — not tied to
-// GreedyOptions.Parallelism — so the sequence of benefit recomputations,
-// and therefore the chosen materialization set, is bit-identical at every
+// greedy loop recomputes per evaluation wave. It is a constant — not tied
+// to Options.Parallelism — so the sequence of benefit recomputations, and
+// therefore the chosen materialization set, is bit-identical at every
 // parallelism level; Parallelism only decides how many workers evaluate
-// the batch concurrently. The extra serial work this batching costs over
+// the wave concurrently. The extra serial work this batching costs over
 // the classic recompute-one-at-a-time schedule is bounded by the
 // once-per-version rule and is ~1% in practice (BQ5 monotonic: 216
 // recomputations at width 8 vs 214 at width 1), a price worth paying for
 // worker-count-independent plans.
 const speculationWidth = 8
 
-// benefitEvaluator computes what-if benefits for greedy candidates. With
-// Parallelism <= 1 it evaluates serially on a single CostView; with more
-// workers it fans a batch of candidates out over per-worker CostViews, all
-// overlaying the same read-only DAG. The DisableIncremental ablation
-// recomputes bestcost from scratch on the shared DAG and therefore always
-// runs serially.
-type benefitEvaluator struct {
-	pd      *physical.DAG
-	opt     GreedyOptions
-	workers int
-	views   []*physical.CostView
+// autoFanoutUnits is the auto-tune crossover: a search phase whose work
+// estimate (items × DAG nodes, the cost of one full evaluation wave) falls
+// below this many units runs serially; above it, the phase fans out. The
+// constant comes from the BENCH_3.json trajectory of the parallel what-if
+// experiment: on multi-core hosts the per-wave fan-out overhead (worker
+// wakeups + per-view bookkeeping) amortized only once a BQ-scale wave did
+// roughly this much propagation work; smaller batches were faster serial
+// at every measured worker count.
+const autoFanoutUnits = 32768
 
-	// recomps counts benefit recomputations; workers update it atomically
-	// and the final value is copied into Stats.BenefitRecomputations.
-	recomps atomic.Int64
-}
+// maxAutoWorkers caps auto-tuned fan-out: benefit evaluation saturates
+// memory bandwidth long before it saturates large core counts, and BENCH_3
+// showed no gain past 8 workers on the measured hosts.
+const maxAutoWorkers = 8
 
-func newBenefitEvaluator(pd *physical.DAG, opt GreedyOptions) *benefitEvaluator {
-	w := opt.Parallelism
-	if w <= 1 || opt.DisableIncremental {
+// autoParallelism picks a worker count for a phase with the given work
+// estimate: serial below the BENCH_3 crossover, up to maxAutoWorkers
+// hardware threads above it. The choice affects wall-clock only — every
+// worker count produces the identical plan.
+func autoParallelism(units int) int {
+	if units < autoFanoutUnits {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > maxAutoWorkers {
+		w = maxAutoWorkers
+	}
+	if w < 1 {
 		w = 1
 	}
-	ev := &benefitEvaluator{pd: pd, opt: opt, workers: w}
-	if !opt.DisableIncremental {
-		ev.views = make([]*physical.CostView, w)
-		for i := range ev.views {
-			ev.views[i] = pd.NewCostView()
-		}
-	}
-	return ev
+	return w
 }
 
-// benefitOn computes one candidate's benefit on the given view against the
-// supplied bestcost(Q, S) baseline.
-func (ev *benefitEvaluator) benefitOn(v *physical.CostView, base cost.Cost, n *physical.Node) cost.Cost {
-	ev.recomps.Add(1)
-	if ev.opt.DisableIncremental {
-		// §6.3 ablation: from-scratch recosting on the shared DAG (serial
-		// by construction — BestCostWith mutates the DAG).
-		with := ev.pd.BestCostWith(append(ev.pd.MaterializedSet(), n))
-		return base - with
+// resolveWorkers maps the Options.Parallelism knob to a concrete worker
+// count for a phase with the given work estimate: 0 auto-tunes on the
+// BENCH_3 crossover, anything below 1 is serial, and explicit counts are
+// taken as given.
+func resolveWorkers(parallelism, units int) int {
+	switch {
+	case parallelism == 0:
+		return autoParallelism(units)
+	case parallelism < 1:
+		return 1
+	default:
+		return parallelism
 	}
-	return v.WhatIfBenefit(base, n)
 }
 
-// evalOne computes a single candidate's benefit serially.
-func (ev *benefitEvaluator) evalOne(base cost.Cost, n *physical.Node) cost.Cost {
-	var v *physical.CostView
-	if ev.views != nil {
-		v = ev.views[0]
+// parallelFor runs body(worker, i) for every i in [0, n) across the given
+// number of workers, handing each invocation a stable worker index in
+// [0, workers) so callers can keep per-worker state (CostViews, scratch
+// maps). Work is handed out by an atomic counter, so which worker runs
+// which item is scheduling-dependent — bodies must be written so the
+// results do not depend on the assignment. A nil context never cancels;
+// otherwise workers stop early once ctx is done and parallelFor returns
+// ctx.Err().
+func parallelFor(ctx context.Context, workers, n int, body func(worker, i int)) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return ev.benefitOn(v, base, n)
-}
-
-// evalMany computes the benefits of all candidates against the DAG's
-// current state and returns them in input order. The shared DAG is treated
-// as read-only for the duration of the call; results do not depend on the
-// worker count or on goroutine scheduling. A cancelled context makes
-// workers stop early and returns ctx.Err().
-func (ev *benefitEvaluator) evalMany(ctx context.Context, nodes []*physical.Node) ([]cost.Cost, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	base := ev.pd.TotalCost()
-	out := make([]cost.Cost, len(nodes))
-	workers := ev.workers
-	if workers > len(nodes) {
-		workers = len(nodes)
+	if workers > n {
+		workers = n
 	}
 	if workers <= 1 {
-		for i, n := range nodes {
+		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
-			out[i] = ev.evalOne(base, n)
+			body(0, i)
 		}
-		return out, nil
+		return nil
 	}
-
 	var (
 		next      atomic.Int64
 		cancelled atomic.Bool
@@ -107,33 +98,24 @@ func (ev *benefitEvaluator) evalMany(ctx context.Context, nodes []*physical.Node
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(v *physical.CostView) {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
-				if i >= len(nodes) {
+				if i >= n {
 					return
 				}
 				if ctx.Err() != nil {
 					cancelled.Store(true)
 					return
 				}
-				out[i] = ev.benefitOn(v, base, nodes[i])
+				body(w, i)
 			}
-		}(ev.views[w])
+		}(w)
 	}
 	wg.Wait()
 	if cancelled.Load() || ctx.Err() != nil {
-		return nil, ctx.Err()
+		return ctx.Err()
 	}
-	return out, nil
-}
-
-// flushCounters drains every view's propagation instrumentation into the
-// DAG's Figure 10 counters. Call after the last evaluation, from the
-// coordinating goroutine.
-func (ev *benefitEvaluator) flushCounters() {
-	for _, v := range ev.views {
-		ev.pd.AddCounters(v.DrainCounters())
-	}
+	return nil
 }

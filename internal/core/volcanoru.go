@@ -12,40 +12,79 @@ import (
 // then run Volcano-SH over the combined DAG-structured plan for the final
 // materialization decisions. Both the given and the reverse query order are
 // tried and the cheaper result returned (§3.3), unless opt.RUForwardOnly.
+//
+// Each order pass runs on a private physical.CostView overlay of the shared
+// DAG — its candidate materializations and the cost updates they trigger
+// live entirely in the view — so the two passes are independent and run
+// concurrently when the substrate fans out (Options.Parallelism). The
+// shared DAG sees no writes at all until the winning order's materialized
+// set commits at the end; error and cancellation paths therefore leave the
+// DAG's costing state exactly as Optimize's entry reset left it, with
+// nothing to restore.
 func optimizeVolcanoRU(ctx context.Context, pd *physical.DAG, opt Options) (*Result, error) {
 	n := len(pd.QueryRoots)
 	forward := make([]int, n)
 	for i := range forward {
 		forward[i] = i
 	}
-	best, err := runRUOrder(ctx, pd, forward)
-	if err != nil {
-		return nil, err
-	}
+	orders := [][]int{forward}
 	if !opt.RUForwardOnly && n > 1 {
 		reverse := make([]int, n)
 		for i := range reverse {
 			reverse[i] = n - 1 - i
 		}
-		r, err := runRUOrder(ctx, pd, reverse)
+		orders = append(orders, reverse)
+	}
+
+	workers := 1
+	if len(orders) > 1 {
+		workers = resolveWorkers(opt.Parallelism, len(pd.Nodes)*n)
+	}
+	results := make([]*Result, len(orders))
+	errs := make([]error, len(orders))
+	views := make([]*physical.CostView, len(orders))
+	for i := range views {
+		views[i] = pd.AcquireView()
+	}
+	_ = parallelFor(ctx, workers, len(orders), func(w, i int) {
+		results[i], errs[i] = runRUOrder(ctx, pd, views[i], orders[i])
+	})
+	// Drain the views' propagation instrumentation into the Figure 10
+	// counters and pool them again; both happen after the join, from this
+	// goroutine only, so the totals are deterministic.
+	for _, v := range views {
+		pd.AddCounters(v.DrainCounters())
+		pd.ReleaseView(v)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	// Deterministic winner: strictly cheaper only, so the forward order
+	// wins ties regardless of which pass finished first.
+	best := results[0]
+	for _, r := range results[1:] {
 		if r.Cost < best.Cost {
 			best = r
 		}
 	}
-	// Leave the DAG costing state reflecting the returned result.
-	ClearMaterialized(pd)
+	// The only shared-state write of the whole algorithm: leave the DAG
+	// costing state reflecting the returned result.
 	for _, m := range best.Materialized {
 		pd.SetMaterialized(m, true)
 	}
 	return best, nil
 }
 
-// runRUOrder runs one Volcano-RU pass over the queries in the given order.
-func runRUOrder(ctx context.Context, pd *physical.DAG, order []int) (*Result, error) {
-	ClearMaterialized(pd)
+// runRUOrder runs one Volcano-RU pass over the queries in the given order,
+// entirely on the supplied CostView (which must be pristine over a DAG with
+// an empty materialized set). The shared DAG is read, never written.
+func runRUOrder(ctx context.Context, pd *physical.DAG, v *physical.CostView, order []int) (*Result, error) {
 	plan := physical.NewPlan()
 	count := map[*physical.Node]int{}
 	queryPlans := make([]*physical.PlanNode, len(pd.QueryRoots))
@@ -57,23 +96,24 @@ func runRUOrder(ctx context.Context, pd *physical.DAG, order []int) (*Result, er
 		qn := pd.QueryRoots[qi]
 		// Optimize Q_i assuming the current candidate set N is
 		// materialized; nodes shared with earlier plans keep their cached
-		// choice, new nodes are costed under the current state.
-		pn := pd.ExtractInto(plan, qn)
+		// choice, new nodes are costed under the view's current state.
+		pn := pd.ExtractIntoView(v, plan, qn)
 		queryPlans[qi] = pn
 		// Count uses and promote nodes worth materializing if used once
 		// more: cost + matcost + count·reuse < (count+1)·cost.
-		pn.Walk(func(v *physical.PlanNode) {
-			node := v.N
+		pn.Walk(func(p *physical.PlanNode) {
+			node := p.N
 			if node.LG.ParamDep || node == pd.Root {
 				return
 			}
 			count[node]++
-			if pd.Materialized(node) {
+			if v.Materialized(node) {
 				return
 			}
 			c := float64(count[node])
-			if node.Cost+node.MatCost+c*node.ReuseSeq < (c+1)*node.Cost {
-				pd.SetMaterialized(node, true)
+			nc := v.CostOf(node)
+			if nc+node.MatCost+c*node.ReuseSeq < (c+1)*nc {
+				v.SetMaterialized(node, true)
 			}
 		})
 	}
@@ -89,7 +129,7 @@ func runRUOrder(ctx context.Context, pd *physical.DAG, order []int) (*Result, er
 	plan.Root = root
 	plan.ByNode[pd.Root] = root
 
-	total, mats, err := volcanoSHOnPlan(ctx, pd, plan)
+	total, mats, err := volcanoSHOnPlan(ctx, pd, v, plan)
 	if err != nil {
 		return nil, err
 	}

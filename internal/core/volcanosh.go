@@ -17,7 +17,7 @@ func optimizeVolcanoSH(ctx context.Context, pd *physical.DAG) (*Result, error) {
 	pd.Recost()
 	plan := physical.NewPlan()
 	plan.Root = pd.ExtractInto(plan, pd.Root)
-	total, mats, err := volcanoSHOnPlan(ctx, pd, plan)
+	total, mats, err := volcanoSHOnPlan(ctx, pd, nil, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -27,10 +27,15 @@ func optimizeVolcanoSH(ctx context.Context, pd *physical.DAG) (*Result, error) {
 // volcanoSHOnPlan runs the Volcano-SH materialization pass over an already
 // extracted consolidated plan (also the second phase of Volcano-RU). It
 // rewrites the plan in place (subsumption switches, Mat marks, Mats list)
-// and returns the total cost and materialized set.
-func volcanoSHOnPlan(ctx context.Context, pd *physical.DAG, plan *physical.Plan) (cost.Cost, []*physical.Node, error) {
+// and returns the total cost and materialized set. The optional CostView
+// is the overlay the plan was extracted under (Volcano-RU passes their
+// per-order view); it is consulted only when the subsumption prepass
+// extracts additional child plans, so the pass reads — never writes — the
+// shared DAG and may run concurrently with other passes on other views.
+func volcanoSHOnPlan(ctx context.Context, pd *physical.DAG, v *physical.CostView, plan *physical.Plan) (cost.Cost, []*physical.Node, error) {
 	sh := &shState{
 		pd:        pd,
+		v:         v,
 		plan:      plan,
 		costOf:    map[*physical.PlanNode]cost.Cost{},
 		mat:       map[*physical.PlanNode]bool{},
@@ -58,6 +63,7 @@ func volcanoSHOnPlan(ctx context.Context, pd *physical.DAG, plan *physical.Plan)
 
 type shState struct {
 	pd   *physical.DAG
+	v    *physical.CostView // overlay the plan was extracted under (may be nil)
 	plan *physical.Plan
 
 	costOf    map[*physical.PlanNode]cost.Cost
@@ -120,7 +126,7 @@ func (sh *shState) prepass() {
 			pn.E = alt
 			pn.Children = make([]*physical.PlanNode, len(alt.Children))
 			for i, c := range alt.Children {
-				cp := sh.pd.ExtractInto(sh.plan, c)
+				cp := sh.pd.ExtractIntoView(sh.v, sh.plan, c)
 				cp.NumParents++
 				pn.Children[i] = cp
 				present[int32(c.LG.ID)] = true

@@ -25,6 +25,11 @@ func Eq(a, b Cost) bool {
 // summation.
 const Tolerance = 1e-6
 
+// Leq reports whether a is at most b within Tolerance — the comparison for
+// dominance invariants ("a heuristic's plan never beats / never exceeds
+// X") that must not trip on reordered-summation rounding.
+func Leq(a, b Cost) bool { return a-b <= Tolerance }
+
 // Model holds the cost-model constants. The zero value is unusable; use
 // DefaultModel and adjust fields as needed (e.g. MemoryBytes for the §6.4
 // memory-sensitivity experiment).

@@ -3,6 +3,7 @@ package physical
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"mqo/internal/algebra"
 	"mqo/internal/cost"
@@ -105,6 +106,10 @@ type DAG struct {
 	nextID  int
 
 	costing costState
+
+	// Free list of reusable CostViews (AcquireView / ReleaseView).
+	viewMu   sync.Mutex
+	viewPool []*CostView
 }
 
 type nodeKey struct {

@@ -1,0 +1,80 @@
+package physical
+
+// Conflict cones answer the question the speculative multi-pick engine asks
+// before committing two greedy candidates in the same evaluation wave: can
+// toggling the materialization of node A change the benefit of node B?
+//
+// A what-if's cost effect spreads through two kinds of places. At pure
+// combiners — operation nodes summing weighted child costs, equivalence
+// nodes with a single implementation — deltas from independent what-ifs
+// compose additively, so two waves may overlap there (the batch root is
+// the prime example: almost every wave changes its cost, always
+// additively). Interaction is only possible at CHOICE points, where a
+// minimum can flip:
+//
+//   - an equivalence node with ≥ 2 implementations that both waves visit
+//     (min over implementations can move non-additively);
+//   - a reuse decision: a node one wave makes reusable (a seed sibling of
+//     its pick) while the other alters its computation cost or its own
+//     reusability (min(cost, reusecost) can flip);
+//   - an armed reuse threshold: a node whose group already holds a
+//     materialized member, so its consumers pay min(cost, reusecost) —
+//     cost changes that each stay above reusecost alone can jointly cross
+//     it, which is why such changed nodes count as choice points too.
+//
+// A Cone therefore records two bitsets over topological numbers, captured
+// during the what-if's Figure 5 propagation wave (WhatIfBenefitCone):
+// `alters` — nodes whose cost value actually changed — and `sensitive` —
+// the wave's seed siblings plus every visited multi-implementation node.
+// Two what-ifs conflict when a sensitive node of one meets an altered or
+// sensitive node of the other; otherwise every composition point on both
+// waves is additive, and committing one leaves the other's benefit
+// bit-for-bit unchanged.
+type Cone struct {
+	alters    coneBits
+	sensitive coneBits
+}
+
+// Valid reports whether the cone was captured (the zero Cone carries no
+// information and must not be treated as conflict-free).
+func (c Cone) Valid() bool { return c.sensitive != nil }
+
+// Conflicts reports whether the two what-ifs may interact: a choice point
+// of one lies where the other alters values or makes choices of its own.
+// Overlap of the two alters sets alone is additive and allowed.
+func (c Cone) Conflicts(d Cone) bool {
+	return c.sensitive.intersects(d.sensitive) ||
+		c.sensitive.intersects(d.alters) ||
+		c.alters.intersects(d.sensitive)
+}
+
+// Alters reports whether the what-if changed n's cost value.
+func (c Cone) Alters(n *Node) bool { return c.alters.contains(n) }
+
+// Sensitive reports whether n is one of the what-if's choice points.
+func (c Cone) Sensitive(n *Node) bool { return c.sensitive.contains(n) }
+
+// coneBits is a fixed-size bitset over a DAG's node topological numbers.
+type coneBits []uint64
+
+func newConeBits(nodes int) coneBits { return make(coneBits, (nodes+63)/64) }
+
+func (b coneBits) add(n *Node) { b[n.Topo/64] |= 1 << uint(n.Topo%64) }
+
+func (b coneBits) contains(n *Node) bool {
+	w, bit := n.Topo/64, uint(n.Topo%64)
+	return w < len(b) && b[w]&(1<<bit) != 0
+}
+
+func (b coneBits) intersects(d coneBits) bool {
+	n := len(b)
+	if len(d) < n {
+		n = len(d)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&d[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

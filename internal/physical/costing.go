@@ -108,13 +108,17 @@ func (pd *DAG) matIn(v *CostView, n *Node) bool {
 	return v.matAdd[n] || pd.costing.mat[n]
 }
 
-// reusableBy reports whether some materialized node of c's logical group
-// can serve c's requirement, excluding owner (a node must not account its
-// own materialization while computing its own cost). When the consumer is
-// an enforcer of the same group (owner.LG == c.LG), only c's own
-// materialization qualifies: allowing a sibling's would let two sibling
-// materializations cyclically claim to derive from each other.
-func (pd *DAG) reusableBy(v *CostView, c, owner *Node) bool {
+// firstUsableMat returns the first node materialized under the overlay
+// that can serve input c's requirement for consumer owner, or nil. It
+// excludes owner itself (a node must not account its own materialization
+// while computing its own cost), and when the consumer is an enforcer of
+// the same group (owner.LG == c.LG) only c's own materialization
+// qualifies: allowing a sibling's would let two sibling materializations
+// cyclically claim to derive from each other. It is the single scan
+// behind both costing (reusableBy) and plan extraction
+// (bestSatisfyingMat), so extracted plans always match the costs computed
+// for them.
+func (pd *DAG) firstUsableMat(v *CostView, c, owner *Node) *Node {
 	sameGroup := owner != nil && owner.LG == c.LG
 	usable := func(m *Node) bool {
 		if m == owner || (sameGroup && m != c) {
@@ -127,17 +131,23 @@ func (pd *DAG) reusableBy(v *CostView, c, owner *Node) bool {
 			continue
 		}
 		if usable(m) {
-			return true
+			return m
 		}
 	}
 	if v != nil {
 		for _, m := range v.addByGroup[c.LG] {
 			if usable(m) {
-				return true
+				return m
 			}
 		}
 	}
-	return false
+	return nil
+}
+
+// reusableBy reports whether some materialized node of c's logical group
+// can serve c's requirement for consumer owner.
+func (pd *DAG) reusableBy(v *CostView, c, owner *Node) bool {
+	return pd.firstUsableMat(v, c, owner) != nil
 }
 
 // childCost is the paper's C(e): the cost of input c as seen by a consuming

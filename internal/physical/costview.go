@@ -52,6 +52,38 @@ func (pd *DAG) NewCostView() *CostView {
 	}
 }
 
+// AcquireView returns a pristine CostView over pd, reusing a pooled view
+// when one is free. Views are bound to their DAG: the pool keeps the
+// per-view maps (whose capacity tracks the DAG's hot cone sizes) warm
+// across search phases — greedy benefit waves, Volcano-RU order passes —
+// instead of reallocating them per phase. Return views with ReleaseView.
+func (pd *DAG) AcquireView() *CostView {
+	pd.viewMu.Lock()
+	if n := len(pd.viewPool); n > 0 {
+		v := pd.viewPool[n-1]
+		pd.viewPool = pd.viewPool[:n-1]
+		pd.viewMu.Unlock()
+		return v
+	}
+	pd.viewMu.Unlock()
+	return pd.NewCostView()
+}
+
+// ReleaseView resets v and returns it to pd's pool. The caller must drain
+// the view's instrumentation counters first (DrainCounters) if it wants
+// them; ReleaseView discards whatever is left so the next owner starts at
+// zero.
+func (pd *DAG) ReleaseView(v *CostView) {
+	if v == nil || v.pd != pd {
+		return
+	}
+	v.Reset()
+	v.Propagations, v.Recomputations = 0, 0
+	pd.viewMu.Lock()
+	pd.viewPool = append(pd.viewPool, v)
+	pd.viewMu.Unlock()
+}
+
 // DAG returns the view's underlying DAG.
 func (v *CostView) DAG() *DAG { return v.pd }
 
@@ -157,13 +189,86 @@ func (v *CostView) DrainCounters() (propagations, recomputations int64) {
 	return propagations, recomputations
 }
 
-// WhatIfBenefit computes base - bestcost(Q, S ∪ {n}) — the benefit of
-// additionally materializing n — without touching the shared DAG, where
-// base is the caller-supplied bestcost(Q, S) of the current state. The
-// view is reset afterwards, ready for the next what-if.
-func (v *CostView) WhatIfBenefit(base cost.Cost, n *Node) cost.Cost {
+// WhatIfBenefit computes bestcost(Q, S) - bestcost(Q, S ∪ {n}) — the
+// benefit of additionally materializing n — without touching the shared
+// DAG. The view must be pristine when called (as it is between WhatIf*
+// calls) and is reset afterwards, ready for the next what-if.
+//
+// The benefit is computed in DELTA form — the sum, in topological order,
+// of (old - new) over exactly the terms of TotalCost the wave changed,
+// minus the new member's computation and materialization cost — rather
+// than as a subtraction of two full TotalCost sums. In real arithmetic the
+// two are identical; in floats the delta form is what makes benefits
+// bit-stable across commits of independent picks: a candidate whose cone
+// does not conflict with a committed pick sums the exact same per-node
+// deltas before and after the commit, so its benefit — and therefore
+// every benefit-ranked tie among symmetric candidates — reproduces
+// bit-for-bit, which the multi-pick determinism guarantee relies on.
+// (Subtracting whole-DAG totals would instead shift every candidate's
+// rounding whenever the shared materialized list gains a term.)
+func (v *CostView) WhatIfBenefit(n *Node) cost.Cost {
+	ben, _ := v.whatIf(n, false)
+	return ben
+}
+
+// WhatIfBenefitCone is WhatIfBenefit plus the what-if's conflict cone:
+// the nodes whose cost the wave changed (alters) and the wave's choice
+// points (sensitive) — its seed siblings and every visited node with more
+// than one implementation. The multi-pick engine uses Cone.Conflicts to
+// prove that two candidates' commits cannot affect each other's benefits.
+func (v *CostView) WhatIfBenefitCone(n *Node) (cost.Cost, Cone) {
+	return v.whatIf(n, true)
+}
+
+// whatIf toggles n on inside the pristine view, sums the benefit in delta
+// form (and optionally captures the conflict cone), then resets the view.
+func (v *CostView) whatIf(n *Node, wantCone bool) (cost.Cost, Cone) {
+	pd := v.pd
+	if pd.matIn(v, n) {
+		return 0, Cone{}
+	}
 	v.SetMaterialized(n, true)
-	with := v.TotalCost()
+	// Benefit = Σ (old - new) over the changed TotalCost terms — the root
+	// and the base materialized list, walked in topological order for
+	// reproducible float sums — minus the new member's own contribution.
+	ben := cost.Cost(0)
+	if c, ok := v.over[pd.Root]; ok {
+		ben += pd.Root.Cost - c
+	}
+	for _, m := range pd.costing.matList {
+		if c, ok := v.over[m]; ok {
+			ben += m.Cost - c
+		}
+	}
+	ben -= pd.costIn(v, n) + n.MatCost
+
+	var cone Cone
+	if wantCone {
+		cone = Cone{alters: newConeBits(len(pd.Nodes)), sensitive: newConeBits(len(pd.Nodes))}
+		cone.sensitive.add(n)
+		for _, s := range pd.byGroup[n.LG] {
+			if n.Prop.Satisfies(s.Prop) {
+				cone.sensitive.add(s)
+			}
+		}
+		for x, c := range v.over {
+			if c != x.Cost {
+				cone.alters.add(x)
+				// A changed node whose group already has a materialized
+				// member sits at an armed reuse threshold: its consumers
+				// pay min(cost, reusecost), and two waves that each keep
+				// the cost above reusecost can jointly push it below,
+				// flipping the min non-additively. Treat such nodes as
+				// choice points, not plain value changes.
+				if len(pd.costing.matByGroup[x.LG]) > 0 || len(v.addByGroup[x.LG]) > 0 {
+					cone.sensitive.add(x)
+				}
+			}
+			if len(x.Exprs) > 1 {
+				cone.sensitive.add(x)
+			}
+		}
+	}
 	v.Reset()
-	return base - with
+	return ben, cone
 }

@@ -66,6 +66,16 @@ func (pd *DAG) FinishPlan(p *Plan) {
 // a materialized node of the same group, the link goes to that node's plan
 // node, so sharing appears as a DAG edge rather than a plan copy.
 func (pd *DAG) ExtractInto(p *Plan, n *Node) *PlanNode {
+	return pd.ExtractIntoView(nil, p, n)
+}
+
+// ExtractIntoView is ExtractInto under a CostView overlay: extraction
+// choices (best implementation, materialized-reuse links) follow the view's
+// private costing state instead of the shared DAG's, so concurrent search
+// passes — e.g. Volcano-RU's forward and reverse orders — can each extract
+// plans against their own what-if state without any shared-DAG writes. A
+// nil view reads the shared state.
+func (pd *DAG) ExtractIntoView(v *CostView, p *Plan, n *Node) *PlanNode {
 	if pn, ok := p.ByNode[n]; ok {
 		return pn
 	}
@@ -74,7 +84,7 @@ func (pd *DAG) ExtractInto(p *Plan, n *Node) *PlanNode {
 	var best *PExpr
 	bestCost := cost.Cost(0)
 	for i, e := range n.Exprs {
-		c := pd.exprCost(e)
+		c := pd.exprCostIn(v, e)
 		if i == 0 || c < bestCost {
 			best, bestCost = e, c
 		}
@@ -83,30 +93,21 @@ func (pd *DAG) ExtractInto(p *Plan, n *Node) *PlanNode {
 	pn.Children = make([]*PlanNode, len(best.Children))
 	for i, c := range best.Children {
 		target := c
-		if m := pd.bestSatisfyingMat(c, n); m != nil && c.ReuseSeq < c.Cost {
+		if m := pd.bestSatisfyingMat(v, c, n); m != nil && c.ReuseSeq < pd.costIn(v, c) {
 			target = m
 		}
-		cp := pd.ExtractInto(p, target)
+		cp := pd.ExtractIntoView(v, p, target)
 		cp.NumParents++
 		pn.Children[i] = cp
 	}
 	return pn
 }
 
-// bestSatisfyingMat returns a materialized node serving c's requirement, or
-// nil. It mirrors reusableBy's same-group restriction so extracted plans
-// match the costs computed for them.
-func (pd *DAG) bestSatisfyingMat(c, owner *Node) *Node {
-	sameGroup := owner != nil && owner.LG == c.LG
-	for _, m := range pd.costing.matByGroup[c.LG] {
-		if m == owner || (sameGroup && m != c) {
-			continue
-		}
-		if m.Prop.Satisfies(c.Prop) {
-			return m
-		}
-	}
-	return nil
+// bestSatisfyingMat returns a node materialized under the overlay serving
+// c's requirement, or nil. It is the same scan costing uses (reusableBy),
+// so extracted plans match the costs computed for them.
+func (pd *DAG) bestSatisfyingMat(v *CostView, c, owner *Node) *Node {
+	return pd.firstUsableMat(v, c, owner)
 }
 
 // Walk visits every plan node reachable from pn once, children first.

@@ -24,9 +24,12 @@
 // Optimization without execution is available through OptimizeSQL and
 // OptimizeBatch; ParseAlgorithm maps user-facing names ("greedy",
 // "volcano-ru", ...) to Algorithm values; NewResultCache exposes the
-// paper's §8 result-caching manager for query sequences. On large batches
-// the Greedy heuristic's benefit loop can fan out over multiple cores
-// (WithParallelism) without changing the chosen plan.
+// paper's §8 result-caching manager for query sequences. The optimizer's
+// search substrate auto-tunes its parallelism per batch: on large batches
+// Greedy's benefit waves, Volcano-RU's order passes and the sharability
+// analysis fan out over multiple cores (override with WithParallelism),
+// and WithMultiPick lets Greedy commit several independent picks per
+// wave — neither knob ever changes the chosen plan.
 //
 // For live traffic — independent concurrent requests rather than a
 // pre-assembled batch — Serve (or Optimizer.Submit) runs an adaptive
