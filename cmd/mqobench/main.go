@@ -20,10 +20,11 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|all)")
+	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|calibrate|resultcache|all)")
 	maxCQ := flag.Int("maxcq", 3, "largest PSP composite for the ablation experiments (1-5)")
-	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the parallel what-if costing and multi-pick experiments")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the parallel what-if costing, multi-pick and calibration experiments")
 	multipick := flag.Int("multipick", 4, "multi-pick width k for the multipick experiment")
+	rcBudget := flag.Int64("rcbudget", 16<<20, "result-cache byte budget for the resultcache experiment")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 
@@ -46,6 +47,8 @@ func main() {
 		{"space", bench.SpaceBudgetCurve},
 		{"parallel", func() (*bench.Experiment, error) { return bench.ParallelSpeedup(*parallel) }},
 		{"multipick", func() (*bench.Experiment, error) { return bench.MultiPickSpeedup(*parallel, *multipick) }},
+		{"calibrate", func() (*bench.Experiment, error) { return bench.Calibrate(*parallel) }},
+		{"resultcache", func() (*bench.Experiment, error) { return bench.ResultCacheReplay(*rcBudget) }},
 	}
 
 	var results []*bench.Experiment

@@ -28,6 +28,8 @@ func main() {
 	pool := flag.Int("pool", 1024, "buffer pool pages")
 	parallel := flag.Int("parallel", 0, "search-substrate workers (0: auto-tune per phase, 1: serial, n: fan out; plan is identical at every setting)")
 	multipick := flag.Int("multipick", 1, "max greedy picks per evaluation wave (speculative multi-pick; plan is identical at every k)")
+	resCache := flag.Int64("resultcache", 0, "cross-batch result-cache budget in bytes (0 disables)")
+	repeat := flag.Int("repeat", 1, "run the batch this many times (with -resultcache, later passes hit the cache)")
 	sqlSrc := flag.String("sql", "", "semicolon-separated SELECT batch over the TPC-D schema (overrides -workload)")
 	flag.Parse()
 
@@ -37,13 +39,17 @@ func main() {
 	}
 
 	db := mqo.NewDB(*pool)
+	sessionOpts := []mqo.Option{mqo.WithDB(db), mqo.WithParallelism(*parallel), mqo.WithMultiPick(*multipick)}
+	if *resCache > 0 {
+		sessionOpts = append(sessionOpts, mqo.WithResultCache(*resCache))
+	}
 	var (
 		batch = mqo.Batch{Algorithm: alg}
 		opt   *mqo.Optimizer
 	)
 	if *sqlSrc != "" {
 		// Parse before generating data, so bad SQL fails fast.
-		opt, err = mqo.Open(tpcd.Catalog(*sf), mqo.WithDB(db), mqo.WithParallelism(*parallel), mqo.WithMultiPick(*multipick))
+		opt, err = mqo.Open(tpcd.Catalog(*sf), sessionOpts...)
 		if err == nil {
 			batch.Queries, err = opt.ParseSQL(*sqlSrc)
 		}
@@ -54,25 +60,38 @@ func main() {
 		var cat *mqo.Catalog
 		batch.Queries, cat, err = namedWorkload(*workload, *n, *sf, db)
 		if err == nil {
-			opt, err = mqo.Open(cat, mqo.WithDB(db), mqo.WithParallelism(*parallel), mqo.WithMultiPick(*multipick))
+			opt, err = mqo.Open(cat, sessionOpts...)
 		}
 	}
 	if err != nil {
 		fail(err)
 	}
-	res, err := opt.Run(context.Background(), batch)
-	if err != nil {
-		fail(err)
+	if *repeat < 1 {
+		*repeat = 1
 	}
-	fmt.Printf("queries=%d algorithm=%v\n", len(res.Queries), alg)
-	fmt.Printf("estimated cost: %.2f s   optimization time: %v   materialized nodes: %d\n",
-		res.Cost, res.Stats.OptTime, len(res.Materialized))
-	fmt.Println(res.Plan)
+	for pass := 1; pass <= *repeat; pass++ {
+		res, err := opt.Run(context.Background(), batch)
+		if err != nil {
+			fail(err)
+		}
+		if *repeat > 1 {
+			fmt.Printf("== pass %d/%d ==\n", pass, *repeat)
+		}
+		fmt.Printf("queries=%d algorithm=%v\n", len(res.Queries), alg)
+		fmt.Printf("estimated cost: %.2f s   optimization time: %v   materialized nodes: %d\n",
+			res.Cost, res.Stats.OptTime, len(res.Materialized))
+		fmt.Println(res.Plan)
 
-	fmt.Printf("executed: %d queries, %d rows total, reads=%d writes=%d, simulated time %.3f s, wall %v\n",
-		len(res.Queries), res.Exec.RowsOut, res.Exec.IO.Reads, res.Exec.IO.Writes, res.Exec.SimTime, res.Exec.Wall)
-	for i, qr := range res.Queries {
-		fmt.Printf("  query %d: %d rows\n", i, len(qr.Rows))
+		fmt.Printf("executed: %d queries, %d rows total, reads=%d writes=%d, simulated time %.3f s, wall %v\n",
+			len(res.Queries), res.Exec.RowsOut, res.Exec.IO.Reads, res.Exec.IO.Writes, res.Exec.SimTime, res.Exec.Wall)
+		for i, qr := range res.Queries {
+			fmt.Printf("  query %d: %d rows\n", i, len(qr.Rows))
+		}
+	}
+	if *resCache > 0 {
+		st := opt.ResultCacheStats()
+		fmt.Printf("result cache: %d entries, %d/%d bytes, hit-rate %.0f%%, admitted %d, evicted %d, est saved %.2f s\n",
+			st.Entries, st.UsedBytes, st.BudgetBytes, 100*st.HitRate(), st.Admissions, st.Evictions, st.SavedCostEst)
 	}
 }
 

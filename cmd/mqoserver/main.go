@@ -32,6 +32,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "data generator seed")
 		pool      = flag.Int("pool", 1024, "buffer pool size in pages")
 		planCache = flag.Int("plancache", 128, "plan-cache capacity in batches (0 disables)")
+		resCache  = flag.Int64("resultcache", 0, "cross-batch result-cache budget in bytes (0 disables)")
 		maxBatch  = flag.Int("max-batch", 8, "flush a batching window at this many queries")
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max time the first query of a window waits")
 		workers   = flag.Int("workers", 2, "concurrently in-flight batches")
@@ -40,9 +41,10 @@ func main() {
 	flag.Parse()
 
 	handler, svc, err := newService(*sf, *seed, *pool, *planCache, mqo.BatchingOptions{
-		MaxBatch: *maxBatch,
-		MaxWait:  *maxWait,
-		Workers:  *workers,
+		MaxBatch:         *maxBatch,
+		MaxWait:          *maxWait,
+		Workers:          *workers,
+		ResultCacheBytes: *resCache,
 	}, *algName)
 	if err != nil {
 		log.Fatalf("mqoserver: %v", err)

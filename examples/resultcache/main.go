@@ -1,10 +1,12 @@
-// Result caching: the paper's §8 direction — apply the greedy benefit
-// machinery to a query *sequence* instead of a batch. A session's result
-// cache keeps a bounded store of materialized intermediate results; each
-// incoming query is optimized against the cache (matched by canonical
-// expression fingerprints, so syntactically different but equivalent
-// subexpressions still hit), and the query's own intermediate results then
-// compete for cache space by value density.
+// Result caching: the paper's §8 direction — keep materialized results of
+// *past* queries so future ones can reuse them — as a real, row-backed
+// store. A session opened with WithResultCache spools worthwhile executed
+// results into the database's cache namespace; when a later batch's DAG
+// contains a fingerprint-matched subexpression, the optimizer prices the
+// spooled table as an already-materialized node and the executor answers
+// by scanning it instead of recomputing. This demo replays the same query
+// sequence twice and shows the second pass running on cache hits: less
+// page I/O, reinforced entries, and a bounded byte budget.
 package main
 
 import (
@@ -13,70 +15,50 @@ import (
 	"log"
 
 	"mqo"
+	"mqo/internal/tpcd"
 )
 
 func main() {
-	cat := mqo.NewCatalog()
-	for _, n := range []string{"R", "S", "T", "P"} {
-		cat.Add(&mqo.Table{
-			Name: n,
-			Cols: []mqo.ColDef{
-				mqo.IntCol("id", 50000),
-				mqo.IntCol("fk", 5000),
-				mqo.IntColRange("num", 1000, 1, 1000),
-			},
-			Rows: 50000,
-		})
+	const sf = 0.005
+	db := mqo.NewDB(1024)
+	if err := tpcd.LoadDB(db, sf, 1); err != nil {
+		log.Fatal(err)
 	}
-	opt, err := mqo.Open(cat)
+	opt, err := mqo.Open(tpcd.Catalog(sf),
+		mqo.WithDB(db),
+		mqo.WithResultCache(16<<20), // 16 MB of spooled results
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	chainSQL := func(tables []string, sel int64) string {
-		from := ""
-		where := fmt.Sprintf("%s.num >= %d", tables[0], sel)
-		for i, t := range tables {
-			if i > 0 {
-				from += ", "
-				where += fmt.Sprintf(" AND %s.fk = %s.id", tables[i-1], t)
-			}
-			from += t
-		}
-		return fmt.Sprintf("SELECT * FROM %s WHERE %s", from, where)
-	}
-	parse := func(sql string) *mqo.Query {
-		qs, err := opt.ParseSQL(sql)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return qs[0]
+
+	sequence := []string{
+		`SELECT nname, SUM(lprice) AS rev FROM lineitem, supplier, nation
+		 WHERE lsk = sk AND snk = nk AND lship > 2000 GROUP BY nname`,
+		`SELECT nname, COUNT(*) AS n FROM lineitem, supplier, nation
+		 WHERE lsk = sk AND snk = nk AND lship > 2200 GROUP BY nname`,
+		`SELECT MIN(lprice) AS lo, MAX(lprice) AS hi FROM lineitem`,
 	}
 
-	rc := opt.NewResultCache(64 << 20)
-	sequence := []struct {
-		label string
-		q     *mqo.Query
-	}{
-		{"σ(R)⋈S⋈T", parse(chainSQL([]string{"R", "S", "T"}, 990))},
-		{"σ(R)⋈S⋈P (shares σ(R)⋈S)", parse(chainSQL([]string{"R", "S", "P"}, 990))},
-		{"σ(R)⋈S⋈T again (full hit)", parse(chainSQL([]string{"R", "S", "T"}, 990))},
-		{"σ(S)⋈T (fresh)", parse(chainSQL([]string{"S", "T"}, 980))},
-		{"σ(R)⋈S⋈P again", parse(chainSQL([]string{"R", "S", "P"}, 990))},
-	}
 	ctx := context.Background()
-	fmt.Printf("%-30s %12s %12s %6s %8s %8s\n", "query", "no-cache(s)", "cached(s)", "hits", "admitted", "evicted")
-	for _, step := range sequence {
-		dec, err := rc.Process(ctx, step.q)
-		if err != nil {
-			log.Fatal(err)
+	for pass := 1; pass <= 2; pass++ {
+		fmt.Printf("pass %d\n", pass)
+		for i, sql := range sequence {
+			res, err := opt.Run(ctx, mqo.Batch{SQL: sql, Algorithm: mqo.Greedy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  query %d: %3d rows, reads=%5d writes=%4d, est cost %8.2fs\n",
+				i, res.Exec.RowsOut, res.Exec.IO.Reads, res.Exec.IO.Writes, res.Cost)
 		}
-		fmt.Printf("%-30s %12.2f %12.2f %6d %8d %8d\n",
-			step.label, dec.CostNoCache, dec.CostWithCache,
-			len(dec.HitKeys), len(dec.Admitted), len(dec.Evicted))
+		st := opt.ResultCacheStats()
+		fmt.Printf("  cache: %d entries, %d/%d bytes, hit-rate %.0f%%, admitted %d, evicted %d\n\n",
+			st.Entries, st.UsedBytes, st.BudgetBytes, 100*st.HitRate(), st.Admissions, st.Evictions)
 	}
-	fmt.Println()
-	fmt.Println(rc)
-	for _, e := range rc.Entries() {
-		fmt.Printf("  entry prop=%-14s bytes=%9d hits=%d value=%.2f\n", e.Prop, e.Bytes, e.Hits, e.Value)
+
+	fmt.Println(opt.ResultCache())
+	for _, e := range opt.ResultCache().Entries() {
+		fmt.Printf("  entry table=%-6s prop=%-10s bytes=%8d hits=%d value=%.2f\n",
+			e.Table, e.Prop, e.Bytes, e.Hits, e.Value)
 	}
 }

@@ -705,6 +705,140 @@ func MultiPickSpeedup(workers, k int) (*Experiment, error) {
 	return e, nil
 }
 
+// Calibrate measures the three search phases — greedy benefit waves,
+// sharability analysis, Volcano-RU order passes — serial versus fanned out
+// across workload scales, and derives per-phase serial/fan-out crossover
+// constants with core.DeriveCalibration: the automation that replaces
+// hand-picking one shared constant off the BENCH_3/BENCH_4 artifacts. One
+// row per (phase, workload) measurement; the derived crossovers land in
+// the "derived" row's Extra (0 = phase had no measurements). The
+// measurements use the same work-estimate formula as the auto-tuner
+// (items × DAG nodes), so the derived constants drop straight into
+// core.SetCalibration.
+func Calibrate(workers int) (*Experiment, error) {
+	if workers < 2 {
+		workers = 2
+	}
+	model := cost.DefaultModel()
+	e := &Experiment{Name: "calibrate", Title: fmt.Sprintf("Per-phase auto-tune calibration (serial vs %d workers)", workers)}
+
+	timeIt := func(f func() error) (time.Duration, error) {
+		best := time.Duration(0)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if err := f(); err != nil {
+				return 0, err
+			}
+			if wall := time.Since(start); best == 0 || wall < best {
+				best = wall
+			}
+		}
+		return best, nil
+	}
+
+	var points []core.CalibrationPoint
+	type workload struct {
+		label   string
+		cat     *catalog.Catalog
+		queries []*algebra.Tree
+	}
+	workloads := []workload{
+		{"BQ1", tpcd.Catalog(1), tpcd.BatchQueries(1)},
+		{"BQ3", tpcd.Catalog(1), tpcd.BatchQueries(3)},
+		{"BQ5", tpcd.Catalog(1), tpcd.BatchQueries(5)},
+		{"CQ2", psp.Catalog(1), psp.CQ(2)},
+	}
+	for _, w := range workloads {
+		pd, err := core.BuildDAG(w.cat, model, w.queries)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", w.label, err)
+		}
+
+		// Benefit waves: exhaustive greedy is the §6.3 worst case, where
+		// nearly all time is candidate benefit recomputation.
+		var stats core.Stats
+		optTime := func(alg core.Algorithm, opt core.Options) (time.Duration, error) {
+			return timeIt(func() error {
+				res, err := core.Optimize(context.Background(), pd, alg, opt)
+				if err == nil {
+					stats = res.Stats
+				}
+				return err
+			})
+		}
+		exh := core.GreedyOptions{DisableMonotonicity: true}
+		serial, err := optTime(core.Greedy, core.Options{Greedy: exh, Parallelism: 1})
+		if err != nil {
+			return nil, err
+		}
+		parallel, err := optTime(core.Greedy, core.Options{Greedy: exh, Parallelism: workers})
+		if err != nil {
+			return nil, err
+		}
+		benefitUnits := stats.Candidates * stats.PhysNodes
+		points = append(points, core.CalibrationPoint{
+			Phase: core.PhaseBenefit, Units: benefitUnits,
+			SerialNS: serial.Nanoseconds(), ParallelNS: parallel.Nanoseconds(),
+		})
+		e.Rows = append(e.Rows, Row{Label: "benefit/" + w.label, Extra: map[string]float64{
+			"units": float64(benefitUnits), "workers": float64(workers), "serial_ms": ms(serial), "parallel_ms": ms(parallel),
+		}})
+
+		// Sharability: the §4.1 recurrences, one logical group per item.
+		shUnits := stats.DAGGroups * stats.DAGGroups
+		serial, err = timeIt(func() error { core.ComputeSharabilityN(pd, 1); return nil })
+		if err != nil {
+			return nil, err
+		}
+		parallel, err = timeIt(func() error { core.ComputeSharabilityN(pd, workers); return nil })
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, core.CalibrationPoint{
+			Phase: core.PhaseSharability, Units: shUnits,
+			SerialNS: serial.Nanoseconds(), ParallelNS: parallel.Nanoseconds(),
+		})
+		e.Rows = append(e.Rows, Row{Label: "sharability/" + w.label, Extra: map[string]float64{
+			"units": float64(shUnits), "workers": float64(workers), "serial_ms": ms(serial), "parallel_ms": ms(parallel),
+		}})
+
+		// Volcano-RU: forward/reverse order passes on private views. The
+		// phase has exactly two work items, so its fan-out is measured at
+		// 2 workers regardless of the caller's count — reported per row as
+		// "workers" so the artifact describes its own measurement.
+		ruUnits := stats.PhysNodes * len(w.queries)
+		serial, err = optTime(core.VolcanoRU, core.Options{Parallelism: 1})
+		if err != nil {
+			return nil, err
+		}
+		parallel, err = optTime(core.VolcanoRU, core.Options{Parallelism: 2})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, core.CalibrationPoint{
+			Phase: core.PhaseRU, Units: ruUnits,
+			SerialNS: serial.Nanoseconds(), ParallelNS: parallel.Nanoseconds(),
+		})
+		e.Rows = append(e.Rows, Row{Label: "volcano-ru/" + w.label, Extra: map[string]float64{
+			"units": float64(ruUnits), "workers": 2, "serial_ms": ms(serial), "parallel_ms": ms(parallel),
+		}})
+	}
+
+	derived := core.DeriveCalibration(points)
+	row := Row{Label: "derived", Extra: map[string]float64{}}
+	for _, ph := range core.SearchPhases() {
+		row.Extra["crossover_"+ph.String()] = float64(derived.CrossoverUnits[ph])
+	}
+	e.Rows = append(e.Rows, row)
+	e.Notes = append(e.Notes,
+		"Apply with core.SetCalibration(core.DeriveCalibration(points)); zero crossovers mean 'no measurement, keep current'.",
+		"Wall-clock measurements need real cores: on a single-CPU host every phase loses and the derived crossovers sit above the measured range (stay serial).")
+	return e, nil
+}
+
+// ms converts a duration to milliseconds for Extra maps.
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
 // String renders the experiment as an aligned text table.
 func (e *Experiment) String() string {
 	var b strings.Builder

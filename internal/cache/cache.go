@@ -1,26 +1,38 @@
-// Package cache applies the paper's greedy machinery to query-result
-// caching, the direction §8 points to ("we have recently applied the
+// Package cache is the cross-batch transient materialized-view store the
+// paper's §8 closing direction points to ("we have recently applied the
 // greedy algorithm ... to tackle the problem of cache replacement in query
-// result caching"): instead of optimizing a batch given together, a
-// Manager processes a *sequence* of queries, keeping a bounded store of
-// materialized intermediate results. Before each query, cached results are
-// made visible to the optimizer as materialized nodes (matched across
-// queries by canonical expression fingerprints); after it, the query's
-// intermediate results compete for cache space by value density
-// (estimated recomputation cost per byte), and poor entries are evicted.
+// result caching"): a bounded, row-backed store of spooled intermediate
+// results that survives across micro-batches, so repeated subexpressions in
+// later traffic are answered by scanning a cache table instead of being
+// recomputed.
+//
+// The Manager is concurrency-safe and batch-aware. One batch's life cycle:
+//
+//	t := m.Arm(pd)            // pre-pass: match fingerprints, arm CacheScan
+//	res := core.Optimize(...) // all algorithms price armed hits natively
+//	spools := t.PlanSpools(res.Plan) // single-flight admission decisions
+//	exec.Run(..., &exec.Env{Cache: &exec.CacheIO{Spools: spools}})
+//	t.Commit()                // real-byte accounting, reinforcement, eviction
+//
+// Admission is single-flight: an admitted key enters the store as a pending
+// entry immediately, so a concurrent batch never spools the same result
+// twice. Matched and pending entries are pinned until their batch commits
+// or aborts; eviction (lowest value density first, dropping the real
+// spooled table from storage) only ever touches unpinned ready entries, so
+// an in-flight plan can never lose a table it was optimized against.
 package cache
 
 import (
-	"context"
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 
 	"mqo/internal/algebra"
-	"mqo/internal/catalog"
-	"mqo/internal/core"
 	"mqo/internal/cost"
 	"mqo/internal/dag"
 	"mqo/internal/physical"
+	"mqo/internal/storage"
 )
 
 // Entry is one cached materialized result.
@@ -29,233 +41,531 @@ type Entry struct {
 	Key string
 	// Prop is the physical property the result was stored with.
 	Prop physical.Prop
-	// Bytes is the estimated stored size.
+	// Table names the spooled table in the database's cache namespace.
+	Table string
+	// Bytes is the stored size: the optimizer's estimate while the entry
+	// is pending, the real heap size (pages × page size) once ready.
 	Bytes int64
 	// Value accumulates the estimated cost the entry has saved (its
 	// admission value plus reinforcement per hit); eviction removes the
 	// lowest Value/Bytes density first.
 	Value float64
-	// Hits counts queries that reused the entry.
+	// Hits counts batches whose executed plan read the entry.
 	Hits int
-	// LastUsed is the sequence number of the last query that hit it.
-	LastUsed int
+	// LastUsed is the batch clock of the last hit (admission counts).
+	LastUsed int64
+
+	// admitValue is the per-use saving estimated at admission, the
+	// reinforcement added per hit when no fresher estimate exists.
+	admitValue float64
+	// ready is false while the admitting batch is still executing
+	// (single-flight: the key is claimed, but the table has no rows yet).
+	ready bool
+	// pins counts in-flight batches whose plan may read the entry; pinned
+	// entries are never evicted.
+	pins int
 }
 
 // density is the eviction metric.
 func (e *Entry) density() float64 { return e.Value / float64(e.Bytes) }
 
-// Decision reports what one Process call did.
-type Decision struct {
-	CostNoCache   float64
-	CostWithCache float64
-	HitKeys       []string
-	Admitted      []string
-	Evicted       []string
-	Plan          *physical.Plan
+// Stats is the store's accounting, shaped for JSON (GET /stats).
+type Stats struct {
+	Entries     int   `json:"entries"`
+	UsedBytes   int64 `json:"used_bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+	// Batches counts committed batches; HitBatches those whose executed
+	// plan read at least one cache table.
+	Batches    int64 `json:"batches"`
+	HitBatches int64 `json:"hit_batches"`
+	// Hits counts entry reads (one per entry per batch), Admissions and
+	// Evictions entry life-cycle events.
+	Hits       int64 `json:"hits"`
+	Admissions int64 `json:"admissions"`
+	Evictions  int64 `json:"evictions"`
+	// SavedCostEst totals the estimated optimizer-cost-model seconds hits
+	// saved versus recomputing.
+	SavedCostEst float64 `json:"saved_cost_est"`
+	// Generation increments whenever the set of ready entries changes; the
+	// session plan cache folds it into its keys so cached plans can never
+	// outlive the cache state they were optimized against.
+	Generation int64 `json:"generation"`
 }
 
-// Manager is the cache controller for a query sequence.
+// HitRate is the fraction of committed batches that read the cache.
+func (s Stats) HitRate() float64 {
+	if s.Batches == 0 {
+		return 0
+	}
+	return float64(s.HitBatches) / float64(s.Batches)
+}
+
+// Manager is the store's controller. All methods are safe for concurrent
+// use; the mutex is never held across optimization or execution.
 type Manager struct {
-	Cat    *catalog.Catalog
-	Model  cost.Model
-	Budget int64 // bytes of cached results
+	Model cost.Model
 
-	entries map[string]*Entry
-	used    int64
-	clock   int
+	db *storage.DB
+
+	mu       sync.Mutex
+	budget   int64             // bytes of spooled results
+	entries  map[string]*Entry // by entryKey
+	byTable  map[string]*Entry
+	used     int64
+	clock    int64
+	gen      int64
+	tableSeq int64
+	stats    Stats
 }
 
-// NewManager creates a cache manager with the given byte budget.
-func NewManager(cat *catalog.Catalog, model cost.Model, budget int64) *Manager {
-	return &Manager{Cat: cat, Model: model, Budget: budget, entries: map[string]*Entry{}}
+// NewStore creates a result-cache store over the given database with the
+// given byte budget for spooled tables.
+func NewStore(db *storage.DB, model cost.Model, budgetBytes int64) *Manager {
+	return &Manager{
+		Model:   model,
+		budget:  budgetBytes,
+		db:      db,
+		entries: map[string]*Entry{},
+		byTable: map[string]*Entry{},
+	}
 }
 
-// Entries returns the current cache contents, most valuable first.
+// Budget returns the store's byte budget for spooled results.
+func (m *Manager) Budget() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.budget
+}
+
+// SetBudget resizes the store at runtime and immediately evicts unpinned
+// entries (dropping their spooled tables) until the new budget holds.
+func (m *Manager) SetBudget(budgetBytes int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.budget = budgetBytes
+	m.rebalanceLocked()
+}
+
+// Entries returns a snapshot of the current cache contents, most valuable
+// first (pending entries included).
 func (m *Manager) Entries() []*Entry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]*Entry, 0, len(m.entries))
 	for _, e := range m.entries {
-		out = append(out, e)
+		cp := *e
+		out = append(out, &cp)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].density() > out[j].density() })
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].density() != out[j].density() {
+			return out[i].density() > out[j].density()
+		}
+		return out[i].Table < out[j].Table
+	})
 	return out
 }
 
 // UsedBytes reports the occupied cache space.
-func (m *Manager) UsedBytes() int64 { return m.used }
+func (m *Manager) UsedBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.used
+}
+
+// Generation reports the ready-set generation (see Stats.Generation).
+func (m *Manager) Generation() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+// Stats snapshots the accounting.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Entries = len(m.entries)
+	s.UsedBytes = m.used
+	s.BudgetBytes = m.budget
+	s.Generation = m.gen
+	return s
+}
+
+// String summarizes the cache state.
+func (m *Manager) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return fmt.Sprintf("resultcache: %d entries, %d/%d bytes, gen %d",
+		len(m.entries), m.used, m.budget, m.gen)
+}
 
 // entryKey combines the canonical logical fingerprint with the stored
 // physical property.
 func entryKey(fp string, prop physical.Prop) string { return fp + "§" + prop.Key() }
 
-// Process optimizes one query of the sequence against the current cache
-// state, then updates the cache: hits are reinforced, and the query's own
-// materialization-worthy intermediate results are admitted if their value
-// density beats the weakest entries. A cancelled context aborts between
-// phases with ctx.Err(), leaving the cache state unchanged.
-func (m *Manager) Process(ctx context.Context, q *algebra.Tree) (*Decision, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	pd, err := core.BuildDAG(m.Cat, m.Model, []*algebra.Tree{q})
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	m.clock++
-	fps := dag.CanonicalFingerprints(pd.L)
-
-	// Baseline: no cache.
-	core.ClearMaterialized(pd)
-	pd.Recost()
-	noCache := pd.Root.Cost
-
-	// Expose cache hits: a node is served by an entry when the logical
-	// fingerprints match and the stored property satisfies the node's.
-	hitNodes := map[*physical.Node]*Entry{}
-	for _, n := range pd.Nodes {
-		fp := fps[n.LG.Find()]
-		for _, e := range m.entries {
-			if e.Key == fp && e.Prop.Satisfies(n.Prop) {
-				pd.SetMaterializedRaw(n, true)
-				if prev, ok := hitNodes[n]; !ok || e.density() > prev.density() {
-					hitNodes[n] = e
-				}
-			}
-		}
-	}
-	pd.Recost()
-	withCache := pd.Root.Cost
-	plan := physical.NewPlan()
-	plan.Root = pd.ExtractInto(plan, pd.Root)
-	pd.FinishPlan(plan)
-
-	dec := &Decision{CostNoCache: noCache, CostWithCache: withCache, Plan: plan}
-
-	// Reinforce entries the plan actually reads.
-	usedEntries := map[*Entry]bool{}
-	plan.Root.Walk(func(pn *physical.PlanNode) {
-		if e, ok := hitNodes[pn.N]; ok && pn.Mat {
-			usedEntries[e] = true
-		}
-	})
-	// Entries serving plan nodes via Mat marks on reachable nodes.
-	for n, e := range hitNodes {
-		if pn, ok := plan.ByNode[n]; ok && pn.Mat && !usedEntries[e] {
-			usedEntries[e] = true
-		}
-	}
-	saved := noCache - withCache
-	for e := range usedEntries {
-		e.Hits++
-		e.LastUsed = m.clock
-		if len(usedEntries) > 0 {
-			e.Value += saved / float64(len(usedEntries))
-		}
-		dec.HitKeys = append(dec.HitKeys, entryKey(e.Key, e.Prop))
-	}
-
-	// Admission: the query's own worthwhile intermediate results. Reuse
-	// the sharability machinery to avoid caching trivia: candidates are
-	// nodes whose recomputation is expensive relative to their size.
-	m.admit(pd, fps, hitNodes, dec)
-	sort.Strings(dec.HitKeys)
-	return dec, nil
+// Ticket is one batch's handle on the store: the entries its plan may read
+// (pinned), the admissions it owes rows for (pending, pinned), and the
+// per-entry saving estimates for reinforcement. Exactly one of Commit and
+// Abort must be called.
+type Ticket struct {
+	m *Manager
+	// fps are the batch DAG's canonical fingerprints (Arm tickets only).
+	fps map[*dag.Group]string
+	// armed maps ready entries the batch's DAG can read to the estimated
+	// per-use saving (recomputation cost minus read-back).
+	armed map[*Entry]float64
+	// pending maps spooled physical nodes to their pending entries.
+	pending map[*physical.Node]*Entry
+	// plan is the executed plan, recorded by PlanSpools / PinPlan; Commit
+	// walks it to see which armed tables were actually read.
+	plan *physical.Plan
+	done bool
 }
 
-// admit considers the query's intermediate results for caching.
-func (m *Manager) admit(pd *physical.DAG, fps map[*dag.Group]string,
-	hits map[*physical.Node]*Entry, dec *Decision) {
+// Arm is the result cache's pre-pass over a freshly built batch DAG: every
+// physical node whose logical fingerprint matches a ready entry (and whose
+// required property the stored property satisfies) gains a CacheScan access
+// path priced at the real stored bytes' scan cost — an already-materialized
+// result with zero setup cost that all three search algorithms price
+// natively. Matched entries are pinned until Commit/Abort so eviction can
+// never snatch a table from under the plan. Arm returns a ticket even when
+// nothing matched (the batch may still admit).
+func (m *Manager) Arm(pd *physical.DAG) *Ticket {
+	fps := dag.CanonicalFingerprints(pd.L)
+	t := &Ticket{m: m, fps: fps, armed: map[*Entry]float64{}, pending: map[*physical.Node]*Entry{}}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock++
+
+	// Ready entries by fingerprint, deterministically ordered.
+	byKey := map[string][]*Entry{}
+	for _, e := range m.entries {
+		if e.ready {
+			byKey[e.Key] = append(byKey[e.Key], e)
+		}
+	}
+	for _, es := range byKey {
+		sort.Slice(es, func(i, j int) bool { return es[i].Table < es[j].Table })
+	}
+
+	for _, n := range pd.Nodes {
+		if n.LG.ParamDep || n == pd.Root || n.Prop.HasIx {
+			continue
+		}
+		fp := fps[n.LG.Find()]
+		var best *Entry
+		var bestCost cost.Cost
+		for _, e := range byKey[fp] {
+			if !e.Prop.Satisfies(n.Prop) {
+				continue
+			}
+			sc := m.scanCost(e.Bytes)
+			if best == nil || sc < bestCost {
+				best, bestCost = e, sc
+			}
+		}
+		if best == nil {
+			continue
+		}
+		pd.ArmCacheScan(n, best.Table, bestCost)
+		saving := float64(n.Cost - bestCost)
+		if saving < 0 {
+			saving = 0
+		}
+		if prev, ok := t.armed[best]; !ok || saving > prev {
+			if !ok {
+				best.pins++
+			}
+			t.armed[best] = saving
+		}
+	}
+	return t
+}
+
+// scanCost prices reading back a spooled result of the given size.
+func (m *Manager) scanCost(bytes int64) cost.Cost {
+	blocks := float64(bytes) / float64(m.Model.BlockSize)
+	if blocks < 1 {
+		blocks = 1
+	}
+	return m.Model.ScanCost(blocks)
+}
+
+// maxAdmitPerBatch bounds how many new results one batch may spool, so a
+// single large batch cannot churn the whole store.
+const maxAdmitPerBatch = 4
+
+// PlanSpools decides which of the optimized batch's results to admit and
+// returns the node→cache-table spool map for the executor. Candidates are
+// the plan's materialized intermediates (whose cache write replaces the
+// temp write they were paying anyway) and the query roots (charged the
+// extra write); they compete on estimated value density against the
+// store's weakest unpinned entries. Admitted keys enter the store as
+// pinned pending entries immediately — the single-flight claim that stops
+// concurrent batches from spooling the same result.
+func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
+	m := t.m
+	t.plan = plan
 
 	type cand struct {
-		n     *physical.Node
+		pn    *physical.PlanNode
+		key   string
 		bytes int64
 		value float64
 	}
 	var cands []cand
 	seen := map[string]bool{}
-	for _, n := range pd.Nodes {
-		if n.LG.ParamDep || n == pd.Root || n.Cost <= 0 {
-			continue
+	consider := func(pn *physical.PlanNode, extraWrite bool) {
+		n := pn.N
+		switch {
+		case n.LG.ParamDep, n.Prop.HasIx, pn.E.Kind == physical.IndexBuildEnf,
+			pn.E.Kind == physical.CacheScanOp, pn.E.Kind == physical.Batch,
+			isBaseScanGroup(n.LG), len(n.LG.Schema) == 0:
+			return
 		}
-		if _, isHit := hits[n]; isHit {
-			continue // already cached
-		}
-		if len(n.LG.Schema) == 0 {
-			continue
-		}
-		if isBaseScanGroup(n.LG) {
-			continue // base tables are already stored
-		}
-		key := entryKey(fps[n.LG.Find()], n.Prop)
+		key := entryKey(t.fps[n.LG.Find()], n.Prop)
 		if seen[key] {
-			continue
+			return
 		}
-		if _, exists := m.entries[key]; exists {
-			continue
-		}
+		// Budget comparison happens in the locked admission loop below;
+		// reading m.budget here would race a concurrent SetBudget.
 		bytes := int64(n.LG.Rel.Blocks(m.Model)) * m.Model.BlockSize
-		if bytes <= 0 || bytes > m.Budget {
-			continue
+		if bytes <= 0 {
+			return
 		}
-		// Value: what a future identical use would save — recomputation
-		// cost minus the read-back cost — discounted by the write cost we
-		// pay now.
-		value := n.Cost - n.ReuseSeq - n.MatCost
+		// Value: what a future use saves — recomputation minus read-back —
+		// discounted by the extra write a root spool pays now (a Mat node's
+		// write replaces its temp write, already paid for by the plan).
+		value := float64(n.Cost - n.ReuseSeq)
+		if extraWrite {
+			value -= float64(n.MatCost)
+		}
 		if value <= 0 {
-			continue
+			return
 		}
 		seen[key] = true
-		cands = append(cands, cand{n: n, bytes: bytes, value: value})
+		cands = append(cands, cand{pn: pn, key: key, bytes: bytes, value: value})
 	}
-	// Best density first.
+	for _, pn := range plan.Mats {
+		consider(pn, false)
+	}
+	roots := plan.Root.Children
+	if plan.Root.E.Kind != physical.Batch {
+		roots = []*physical.PlanNode{plan.Root}
+	}
+	for _, pn := range roots {
+		if !pn.Mat {
+			consider(pn, true)
+		}
+	}
+	// Best density first; topological number breaks ties deterministically.
 	sort.Slice(cands, func(i, j int) bool {
-		return cands[i].value/float64(cands[i].bytes) > cands[j].value/float64(cands[j].bytes)
+		di := cands[i].value / float64(cands[i].bytes)
+		dj := cands[j].value / float64(cands[j].bytes)
+		if di != dj {
+			return di > dj
+		}
+		return cands[i].pn.N.Topo < cands[j].pn.N.Topo
 	})
-	const maxAdmitPerQuery = 4
-	admitted := 0
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	spools := map[*physical.Node]string{}
 	for _, c := range cands {
-		if admitted >= maxAdmitPerQuery {
+		if len(spools) >= maxAdmitPerBatch {
 			break
 		}
-		if !m.makeRoom(c.bytes, c.value/float64(c.bytes), dec) {
+		if c.bytes > m.budget {
+			continue // larger than the whole store
+		}
+		if _, exists := m.entries[c.key]; exists {
+			continue // ready or claimed by a concurrent batch (single-flight)
+		}
+		if !m.makeRoomLocked(c.bytes, c.value/float64(c.bytes)) {
 			continue
 		}
-		key := entryKey(fps[c.n.LG.Find()], c.n.Prop)
-		m.entries[key] = &Entry{
-			Key:      fps[c.n.LG.Find()],
-			Prop:     c.n.Prop,
-			Bytes:    c.bytes,
-			Value:    c.value,
-			LastUsed: m.clock,
+		m.tableSeq++
+		e := &Entry{
+			Key:        t.fps[c.pn.N.LG.Find()],
+			Prop:       c.pn.N.Prop,
+			Table:      "rc" + strconv.FormatInt(m.tableSeq, 10),
+			Bytes:      c.bytes,
+			Value:      c.value,
+			admitValue: c.value,
+			LastUsed:   m.clock,
+			pins:       1,
 		}
-		m.used += c.bytes
-		dec.Admitted = append(dec.Admitted, key)
-		admitted++
+		m.entries[c.key] = e
+		m.byTable[e.Table] = e
+		m.used += e.Bytes
+		t.pending[c.pn.N] = e
+		spools[c.pn.N] = e.Table
+	}
+	return spools
+}
+
+// PinPlan builds a ticket for an already-optimized plan (a session
+// plan-cache hit): every cache table the plan reads is pinned. It reports
+// ok=false — and pins nothing — when any referenced entry is gone or not
+// ready, in which case the caller must discard the plan and optimize
+// fresh.
+func (m *Manager) PinPlan(plan *physical.Plan) (*Ticket, bool) {
+	var tables []string
+	plan.Root.Walk(func(pn *physical.PlanNode) {
+		if pn.E.Kind == physical.CacheScanOp {
+			tables = append(tables, pn.E.CacheName)
+		}
+	})
+	t := &Ticket{m: m, armed: map[*Entry]float64{}, pending: map[*physical.Node]*Entry{}, plan: plan}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, table := range tables {
+		e, ok := m.byTable[table]
+		if !ok || !e.ready {
+			for pinned := range t.armed {
+				pinned.pins--
+			}
+			return nil, false
+		}
+		if _, dup := t.armed[e]; !dup {
+			e.pins++
+			t.armed[e] = e.admitValue
+		}
+	}
+	m.clock++
+	return t, true
+}
+
+// Commit finishes a successfully executed batch: pending entries become
+// ready with real byte accounting (heap pages actually written, replacing
+// the optimizer estimate), armed entries the executed plan read are
+// reinforced (value-density goes up with every hit), and the store is
+// rebalanced — evicting unpinned low-density entries, dropping their
+// spooled tables from storage — if real sizes overshot the budget. It
+// returns the number of distinct entries the executed plan read (the
+// batch's hit count, also what reinforcement was applied to).
+func (t *Ticket) Commit() int {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.done {
+		return 0
+	}
+	t.done = true
+
+	changed := false
+	for _, e := range t.pending {
+		if _, err := m.db.Cache(e.Table); err != nil {
+			// The plan never produced the table: withdraw the claim.
+			m.dropEntryLocked(e)
+			continue
+		}
+		// Real byte accounting, clamped to one page: a zero-row result is
+		// perfectly cacheable (its heap allocated no pages, and serving
+		// the empty scan is maximally cheap) but must not divide density
+		// by zero or dodge eviction forever.
+		real := m.db.CacheBytes(e.Table)
+		if real < storage.PageSize {
+			real = storage.PageSize
+		}
+		m.used += real - e.Bytes
+		e.Bytes = real
+		e.ready = true
+		m.stats.Admissions++
+		changed = true
+	}
+
+	// Reinforce the armed entries the executed plan actually read.
+	read := map[string]bool{}
+	if t.plan != nil {
+		t.plan.Root.Walk(func(pn *physical.PlanNode) {
+			if pn.E.Kind == physical.CacheScanOp {
+				read[pn.E.CacheName] = true
+			}
+		})
+	}
+	hits := 0
+	for e, saving := range t.armed {
+		if !read[e.Table] {
+			continue
+		}
+		e.Hits++
+		e.LastUsed = m.clock
+		if saving <= 0 {
+			saving = e.admitValue
+		}
+		e.Value += saving
+		m.stats.Hits++
+		m.stats.SavedCostEst += saving
+		hits++
+	}
+	m.stats.Batches++
+	if hits > 0 {
+		m.stats.HitBatches++
+	}
+
+	m.unpinLocked(t)
+	if m.rebalanceLocked() {
+		changed = true
+	}
+	if changed {
+		m.gen++
+	}
+	return hits
+}
+
+// Abort withdraws a failed batch: pending entries (and any partially
+// spooled tables) are dropped and every pin released.
+func (t *Ticket) Abort() {
+	m := t.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t.done {
+		return
+	}
+	t.done = true
+	for _, e := range t.pending {
+		m.dropEntryLocked(e)
+	}
+	m.unpinLocked(t)
+	m.rebalanceLocked()
+}
+
+// unpinLocked releases the ticket's pins.
+func (m *Manager) unpinLocked(t *Ticket) {
+	for e := range t.armed {
+		e.pins--
+	}
+	for _, e := range t.pending {
+		e.pins--
 	}
 }
 
-// makeRoom evicts entries with density below the incoming candidate's
-// until bytes fit, or reports false when the candidate is not worth the
-// evictions.
-func (m *Manager) makeRoom(bytes int64, density float64, dec *Decision) bool {
-	if m.used+bytes <= m.Budget {
+// dropEntryLocked removes an entry and its spooled table.
+func (m *Manager) dropEntryLocked(e *Entry) {
+	key := entryKey(e.Key, e.Prop)
+	if m.entries[key] == e {
+		delete(m.entries, key)
+	}
+	delete(m.byTable, e.Table)
+	m.used -= e.Bytes
+	m.db.DropCache(e.Table)
+}
+
+// makeRoomLocked evicts ready, unpinned entries with density below the
+// incoming candidate's until bytes fit, or reports false when the
+// candidate is not worth the evictions (or pinned entries hold the space).
+func (m *Manager) makeRoomLocked(bytes int64, density float64) bool {
+	if m.used+bytes <= m.budget {
 		return true
 	}
-	// Victims: lowest density first, LRU tiebreak.
-	victims := m.Entries()
-	sort.Slice(victims, func(i, j int) bool {
-		di, dj := victims[i].density(), victims[j].density()
-		if di != dj {
-			return di < dj
-		}
-		return victims[i].LastUsed < victims[j].LastUsed
-	})
+	victims := m.victimsLocked()
 	freed := int64(0)
 	var plan []*Entry
 	for _, v := range victims {
-		if m.used-freed+bytes <= m.Budget {
+		if m.used-freed+bytes <= m.budget {
 			break
 		}
 		if v.density() >= density {
@@ -264,23 +574,63 @@ func (m *Manager) makeRoom(bytes int64, density float64, dec *Decision) bool {
 		plan = append(plan, v)
 		freed += v.Bytes
 	}
-	if m.used-freed+bytes > m.Budget {
+	if m.used-freed+bytes > m.budget {
 		return false
 	}
 	for _, v := range plan {
-		delete(m.entries, entryKey(v.Key, v.Prop))
-		m.used -= v.Bytes
-		dec.Evicted = append(dec.Evicted, entryKey(v.Key, v.Prop))
+		m.evictLocked(v)
 	}
 	return true
 }
 
-// String summarizes the cache state.
-func (m *Manager) String() string {
-	return fmt.Sprintf("cache: %d entries, %d/%d bytes", len(m.entries), m.used, m.Budget)
+// rebalanceLocked evicts lowest-density unpinned entries while the store
+// is over budget (real sizes can overshoot the admission estimates); it
+// reports whether anything was evicted. Pinned entries may hold the store
+// over budget transiently — the next Commit/Abort rebalances again.
+func (m *Manager) rebalanceLocked() bool {
+	evicted := false
+	for m.used > m.budget {
+		victims := m.victimsLocked()
+		if len(victims) == 0 {
+			break
+		}
+		m.evictLocked(victims[0])
+		evicted = true
+	}
+	return evicted
 }
 
-// isBaseScanGroup reports whether the group is a bare base-table scan.
+// victimsLocked lists evictable entries, lowest density first (LRU breaks
+// ties).
+func (m *Manager) victimsLocked() []*Entry {
+	var out []*Entry
+	for _, e := range m.entries {
+		if e.ready && e.pins == 0 {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].density(), out[j].density()
+		if di != dj {
+			return di < dj
+		}
+		if out[i].LastUsed != out[j].LastUsed {
+			return out[i].LastUsed < out[j].LastUsed
+		}
+		return out[i].Table < out[j].Table
+	})
+	return out
+}
+
+// evictLocked removes an entry, dropping its spooled table.
+func (m *Manager) evictLocked(e *Entry) {
+	m.dropEntryLocked(e)
+	m.stats.Evictions++
+	m.gen++
+}
+
+// isBaseScanGroup reports whether the group is a bare base-table scan
+// (already stored; caching it would duplicate the base table).
 func isBaseScanGroup(g *dag.Group) bool {
 	for _, e := range g.Exprs {
 		if _, ok := e.Op.(algebra.Scan); ok {

@@ -88,8 +88,10 @@ type Options struct {
 	// overlay of the shared DAG), Volcano-RU's forward/reverse order
 	// passes (each on a private overlay), and the sharability analysis
 	// (one logical group per worker). 0 — the default — auto-tunes each
-	// phase: serial below the BENCH_3 crossover (work estimate = items ×
-	// DAG nodes), fanned out above it. 1 forces strictly serial execution;
+	// phase: serial below the phase's calibrated crossover (work estimate
+	// = items × DAG nodes; per-phase constants in calibrate.go, derived
+	// from the BENCH_3/BENCH_4 artifacts and re-derivable at runtime with
+	// DeriveCalibration). 1 forces strictly serial execution;
 	// n > 1 forces n workers. The materialization set, plan and cost are
 	// identical at every setting (selection breaks ties by benefit, then
 	// node topological order, and the speculation schedules are
@@ -128,6 +130,13 @@ type Stats struct {
 	// of a wave. Both depend on MultiPick but never on Parallelism.
 	EvalWaves        int64
 	SpeculativePicks int64
+	// Volcano-RU batched-promotion instrumentation (winning order pass):
+	// RUPromotions counts reuse promotions committed; RUPromotionRetests
+	// counts the subset whose state an earlier promotion of the same pass
+	// had dirtied, forcing a re-read — the rest committed straight from
+	// their phase-1 capture as provably independent.
+	RUPromotions       int64
+	RUPromotionRetests int64
 }
 
 // Result is the outcome of optimizing a batch.
@@ -220,8 +229,10 @@ func Optimize(ctx context.Context, pd *physical.DAG, alg Algorithm, opt Options)
 		res = optimizeVolcano(pd)
 	case VolcanoSH:
 		res, err = optimizeVolcanoSH(ctx, pd)
+		res = guardBaseline(pd, res, err, noShare)
 	case VolcanoRU:
 		res, err = optimizeVolcanoRU(ctx, pd, opt)
+		res = guardBaseline(pd, res, err, noShare)
 	case Greedy:
 		res, err = optimizeGreedy(ctx, pd, opt)
 	default:
@@ -244,4 +255,23 @@ func Optimize(ctx context.Context, pd *physical.DAG, alg Algorithm, opt Options)
 func optimizeVolcano(pd *physical.DAG) *Result {
 	pd.Recost()
 	return &Result{Cost: pd.TotalCost(), Plan: pd.ExtractPlan()}
+}
+
+// guardBaseline enforces the heuristics' monotone-improvement contract:
+// sharing is adopted only when it helps. Volcano-SH's subsumption prepass
+// can keep a switched derivation that loses for one parent while winning
+// for others, and Volcano-RU's per-query plans are extracted assuming
+// promoted reuses the final SH pass may reject — in both cases the
+// combined plan can cost MORE than plain no-sharing Volcano (FuzzOptimize
+// finds such batches). When that happens, return the baseline plan
+// instead, retaining the heuristic pass's instrumentation. No-op on error
+// or when the heuristic is within tolerance of the baseline or better.
+func guardBaseline(pd *physical.DAG, res *Result, err error, noShare cost.Cost) *Result {
+	if err != nil || res == nil || cost.Leq(res.Cost, noShare) {
+		return res
+	}
+	ClearMaterialized(pd)
+	fb := optimizeVolcano(pd)
+	fb.Stats = res.Stats
+	return fb
 }

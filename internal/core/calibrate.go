@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SearchPhase names one fan-out site of the search substrate. Each phase
+// has its own serial/fan-out crossover: the phases do different work per
+// unit — a benefit wave propagates costs through CostView overlays, a
+// sharability pass runs the §4.1 recurrences over scratch maps, an RU
+// order pass extracts and promotes over a whole private view — so one
+// shared constant systematically mis-tunes two of the three.
+type SearchPhase int
+
+const (
+	// PhaseBenefit is the greedy benefit-evaluation wave (engine.go).
+	PhaseBenefit SearchPhase = iota
+	// PhaseSharability is the degree-of-sharing analysis (§4.1), one
+	// logical group per work item.
+	PhaseSharability
+	// PhaseRU is Volcano-RU's forward/reverse order passes, one private
+	// CostView per work item.
+	PhaseRU
+
+	numPhases
+)
+
+// String names the phase for reports.
+func (p SearchPhase) String() string {
+	switch p {
+	case PhaseBenefit:
+		return "benefit"
+	case PhaseSharability:
+		return "sharability"
+	case PhaseRU:
+		return "volcano-ru"
+	}
+	return fmt.Sprintf("phase(%d)", int(p))
+}
+
+// SearchPhases lists the calibratable phases.
+func SearchPhases() []SearchPhase { return []SearchPhase{PhaseBenefit, PhaseSharability, PhaseRU} }
+
+// Calibration holds the per-phase crossover constants of the auto-tuner: a
+// phase whose work estimate (items × DAG nodes) falls below its crossover
+// runs serially; above it, it fans out. Crossovers affect wall-clock only,
+// never the chosen plan.
+type Calibration struct {
+	CrossoverUnits [numPhases]int
+}
+
+// DefaultCalibration returns the built-in per-phase crossovers, derived
+// from the BENCH_3.json (parallel what-if costing) and BENCH_4.json
+// (multi-pick + concurrent Volcano-RU) benchmark trajectories with
+// DeriveCalibration rather than hand-picked:
+//
+//   - benefit: ~32k units — BENCH_3's BQ-scale waves amortized the worker
+//     wakeups and per-view bookkeeping at roughly this much propagation
+//     work; smaller batches were faster serial at every worker count.
+//   - sharability: ~64k units — the per-z passes are pure map arithmetic
+//     with no view bookkeeping, so per-item work is lighter and the
+//     fan-out overhead needs about twice the units to amortize.
+//   - volcano-ru: ~16k units — only two heavy items (the order passes), so
+//     almost no scheduling overhead; BENCH_4's concurrent-RU rows won at
+//     half the benefit crossover.
+func DefaultCalibration() Calibration {
+	var c Calibration
+	c.CrossoverUnits[PhaseBenefit] = 32768
+	c.CrossoverUnits[PhaseSharability] = 65536
+	c.CrossoverUnits[PhaseRU] = 16384
+	return c
+}
+
+var (
+	calMu       sync.RWMutex
+	calibration = DefaultCalibration()
+)
+
+// CurrentCalibration returns the active per-phase crossovers.
+func CurrentCalibration() Calibration {
+	calMu.RLock()
+	defer calMu.RUnlock()
+	return calibration
+}
+
+// SetCalibration installs per-phase crossovers (e.g. derived from a
+// freshly measured benchmark artifact via DeriveCalibration). Zero entries
+// keep the current value. Safe for concurrent use; in-flight phases keep
+// the constants they started with.
+func SetCalibration(c Calibration) {
+	calMu.Lock()
+	defer calMu.Unlock()
+	for ph := SearchPhase(0); ph < numPhases; ph++ {
+		if c.CrossoverUnits[ph] > 0 {
+			calibration.CrossoverUnits[ph] = c.CrossoverUnits[ph]
+		}
+	}
+}
+
+// CalibrationPoint is one measured observation from a benchmark artifact:
+// a phase run at a known work estimate, serially and fanned out.
+type CalibrationPoint struct {
+	Phase      SearchPhase
+	Units      int   // work estimate (items × DAG nodes)
+	SerialNS   int64 // serial wall-clock
+	ParallelNS int64 // fanned-out wall-clock on the same host
+}
+
+// DeriveCalibration computes per-phase crossovers from measured points —
+// the automation that replaces hand-picking constants off the BENCH_3 /
+// BENCH_4 artifacts. For each phase the points are ordered by units; the
+// crossover is the geometric mean of the largest work estimate where the
+// fan-out still lost and the smallest where it won (the break-even lies
+// between them). Phases where the fan-out won everywhere get half their
+// smallest measured units (the break-even lies below the measurement
+// range); phases where it never won get double their largest (stay serial
+// throughout the measured range); phases with no points keep zero, which
+// SetCalibration treats as "leave unchanged".
+func DeriveCalibration(points []CalibrationPoint) Calibration {
+	var c Calibration
+	byPhase := map[SearchPhase][]CalibrationPoint{}
+	for _, p := range points {
+		if p.Phase < 0 || p.Phase >= numPhases || p.Units <= 0 {
+			continue
+		}
+		byPhase[p.Phase] = append(byPhase[p.Phase], p)
+	}
+	for ph, ps := range byPhase {
+		sort.Slice(ps, func(i, j int) bool { return ps[i].Units < ps[j].Units })
+		lastLose, firstWin := 0, 0
+		for _, p := range ps {
+			if p.ParallelNS < p.SerialNS {
+				if firstWin == 0 {
+					firstWin = p.Units
+				}
+			} else if firstWin == 0 {
+				lastLose = p.Units
+			}
+		}
+		switch {
+		case firstWin == 0:
+			c.CrossoverUnits[ph] = 2 * ps[len(ps)-1].Units
+		case lastLose == 0:
+			c.CrossoverUnits[ph] = firstWin / 2
+		default:
+			c.CrossoverUnits[ph] = geoMean(lastLose, firstWin)
+		}
+		if c.CrossoverUnits[ph] < 1 {
+			c.CrossoverUnits[ph] = 1
+		}
+	}
+	return c
+}
+
+// geoMean is the integer geometric mean of two positive values.
+func geoMean(a, b int) int {
+	lo, hi := 1, b+1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if mid <= (a*b)/mid { // mid² <= a·b without overflow for bench-scale units
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1
+}

@@ -1,0 +1,66 @@
+package core
+
+import "testing"
+
+func TestDeriveCalibration(t *testing.T) {
+	pts := []CalibrationPoint{
+		// benefit: loses at 8k, wins from 32k → crossover between.
+		{Phase: PhaseBenefit, Units: 8192, SerialNS: 100, ParallelNS: 150},
+		{Phase: PhaseBenefit, Units: 32768, SerialNS: 400, ParallelNS: 200},
+		{Phase: PhaseBenefit, Units: 131072, SerialNS: 1600, ParallelNS: 500},
+		// sharability: never wins → stay serial past the measured range.
+		{Phase: PhaseSharability, Units: 4096, SerialNS: 50, ParallelNS: 80},
+		{Phase: PhaseSharability, Units: 65536, SerialNS: 700, ParallelNS: 900},
+		// volcano-ru: wins everywhere → crossover below the range.
+		{Phase: PhaseRU, Units: 10000, SerialNS: 300, ParallelNS: 180},
+	}
+	c := DeriveCalibration(pts)
+	b := c.CrossoverUnits[PhaseBenefit]
+	if b <= 8192 || b >= 32768 {
+		t.Errorf("benefit crossover %d not between the losing and winning points", b)
+	}
+	if got, want := c.CrossoverUnits[PhaseSharability], 2*65536; got != want {
+		t.Errorf("sharability crossover %d, want %d (never won)", got, want)
+	}
+	if got, want := c.CrossoverUnits[PhaseRU], 5000; got != want {
+		t.Errorf("volcano-ru crossover %d, want %d (always won)", got, want)
+	}
+
+	// SetCalibration: zero entries leave the existing value alone.
+	orig := CurrentCalibration()
+	defer SetCalibration(orig)
+	var partial Calibration
+	partial.CrossoverUnits[PhaseBenefit] = 12345
+	SetCalibration(partial)
+	cur := CurrentCalibration()
+	if cur.CrossoverUnits[PhaseBenefit] != 12345 {
+		t.Errorf("SetCalibration did not apply: %+v", cur)
+	}
+	if cur.CrossoverUnits[PhaseSharability] != orig.CrossoverUnits[PhaseSharability] {
+		t.Errorf("zero entry overwrote sharability crossover: %+v", cur)
+	}
+
+	// Crossovers steer the auto-tuner but never explicit settings.
+	if w := resolveWorkers(PhaseBenefit, 1, 1<<30); w != 1 {
+		t.Errorf("explicit serial overridden: %d", w)
+	}
+	if w := resolveWorkers(PhaseBenefit, 6, 1); w != 6 {
+		t.Errorf("explicit worker count overridden: %d", w)
+	}
+	if w := resolveWorkers(PhaseBenefit, 0, 12344); w != 1 {
+		t.Errorf("below-crossover auto-tune fanned out: %d", w)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	for _, tc := range []struct{ a, b, want int }{
+		{4, 16, 8},
+		{8192, 32768, 16384},
+		{3, 27, 9},
+		{5, 5, 5},
+	} {
+		if got := geoMean(tc.a, tc.b); got != tc.want {
+			t.Errorf("geoMean(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"mqo/internal/cost"
+	"mqo/internal/sql"
+)
+
+// genBatch turns fuzzer bytes into a grammar-valid SQL batch over the
+// fuzzOptimize catalog: every byte stream maps to 1–3 SELECT statements
+// built from joins over a table pool, single-column selections, optional
+// grouped aggregates and projections. The generator only emits statements
+// the grammar accepts, so the fuzzer explores the *optimizer* state space
+// (DAG shapes, sharing patterns, subsumption chains) rather than parser
+// error paths — FuzzParse already covers those.
+func genBatch(data []byte) string {
+	next := func() int {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return int(b)
+	}
+	tables := []string{"R", "S", "T", "P"}
+	cols := []string{"id", "fk", "num"}
+	aggs := []string{"SUM", "COUNT", "MIN", "MAX", "AVG"}
+	cmps := []string{">=", "<=", ">", "<", "="}
+
+	nStmts := 1 + next()%3
+	var stmts []string
+	for s := 0; s < nStmts; s++ {
+		nTables := 1 + next()%3
+		first := tables[next()%len(tables)]
+		from := []string{first}
+		var conds []string
+		prev := first
+		for j := 1; j < nTables; j++ {
+			// Join a distinct table on fk=id so predicates stay valid.
+			var t string
+			for _, cand := range tables {
+				used := false
+				for _, f := range from {
+					if f == cand {
+						used = true
+					}
+				}
+				if !used {
+					t = cand
+					break
+				}
+			}
+			if t == "" {
+				break
+			}
+			from = append(from, t)
+			conds = append(conds, fmt.Sprintf("%s.fk = %s.id", prev, t))
+			prev = t
+		}
+		// Optional selection on the first table.
+		if next()%2 == 0 {
+			conds = append(conds, fmt.Sprintf("%s.%s %s %d",
+				first, cols[next()%len(cols)], cmps[next()%len(cmps)], 1+next()%100))
+		}
+		var sel string
+		switch next() % 3 {
+		case 0:
+			sel = "*"
+		case 1:
+			sel = fmt.Sprintf("%s.%s", first, cols[next()%len(cols)])
+		default:
+			gb := fmt.Sprintf("%s.%s", first, cols[next()%len(cols)])
+			agg := aggs[next()%len(aggs)]
+			arg := fmt.Sprintf("%s.%s", from[len(from)-1], cols[next()%len(cols)])
+			if agg == "COUNT" {
+				arg = "*"
+			}
+			where := ""
+			if len(conds) > 0 {
+				where = " WHERE " + strings.Join(conds, " AND ")
+			}
+			stmts = append(stmts, fmt.Sprintf("SELECT %s, %s(%s) AS a FROM %s%s GROUP BY %s",
+				gb, agg, arg, strings.Join(from, ", "), where, gb))
+			continue
+		}
+		where := ""
+		if len(conds) > 0 {
+			where = " WHERE " + strings.Join(conds, " AND ")
+		}
+		stmts = append(stmts, fmt.Sprintf("SELECT %s FROM %s%s", sel, strings.Join(from, ", "), where))
+	}
+	return strings.Join(stmts, "; ")
+}
+
+// FuzzOptimize: grammar-seeded SQL batches through the full optimizer
+// stack — parse, BuildDAG, Optimize under every algorithm — asserting the
+// heuristics' cost invariants on every generated batch: no algorithm may
+// error or panic, every cost is positive and finite, and no heuristic may
+// cost more than the no-sharing Volcano baseline computed on the same DAG
+// (Volcano-SH's defining invariant, which Greedy and Volcano-RU must also
+// respect: sharing is only ever adopted when it helps). Run continuously
+// with
+//
+//	go test -run '^$' -fuzz FuzzOptimize ./internal/core
+func FuzzOptimize(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{2, 0, 3, 1, 9, 0, 2, 2, 1, 7, 5, 3})
+	f.Add([]byte{255, 254, 1, 0, 128, 64, 32, 16, 8, 4, 2, 1})
+	f.Add([]byte("repeated-tenant-workload-seed"))
+
+	cat := testCatalog()
+	model := cost.DefaultModel()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batchSQL := genBatch(data)
+		queries, err := sql.ParseBatch(cat, batchSQL)
+		if err != nil {
+			t.Fatalf("generator emitted invalid SQL %q: %v", batchSQL, err)
+		}
+		pd, err := BuildDAG(cat, model, queries)
+		if err != nil {
+			t.Fatalf("BuildDAG(%q): %v", batchSQL, err)
+		}
+		costs := map[Algorithm]cost.Cost{}
+		for _, alg := range Algorithms() {
+			res, err := Optimize(context.Background(), pd, alg, Options{})
+			if err != nil {
+				t.Fatalf("%v(%q): %v", alg, batchSQL, err)
+			}
+			if !(res.Cost > 0) || res.Cost != res.Cost {
+				t.Fatalf("%v(%q): degenerate cost %v", alg, batchSQL, res.Cost)
+			}
+			if res.Plan == nil || res.Plan.Root == nil {
+				t.Fatalf("%v(%q): no plan extracted", alg, batchSQL)
+			}
+			costs[alg] = res.Cost
+		}
+		baseline := costs[Volcano]
+		for _, alg := range []Algorithm{VolcanoSH, VolcanoRU, Greedy} {
+			if !cost.Leq(costs[alg], baseline) {
+				t.Fatalf("%v cost %v beats its invariant: exceeds Volcano baseline %v (%q)",
+					alg, costs[alg], baseline, batchSQL)
+			}
+		}
+	})
+}

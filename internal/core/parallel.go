@@ -19,27 +19,18 @@ import (
 // worker-count-independent plans.
 const speculationWidth = 8
 
-// autoFanoutUnits is the auto-tune crossover: a search phase whose work
-// estimate (items × DAG nodes, the cost of one full evaluation wave) falls
-// below this many units runs serially; above it, the phase fans out. The
-// constant comes from the BENCH_3.json trajectory of the parallel what-if
-// experiment: on multi-core hosts the per-wave fan-out overhead (worker
-// wakeups + per-view bookkeeping) amortized only once a BQ-scale wave did
-// roughly this much propagation work; smaller batches were faster serial
-// at every measured worker count.
-const autoFanoutUnits = 32768
-
 // maxAutoWorkers caps auto-tuned fan-out: benefit evaluation saturates
 // memory bandwidth long before it saturates large core counts, and BENCH_3
 // showed no gain past 8 workers on the measured hosts.
 const maxAutoWorkers = 8
 
 // autoParallelism picks a worker count for a phase with the given work
-// estimate: serial below the BENCH_3 crossover, up to maxAutoWorkers
-// hardware threads above it. The choice affects wall-clock only — every
-// worker count produces the identical plan.
-func autoParallelism(units int) int {
-	if units < autoFanoutUnits {
+// estimate: serial below the phase's calibrated crossover (see
+// calibrate.go), up to maxAutoWorkers hardware threads above it. The
+// choice affects wall-clock only — every worker count produces the
+// identical plan.
+func autoParallelism(ph SearchPhase, units int) int {
+	if units < CurrentCalibration().CrossoverUnits[ph] {
 		return 1
 	}
 	w := runtime.GOMAXPROCS(0)
@@ -54,12 +45,12 @@ func autoParallelism(units int) int {
 
 // resolveWorkers maps the Options.Parallelism knob to a concrete worker
 // count for a phase with the given work estimate: 0 auto-tunes on the
-// BENCH_3 crossover, anything below 1 is serial, and explicit counts are
-// taken as given.
-func resolveWorkers(parallelism, units int) int {
+// phase's calibrated crossover, anything below 1 is serial, and explicit
+// counts are taken as given.
+func resolveWorkers(ph SearchPhase, parallelism, units int) int {
 	switch {
 	case parallelism == 0:
-		return autoParallelism(units)
+		return autoParallelism(ph, units)
 	case parallelism < 1:
 		return 1
 	default:

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestRUBatchedPromotions: the batched two-phase promotion pass must
+// actually promote on a sharing workload, and most promotions should
+// commit straight from their phase-1 capture (independent of earlier
+// commits) rather than needing a dirty re-read. Byte-equality of the
+// resulting plans with the serial mid-walk rule is enforced separately by
+// the golden snapshots.
+func TestRUBatchedPromotions(t *testing.T) {
+	// Three queries sharing σ(R)⋈S make the second and third plan walks
+	// promote the shared subexpression.
+	pd := mustBuild(t,
+		chain([]string{"R", "S", "T"}, 990),
+		chain([]string{"R", "S", "P"}, 990),
+		chain([]string{"R", "S", "U"}, 990),
+	)
+	res := mustOptimize(t, pd, VolcanoRU)
+	if res.Stats.RUPromotions == 0 {
+		t.Fatal("no reuse promotions on a sharing workload")
+	}
+	if res.Stats.RUPromotionRetests > res.Stats.RUPromotions {
+		t.Logf("note: retests %d exceed promotions %d (heavily overlapping cones)",
+			res.Stats.RUPromotionRetests, res.Stats.RUPromotions)
+	}
+	// The batched pass must not change RU's relationship to the baseline.
+	vol := mustOptimize(t, pd, Volcano)
+	if res.Cost > vol.Cost {
+		t.Errorf("RU cost %.2f exceeds Volcano %.2f", res.Cost, vol.Cost)
+	}
+}

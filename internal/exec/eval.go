@@ -14,11 +14,13 @@ import (
 )
 
 // Env carries execution-time context: parameter bindings for correlated /
-// parameterized queries (paper §5).
+// parameterized queries (paper §5) and the run's result-cache I/O.
 type Env struct {
 	Params map[string]algebra.Value
 	// ParamSets drives Invoke nodes: the body runs once per binding set.
 	ParamSets []map[string]algebra.Value
+	// Cache connects the run to the cross-batch result cache (nil: none).
+	Cache *CacheIO
 }
 
 // valueFunc evaluates a scalar against a row.

@@ -18,6 +18,27 @@ type QueryResult struct {
 	Rows   []storage.Row
 }
 
+// CacheIO connects one run to the cross-batch result cache. Spools maps
+// physical nodes to the cache-table names their computed rows must be
+// written to (this batch's admissions): a spooled materialization writes
+// the cache table instead of a per-run temp, and a spooled query root is
+// written after its rows are drained. Cache *reads* need no map — the
+// table name travels inside the plan's CacheScan expressions, armed on the
+// DAG before optimization.
+type CacheIO struct {
+	Spools map[*physical.Node]string
+}
+
+// spoolName resolves the cache-table name a node's result must be spooled
+// to, if any.
+func (c *CacheIO) spoolName(n *physical.Node) (string, bool) {
+	if c == nil {
+		return "", false
+	}
+	name, ok := c.Spools[n]
+	return name, ok
+}
+
 // RunStats reports the measured execution profile of a batch run: page I/O
 // from the buffer pool and the simulated time those I/Os cost under the
 // paper's model (the Figure 7 substitute measurement).
@@ -74,6 +95,20 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 		rows, err := drain(ctx, it)
 		if err != nil {
 			return nil, RunStats{}, err
+		}
+		// Spool an admitted query root into the cache namespace: the rows
+		// are in hand, so the only extra cost is the sequential write the
+		// admission already accounted for. Mat roots were spooled by
+		// materialize; a repeated root in one batch spools once.
+		if name, ok := env.Cache.spoolName(q.N); ok && !q.Mat {
+			if _, err := db.Cache(name); err != nil {
+				ct := db.CreateCache(name, it.Schema())
+				for _, r := range rows {
+					if _, err := ct.Heap.Insert(r); err != nil {
+						return nil, RunStats{}, err
+					}
+				}
+			}
 		}
 		rowsOut += int64(len(rows))
 		results = append(results, QueryResult{Schema: it.Schema(), Rows: rows})
@@ -137,17 +172,26 @@ type builder struct {
 func tempName(pn *physical.PlanNode) string { return "mat_" + strconv.Itoa(pn.N.ID) }
 
 // materialize computes a Mat plan node into its temp table (and temp index
-// for index-property nodes). Mats arrive in dependency order, so children
-// temps already exist.
+// for index-property nodes), or — for nodes admitted to the result cache —
+// into a spooled cache table that survives the run. Mats arrive in
+// dependency order, so children temps already exist.
 func (b *builder) materialize(pn *physical.PlanNode) error {
-	if _, err := b.temps.Temp(tempName(pn)); err == nil {
-		return nil // already materialized
-	}
 	src := pn
 	ixCol := ""
 	if pn.E.Kind == physical.IndexBuildEnf {
 		ixCol = pn.E.IxCol.Name
 		src = pn.Children[0]
+	}
+	spool, spooled := "", false
+	if ixCol == "" { // index materializations are never cache-admitted
+		spool, spooled = b.env.Cache.spoolName(pn.N)
+	}
+	if spooled {
+		if _, err := b.db.Cache(spool); err == nil {
+			return nil // already spooled by this run
+		}
+	} else if _, err := b.temps.Temp(tempName(pn)); err == nil {
+		return nil // already materialized
 	}
 	it, err := b.build(src, false)
 	if err != nil {
@@ -157,14 +201,19 @@ func (b *builder) materialize(pn *physical.PlanNode) error {
 	if err != nil {
 		return err
 	}
-	temp := b.temps.CreateTemp(tempName(pn), it.Schema())
+	var target *storage.Table
+	if spooled {
+		target = b.db.CreateCache(spool, it.Schema())
+	} else {
+		target = b.temps.CreateTemp(tempName(pn), it.Schema())
+	}
 	for _, r := range rows {
-		if _, err := temp.Heap.Insert(r); err != nil {
+		if _, err := target.Heap.Insert(r); err != nil {
 			return err
 		}
 	}
 	if ixCol != "" {
-		if _, err := b.db.BuildIndex(temp, ixCol); err != nil {
+		if _, err := b.db.BuildIndex(target, ixCol); err != nil {
 			return err
 		}
 	}
@@ -176,6 +225,13 @@ func (b *builder) materialize(pn *physical.PlanNode) error {
 // recomputing.
 func (b *builder) build(pn *physical.PlanNode, asConsumer bool) (Iterator, error) {
 	if asConsumer && pn.Mat {
+		if name, ok := b.env.Cache.spoolName(pn.N); ok && pn.E.Kind != physical.IndexBuildEnf {
+			ct, err := b.db.Cache(name)
+			if err != nil {
+				return nil, fmt.Errorf("exec: spooled node %d not yet computed: %w", pn.N.ID, err)
+			}
+			return newTableScan(ct.Heap, ct.Schema), nil
+		}
 		temp, err := b.temps.Temp(tempName(pn))
 		if err != nil {
 			return nil, fmt.Errorf("exec: materialized node %d not yet computed: %w", pn.N.ID, err)
@@ -183,6 +239,13 @@ func (b *builder) build(pn *physical.PlanNode, asConsumer bool) (Iterator, error
 		return newTableScan(temp.Heap, temp.Schema), nil
 	}
 	switch pn.E.Kind {
+	case physical.CacheScanOp:
+		ct, err := b.db.Cache(pn.E.CacheName)
+		if err != nil {
+			return nil, fmt.Errorf("exec: armed cache table for node %d missing: %w", pn.N.ID, err)
+		}
+		return newTableScan(ct.Heap, ct.Schema), nil
+
 	case physical.SeqScan:
 		op := pn.E.LE.Op.(algebra.Scan)
 		tab, err := b.db.Table(op.Table)

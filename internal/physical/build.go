@@ -31,6 +31,10 @@ const (
 	IndexBuildEnf
 	Batch
 	InvokeOp
+	// CacheScanOp reads a spooled result table of the cross-batch result
+	// cache: a leaf access path armed per batch (ArmCacheScan) on nodes
+	// whose logical fingerprint matched a ready cache entry.
+	CacheScanOp
 )
 
 // String names the algorithm for plan printing.
@@ -38,7 +42,7 @@ func (k AlgKind) String() string {
 	return [...]string{
 		"SeqScan", "BaseIndex", "IndexSelect", "Filter", "BNLJoin",
 		"MergeJoin", "IndexJoin", "SortAgg", "ScalarAgg", "Project",
-		"Sort", "IndexBuild", "Batch", "Invoke",
+		"Sort", "IndexBuild", "Batch", "Invoke", "CacheScan",
 	}[k]
 }
 
@@ -56,6 +60,7 @@ type PExpr struct {
 	SortCols  []algebra.Column // Sort enforcer order / merge-join left keys / sort-agg order
 	RightCols []algebra.Column // merge-join right keys
 	IxCol     algebra.Column   // index column (IndexSelect, IndexJoin, IndexBuild, BaseIndex)
+	CacheName string           // spooled result table (CacheScanOp)
 }
 
 // Node is a physical equivalence node: a logical group constrained to a
@@ -415,6 +420,20 @@ func (pd *DAG) addEnforcers(n *Node) error {
 		OpCost: m.SortCost(blocks, n.LG.Rel.Rows), SortCols: n.Prop.Sort,
 	})
 	return nil
+}
+
+// ArmCacheScan adds a CacheScan access path for a spooled result table to
+// node n: a leaf implementation whose only cost is reading the stored
+// result back. It is the result cache's pre-pass hook, run on a freshly
+// built batch DAG before the search engine: the cached result then behaves
+// like an already-materialized node with zero setup cost — every algorithm
+// (and every CostView overlay, which reads node expressions live) prices
+// the armed reuse natively through the ordinary min-over-implementations
+// recurrence, so hits need no special-casing in costing, extraction or the
+// what-if engine. The caller must Recost afterwards (Optimize's entry
+// reset does) before reading costs.
+func (pd *DAG) ArmCacheScan(n *Node, table string, scanCost cost.Cost) {
+	pd.addExpr(&PExpr{Kind: CacheScanOp, Node: n, CacheName: table, OpCost: scanCost})
 }
 
 // indexable reports whether an index on col can exist for group g: either a

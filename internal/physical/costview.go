@@ -98,6 +98,16 @@ func (v *CostView) CostOf(n *Node) cost.Cost { return v.pd.costIn(v, n) }
 // cost overrides, leaving the shared DAG untouched. It returns the number
 // of nodes whose cost was re-examined.
 func (v *CostView) SetMaterialized(n *Node, on bool) int {
+	return v.SetMaterializedMark(n, on, nil)
+}
+
+// SetMaterializedMark is SetMaterialized with change tracking: mark, when
+// non-nil, is called for every node whose cost value the propagation wave
+// actually changed — the `alters` half of a what-if conflict cone. Callers
+// batching several commits (Volcano-RU's reuse promotions) use the marks
+// to prove which pending decisions a committed one could have influenced,
+// and re-examine only those.
+func (v *CostView) SetMaterializedMark(n *Node, on bool, mark func(*Node)) int {
 	pd := v.pd
 	if pd.matIn(v, n) == on {
 		return 0
@@ -141,6 +151,11 @@ func (v *CostView) SetMaterialized(n *Node, on bool) int {
 		old := pd.costIn(v, cur)
 		next := pd.nodeCost(v, cur)
 		v.over[cur] = next
+		if next != old {
+			if mark != nil {
+				mark(cur)
+			}
+		}
 		if next != old || v.forced[cur] {
 			for _, p := range cur.Parents {
 				h.add(p.Node)

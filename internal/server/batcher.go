@@ -66,6 +66,11 @@ type BatchResult struct {
 	NoShareCost float64
 	// CacheHit reports whether the plan came from the session plan cache.
 	CacheHit bool
+	// ResultCacheHits counts distinct spooled result-cache tables the
+	// executed plan read; ResultCacheSpool counts results the batch
+	// admitted and wrote to the cross-batch store.
+	ResultCacheHits  int
+	ResultCacheSpool int
 	// Algorithm names the optimization strategy that produced the plan.
 	Algorithm string
 	// Exec is the measured execution profile of the batch run.
@@ -89,6 +94,11 @@ type BatchInfo struct {
 	NoShareCost float64 `json:"no_share_cost"`
 	// CacheHit reports whether the plan came from the plan cache.
 	CacheHit bool `json:"cache_hit"`
+	// ResultCacheHits / ResultCacheSpool report the batch's result-cache
+	// traffic: spooled tables read by the executed plan, and new results
+	// spooled for future batches.
+	ResultCacheHits  int `json:"result_cache_hits"`
+	ResultCacheSpool int `json:"result_cache_spools"`
 	// Algorithm names the optimization strategy used.
 	Algorithm string `json:"algorithm"`
 	// Wait is how long the query waited for its window to flush.
@@ -128,6 +138,10 @@ type Stats struct {
 	CostSaved   float64 `json:"cost_saved"`
 	// PlanCacheHits counts batches answered from the session plan cache.
 	PlanCacheHits int64 `json:"plan_cache_hits"`
+	// ResultCacheHits totals spooled-table reads across batches;
+	// ResultCacheSpools totals results admitted to the cross-batch store.
+	ResultCacheHits   int64 `json:"result_cache_hits"`
+	ResultCacheSpools int64 `json:"result_cache_spools"`
 }
 
 // request is one in-flight submission.
@@ -322,6 +336,8 @@ func (b *Batcher) runBatch(batch []*request) {
 		if res.CacheHit {
 			b.stats.PlanCacheHits++
 		}
+		b.stats.ResultCacheHits += int64(res.ResultCacheHits)
+		b.stats.ResultCacheSpools += int64(res.ResultCacheSpool)
 	}
 	b.mu.Unlock()
 
@@ -333,14 +349,16 @@ func (b *Batcher) runBatch(batch []*request) {
 		req.done <- outcome{resp: &Response{
 			Result: res.PerQuery[i],
 			Batch: BatchInfo{
-				Seq:         seq,
-				Size:        len(live),
-				Cost:        res.Cost,
-				NoShareCost: res.NoShareCost,
-				CacheHit:    res.CacheHit,
-				Algorithm:   res.Algorithm,
-				Wait:        flushed.Sub(req.enqueued),
-				Exec:        res.Exec,
+				Seq:              seq,
+				Size:             len(live),
+				Cost:             res.Cost,
+				NoShareCost:      res.NoShareCost,
+				CacheHit:         res.CacheHit,
+				ResultCacheHits:  res.ResultCacheHits,
+				ResultCacheSpool: res.ResultCacheSpool,
+				Algorithm:        res.Algorithm,
+				Wait:             flushed.Sub(req.enqueued),
+				Exec:             res.Exec,
 			},
 		}}
 	}

@@ -20,19 +20,24 @@ type Table struct {
 }
 
 // DB is a set of stored tables over one buffer pool, plus a temp-table
-// namespace used by materialization during plan execution.
+// namespace used by materialization during plan execution and a cache
+// namespace of spooled result tables that survive across runs (the
+// transient materialized-view store behind the result cache).
 //
-// Catalog operations (CreateTable, Table, CreateTemp, Temp, DropTemps) are
-// safe for concurrent use. Page access — heap files, B-trees and the buffer
-// pool — is single-threaded by design: plan executions acquire the run lock
-// (BeginRun) so whole runs serialize while each keeps its temporary tables
-// in a private namespace.
+// Catalog operations (CreateTable, Table, CreateTemp, Temp, DropTemps, and
+// the Cache* family) are safe for concurrent use. Page access — heap files,
+// B-trees and the buffer pool — is single-threaded by design: plan
+// executions acquire the run lock (BeginRun) so whole runs serialize while
+// each keeps its temporary tables in a private namespace. Cache tables are
+// written and read inside runs too, so their page access inherits the same
+// serialization; only their *catalog* lifetime spans runs.
 type DB struct {
 	Pool *BufferPool
 
-	mu     sync.RWMutex // guards tables and temps
+	mu     sync.RWMutex // guards tables, temps and caches
 	tables map[string]*Table
 	temps  map[string]*Table
+	caches map[string]*Table
 
 	runMu  sync.Mutex // serializes plan executions (page access)
 	runSeq int64      // distinct namespace per run; guarded by mu
@@ -44,6 +49,7 @@ func NewDB(poolPages int) *DB {
 		Pool:   NewBufferPool(NewPager(), poolPages),
 		tables: map[string]*Table{},
 		temps:  map[string]*Table{},
+		caches: map[string]*Table{},
 	}
 }
 
@@ -138,6 +144,76 @@ func (db *DB) Temp(name string) (*Table, error) {
 		return t, nil
 	}
 	return nil, fmt.Errorf("storage: unknown temp table %q", name)
+}
+
+// CreateCache registers a spooled result table in the cache namespace,
+// replacing any previous cache table with the same name. Unlike temps,
+// cache tables survive RunTemps.End: they are the row-backed store behind
+// the cross-batch result cache, and are dropped only by DropCache (cache
+// eviction) or DropCaches.
+func (db *DB) CreateCache(name string, schema algebra.Schema) *Table {
+	t := &Table{Name: name, Schema: schema, Heap: NewHeapFile(db.Pool), Indexes: map[string]*BTree{}}
+	db.mu.Lock()
+	db.caches[name] = t
+	db.mu.Unlock()
+	return t
+}
+
+// Cache looks up a spooled result table.
+func (db *DB) Cache(name string) (*Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.caches[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("storage: unknown cache table %q", name)
+}
+
+// DropCache removes a spooled result table from the cache namespace (its
+// pages remain allocated in the pager; the simulation does not model space
+// reclamation). Dropping an unknown name is a no-op.
+func (db *DB) DropCache(name string) {
+	db.mu.Lock()
+	delete(db.caches, name)
+	db.mu.Unlock()
+}
+
+// DropCaches discards the whole cache namespace.
+func (db *DB) DropCaches() {
+	db.mu.Lock()
+	db.caches = map[string]*Table{}
+	db.mu.Unlock()
+}
+
+// CacheBytes reports the real stored size of a cache table: heap pages
+// times the page size. It is the byte accounting the result cache charges
+// against its budget (replacing optimizer estimates). Unknown names report
+// zero.
+func (db *DB) CacheBytes(name string) int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if t, ok := db.caches[name]; ok {
+		return int64(t.Heap.NumPages()) * PageSize
+	}
+	return 0
+}
+
+// NumCaches returns the number of live cache tables.
+func (db *DB) NumCaches() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.caches)
+}
+
+// CacheNames returns the names of all live cache tables, unordered.
+func (db *DB) CacheNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.caches))
+	for n := range db.caches {
+		names = append(names, n)
+	}
+	return names
 }
 
 // NumTemps returns the number of live temporary tables (all namespaces).

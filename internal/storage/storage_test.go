@@ -334,3 +334,76 @@ func TestDBTablesAndIndexes(t *testing.T) {
 		t.Error("temp should be gone after DropTemps")
 	}
 }
+
+func TestCacheNamespaceSurvivesRuns(t *testing.T) {
+	db := NewDB(64)
+	schema := algebra.Schema{
+		{Col: algebra.Col("r", "id"), Typ: algebra.TInt},
+		{Col: algebra.Col("r", "v"), Typ: algebra.TFloat},
+	}
+
+	// Spool a cache table inside a run; it must outlive the run, while a
+	// temp created in the same run must not.
+	run := db.BeginRun()
+	run.CreateTemp("scratch", schema)
+	ct := db.CreateCache("rc1", schema)
+	for i := int64(0); i < 100; i++ {
+		if _, err := ct.Heap.Insert(Row{algebra.IntVal(i), algebra.FloatVal(float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run.End()
+
+	if db.NumTemps() != 0 {
+		t.Errorf("temps survived run end: %d", db.NumTemps())
+	}
+	got, err := db.Cache("rc1")
+	if err != nil {
+		t.Fatalf("cache table did not survive the run: %v", err)
+	}
+	if got.Heap.Rows() != 100 {
+		t.Errorf("cache rows = %d, want 100", got.Heap.Rows())
+	}
+
+	// Real byte accounting: pages actually written times the page size.
+	want := int64(got.Heap.NumPages()) * PageSize
+	if want <= 0 {
+		t.Fatal("cache table occupies no pages")
+	}
+	if b := db.CacheBytes("rc1"); b != want {
+		t.Errorf("CacheBytes = %d, want %d", b, want)
+	}
+	if b := db.CacheBytes("nope"); b != 0 {
+		t.Errorf("CacheBytes(unknown) = %d, want 0", b)
+	}
+
+	// A second run can read the spooled table.
+	run2 := db.BeginRun()
+	n := 0
+	if err := got.Heap.Scan(func(RID, Row) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	run2.End()
+	if n != 100 {
+		t.Errorf("second run read %d rows, want 100", n)
+	}
+
+	// Eviction drops the table from the namespace.
+	if db.NumCaches() != 1 || len(db.CacheNames()) != 1 {
+		t.Errorf("NumCaches = %d, want 1", db.NumCaches())
+	}
+	db.DropCache("rc1")
+	if _, err := db.Cache("rc1"); err == nil {
+		t.Error("dropped cache table still resolvable")
+	}
+	if db.NumCaches() != 0 {
+		t.Errorf("NumCaches after drop = %d, want 0", db.NumCaches())
+	}
+	db.DropCache("rc1") // no-op
+	db.CreateCache("a", schema)
+	db.CreateCache("b", schema)
+	db.DropCaches()
+	if db.NumCaches() != 0 {
+		t.Error("DropCaches left cache tables behind")
+	}
+}

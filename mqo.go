@@ -23,8 +23,10 @@
 //
 // Optimization without execution is available through OptimizeSQL and
 // OptimizeBatch; ParseAlgorithm maps user-facing names ("greedy",
-// "volcano-ru", ...) to Algorithm values; NewResultCache exposes the
-// paper's §8 result-caching manager for query sequences. The optimizer's
+// "volcano-ru", ...) to Algorithm values; WithResultCache turns on the
+// paper's §8 result cache — a row-backed store of spooled intermediate
+// results that survives across batches, so repeated subexpressions in
+// later traffic are answered from storage. The optimizer's
 // search substrate auto-tunes its parallelism per batch: on large batches
 // Greedy's benefit waves, Volcano-RU's order passes and the sharability
 // analysis fan out over multiple cores (override with WithParallelism),
@@ -94,11 +96,14 @@ type (
 	QueryResult = exec.QueryResult
 	// RunStats is the measured execution profile of a batch run.
 	RunStats = exec.RunStats
-	// ResultCache is the paper's §8 result-caching manager: it processes a
-	// query *sequence*, keeping a bounded store of materialized results.
+	// ResultCache is the cross-batch transient result cache (the paper's
+	// §8 caching direction): a concurrency-safe, row-backed store of
+	// spooled intermediate results consulted around every executed batch.
+	// Enable it with WithResultCache.
 	ResultCache = cache.Manager
-	// CacheDecision reports what one ResultCache.Process call did.
-	CacheDecision = cache.Decision
+	// ResultCacheStats is the result cache's accounting (hit rate, bytes,
+	// admissions, evictions).
+	ResultCacheStats = cache.Stats
 	// CacheEntry is one cached materialized result.
 	CacheEntry = cache.Entry
 	// Abstraction is the result of AbstractParameterized.

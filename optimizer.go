@@ -3,6 +3,7 @@ package mqo
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -12,6 +13,7 @@ import (
 	"mqo/internal/cost"
 	"mqo/internal/dag"
 	"mqo/internal/exec"
+	"mqo/internal/physical"
 	"mqo/internal/sql"
 	"mqo/internal/storage"
 )
@@ -33,6 +35,12 @@ type Optimizer struct {
 	opts  core.Options
 	db    *storage.DB
 	cache *planCache
+
+	// Cross-batch result cache (WithResultCache): a row-backed store of
+	// spooled intermediate results consulted around every executed batch.
+	rcMu     sync.Mutex
+	rcache   *cache.Manager
+	rcBudget int64
 
 	// Micro-batching service behind Submit, started on first use.
 	svcCfg  BatchingOptions
@@ -57,6 +65,21 @@ func WithDB(db *DB) Option { return func(o *Optimizer) { o.db = db } }
 // fingerprints (same logical expressions, in order) optimized with the
 // same algorithm share one cached Result.
 func WithPlanCache(n int) Option { return func(o *Optimizer) { o.cache = newPlanCache(n) } }
+
+// WithResultCache enables the cross-batch transient result cache (the
+// paper's §8 caching direction, made real): up to budgetBytes of executed
+// intermediate results are spooled into the database's cache namespace and
+// survive across batches, so repeated subexpressions in later Run/Submit
+// traffic are answered by scanning a cache table instead of being
+// recomputed. Requires WithDB. Admission competes on value density
+// (estimated recomputation cost saved per real stored byte), hits
+// reinforce an entry's value, and eviction drops the weakest entries'
+// spooled tables from storage. Optimize-only calls (OptimizeSQL,
+// OptimizeBatch) never consult the result cache — it is an execution-layer
+// store.
+func WithResultCache(budgetBytes int64) Option {
+	return func(o *Optimizer) { o.rcBudget = budgetBytes }
+}
 
 // WithSpaceBudget bounds the total size of materialized results chosen by
 // Greedy to the given number of bytes (the paper's §8 extension).
@@ -107,7 +130,50 @@ func Open(cat *Catalog, opts ...Option) (*Optimizer, error) {
 	for _, opt := range opts {
 		opt(o)
 	}
+	if o.rcBudget > 0 {
+		if err := o.ensureResultCache(o.rcBudget); err != nil {
+			return nil, err
+		}
+	}
 	return o, nil
+}
+
+// ensureResultCache creates the session result-cache store on first use
+// (Open with WithResultCache, or Serve with ResultCacheBytes set), or
+// resizes an existing store to the requested budget — a smaller budget
+// evicts immediately.
+func (o *Optimizer) ensureResultCache(budgetBytes int64) error {
+	if o.db == nil {
+		return fmt.Errorf("mqo: WithResultCache requires an attached database (use WithDB)")
+	}
+	o.rcMu.Lock()
+	defer o.rcMu.Unlock()
+	if o.rcache == nil {
+		o.rcache = cache.NewStore(o.db, o.model, budgetBytes)
+	} else if o.rcache.Budget() != budgetBytes {
+		o.rcache.SetBudget(budgetBytes)
+	}
+	return nil
+}
+
+// resultCache returns the session's result-cache store, or nil.
+func (o *Optimizer) resultCache() *cache.Manager {
+	o.rcMu.Lock()
+	defer o.rcMu.Unlock()
+	return o.rcache
+}
+
+// ResultCache returns the session's cross-batch result-cache store (nil
+// unless WithResultCache was used).
+func (o *Optimizer) ResultCache() *ResultCache { return o.resultCache() }
+
+// ResultCacheStats returns result-cache accounting; zero-valued when the
+// result cache is disabled.
+func (o *Optimizer) ResultCacheStats() ResultCacheStats {
+	if rc := o.resultCache(); rc != nil {
+		return rc.Stats()
+	}
+	return ResultCacheStats{}
 }
 
 // Catalog returns the session's catalog.
@@ -139,23 +205,35 @@ func (o *Optimizer) OptimizeBatch(ctx context.Context, queries []*Query, alg Alg
 	return res, err
 }
 
-// optimizeBatch is OptimizeBatch plus a flag reporting whether the result
-// was served from the plan cache (the batching service's hit accounting).
-func (o *Optimizer) optimizeBatch(ctx context.Context, queries []*Query, alg Algorithm) (*Result, bool, error) {
+// buildLogical builds the batch's pre-expansion logical DAG and query
+// roots — the shared front half of every optimization path (callers that
+// need canonical fingerprints before expansion insert queries here, then
+// hand the DAG to core.FinishDAG).
+func (o *Optimizer) buildLogical(ctx context.Context, queries []*Query) (*dag.DAG, []*dag.Group, error) {
 	if len(queries) == 0 {
-		return nil, false, fmt.Errorf("mqo: OptimizeBatch: empty query batch")
+		return nil, nil, fmt.Errorf("mqo: empty query batch")
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, false, err
+		return nil, nil, err
 	}
 	ld := dag.New(cost.Estimator{Cat: o.cat})
 	roots := make([]*dag.Group, len(queries))
 	for i, q := range queries {
 		g, err := ld.AddQuery(q)
 		if err != nil {
-			return nil, false, err
+			return nil, nil, err
 		}
 		roots[i] = g
+	}
+	return ld, roots, nil
+}
+
+// optimizeBatch is OptimizeBatch plus a flag reporting whether the result
+// was served from the plan cache (the batching service's hit accounting).
+func (o *Optimizer) optimizeBatch(ctx context.Context, queries []*Query, alg Algorithm) (*Result, bool, error) {
+	ld, roots, err := o.buildLogical(ctx, queries)
+	if err != nil {
+		return nil, false, err
 	}
 	var key string
 	if o.cache != nil {
@@ -236,16 +314,100 @@ func (o *Optimizer) Run(ctx context.Context, batch Batch) (*ExecResult, error) {
 			return nil, err
 		}
 	}
-	res, err := o.OptimizeBatch(ctx, queries, batch.Algorithm)
-	if err != nil {
-		return nil, err
+	res, _, err := o.runOnDB(ctx, queries, batch.Algorithm, &exec.Env{ParamSets: batch.ParamSets})
+	return res, err
+}
+
+// execMeta reports what the caches did for one executed batch (the
+// micro-batching service's accounting).
+type execMeta struct {
+	// PlanCacheHit reports whether the plan came from the session plan
+	// cache.
+	PlanCacheHit bool
+	// ResultCacheHits counts distinct spooled tables the executed plan
+	// read; ResultCacheSpools counts results the batch admitted and wrote.
+	ResultCacheHits   int
+	ResultCacheSpools int
+}
+
+// runOnDB optimizes one batch and executes the plan on the attached
+// database — the single execution path behind Run and the micro-batching
+// service. With a result cache enabled it consults the store around the
+// batch: ready entries are armed on the batch DAG before the search (so
+// every algorithm prices cache hits natively), the chosen plan's worthwhile
+// results are spooled during execution, and the store commits — real byte
+// accounting, hit reinforcement, eviction — once the run succeeds.
+func (o *Optimizer) runOnDB(ctx context.Context, queries []*Query, alg Algorithm, env *exec.Env) (*ExecResult, execMeta, error) {
+	meta := execMeta{}
+	rc := o.resultCache()
+	if rc == nil {
+		res, hit, err := o.optimizeBatch(ctx, queries, alg)
+		if err != nil {
+			return nil, meta, err
+		}
+		meta.PlanCacheHit = hit
+		results, stats, err := exec.Run(ctx, o.db, o.model, res.Plan, env)
+		if err != nil {
+			return nil, meta, err
+		}
+		return &ExecResult{Result: res, Queries: results, Exec: stats}, meta, nil
 	}
-	env := &exec.Env{ParamSets: batch.ParamSets}
+
+	ld, roots, err := o.buildLogical(ctx, queries)
+	if err != nil {
+		return nil, meta, err
+	}
+	// The plan depends on the cache state it was armed against, so the
+	// plan-cache key folds in the store's ready-set generation: any
+	// admission or eviction strands older plans on unreachable keys.
+	var key string
+	if o.cache != nil {
+		key = o.batchKey(ld, roots, alg) + "|rc" + strconv.FormatInt(rc.Generation(), 10)
+		if res, ok := o.cache.get(key); ok {
+			if ticket, pinned := rc.PinPlan(res.Plan); pinned {
+				meta.PlanCacheHit = true
+				return o.execTicket(ctx, res, ticket, nil, env, meta)
+			}
+		}
+	}
+	pd, err := core.FinishDAG(ld, o.model)
+	if err != nil {
+		return nil, meta, err
+	}
+	ticket := rc.Arm(pd)
+	res, err := core.Optimize(ctx, pd, alg, o.opts)
+	if err != nil {
+		ticket.Abort()
+		return nil, meta, err
+	}
+	spools := ticket.PlanSpools(res.Plan)
+	if o.cache != nil && key != "" && len(spools) == 0 {
+		// Steady state (nothing newly spooled): the plan is reusable at
+		// this generation. Spooling batches bump the generation on commit,
+		// so caching their plans would only strand dead entries.
+		o.cache.put(key, res)
+		res = cloneResult(res)
+	}
+	return o.execTicket(ctx, res, ticket, spools, env, meta)
+}
+
+// execTicket executes an optimized plan under its result-cache ticket,
+// committing on success and aborting on failure.
+func (o *Optimizer) execTicket(ctx context.Context, res *Result, ticket *cache.Ticket,
+	spools map[*physical.Node]string, env *exec.Env, meta execMeta) (*ExecResult, execMeta, error) {
+
+	if env == nil {
+		env = &exec.Env{}
+	}
+	env.Cache = &exec.CacheIO{Spools: spools}
 	results, stats, err := exec.Run(ctx, o.db, o.model, res.Plan, env)
 	if err != nil {
-		return nil, err
+		ticket.Abort()
+		return nil, meta, err
 	}
-	return &ExecResult{Result: res, Queries: results, Exec: stats}, nil
+	meta.ResultCacheHits = ticket.Commit()
+	meta.ResultCacheSpools = len(spools)
+	return &ExecResult{Result: res, Queries: results, Exec: stats}, meta, nil
 }
 
 // Submit enqueues one SELECT for micro-batched execution on the session's
@@ -260,14 +422,6 @@ func (o *Optimizer) Submit(ctx context.Context, sqlText string) (*Answer, error)
 		return nil, o.svcErr
 	}
 	return o.svc.Submit(ctx, sqlText)
-}
-
-// NewResultCache creates a §8 result-cache manager bound to the session's
-// catalog and cost model, with the given byte budget for cached results.
-// The returned manager processes a query sequence and is independent of
-// the plan cache (which caches whole-batch plans, not results).
-func (o *Optimizer) NewResultCache(budgetBytes int64) *ResultCache {
-	return cache.NewManager(o.cat, o.model, budgetBytes)
 }
 
 // CacheStats returns plan-cache accounting; zero-valued when the plan

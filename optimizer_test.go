@@ -270,30 +270,59 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-// TestResultCacheSession: the §8 result-cache manager is reachable from a
-// session and observes hits across a query sequence.
+// TestResultCacheSession: a session opened with WithResultCache spools a
+// query's result on the first run and answers the repeat from the spooled
+// table — estimated cost and measured page reads both drop, and the store
+// reports the hit.
 func TestResultCacheSession(t *testing.T) {
-	opt, err := Open(tpcd.Catalog(1))
-	if err != nil {
+	const sf = 0.002
+	db := NewDB(1024)
+	if err := tpcd.LoadDB(db, sf, 1); err != nil {
 		t.Fatal(err)
 	}
-	rc := opt.NewResultCache(64 << 20)
-	queries, err := opt.ParseSQL(sqlRevenue)
+	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithResultCache(16<<20))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ctx := context.Background()
-	if _, err := rc.Process(ctx, queries[0]); err != nil {
-		t.Fatal(err)
-	}
-	dec, err := rc.Process(ctx, queries[0])
+	first, err := opt.Run(ctx, Batch{SQL: sqlRevenue, Algorithm: Greedy})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dec.HitKeys) == 0 {
-		t.Error("repeated query produced no cache hits")
+	second, err := opt.Run(ctx, Batch{SQL: sqlRevenue, Algorithm: Greedy})
+	if err != nil {
+		t.Fatal(err)
 	}
-	if dec.CostWithCache >= dec.CostNoCache {
-		t.Errorf("cache did not reduce cost: %f >= %f", dec.CostWithCache, dec.CostNoCache)
+	if second.Exec.IO.Reads >= first.Exec.IO.Reads {
+		t.Errorf("repeat run reads %d not below first run reads %d",
+			second.Exec.IO.Reads, first.Exec.IO.Reads)
+	}
+	if second.Cost >= first.Cost {
+		t.Errorf("repeat run estimated cost %f not below first %f", second.Cost, first.Cost)
+	}
+	if len(second.Queries[0].Rows) != len(first.Queries[0].Rows) {
+		t.Fatalf("row count changed across cache hit: %d vs %d",
+			len(second.Queries[0].Rows), len(first.Queries[0].Rows))
+	}
+	st := opt.ResultCacheStats()
+	if st.Admissions == 0 || st.Hits == 0 || st.HitBatches == 0 {
+		t.Errorf("stats did not record the hit: %+v", st)
+	}
+	if st.UsedBytes <= 0 || st.UsedBytes > st.BudgetBytes {
+		t.Errorf("byte accounting out of range: %+v", st)
+	}
+
+	// Re-configuring the session's cache with a different budget resizes
+	// the existing store rather than silently keeping the old budget.
+	if err := opt.ensureResultCache(8 << 20); err != nil {
+		t.Fatal(err)
+	}
+	if got := opt.ResultCache().Budget(); got != 8<<20 {
+		t.Errorf("budget not resized: %d", got)
+	}
+
+	// WithResultCache without a database must fail at Open.
+	if _, err := Open(tpcd.Catalog(sf), WithResultCache(1<<20)); err == nil {
+		t.Error("WithResultCache without WithDB should fail")
 	}
 }

@@ -1,0 +1,139 @@
+package mqo
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"mqo/internal/physical"
+	"mqo/internal/tpcd"
+)
+
+// TestPlanCacheDefensiveCopiesUnderMutation: every plan-cache hitter gets
+// a defensive copy of the Result — concurrent callers mutating the
+// top-level slices (Result.Materialized, Plan.Mats, Plan.ByNode) must not
+// corrupt each other's view or the stored entry (run under -race in CI).
+// Plan *nodes* stay shared and read-only; the mutations here only touch
+// the per-caller containers the contract says are private.
+func TestPlanCacheDefensiveCopiesUnderMutation(t *testing.T) {
+	opt, err := Open(tpcd.Catalog(1), WithPlanCache(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	ref, err := opt.OptimizeSQL(ctx, sqlBatch, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMats, wantMaterialized := len(ref.Plan.Mats), len(ref.Materialized)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				res, err := opt.OptimizeSQL(ctx, sqlBatch, Greedy)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(res.Plan.Mats) != wantMats || len(res.Materialized) != wantMaterialized {
+					t.Errorf("hit observed a mutated copy: %d mats, %d materialized",
+						len(res.Plan.Mats), len(res.Materialized))
+					return
+				}
+				// Hostile caller: reorder and grow the top-level slices and
+				// scribble on the per-caller node map.
+				for j, k := 0, len(res.Materialized)-1; j < k; j, k = j+1, k-1 {
+					res.Materialized[j], res.Materialized[k] = res.Materialized[k], res.Materialized[j]
+				}
+				res.Materialized = append(res.Materialized, nil)
+				for j, k := 0, len(res.Plan.Mats)-1; j < k; j, k = j+1, k-1 {
+					res.Plan.Mats[j], res.Plan.Mats[k] = res.Plan.Mats[k], res.Plan.Mats[j]
+				}
+				res.Plan.Mats = append(res.Plan.Mats, (*physical.PlanNode)(nil))
+				res.Plan.ByNode[nil] = nil
+			}
+		}()
+	}
+	wg.Wait()
+
+	final, err := opt.OptimizeSQL(ctx, sqlBatch, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Plan.Mats) != wantMats || len(final.Materialized) != wantMaterialized {
+		t.Errorf("stored entry corrupted: %d mats, %d materialized (want %d, %d)",
+			len(final.Plan.Mats), len(final.Materialized), wantMats, wantMaterialized)
+	}
+	if st := opt.CacheStats(); st.Hits == 0 {
+		t.Error("no plan-cache hits recorded, test exercised nothing")
+	}
+}
+
+// TestPlanCacheWithResultCache: plan-cache hits must interact correctly
+// with the result cache — a cached plan is only reused at the result-cache
+// generation it was optimized under, its referenced spooled tables are
+// pinned for the run, and results stay correct across admissions (which
+// bump the generation and strand older plan-cache keys).
+func TestPlanCacheWithResultCache(t *testing.T) {
+	const sf = 0.002
+	db := NewDB(1024)
+	if err := tpcd.LoadDB(db, sf, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithPlanCache(16), WithResultCache(16<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	run := func(sql string) *ExecResult {
+		t.Helper()
+		res, err := opt.Run(ctx, Batch{SQL: sql, Algorithm: Greedy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run(sqlRevenue) // spools: generation bumps, plan not cached
+	second := run(sqlRevenue)
+	if second.Exec.IO.Reads >= first.Exec.IO.Reads {
+		t.Errorf("second run reads %d not below first %d", second.Exec.IO.Reads, first.Exec.IO.Reads)
+	}
+	// Steady state: the second run armed hits and spooled nothing new, so
+	// its plan is cacheable; the third run should be a plan-cache hit at
+	// the same generation with identical rows.
+	before := opt.CacheStats()
+	third := run(sqlRevenue)
+	after := opt.CacheStats()
+	if after.Hits <= before.Hits {
+		t.Error("steady-state repeat was not a plan-cache hit")
+	}
+	if len(third.Queries[0].Rows) != len(second.Queries[0].Rows) {
+		t.Fatalf("plan-cache hit changed the result: %d vs %d rows",
+			len(third.Queries[0].Rows), len(second.Queries[0].Rows))
+	}
+
+	// A different query admits new entries → generation bumps → the old
+	// key is stranded; the next repeat re-optimizes (no stale plan with
+	// dead table references is ever served) and still answers from cache.
+	genBefore := opt.ResultCacheStats().Generation
+	run(sqlCounts)
+	if gen := opt.ResultCacheStats().Generation; gen == genBefore {
+		t.Skip("counts query admitted nothing; generation unchanged")
+	}
+	fourth := run(sqlRevenue)
+	if len(fourth.Queries[0].Rows) != len(second.Queries[0].Rows) {
+		t.Fatalf("post-admission repeat changed the result: %d vs %d rows",
+			len(fourth.Queries[0].Rows), len(second.Queries[0].Rows))
+	}
+	if fourth.Exec.IO.Reads > first.Exec.IO.Reads {
+		t.Errorf("post-admission repeat reads %d exceed cold reads %d",
+			fourth.Exec.IO.Reads, first.Exec.IO.Reads)
+	}
+	if st := opt.ResultCacheStats(); st.HitBatches < 2 {
+		t.Errorf("expected repeated hits, stats: %+v", st)
+	}
+}

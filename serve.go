@@ -34,6 +34,13 @@ type BatchingOptions struct {
 	// Algorithm zero value and would otherwise be unreachable as an
 	// explicit choice.
 	UseVolcano bool
+	// ResultCacheBytes enables the cross-batch result cache for the
+	// service with the given byte budget (equivalent to opening the
+	// session with WithResultCache), resizing the session's store if it
+	// already exists with a different budget: hot subexpressions spooled
+	// by one micro-batch persist and answer later batches from storage.
+	// 0 keeps whatever the session was opened with.
+	ResultCacheBytes int64
 }
 
 // BatchInfo describes the batch that answered a submitted query: sequence
@@ -74,6 +81,11 @@ func Serve(o *Optimizer, cfg BatchingOptions) (*Service, error) {
 	}
 	if o.db == nil {
 		return nil, fmt.Errorf("mqo: Serve: no database attached (use WithDB)")
+	}
+	if cfg.ResultCacheBytes > 0 {
+		if err := o.ensureResultCache(cfg.ResultCacheBytes); err != nil {
+			return nil, err
+		}
 	}
 	alg := cfg.Algorithm
 	if alg == Volcano && !cfg.UseVolcano {
@@ -124,24 +136,23 @@ func (s *Service) Flush() { s.b.Flush() }
 // further Submits fail. The underlying Optimizer stays usable.
 func (s *Service) Close() { s.b.Close() }
 
-// runBatch is the server.Runner: one coalesced batch through the session
-// optimizer (plan cache first) and the executor.
+// runBatch is the server.Runner: one coalesced batch through the session's
+// single execution path (plan cache and result cache consulted around the
+// optimize+execute pass).
 func (s *Service) runBatch(ctx context.Context, queries []*algebra.Tree) (*server.BatchResult, error) {
-	res, hit, err := s.opt.optimizeBatch(ctx, queries, s.alg)
-	if err != nil {
-		return nil, err
-	}
-	results, stats, err := exec.Run(ctx, s.opt.db, s.opt.model, res.Plan, &exec.Env{})
+	res, meta, err := s.opt.runOnDB(ctx, queries, s.alg, &exec.Env{})
 	if err != nil {
 		return nil, err
 	}
 	return &server.BatchResult{
-		PerQuery:    results,
-		Cost:        res.Cost,
-		NoShareCost: res.NoShareCost,
-		CacheHit:    hit,
-		Algorithm:   res.Algorithm.String(),
-		Exec:        stats,
+		PerQuery:         res.Queries,
+		Cost:             res.Cost,
+		NoShareCost:      res.NoShareCost,
+		CacheHit:         meta.PlanCacheHit,
+		ResultCacheHits:  meta.ResultCacheHits,
+		ResultCacheSpool: meta.ResultCacheSpools,
+		Algorithm:        res.Algorithm.String(),
+		Exec:             res.Exec,
 	}, nil
 }
 
@@ -164,6 +175,12 @@ type queryResponse struct {
 type statsResponse struct {
 	Service   ServiceStats `json:"service"`
 	PlanCache CacheStats   `json:"plan_cache"`
+	// ResultCache reports the cross-batch result cache's hit rate and byte
+	// accounting (zero-valued when disabled).
+	ResultCache ResultCacheStats `json:"result_cache"`
+	// ResultCacheHitRate is ResultCache's batch hit fraction, precomputed
+	// for dashboards.
+	ResultCacheHitRate float64 `json:"result_cache_hit_rate"`
 }
 
 // ServiceHandler exposes a Service over HTTP+JSON:
@@ -210,7 +227,13 @@ func ServiceHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, statsResponse{Service: s.Stats(), PlanCache: s.opt.CacheStats()})
+		rc := s.opt.ResultCacheStats()
+		writeJSON(w, http.StatusOK, statsResponse{
+			Service:            s.Stats(),
+			PlanCache:          s.opt.CacheStats(),
+			ResultCache:        rc,
+			ResultCacheHitRate: rc.HitRate(),
+		})
 	})
 	return mux
 }
