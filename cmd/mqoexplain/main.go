@@ -18,12 +18,13 @@ import (
 	"mqo/internal/core"
 	"mqo/internal/cost"
 	"mqo/internal/psp"
+	"mqo/internal/ssb"
 	"mqo/internal/tpcd"
 )
 
 func main() {
-	workload := flag.String("workload", "q11", "workload: bq|cq|q11|q15|q2|q2d|q2ni")
-	n := flag.Int("n", 2, "composite size for bq/cq")
+	workload := flag.String("workload", "q11", "workload: bq|cq|q11|q15|q2|q2d|q2ni|ssb|ssbdrill")
+	n := flag.Int("n", 2, "composite size for bq/cq, flight number for ssb/ssbdrill")
 	algName := flag.String("alg", "greedy", "algorithm: volcano|volcano-sh|volcano-ru|greedy")
 	showDAG := flag.Bool("dag", false, "dump the expanded logical DAG")
 	flag.Parse()
@@ -47,6 +48,10 @@ func main() {
 		queries, cat = tpcd.Q2D(), tpcd.Catalog(1)
 	case "q2ni":
 		queries, cat = tpcd.Q2NI(1), tpcd.Catalog(1)
+	case "ssb":
+		queries, cat = ssb.Flight(*n), ssb.Catalog(1)
+	case "ssbdrill":
+		queries, cat = ssb.DrillDownBatch(*n, ssb.MaxDrillSteps), ssb.Catalog(1)
 	default:
 		fmt.Fprintf(os.Stderr, "mqoexplain: unknown workload %q\n", *workload)
 		os.Exit(2)

@@ -17,12 +17,13 @@ import (
 
 	"mqo"
 	"mqo/internal/psp"
+	"mqo/internal/ssb"
 	"mqo/internal/tpcd"
 )
 
 func main() {
-	workload := flag.String("workload", "bq", "workload: bq|cq|q11|q15|q2d")
-	n := flag.Int("n", 2, "composite size for bq (1-5) / cq (1-5)")
+	workload := flag.String("workload", "bq", "workload: bq|cq|q11|q15|q2d|ssb|ssbdrill")
+	n := flag.Int("n", 2, "composite size for bq (1-5) / cq (1-5), flight number for ssb/ssbdrill (1-4)")
 	algName := flag.String("alg", "greedy", "algorithm: volcano|volcano-sh|volcano-ru|greedy")
 	sf := flag.Float64("sf", 0.002, "data scale factor for execution")
 	pool := flag.Int("pool", 1024, "buffer pool pages")
@@ -109,6 +110,10 @@ func namedWorkload(workload string, n int, sf float64, db *mqo.DB) ([]*mqo.Query
 		return tpcd.Q2D(), tpcd.Catalog(sf), tpcd.LoadDB(db, sf, 1)
 	case "cq":
 		return psp.CQ(n), psp.Catalog(sf), psp.LoadDB(db, sf, 1)
+	case "ssb":
+		return ssb.Flight(n), ssb.Catalog(sf), ssb.LoadDB(db, sf, 1)
+	case "ssbdrill":
+		return ssb.DrillDownBatch(n, ssb.MaxDrillSteps), ssb.Catalog(sf), ssb.LoadDB(db, sf, 1)
 	}
 	return nil, nil, fmt.Errorf("unknown workload %q", workload)
 }

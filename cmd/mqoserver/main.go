@@ -1,8 +1,9 @@
-// Command mqoserver is a concurrent query service over generated TPC-D
-// data: an HTTP+JSON front end whose adaptive micro-batcher coalesces
-// concurrent requests into multi-query-optimization batches.
+// Command mqoserver is a concurrent query service over generated benchmark
+// data (TPC-D or SSB): an HTTP+JSON front end whose adaptive micro-batcher
+// coalesces concurrent requests into multi-query-optimization batches.
 //
 //	mqoserver -addr :8080 -sf 0.01 -max-batch 8 -max-wait 2ms -alg greedy
+//	mqoserver -workload ssb -sf 0.01 -resultcache 16777216
 //
 // Endpoints:
 //
@@ -22,13 +23,15 @@ import (
 	"time"
 
 	"mqo"
+	"mqo/internal/ssb"
 	"mqo/internal/tpcd"
 )
 
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
-		sf        = flag.Float64("sf", 0.01, "TPC-D scale factor for the generated data")
+		workload  = flag.String("workload", "tpcd", "generated schema and data: tpcd|ssb")
+		sf        = flag.Float64("sf", 0.01, "scale factor for the generated data")
 		seed      = flag.Int64("seed", 1, "data generator seed")
 		pool      = flag.Int("pool", 1024, "buffer pool size in pages")
 		planCache = flag.Int("plancache", 128, "plan-cache capacity in batches (0 disables)")
@@ -40,7 +43,7 @@ func main() {
 	)
 	flag.Parse()
 
-	handler, svc, err := newService(*sf, *seed, *pool, *planCache, mqo.BatchingOptions{
+	handler, svc, err := newService(*workload, *sf, *seed, *pool, *planCache, mqo.BatchingOptions{
 		MaxBatch:         *maxBatch,
 		MaxWait:          *maxWait,
 		Workers:          *workers,
@@ -51,15 +54,15 @@ func main() {
 	}
 	defer svc.Close()
 
-	log.Printf("mqoserver: serving TPC-D sf=%g on %s (max-batch %d, max-wait %s, %s)",
-		*sf, *addr, *maxBatch, *maxWait, *algName)
+	log.Printf("mqoserver: serving %s sf=%g on %s (max-batch %d, max-wait %s, %s)",
+		*workload, *sf, *addr, *maxBatch, *maxWait, *algName)
 	log.Fatal(http.ListenAndServe(*addr, handler))
 }
 
-// newService boots the whole stack: generated TPC-D data, a session
-// optimizer with a plan cache, the micro-batching service and its HTTP
-// handler. Shared with the end-to-end test.
-func newService(sf float64, seed int64, poolPages, planCache int, cfg mqo.BatchingOptions, algName string) (http.Handler, *mqo.Service, error) {
+// newService boots the whole stack: generated benchmark data (TPC-D or
+// SSB), a session optimizer with a plan cache, the micro-batching service
+// and its HTTP handler. Shared with the end-to-end test.
+func newService(workload string, sf float64, seed int64, poolPages, planCache int, cfg mqo.BatchingOptions, algName string) (http.Handler, *mqo.Service, error) {
 	alg, err := mqo.ParseAlgorithm(algName)
 	if err != nil {
 		return nil, nil, err
@@ -67,15 +70,27 @@ func newService(sf float64, seed int64, poolPages, planCache int, cfg mqo.Batchi
 	cfg.Algorithm = alg
 	cfg.UseVolcano = alg == mqo.Volcano
 
+	var (
+		cat  *mqo.Catalog
+		load func(*mqo.DB, float64, int64) error
+	)
+	switch workload {
+	case "tpcd":
+		cat, load = tpcd.Catalog(sf), tpcd.LoadDB
+	case "ssb":
+		cat, load = ssb.Catalog(sf), ssb.LoadDB
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q (want tpcd or ssb)", workload)
+	}
 	db := mqo.NewDB(poolPages)
-	if err := tpcd.LoadDB(db, sf, seed); err != nil {
-		return nil, nil, fmt.Errorf("loading TPC-D data: %w", err)
+	if err := load(db, sf, seed); err != nil {
+		return nil, nil, fmt.Errorf("loading %s data: %w", workload, err)
 	}
 	opts := []mqo.Option{mqo.WithDB(db)}
 	if planCache > 0 {
 		opts = append(opts, mqo.WithPlanCache(planCache))
 	}
-	opt, err := mqo.Open(tpcd.Catalog(sf), opts...)
+	opt, err := mqo.Open(cat, opts...)
 	if err != nil {
 		return nil, nil, err
 	}

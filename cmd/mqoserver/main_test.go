@@ -53,7 +53,7 @@ type statsReply struct {
 // no sharing. This is the CI gate for "batched sharing occurred".
 func TestEndToEnd(t *testing.T) {
 	const clients = 12
-	handler, svc, err := newService(0.002, 1, 1024, 64, mqo.BatchingOptions{
+	handler, svc, err := newService("tpcd", 0.002, 1, 1024, 64, mqo.BatchingOptions{
 		MaxBatch: clients,
 		MaxWait:  500 * time.Millisecond,
 		Workers:  2,
@@ -164,9 +164,52 @@ func TestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestSSBWorkload boots the server over generated SSB data and runs one
+// flight query through the full HTTP path.
+func TestSSBWorkload(t *testing.T) {
+	handler, svc, err := newService("ssb", 0.002, 1, 1024, 16, mqo.BatchingOptions{
+		MaxBatch: 1, MaxWait: time.Millisecond,
+	}, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	body, _ := json.Marshal(map[string]string{
+		"sql": `SELECT SUM(loprice*lodisc) AS revenue FROM lineorder, date
+			WHERE lodate = dk AND dyear = 1993 AND lodisc >= 1 AND lodisc <= 3 AND loqty < 25`,
+	})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var r queryReply
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Columns) != 1 || r.Columns[0] != "q.revenue" {
+		t.Errorf("columns %v, want [q.revenue]", r.Columns)
+	}
+	if len(r.Rows) != 1 {
+		t.Errorf("%d rows, want 1", len(r.Rows))
+	}
+
+	if _, _, err := newService("nosuch", 0.002, 1, 256, 0, mqo.BatchingOptions{
+		MaxBatch: 1, MaxWait: time.Millisecond,
+	}, "greedy"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
 // TestBadRequests covers the HTTP error paths.
 func TestBadRequests(t *testing.T) {
-	handler, svc, err := newService(0.002, 1, 256, 0, mqo.BatchingOptions{
+	handler, svc, err := newService("tpcd", 0.002, 1, 256, 0, mqo.BatchingOptions{
 		MaxBatch: 1, MaxWait: time.Millisecond,
 	}, "volcano-ru")
 	if err != nil {

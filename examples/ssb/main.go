@@ -1,0 +1,68 @@
+// Star Schema Benchmark: deterministic generated data, the 13 queries in
+// 4 flights, and the two reuse modes the star shape creates. Each flight
+// is optimized as one MQO batch (its queries share the lineorder scan and
+// dimension joins), then a drill-down session — the flight-2 report
+// refined brand by brand — replays against the result cache, so later
+// steps and the replay pass answer shared subplans from spooled tables
+// instead of recomputing the star join.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"mqo"
+	"mqo/internal/ssb"
+)
+
+func main() {
+	const sf = 0.005
+	db := mqo.NewDB(1024)
+	if err := ssb.LoadDB(db, sf, 1); err != nil {
+		log.Fatal(err)
+	}
+	opt, err := mqo.Open(ssb.Catalog(sf),
+		mqo.WithDB(db),
+		mqo.WithResultCache(16<<20), // 16 MB of spooled results
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Part 1: each flight as one MQO batch. The sharing heuristics price
+	// the common star subplans once; no_share is the Volcano baseline.
+	fmt.Println("== flights as MQO batches ==")
+	for n := 1; n <= ssb.NumFlights; n++ {
+		shared, err := opt.Run(ctx, mqo.Batch{SQL: ssb.FlightSQL(n), Algorithm: mqo.Greedy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline, err := opt.OptimizeSQL(ctx, ssb.FlightSQL(n), mqo.Volcano)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  flight %d: %d queries, est cost %7.2fs (no sharing %7.2fs), reads=%5d\n",
+			n, len(shared.Queries), shared.Cost, baseline.Cost, shared.Exec.IO.Reads)
+	}
+
+	// Part 2: hierarchical drill-down reuse. The same report tightened
+	// step by step (manufacturer → category → brand range → brand), run
+	// twice: the second pass answers from the result cache.
+	fmt.Println("\n== flight-2 drill-down, replayed ==")
+	for pass := 1; pass <= 2; pass++ {
+		fmt.Printf("pass %d\n", pass)
+		for step, sql := range ssb.DrillDownSQL(2, ssb.MaxDrillSteps) {
+			res, err := opt.Run(ctx, mqo.Batch{SQL: sql, Algorithm: mqo.Greedy})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  step %d: %3d rows, reads=%5d writes=%4d\n",
+				step+1, res.Exec.RowsOut, res.Exec.IO.Reads, res.Exec.IO.Writes)
+		}
+		st := opt.ResultCacheStats()
+		fmt.Printf("  cache: %d entries, %d/%d bytes, hit-rate %.0f%%, admitted %d, evicted %d\n",
+			st.Entries, st.UsedBytes, st.BudgetBytes, 100*st.HitRate(), st.Admissions, st.Evictions)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"mqo/internal/catalog"
 	"mqo/internal/cost"
 	"mqo/internal/sql"
 )
@@ -13,10 +14,14 @@ import (
 // genBatch turns fuzzer bytes into a grammar-valid SQL batch over the
 // fuzzOptimize catalog: every byte stream maps to 1–3 SELECT statements
 // built from joins over a table pool, single-column selections, optional
-// grouped aggregates and projections. The generator only emits statements
-// the grammar accepts, so the fuzzer explores the *optimizer* state space
-// (DAG shapes, sharing patterns, subsumption chains) rather than parser
-// error paths — FuzzParse already covers those.
+// grouped aggregates and projections — or, on one branch in four, an
+// SSB-shaped star query: the fact table F joined to 1–3 dimensions with
+// multi-predicate dimension filters (a range plus an optional equality)
+// and a grouped aggregate, the shape internal/ssb's 13 flight queries
+// lower to. The generator only emits statements the grammar accepts, so
+// the fuzzer explores the *optimizer* state space (DAG shapes, sharing
+// patterns, subsumption chains) rather than parser error paths —
+// FuzzParse already covers those.
 func genBatch(data []byte) string {
 	next := func() int {
 		if len(data) == 0 {
@@ -34,6 +39,10 @@ func genBatch(data []byte) string {
 	nStmts := 1 + next()%3
 	var stmts []string
 	for s := 0; s < nStmts; s++ {
+		if next()%4 == 0 {
+			stmts = append(stmts, genStar(next, aggs))
+			continue
+		}
 		nTables := 1 + next()%3
 		first := tables[next()%len(tables)]
 		from := []string{first}
@@ -96,6 +105,67 @@ func genBatch(data []byte) string {
 	return strings.Join(stmts, "; ")
 }
 
+// genStar emits one star query over the fact table F and 1–3 of the
+// dimensions D1..D3: equi-joins fact→dimension, a band range plus an
+// optional group equality on the dimensions (the multi-predicate filter
+// shape of the SSB flights), and a grouped aggregate.
+func genStar(next func() int, aggs []string) string {
+	dims := []string{"D1", "D2", "D3"}
+	nd := 1 + next()%3
+	from := []string{"F"}
+	var conds []string
+	for j := 0; j < nd; j++ {
+		from = append(from, dims[j])
+		conds = append(conds, fmt.Sprintf("F.d%d = %s.id", j+1, dims[j]))
+	}
+	filt := dims[next()%nd]
+	lo := 1 + next()%80
+	conds = append(conds, fmt.Sprintf("%s.band >= %d", filt, lo))
+	conds = append(conds, fmt.Sprintf("%s.band <= %d", filt, lo+next()%20))
+	if next()%2 == 0 {
+		conds = append(conds, fmt.Sprintf("%s.grp = %d", dims[next()%nd], 1+next()%25))
+	}
+	gb := fmt.Sprintf("%s.grp", dims[next()%nd])
+	agg := aggs[next()%len(aggs)]
+	arg := "F.v"
+	if agg == "COUNT" {
+		arg = "*"
+	}
+	return fmt.Sprintf("SELECT %s, %s(%s) AS a FROM %s WHERE %s GROUP BY %s",
+		gb, agg, arg, strings.Join(from, ", "), strings.Join(conds, " AND "), gb)
+}
+
+// fuzzOptimizeCatalog is testCatalog plus a star schema: fact F with
+// foreign keys into dimensions D1..D3, each dimension carrying a 100-band
+// range column and a 25-way group column so star queries filter and group
+// the way the SSB flights do.
+func fuzzOptimizeCatalog() *catalog.Catalog {
+	cat := testCatalog()
+	for i := 1; i <= 3; i++ {
+		cat.Add(&catalog.Table{
+			Name: fmt.Sprintf("D%d", i),
+			Cols: []catalog.ColDef{
+				catalog.IntCol("id", 10000),
+				catalog.IntColRange("band", 100, 1, 100),
+				catalog.IntColRange("grp", 25, 1, 25),
+			},
+			Rows: 10000,
+		})
+	}
+	cat.Add(&catalog.Table{
+		Name: "F",
+		Cols: []catalog.ColDef{
+			catalog.IntCol("id", 1000000),
+			catalog.IntCol("d1", 10000),
+			catalog.IntCol("d2", 10000),
+			catalog.IntCol("d3", 10000),
+			catalog.IntColRange("v", 1000, 1, 1000),
+		},
+		Rows: 1000000,
+	})
+	return cat
+}
+
 // FuzzOptimize: grammar-seeded SQL batches through the full optimizer
 // stack — parse, BuildDAG, Optimize under every algorithm — asserting the
 // heuristics' cost invariants on every generated batch: no algorithm may
@@ -112,8 +182,16 @@ func FuzzOptimize(f *testing.F) {
 	f.Add([]byte{2, 0, 3, 1, 9, 0, 2, 2, 1, 7, 5, 3})
 	f.Add([]byte{255, 254, 1, 0, 128, 64, 32, 16, 8, 4, 2, 1})
 	f.Add([]byte("repeated-tenant-workload-seed"))
+	// Star-branch seeds: a leading 0 byte routes the first statement into
+	// genStar, covering 1–3 dimension joins, both filter shapes and every
+	// aggregate — the byte-level counterpart of seeding the 13 SSB texts.
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 0, 0, 1, 10, 5, 0, 1, 2, 0})
+	f.Add([]byte{2, 0, 1, 0, 40, 19, 1, 2, 3, 0, 2, 60, 7, 0, 0, 1, 4})
+	f.Add([]byte{0, 2, 2, 79, 0, 0, 24, 1, 1})
+	f.Add([]byte{2, 0, 2, 1, 33, 8, 0, 2, 0, 2, 0, 0, 55, 3, 1, 1, 2, 2})
 
-	cat := testCatalog()
+	cat := fuzzOptimizeCatalog()
 	model := cost.DefaultModel()
 	f.Fuzz(func(t *testing.T, data []byte) {
 		batchSQL := genBatch(data)

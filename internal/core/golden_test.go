@@ -13,6 +13,7 @@ import (
 	"mqo/internal/catalog"
 	"mqo/internal/cost"
 	"mqo/internal/psp"
+	"mqo/internal/ssb"
 	"mqo/internal/tpcd"
 )
 
@@ -40,9 +41,9 @@ func renderGolden(res *Result) string {
 }
 
 // goldenWorkloads lists the snapshot workloads: the paper's batched TPC-D
-// composites BQ1..BQ5, the PSP scaleup composites CQ1..CQ3, and the
+// composites BQ1..BQ5, the PSP scaleup composites CQ1..CQ3, the
 // correlated / inverted / decorrelated Q2 family plus Q11 and Q15 — the
-// stand-alone §6.1 queries.
+// stand-alone §6.1 queries — and the four SSB flights.
 func goldenWorkloads() []struct {
 	name    string
 	cat     *catalog.Catalog
@@ -50,6 +51,7 @@ func goldenWorkloads() []struct {
 } {
 	tc := tpcd.Catalog(1)
 	pc := psp.Catalog(1)
+	sc := ssb.Catalog(1)
 	return []struct {
 		name    string
 		cat     *catalog.Catalog
@@ -68,6 +70,10 @@ func goldenWorkloads() []struct {
 		{"q2d", tc, tpcd.Q2D()},
 		{"q11", tc, []*algebra.Tree{tpcd.Q11()}},
 		{"q15", tc, []*algebra.Tree{tpcd.Q15()}},
+		{"ssb1", sc, ssb.Flight(1)},
+		{"ssb2", sc, ssb.Flight(2)},
+		{"ssb3", sc, ssb.Flight(3)},
+		{"ssb4", sc, ssb.Flight(4)},
 	}
 }
 

@@ -7,9 +7,10 @@ import (
 	"mqo/internal/catalog"
 )
 
-// fuzzCatalog mirrors the TPC-D aliases the example and command queries
-// use, without importing internal/tpcd (keeping the frontend's test
-// dependencies flat).
+// fuzzCatalog mirrors the TPC-D and SSB aliases the example and command
+// queries use, without importing internal/tpcd or internal/ssb (keeping
+// the frontend's test dependencies flat — and internal/ssb lowers its
+// query texts through this package, so importing it back would cycle).
 func fuzzCatalog() *catalog.Catalog {
 	cat := catalog.New()
 	cat.Add(&catalog.Table{
@@ -22,11 +23,18 @@ func fuzzCatalog() *catalog.Catalog {
 		},
 		Rows: 6000000,
 	})
+	// supplier carries both the TPC-D columns (sk, snk) and the SSB ones
+	// (suk, scity, snation, sregion) so seeds from either benchmark lower
+	// against the same FROM alias.
 	cat.Add(&catalog.Table{
 		Name: "supplier",
 		Cols: []catalog.ColDef{
 			catalog.IntCol("sk", 10000),
 			catalog.IntCol("snk", 25),
+			catalog.IntCol("suk", 2000),
+			catalog.StrCol("scity", 8, 250),
+			catalog.StrCol("snation", 9, 25),
+			catalog.StrCol("sregion", 8, 5),
 		},
 		Rows: 10000,
 	})
@@ -37,6 +45,56 @@ func fuzzCatalog() *catalog.Catalog {
 			catalog.StrCol("nname", 25, 25),
 		},
 		Rows: 25,
+	})
+	// The SSB star schema (fact + four dimensions), so the 13 SSB flight
+	// queries — star joins with multi-predicate dimension filters — seed a
+	// grammar region the TPC-D shapes don't reach.
+	cat.Add(&catalog.Table{
+		Name: "date",
+		Cols: []catalog.ColDef{
+			catalog.IntColRange("dk", 2557, 19920101, 19981231),
+			catalog.IntColRange("dyear", 7, 1992, 1998),
+			catalog.IntColRange("dmonthnum", 12, 1, 12),
+			catalog.IntColRange("dyearmonthnum", 84, 199201, 199812),
+			catalog.IntColRange("dweeknuminyear", 53, 1, 53),
+		},
+		Rows: 2557,
+	})
+	cat.Add(&catalog.Table{
+		Name: "customer",
+		Cols: []catalog.ColDef{
+			catalog.IntCol("ck", 30000),
+			catalog.StrCol("ccity", 8, 250),
+			catalog.StrCol("cnation", 9, 25),
+			catalog.StrCol("cregion", 8, 5),
+		},
+		Rows: 30000,
+	})
+	cat.Add(&catalog.Table{
+		Name: "part",
+		Cols: []catalog.ColDef{
+			catalog.IntCol("pk", 200000),
+			catalog.StrCol("pmfgr", 6, 5),
+			catalog.StrCol("pcategory", 7, 25),
+			catalog.StrCol("pbrand", 9, 1000),
+		},
+		Rows: 200000,
+	})
+	cat.Add(&catalog.Table{
+		Name: "lineorder",
+		Cols: []catalog.ColDef{
+			catalog.IntCol("lokey", 1500000),
+			catalog.IntCol("locust", 30000),
+			catalog.IntCol("lopart", 200000),
+			catalog.IntCol("losupp", 2000),
+			catalog.IntColRange("lodate", 2557, 19920101, 19981231),
+			catalog.IntColRange("loqty", 50, 1, 50),
+			catalog.FloatColRange("loprice", 100000, 90, 104950),
+			catalog.IntColRange("lodisc", 11, 0, 10),
+			catalog.FloatColRange("lorev", 100000, 81, 104950),
+			catalog.FloatColRange("loscost", 1000, 1, 1000),
+		},
+		Rows: 6000000,
 	})
 	return cat
 }
@@ -92,6 +150,7 @@ func FuzzParse(f *testing.F) {
 		"SELECT a. FROM nation",
 		"SELECT ((((1)))) FROM nation",
 	}
+	seeds = append(seeds, ssbSeeds...)
 	for _, s := range seeds {
 		f.Add(s)
 	}
@@ -103,4 +162,69 @@ func FuzzParse(f *testing.F) {
 			t.Error("ParseBatch returned no trees and no error")
 		}
 	})
+}
+
+// ssbSeeds are the 13 SSB flight queries (as adapted to this grammar in
+// internal/ssb, which cannot be imported here without a cycle): star
+// joins over the lineorder fact with multi-predicate dimension filters —
+// numeric ranges on the date hierarchy, string ranges on the brand and
+// city hierarchies.
+var ssbSeeds = []string{
+	`SELECT SUM(loprice*lodisc) AS revenue FROM lineorder, date
+	 WHERE lodate = dk AND dyear = 1993 AND lodisc >= 1 AND lodisc <= 3 AND loqty < 25`,
+	`SELECT SUM(loprice*lodisc) AS revenue FROM lineorder, date
+	 WHERE lodate = dk AND dyearmonthnum = 199401 AND lodisc >= 4 AND lodisc <= 6 AND loqty >= 26 AND loqty <= 35`,
+	`SELECT SUM(loprice*lodisc) AS revenue FROM lineorder, date
+	 WHERE lodate = dk AND dweeknuminyear = 6 AND dyear = 1994 AND lodisc >= 5 AND lodisc <= 7 AND loqty >= 26 AND loqty <= 35`,
+	`SELECT SUM(lorev) AS revenue, dyear, pbrand FROM lineorder, part, supplier, date
+	 WHERE lodate = dk AND lopart = pk AND losupp = suk AND pcategory = 'MFGR#12' AND sregion = 'AMERICA'
+	 GROUP BY dyear, pbrand`,
+	`SELECT SUM(lorev) AS revenue, dyear, pbrand FROM lineorder, part, supplier, date
+	 WHERE lodate = dk AND lopart = pk AND losupp = suk AND pbrand >= 'MFGR#2221' AND pbrand <= 'MFGR#2228' AND sregion = 'ASIA'
+	 GROUP BY dyear, pbrand`,
+	`SELECT SUM(lorev) AS revenue, dyear, pbrand FROM lineorder, part, supplier, date
+	 WHERE lodate = dk AND lopart = pk AND losupp = suk AND pbrand = 'MFGR#2239' AND sregion = 'EUROPE'
+	 GROUP BY dyear, pbrand`,
+	`SELECT cnation, snation, dyear, SUM(lorev) AS revenue FROM customer, lineorder, supplier, date
+	 WHERE locust = ck AND losupp = suk AND lodate = dk AND cregion = 'ASIA' AND sregion = 'ASIA'
+	 AND dyear >= 1992 AND dyear <= 1997 GROUP BY cnation, snation, dyear`,
+	`SELECT ccity, scity, dyear, SUM(lorev) AS revenue FROM customer, lineorder, supplier, date
+	 WHERE locust = ck AND losupp = suk AND lodate = dk AND cnation = 'NATION#10' AND snation = 'NATION#10'
+	 AND dyear >= 1992 AND dyear <= 1997 GROUP BY ccity, scity, dyear`,
+	`SELECT ccity, scity, dyear, SUM(lorev) AS revenue FROM customer, lineorder, supplier, date
+	 WHERE locust = ck AND losupp = suk AND lodate = dk AND ccity >= 'CITY#101' AND ccity <= 'CITY#105'
+	 AND scity >= 'CITY#101' AND scity <= 'CITY#105' AND dyear >= 1992 AND dyear <= 1997
+	 GROUP BY ccity, scity, dyear`,
+	`SELECT ccity, scity, dyear, SUM(lorev) AS revenue FROM customer, lineorder, supplier, date
+	 WHERE locust = ck AND losupp = suk AND lodate = dk AND ccity >= 'CITY#101' AND ccity <= 'CITY#105'
+	 AND scity >= 'CITY#101' AND scity <= 'CITY#105' AND dyearmonthnum = 199712
+	 GROUP BY ccity, scity, dyear`,
+	`SELECT dyear, cnation, SUM(lorev-loscost) AS profit FROM lineorder, customer, supplier, part, date
+	 WHERE locust = ck AND losupp = suk AND lopart = pk AND lodate = dk AND cregion = 'AMERICA'
+	 AND sregion = 'AMERICA' AND pmfgr >= 'MFGR#1' AND pmfgr <= 'MFGR#2' GROUP BY dyear, cnation`,
+	`SELECT dyear, snation, pcategory, SUM(lorev-loscost) AS profit FROM lineorder, customer, supplier, part, date
+	 WHERE locust = ck AND losupp = suk AND lopart = pk AND lodate = dk AND cregion = 'AMERICA'
+	 AND sregion = 'AMERICA' AND dyear >= 1997 AND dyear <= 1998 AND pmfgr >= 'MFGR#1' AND pmfgr <= 'MFGR#2'
+	 GROUP BY dyear, snation, pcategory`,
+	`SELECT dyear, scity, pbrand, SUM(lorev-loscost) AS profit FROM lineorder, customer, supplier, part, date
+	 WHERE locust = ck AND losupp = suk AND lopart = pk AND lodate = dk AND cregion = 'AMERICA'
+	 AND snation = 'NATION#24' AND dyear >= 1997 AND dyear <= 1998 AND pcategory = 'MFGR#14'
+	 GROUP BY dyear, scity, pbrand`,
+}
+
+// TestSSBSeedsLower: the star-schema seeds must be *successful* grammar
+// examples, not error paths — each lowers to one tree.
+func TestSSBSeedsLower(t *testing.T) {
+	cat := fuzzCatalog()
+	if len(ssbSeeds) != 13 {
+		t.Fatalf("%d SSB seeds, want 13", len(ssbSeeds))
+	}
+	for i, src := range ssbSeeds {
+		trees, err := ParseBatch(cat, src)
+		if err != nil {
+			t.Errorf("SSB seed %d does not lower: %v", i, err)
+		} else if len(trees) != 1 {
+			t.Errorf("SSB seed %d lowered to %d trees", i, len(trees))
+		}
+	}
 }

@@ -1,0 +1,137 @@
+package ssb
+
+import (
+	"fmt"
+	"strings"
+
+	"mqo/internal/algebra"
+)
+
+// Drill-down families: each flight has a 4-step parameter tightening that
+// walks one hierarchy downward (month ⊂ half-year ⊂ year; brand ⊂
+// category ⊂ manufacturer; city ⊂ nation ⊂ region). Every step ADDS
+// conjuncts to the previous step's WHERE clause and keeps the join set,
+// aggregates and GROUP BY identical, so step k's result is a strict
+// refinement of step k-1's — the "hierarchical drill-down reuse" shape:
+// consecutive steps share the dimension joins and all untightened filter
+// subtrees, which the result cache answers from storage on replay.
+type drillFamily struct {
+	head  string   // SELECT ... FROM ... WHERE <joins and base filters>
+	tail  string   // GROUP BY ..., or empty
+	steps []string // conjuncts appended cumulatively, one per extra step
+}
+
+var drillFamilies = [NumFlights]drillFamily{
+	{
+		head: `SELECT SUM(loprice*lodisc) AS revenue
+		 FROM lineorder, date
+		 WHERE lodate = dk AND dyear = 1993 AND lodisc >= 1 AND lodisc <= 3`,
+		steps: []string{
+			`dmonthnum <= 6`,
+			`dmonthnum = 4`,
+			`dweeknuminyear = 15`,
+		},
+	},
+	{
+		head: `SELECT SUM(lorev) AS revenue, dyear, pbrand
+		 FROM lineorder, part, supplier, date
+		 WHERE lodate = dk AND lopart = pk AND losupp = suk
+		   AND sregion = 'AMERICA' AND pmfgr = 'MFGR#1'`,
+		tail: `GROUP BY dyear, pbrand`,
+		steps: []string{
+			`pcategory = 'MFGR#12'`,
+			`pbrand >= 'MFGR#1221' AND pbrand <= 'MFGR#1228'`,
+			`pbrand = 'MFGR#1224'`,
+		},
+	},
+	{
+		head: `SELECT ccity, scity, dyear, SUM(lorev) AS revenue
+		 FROM customer, lineorder, supplier, date
+		 WHERE locust = ck AND losupp = suk AND lodate = dk
+		   AND cregion = 'ASIA' AND sregion = 'ASIA'`,
+		tail: `GROUP BY ccity, scity, dyear`,
+		steps: []string{
+			`cnation = 'NATION#11'`,
+			`ccity >= 'CITY#110' AND ccity <= 'CITY#114'`,
+			`ccity = 'CITY#112'`,
+		},
+	},
+	{
+		head: `SELECT dyear, snation, pcategory, SUM(lorev-loscost) AS profit
+		 FROM lineorder, customer, supplier, part, date
+		 WHERE locust = ck AND losupp = suk AND lopart = pk AND lodate = dk
+		   AND cregion = 'AMERICA' AND sregion = 'AMERICA'`,
+		tail: `GROUP BY dyear, snation, pcategory`,
+		steps: []string{
+			`pmfgr = 'MFGR#1'`,
+			`pcategory = 'MFGR#14'`,
+			`pbrand = 'MFGR#1408'`,
+		},
+	},
+}
+
+// MaxDrillSteps is the deepest drill-down of every family: the base query
+// plus one tightening per hierarchy level.
+const MaxDrillSteps = 4
+
+func clampSteps(steps int) int {
+	if steps < 1 {
+		return 1
+	}
+	if steps > MaxDrillSteps {
+		return MaxDrillSteps
+	}
+	return steps
+}
+
+// DrillDownSQL returns the drill-down sequence of flight n (1-based) as
+// SQL texts: element k is the base query with the first k hierarchy
+// tightenings appended. steps is clamped to 1..MaxDrillSteps.
+func DrillDownSQL(n, steps int) []string {
+	fam := drillFamilies[flightIndex(n)]
+	steps = clampSteps(steps)
+	out := make([]string, 0, steps)
+	for k := 0; k < steps; k++ {
+		q := fam.head
+		for _, c := range fam.steps[:k] {
+			q += "\n   AND " + c
+		}
+		if fam.tail != "" {
+			q += "\n " + fam.tail
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// DrillDown returns the drill-down sequence of flight n pre-lowered, one
+// single-query batch per step — the shape a session produces when a user
+// refines the same report interactively. Replaying consecutive steps
+// against the result cache reuses the dimension joins and all filter
+// subtrees the tightening left untouched.
+func DrillDown(n, steps int) [][]*algebra.Tree {
+	texts := DrillDownSQL(n, steps)
+	out := make([][]*algebra.Tree, len(texts))
+	for i, q := range texts {
+		out[i] = must(q)
+	}
+	return out
+}
+
+// DrillDownBatch returns the whole drill-down sequence of flight n as ONE
+// batch: all steps optimized together, the within-batch analogue of the
+// replay scenario (heuristics share the common subplans directly).
+func DrillDownBatch(n, steps int) []*algebra.Tree {
+	return must(strings.Join(DrillDownSQL(n, steps), ";\n"))
+}
+
+func init() {
+	// The drill texts are static; fail loudly at package load if any family
+	// drifted out of the SQL grammar (cheap: schema-shape lowering only).
+	for n := 1; n <= NumFlights; n++ {
+		if len(drillFamilies[n-1].steps) != MaxDrillSteps-1 {
+			panic(fmt.Sprintf("ssb: flight %d drill family has %d steps, want %d",
+				n, len(drillFamilies[n-1].steps), MaxDrillSteps-1))
+		}
+	}
+}

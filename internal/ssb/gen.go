@@ -1,0 +1,168 @@
+package ssb
+
+import (
+	"math/rand"
+
+	"mqo/internal/algebra"
+	"mqo/internal/storage"
+)
+
+func isLeap(y int) bool {
+	return y%4 == 0 && (y%100 != 0 || y%400 == 0)
+}
+
+var monthDays = [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+// dateRow is one row of the fully-determined date dimension.
+type dateRow struct {
+	dk            int64 // yyyymmdd
+	year          int64
+	monthNum      int64
+	yearMonthNum  int64
+	weekNumInYear int64
+}
+
+// calendar returns the DateRows rows of the date dimension in dk order.
+// The dimension carries no randomness: identical at every (seed, SF).
+func calendar() []dateRow {
+	var out []dateRow
+	for y := FirstYear; y <= LastYear; y++ {
+		dayOfYear := 0
+		for m := 1; m <= 12; m++ {
+			days := monthDays[m-1]
+			if m == 2 && isLeap(y) {
+				days++
+			}
+			for d := 1; d <= days; d++ {
+				dayOfYear++
+				week := int64((dayOfYear-1)/7 + 1)
+				if week > 53 {
+					week = 53
+				}
+				out = append(out, dateRow{
+					dk:            int64(y*10000 + m*100 + d),
+					year:          int64(y),
+					monthNum:      int64(m),
+					yearMonthNum:  int64(y*100 + m),
+					weekNumInYear: week,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// DateKeys returns all dk values of the date dimension in ascending order.
+func DateKeys() []int64 {
+	cal := calendar()
+	keys := make([]int64, len(cal))
+	for i, d := range cal {
+		keys[i] = d.dk
+	}
+	return keys
+}
+
+// LoadDB generates deterministic SSB data at the given scale factor into
+// db, consistent with Catalog(sf): every foreign key references an
+// existing dimension row, hierarchy columns are mutually consistent
+// (ccity determines cnation determines cregion, pbrand determines
+// pcategory determines pmfgr), and value ranges match the statistics.
+// Generation order and the single seeded rng make identical (sf, seed)
+// produce byte-identical tables. Execution experiments use small sf
+// (e.g. 0.01); optimization-only experiments need no data at all.
+func LoadDB(db *storage.DB, sf float64, seed int64) error {
+	cat := Catalog(sf)
+	rng := rand.New(rand.NewSource(seed))
+	cal := calendar()
+	counts := map[string]int64{}
+	for _, name := range TableNames() {
+		ct := cat.MustTable(name)
+		counts[name] = ct.Rows
+		tab, err := db.CreateTable(name, ct.Schema(name))
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < ct.Rows; i++ {
+			if _, err := tab.Heap.Insert(genRow(name, i, counts, cal, rng)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func genRow(name string, i int64, counts map[string]int64, cal []dateRow, rng *rand.Rand) storage.Row {
+	pick := func(n int64) int64 { return rng.Int63n(n) + 1 }
+	// geo draws a city index and returns the consistent city/nation/region
+	// triple of the location hierarchy.
+	geo := func() (string, string, string) {
+		j := rng.Intn(NumCities)
+		n := j / (NumCities / NumNations)
+		return CityName(j), NationName(n), Regions[n/(NumNations/NumRegions)]
+	}
+	switch name {
+	case "date":
+		d := cal[i]
+		return storage.Row{
+			algebra.IntVal(d.dk),
+			algebra.IntVal(d.year),
+			algebra.IntVal(d.monthNum),
+			algebra.IntVal(d.yearMonthNum),
+			algebra.IntVal(d.weekNumInYear),
+		}
+	case "customer":
+		city, nation, region := geo()
+		return storage.Row{
+			algebra.IntVal(i + 1),
+			algebra.StringVal(city),
+			algebra.StringVal(nation),
+			algebra.StringVal(region),
+		}
+	case "supplier":
+		city, nation, region := geo()
+		return storage.Row{
+			algebra.IntVal(i + 1),
+			algebra.StringVal(city),
+			algebra.StringVal(nation),
+			algebra.StringVal(region),
+		}
+	case "part":
+		// One brand index determines the whole product hierarchy.
+		b := rng.Intn(NumBrands)
+		m := b/(NumBrands/NumMfgrs) + 1
+		c := (b%(NumBrands/NumMfgrs))/40 + 1
+		bb := b%40 + 1
+		return storage.Row{
+			algebra.IntVal(i + 1),
+			algebra.StringVal(MfgrName(m)),
+			algebra.StringVal(CategoryName(m, c)),
+			algebra.StringVal(BrandName(m, c, bb)),
+		}
+	case "lineorder":
+		// Stored in lokey order: the catalog declares a clustered index on
+		// lokey, so the heap must actually be sorted on it.
+		lokey := i/LinesPerOrder + 1
+		maxOrders := counts["lineorder"] / LinesPerOrder
+		if maxOrders < 1 {
+			maxOrders = 1
+		}
+		if lokey > maxOrders {
+			lokey = maxOrders
+		}
+		price := 90 + rng.Float64()*104860
+		disc := int64(rng.Intn(11))
+		return storage.Row{
+			algebra.IntVal(lokey),
+			algebra.IntVal(pick(counts["customer"])),
+			algebra.IntVal(pick(counts["part"])),
+			algebra.IntVal(pick(counts["supplier"])),
+			algebra.IntVal(cal[rng.Intn(len(cal))].dk),
+			algebra.IntVal(pick(50)),
+			algebra.FloatVal(price),
+			algebra.IntVal(disc),
+			algebra.FloatVal(price * float64(100-disc) / 100),
+			algebra.FloatVal(1 + rng.Float64()*999),
+		}
+	}
+	panic("ssb: unknown table " + name)
+}

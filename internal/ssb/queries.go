@@ -1,0 +1,179 @@
+package ssb
+
+import (
+	"fmt"
+
+	"mqo/internal/algebra"
+	"mqo/internal/sql"
+)
+
+// The 13 SSB queries, organized as the benchmark's 4 flights. Each flight
+// is a drill-down family sharing the same fact-table scan and dimension
+// joins at successively tighter parameters — flight 1 restricts the date
+// hierarchy, flight 2 the product hierarchy, flight 3 the two location
+// hierarchies, flight 4 all three. The SQL texts below are the single
+// source of truth; Flight/AllFlights lower them through internal/sql
+// against the SF-1 catalog (lowering depends only on schema shape, not on
+// statistics), so the text and algebra forms can never drift apart.
+//
+// Adaptations to the conjunctive grammar of internal/sql: BETWEEN becomes
+// a >= AND <= pair, and IN-lists become the equivalent contiguous range
+// over the generated hierarchy names (brands of one category, cities of
+// one numeric run), which select the same way because generated names
+// order lexicographically.
+var flightSQL = [4][]string{
+	{
+		`SELECT SUM(loprice*lodisc) AS revenue
+		 FROM lineorder, date
+		 WHERE lodate = dk AND dyear = 1993
+		   AND lodisc >= 1 AND lodisc <= 3 AND loqty < 25`,
+		`SELECT SUM(loprice*lodisc) AS revenue
+		 FROM lineorder, date
+		 WHERE lodate = dk AND dyearmonthnum = 199401
+		   AND lodisc >= 4 AND lodisc <= 6 AND loqty >= 26 AND loqty <= 35`,
+		`SELECT SUM(loprice*lodisc) AS revenue
+		 FROM lineorder, date
+		 WHERE lodate = dk AND dweeknuminyear = 6 AND dyear = 1994
+		   AND lodisc >= 5 AND lodisc <= 7 AND loqty >= 26 AND loqty <= 35`,
+	},
+	{
+		`SELECT SUM(lorev) AS revenue, dyear, pbrand
+		 FROM lineorder, part, supplier, date
+		 WHERE lodate = dk AND lopart = pk AND losupp = suk
+		   AND pcategory = 'MFGR#12' AND sregion = 'AMERICA'
+		 GROUP BY dyear, pbrand`,
+		`SELECT SUM(lorev) AS revenue, dyear, pbrand
+		 FROM lineorder, part, supplier, date
+		 WHERE lodate = dk AND lopart = pk AND losupp = suk
+		   AND pbrand >= 'MFGR#2221' AND pbrand <= 'MFGR#2228' AND sregion = 'ASIA'
+		 GROUP BY dyear, pbrand`,
+		`SELECT SUM(lorev) AS revenue, dyear, pbrand
+		 FROM lineorder, part, supplier, date
+		 WHERE lodate = dk AND lopart = pk AND losupp = suk
+		   AND pbrand = 'MFGR#2239' AND sregion = 'EUROPE'
+		 GROUP BY dyear, pbrand`,
+	},
+	{
+		`SELECT cnation, snation, dyear, SUM(lorev) AS revenue
+		 FROM customer, lineorder, supplier, date
+		 WHERE locust = ck AND losupp = suk AND lodate = dk
+		   AND cregion = 'ASIA' AND sregion = 'ASIA'
+		   AND dyear >= 1992 AND dyear <= 1997
+		 GROUP BY cnation, snation, dyear`,
+		`SELECT ccity, scity, dyear, SUM(lorev) AS revenue
+		 FROM customer, lineorder, supplier, date
+		 WHERE locust = ck AND losupp = suk AND lodate = dk
+		   AND cnation = 'NATION#10' AND snation = 'NATION#10'
+		   AND dyear >= 1992 AND dyear <= 1997
+		 GROUP BY ccity, scity, dyear`,
+		`SELECT ccity, scity, dyear, SUM(lorev) AS revenue
+		 FROM customer, lineorder, supplier, date
+		 WHERE locust = ck AND losupp = suk AND lodate = dk
+		   AND ccity >= 'CITY#101' AND ccity <= 'CITY#105'
+		   AND scity >= 'CITY#101' AND scity <= 'CITY#105'
+		   AND dyear >= 1992 AND dyear <= 1997
+		 GROUP BY ccity, scity, dyear`,
+		`SELECT ccity, scity, dyear, SUM(lorev) AS revenue
+		 FROM customer, lineorder, supplier, date
+		 WHERE locust = ck AND losupp = suk AND lodate = dk
+		   AND ccity >= 'CITY#101' AND ccity <= 'CITY#105'
+		   AND scity >= 'CITY#101' AND scity <= 'CITY#105'
+		   AND dyearmonthnum = 199712
+		 GROUP BY ccity, scity, dyear`,
+	},
+	{
+		`SELECT dyear, cnation, SUM(lorev-loscost) AS profit
+		 FROM lineorder, customer, supplier, part, date
+		 WHERE locust = ck AND losupp = suk AND lopart = pk AND lodate = dk
+		   AND cregion = 'AMERICA' AND sregion = 'AMERICA'
+		   AND pmfgr >= 'MFGR#1' AND pmfgr <= 'MFGR#2'
+		 GROUP BY dyear, cnation`,
+		`SELECT dyear, snation, pcategory, SUM(lorev-loscost) AS profit
+		 FROM lineorder, customer, supplier, part, date
+		 WHERE locust = ck AND losupp = suk AND lopart = pk AND lodate = dk
+		   AND cregion = 'AMERICA' AND sregion = 'AMERICA'
+		   AND dyear >= 1997 AND dyear <= 1998
+		   AND pmfgr >= 'MFGR#1' AND pmfgr <= 'MFGR#2'
+		 GROUP BY dyear, snation, pcategory`,
+		`SELECT dyear, scity, pbrand, SUM(lorev-loscost) AS profit
+		 FROM lineorder, customer, supplier, part, date
+		 WHERE locust = ck AND losupp = suk AND lopart = pk AND lodate = dk
+		   AND cregion = 'AMERICA' AND snation = 'NATION#24'
+		   AND dyear >= 1997 AND dyear <= 1998 AND pcategory = 'MFGR#14'
+		 GROUP BY dyear, scity, pbrand`,
+	},
+}
+
+// NumFlights is the number of SSB query flights.
+const NumFlights = 4
+
+// FlightSize returns the number of queries in flight n (1-based).
+func FlightSize(n int) int { return len(flightSQL[flightIndex(n)]) }
+
+func flightIndex(n int) int {
+	if n < 1 || n > NumFlights {
+		panic(fmt.Sprintf("ssb: flight %d out of range 1..%d", n, NumFlights))
+	}
+	return n - 1
+}
+
+// QuerySQL returns the SQL text of query idx (0-based) of flight n
+// (1-based), e.g. QuerySQL(2, 0) is Q2.1.
+func QuerySQL(n, idx int) string {
+	fs := flightSQL[flightIndex(n)]
+	if idx < 0 || idx >= len(fs) {
+		panic(fmt.Sprintf("ssb: flight %d has no query %d", n, idx))
+	}
+	return fs[idx]
+}
+
+// FlightSQL returns flight n (1-based) as one semicolon-separated batch of
+// SQL text, ready for ParseBatch or mqo.Batch{SQL: ...}.
+func FlightSQL(n int) string {
+	out := ""
+	for i, q := range flightSQL[flightIndex(n)] {
+		if i > 0 {
+			out += ";\n"
+		}
+		out += q
+	}
+	return out
+}
+
+// AllQuerySQL returns the 13 query texts in flight order (Q1.1 .. Q4.3).
+func AllQuerySQL() []string {
+	var out []string
+	for _, fs := range flightSQL {
+		out = append(out, fs...)
+	}
+	return out
+}
+
+// must lowers a batch of SQL text against the SF-1 SSB catalog. The texts
+// are static and covered by tests, so a failure here is a programming
+// error — panic like catalog.MustTable.
+func must(src string) []*algebra.Tree {
+	qs, err := sql.ParseBatch(Catalog(1), src)
+	if err != nil {
+		panic("ssb: " + err.Error())
+	}
+	return qs
+}
+
+// Flight returns flight n (1-based) pre-lowered as an MQO batch: the
+// queries share the lineorder scan and a subset of the dimension joins,
+// which is what the sharing heuristics and the result cache exploit.
+func Flight(n int) []*algebra.Tree { return must(FlightSQL(n)) }
+
+// Query returns query idx (0-based) of flight n (1-based) pre-lowered.
+func Query(n, idx int) *algebra.Tree { return must(QuerySQL(n, idx))[0] }
+
+// AllFlights returns all 13 queries as one batch in flight order — the
+// full-workload stress case for cross-flight sharing.
+func AllFlights() []*algebra.Tree {
+	var out []*algebra.Tree
+	for n := 1; n <= NumFlights; n++ {
+		out = append(out, Flight(n)...)
+	}
+	return out
+}

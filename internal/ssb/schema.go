@@ -1,0 +1,186 @@
+// Package ssb provides the Star Schema Benchmark substrate: the classic
+// data-warehouse star schema (the lineorder fact table plus the date,
+// customer, supplier and part dimensions), a deterministic seeded data
+// generator parameterized by scale factor, and the benchmark's 13 queries
+// organized as 4 flights — each expressed as SQL text through internal/sql
+// and as pre-lowered batch workloads like internal/tpcd.
+//
+// SSB flights are the workload class the paper's TPC-D family never
+// produces: every query of a flight shares the same fact-table scan and a
+// subset of the dimension joins, and the flights themselves are parameter
+// drill-downs (region → nation → city, manufacturer → category → brand,
+// year → month → week). That makes them the natural stress test for the
+// MQO heuristics (heavy within-batch sharing) and for the cross-batch
+// result cache (cross-flight and drill-down replay reuse).
+//
+// The catalog statistics follow the SSB cardinalities linearly in the
+// scale factor (lineorder = 6M × SF, customer = 30k × SF, supplier =
+// 2k × SF, part = 200k × SF) except for the date dimension, which is the
+// fixed 7-year calendar 1992-01-01 .. 1998-12-31 at every scale.
+package ssb
+
+import (
+	"fmt"
+
+	"mqo/internal/catalog"
+)
+
+// The 7-year SSB calendar. DateRows is the number of days (and rows of the
+// date dimension) between FirstYear-01-01 and LastYear-12-31 inclusive:
+// five 365-day years plus the leap years 1992 and 1996.
+const (
+	FirstYear = 1992
+	LastYear  = 1998
+	DateRows  = 2557
+)
+
+// Dimension hierarchy fan-outs: 5 regions × 5 nations each × 10 cities
+// each. Nation k (0..24) belongs to region k/5; city j (0..249) belongs to
+// nation j/10 — so region ⊃ nation ⊃ city is a strict drill-down.
+const (
+	NumRegions = 5
+	NumNations = 25
+	NumCities  = 250
+)
+
+// Part hierarchy fan-outs: 5 manufacturers × 5 categories each × 40 brands
+// each (MFGR#m ⊃ MFGR#mc ⊃ MFGR#mcbb).
+const (
+	NumMfgrs      = 5
+	NumCategories = NumMfgrs * 5
+	NumBrands     = NumCategories * 40
+)
+
+// Regions are the five SSB region names, in region-index order.
+var Regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"}
+
+// NationName returns the generated name of nation k (0..24); nation k
+// belongs to region Regions[k/5].
+func NationName(k int) string { return fmt.Sprintf("NATION#%02d", k) }
+
+// CityName returns the generated name of city j (0..249); city j belongs
+// to nation j/10.
+func CityName(j int) string { return fmt.Sprintf("CITY#%03d", j) }
+
+// MfgrName returns manufacturer m (1..5).
+func MfgrName(m int) string { return fmt.Sprintf("MFGR#%d", m) }
+
+// CategoryName returns category c (1..5) of manufacturer m: MFGR#mc.
+func CategoryName(m, c int) string { return fmt.Sprintf("MFGR#%d%d", m, c) }
+
+// BrandName returns brand b (1..40) of category (m, c): MFGR#mcbb. Brands
+// of one category are a contiguous lexicographic range, so drill-down
+// predicates like pbrand >= 'MFGR#2221' AND pbrand <= 'MFGR#2228' select
+// brands 21..28 of category MFGR#22.
+func BrandName(m, c, b int) string { return fmt.Sprintf("MFGR#%d%d%02d", m, c, b) }
+
+func round64(f float64) int64 {
+	if f < 1 {
+		return 1
+	}
+	return int64(f)
+}
+
+// CustomerRows returns the customer cardinality at scale factor sf.
+func CustomerRows(sf float64) int64 { return round64(30000 * sf) }
+
+// SupplierRows returns the supplier cardinality at scale factor sf.
+func SupplierRows(sf float64) int64 { return round64(2000 * sf) }
+
+// PartRows returns the part cardinality at scale factor sf.
+func PartRows(sf float64) int64 { return round64(200000 * sf) }
+
+// LineorderRows returns the fact-table cardinality at scale factor sf
+// (~6M rows at SF 1).
+func LineorderRows(sf float64) int64 { return round64(6000000 * sf) }
+
+// TableNames lists the SSB tables in generation order (dimensions before
+// the fact table, so foreign keys always reference existing rows).
+func TableNames() []string {
+	return []string{"date", "customer", "supplier", "part", "lineorder"}
+}
+
+// Catalog builds the SSB catalog with statistics at the given scale
+// factor. Clustered indices exist on every primary key and on the fact
+// table's order key, matching the tpcd setup.
+func Catalog(sf float64) *catalog.Catalog {
+	cat := catalog.New()
+	customer := CustomerRows(sf)
+	supplier := SupplierRows(sf)
+	part := PartRows(sf)
+	lineorder := LineorderRows(sf)
+	orders := lineorder / LinesPerOrder
+	if orders < 1 {
+		orders = 1
+	}
+	minI64 := func(a, b int64) int64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+
+	cat.Add(&catalog.Table{
+		Name: "date", Rows: DateRows,
+		Cols: []catalog.ColDef{
+			catalog.IntColRange("dk", DateRows, FirstYear*10000+101, LastYear*10000+1231),
+			catalog.IntColRange("dyear", LastYear-FirstYear+1, FirstYear, LastYear),
+			catalog.IntColRange("dmonthnum", 12, 1, 12),
+			catalog.IntColRange("dyearmonthnum", 12*(LastYear-FirstYear+1), FirstYear*100+1, LastYear*100+12),
+			catalog.IntColRange("dweeknuminyear", 53, 1, 53),
+		},
+		Indexes: []catalog.IndexDef{{Column: "dk", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "customer", Rows: customer,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("ck", customer),
+			catalog.StrCol("ccity", 8, minI64(NumCities, customer)),
+			catalog.StrCol("cnation", 9, minI64(NumNations, customer)),
+			catalog.StrCol("cregion", 8, minI64(NumRegions, customer)),
+		},
+		Indexes: []catalog.IndexDef{{Column: "ck", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "supplier", Rows: supplier,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("suk", supplier),
+			catalog.StrCol("scity", 8, minI64(NumCities, supplier)),
+			catalog.StrCol("snation", 9, minI64(NumNations, supplier)),
+			catalog.StrCol("sregion", 8, minI64(NumRegions, supplier)),
+		},
+		Indexes: []catalog.IndexDef{{Column: "suk", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "part", Rows: part,
+		Cols: []catalog.ColDef{
+			catalog.IntCol("pk", part),
+			catalog.StrCol("pmfgr", 6, minI64(NumMfgrs, part)),
+			catalog.StrCol("pcategory", 7, minI64(NumCategories, part)),
+			catalog.StrCol("pbrand", 9, minI64(NumBrands, part)),
+		},
+		Indexes: []catalog.IndexDef{{Column: "pk", Clustered: true}},
+	})
+	cat.Add(&catalog.Table{
+		Name: "lineorder", Rows: lineorder,
+		Cols: []catalog.ColDef{
+			catalog.IntColRange("lokey", orders, 1, orders),
+			catalog.IntColRange("locust", customer, 1, customer),
+			catalog.IntColRange("lopart", part, 1, part),
+			catalog.IntColRange("losupp", supplier, 1, supplier),
+			catalog.IntColRange("lodate", DateRows, FirstYear*10000+101, LastYear*10000+1231),
+			catalog.IntColRange("loqty", 50, 1, 50),
+			catalog.FloatColRange("loprice", 100000, 90, 104950),
+			catalog.IntColRange("lodisc", 11, 0, 10),
+			catalog.FloatColRange("lorev", 100000, 81, 104950),
+			catalog.FloatColRange("loscost", 1000, 1, 1000),
+		},
+		Indexes: []catalog.IndexDef{{Column: "lokey", Clustered: true}},
+	})
+	return cat
+}
+
+// LinesPerOrder is the average number of lineorder rows per order key; the
+// generator emits lokey in nondecreasing runs of this length so the
+// declared clustered index is honest.
+const LinesPerOrder = 4
