@@ -1,0 +1,76 @@
+package mqo
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"mqo/internal/tpcd"
+)
+
+// TestAnalyzeMatchesExecution is the EXPLAIN ANALYZE acceptance test: an
+// analyzed run's per-query profile roots must report exactly the row counts
+// the run returned, profiling must not change results, and FormatAnalyze
+// must render the measured-vs-estimated tree.
+func TestAnalyzeMatchesExecution(t *testing.T) {
+	const sf = 0.002
+	db := NewDB(1024)
+	if err := tpcd.LoadDB(db, sf, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Open(tpcd.Catalog(sf), WithDB(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res, err := opt.Run(ctx, Batch{Queries: tpcd.BatchQueries(3), Algorithm: Greedy, Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := res.Exec.Profile
+	if prof == nil {
+		t.Fatal("Analyze run returned no profile")
+	}
+	if len(prof.Queries) != len(res.Queries) {
+		t.Fatalf("profile has %d query roots, run returned %d queries", len(prof.Queries), len(res.Queries))
+	}
+	var rowsTotal int64
+	for i, q := range prof.Queries {
+		if got, want := q.Rows, int64(len(res.Queries[i].Rows)); got != want {
+			t.Errorf("query %d: profile root reports %d rows, Run returned %d", i, got, want)
+		}
+		if q.Wall <= 0 {
+			t.Errorf("query %d: profile root wall time %v, want > 0", i, q.Wall)
+		}
+		rowsTotal += q.Rows
+	}
+	if rowsTotal != res.Exec.RowsOut {
+		t.Errorf("profile roots total %d rows, RunStats.RowsOut %d", rowsTotal, res.Exec.RowsOut)
+	}
+	if len(res.Materialized) > 0 && len(prof.Mats) == 0 {
+		t.Errorf("plan materialized %d nodes but profile has no materialization roots", len(res.Materialized))
+	}
+
+	text := FormatAnalyze(res.Exec)
+	for _, want := range []string{"Query 1:", "est cost=", "actual rows=", "Total:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("FormatAnalyze output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The same batch without Analyze: no profile, identical row counts —
+	// profiling observes the execution, it must not change it.
+	plain, err := opt.Run(ctx, Batch{Queries: tpcd.BatchQueries(3), Algorithm: Greedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Exec.Profile != nil {
+		t.Error("non-Analyze run returned a profile")
+	}
+	for i := range plain.Queries {
+		if len(plain.Queries[i].Rows) != len(res.Queries[i].Rows) {
+			t.Errorf("query %d: %d rows analyzed vs %d plain", i, len(res.Queries[i].Rows), len(plain.Queries[i].Rows))
+		}
+	}
+}

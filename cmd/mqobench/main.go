@@ -1,7 +1,7 @@
 // Command mqobench regenerates the paper's experiments. With no flags it
 // runs every experiment; -experiment selects one of: fig6, q2ni, fig7,
 // fig8, fig9, fig10, monotonicity, sharability, nosharing, memory, scale,
-// space, parallel, multipick, calibrate, resultcache, ssb.
+// space, parallel, multipick, calibrate, resultcache, ssb, observe.
 // With -json the results are emitted as a machine-readable JSON array
 // (one element per experiment) instead of the human-readable tables —
 // the format CI archives as a benchmark trajectory.
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|calibrate|resultcache|ssb|all)")
+	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|calibrate|resultcache|ssb|observe|all)")
 	maxCQ := flag.Int("maxcq", 3, "largest PSP composite for the ablation experiments (1-5)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the parallel what-if costing, multi-pick and calibration experiments")
 	multipick := flag.Int("multipick", 4, "multi-pick width k for the multipick experiment")
@@ -53,6 +53,7 @@ func main() {
 		{"calibrate", func() (*bench.Experiment, error) { return bench.Calibrate(*parallel) }},
 		{"resultcache", func() (*bench.Experiment, error) { return bench.ResultCacheReplay(*rcBudget) }},
 		{"ssb", func() (*bench.Experiment, error) { return bench.SSB(*sf, *seed, *rcBudget) }},
+		{"observe", func() (*bench.Experiment, error) { return bench.Observe(*sf, *seed) }},
 	}
 
 	var results []*bench.Experiment

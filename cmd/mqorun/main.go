@@ -32,6 +32,7 @@ func main() {
 	resCache := flag.Int64("resultcache", 0, "cross-batch result-cache budget in bytes (0 disables)")
 	repeat := flag.Int("repeat", 1, "run the batch this many times (with -resultcache, later passes hit the cache)")
 	sqlSrc := flag.String("sql", "", "semicolon-separated SELECT batch over the TPC-D schema (overrides -workload)")
+	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: print per-operator measured vs. estimated stats after execution")
 	flag.Parse()
 
 	alg, err := mqo.ParseAlgorithm(*algName)
@@ -45,7 +46,7 @@ func main() {
 		sessionOpts = append(sessionOpts, mqo.WithResultCache(*resCache))
 	}
 	var (
-		batch = mqo.Batch{Algorithm: alg}
+		batch = mqo.Batch{Algorithm: alg, Analyze: *analyze}
 		opt   *mqo.Optimizer
 	)
 	if *sqlSrc != "" {
@@ -87,6 +88,10 @@ func main() {
 			len(res.Queries), res.Exec.RowsOut, res.Exec.IO.Reads, res.Exec.IO.Writes, res.Exec.SimTime, res.Exec.Wall)
 		for i, qr := range res.Queries {
 			fmt.Printf("  query %d: %d rows\n", i, len(qr.Rows))
+		}
+		if *analyze {
+			fmt.Println("\n-- EXPLAIN ANALYZE --")
+			fmt.Print(mqo.FormatAnalyze(res.Exec))
 		}
 	}
 	if *resCache > 0 {

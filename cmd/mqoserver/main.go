@@ -4,25 +4,40 @@
 //
 //	mqoserver -addr :8080 -sf 0.01 -max-batch 8 -max-wait 2ms -alg greedy
 //	mqoserver -workload ssb -sf 0.01 -resultcache 16777216
+//	mqoserver -trace out.json     # chrome://tracing span dump on shutdown
 //
 // Endpoints:
 //
-//	POST /query  {"sql": "SELECT ...", "timeout_ms": 0}
-//	GET  /stats  batching + plan-cache accounting
+//	POST /query    {"sql": "SELECT ...", "timeout_ms": 0}
+//	GET  /stats    batching + plan-cache accounting
+//	GET  /metrics  Prometheus text exposition of the obs registry
+//	GET  /debug/pprof/...  net/http/pprof profiles
 //
 // Concurrent POST /query requests that land in the same batching window
 // are optimized and executed together; each caller receives its own rows
 // plus the batch's sharing report (size, shared vs. no-sharing cost).
+//
+// SIGINT/SIGTERM shut the server down gracefully: the listener closes, the
+// open batching window flushes, in-flight batches drain, and a final stats
+// line (batches, queries, cost saved) is logged.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mqo"
+	"mqo/internal/obs"
 	"mqo/internal/ssb"
 	"mqo/internal/tpcd"
 )
@@ -40,8 +55,15 @@ func main() {
 		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max time the first query of a window waits")
 		workers   = flag.Int("workers", 2, "concurrently in-flight batches")
 		algName   = flag.String("alg", "greedy", "optimization algorithm (volcano|volcano-sh|volcano-ru|greedy)")
+		traceOut  = flag.String("trace", "", "write a chrome://tracing span dump to this file on shutdown")
+		noObs     = flag.Bool("no-obs", false, "disable metrics collection (observability overhead benchmark)")
 	)
 	flag.Parse()
+
+	obs.SetEnabled(!*noObs)
+	if *traceOut != "" {
+		obs.StartTracing()
+	}
 
 	handler, svc, err := newService(*workload, *sf, *seed, *pool, *planCache, mqo.BatchingOptions{
 		MaxBatch:         *maxBatch,
@@ -52,11 +74,51 @@ func main() {
 	if err != nil {
 		log.Fatalf("mqoserver: %v", err)
 	}
-	defer svc.Close()
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutCtx)
+	}()
 
 	log.Printf("mqoserver: serving %s sf=%g on %s (max-batch %d, max-wait %s, %s)",
 		*workload, *sf, *addr, *maxBatch, *maxWait, *algName)
-	log.Fatal(http.ListenAndServe(*addr, handler))
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("mqoserver: %v", err)
+	}
+
+	// Graceful drain: the listener is closed, so no new submissions arrive;
+	// Close flushes the open window and waits for in-flight batches.
+	svc.Close()
+	if *traceOut != "" {
+		writeTrace(*traceOut)
+	}
+	st := svc.Stats()
+	final, _ := json.Marshal(st)
+	log.Printf("mqoserver: drained; final stats %s", final)
+}
+
+// writeTrace dumps the collected spans in chrome://tracing format.
+func writeTrace(path string) {
+	tr := obs.StopTracing()
+	if tr == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("mqoserver: trace: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := tr.WriteChromeTrace(f); err != nil {
+		log.Printf("mqoserver: trace: %v", err)
+		return
+	}
+	log.Printf("mqoserver: wrote %d trace spans to %s", len(tr.Spans()), path)
 }
 
 // newService boots the whole stack: generated benchmark data (TPC-D or
@@ -98,5 +160,23 @@ func newService(workload string, sf float64, seed int64, poolPages, planCache in
 	if err != nil {
 		return nil, nil, err
 	}
-	return mqo.ServiceHandler(svc), svc, nil
+	return withObsRoutes(mqo.ServiceHandler(svc)), svc, nil
+}
+
+// withObsRoutes mounts the observability surface next to the service API:
+// GET /metrics (Prometheus text exposition of the default registry) and the
+// net/http/pprof handlers under /debug/pprof/.
+func withObsRoutes(api http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", api)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = obs.Default().WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

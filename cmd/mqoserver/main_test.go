@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strconv"
 	"strings"
 	"sync"
@@ -32,6 +34,12 @@ type queryReply struct {
 		NoShareCost float64 `json:"no_share_cost"`
 		CacheHit    bool    `json:"cache_hit"`
 		Algorithm   string  `json:"algorithm"`
+		Phases      struct {
+			ParseNS    int64 `json:"parse_ns"`
+			LowerNS    int64 `json:"lower_ns"`
+			OptimizeNS int64 `json:"optimize_ns"`
+			ExecuteNS  int64 `json:"execute_ns"`
+		} `json:"phases"`
 	} `json:"batch"`
 }
 
@@ -43,7 +51,8 @@ type statsReply struct {
 		SizeHist  map[string]int64 `json:"size_hist"`
 		CostSaved float64          `json:"cost_saved"`
 	} `json:"service"`
-	PlanCache mqo.CacheStats `json:"plan_cache"`
+	PlanCache    mqo.CacheStats     `json:"plan_cache"`
+	PhaseSeconds map[string]float64 `json:"phase_seconds"`
 }
 
 // TestEndToEnd boots the full mqoserver stack over HTTP, fires concurrent
@@ -204,6 +213,122 @@ func TestSSBWorkload(t *testing.T) {
 		MaxBatch: 1, MaxWait: time.Millisecond,
 	}, "greedy"); err == nil {
 		t.Error("unknown workload accepted")
+	}
+}
+
+// TestEndToEndMetrics drives traffic through the full stack, then scrapes
+// GET /metrics and asserts the output is Prometheus-parseable and covers
+// every subsystem: optimizer phases, executor operators, the result cache
+// and the batcher's latency quantiles. It also checks the per-phase timing
+// breakdown surfaces in both the per-query batch report and GET /stats.
+// The name keeps it under CI's dedicated `-run 'TestEndToEnd'` e2e step.
+func TestEndToEndMetrics(t *testing.T) {
+	handler, svc, err := newService("tpcd", 0.002, 1, 1024, 16, mqo.BatchingOptions{
+		MaxBatch:         2,
+		MaxWait:          50 * time.Millisecond,
+		ResultCacheBytes: 1 << 20,
+	}, "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	for _, sql := range []string{sqlRevenue, sqlCounts} {
+		body, _ := json.Marshal(map[string]string{"sql": sql})
+		resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var r queryReply
+		err = json.NewDecoder(resp.Body).Decode(&r)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Batch.Phases.ParseNS <= 0 || r.Batch.Phases.OptimizeNS <= 0 || r.Batch.Phases.ExecuteNS <= 0 {
+			t.Errorf("batch phases %+v: want parse/optimize/execute all > 0", r.Batch.Phases)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+
+	// Required coverage: one representative series per subsystem.
+	for _, want := range []string{
+		`mqo_opt_phase_seconds_count{phase="sharability"}`, // optimizer phase timings
+		`mqo_opt_phase_seconds_count{phase="waves"}`,
+		"mqo_opt_batches_total",
+		"mqo_exec_runs_total",
+		"mqo_exec_operator_rows_total", // per-operator executor counters
+		"mqo_resultcache_batches_total",
+		"mqo_resultcache_used_bytes",
+		"mqo_server_queue_wait_seconds_p50", // batcher latency quantiles
+		"mqo_server_queue_wait_seconds_p99",
+		"mqo_server_batch_seconds_count",
+		`mqo_batch_phase_seconds_sum{phase="execute"}`,
+		"# TYPE mqo_server_queue_wait_seconds histogram",
+		"# TYPE mqo_server_submitted_total counter",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Prometheus text-format check: every sample line is `name[{labels}]
+	// value` with a parseable float value and a legal metric name.
+	nameRe := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})?$`)
+	samples := 0
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("sample line %q: want `name value`", line)
+			continue
+		}
+		if !nameRe.MatchString(fields[0]) {
+			t.Errorf("sample line %q: bad metric name", line)
+		}
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			t.Errorf("sample line %q: bad value: %v", line, err)
+		}
+		samples++
+	}
+	if samples < 50 {
+		t.Errorf("/metrics exposed %d samples, want a full registry", samples)
+	}
+
+	// GET /stats reports the cumulative per-phase seconds.
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats statsReply
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{"parse", "lower", "optimize", "execute", "spool"} {
+		if _, ok := stats.PhaseSeconds[phase]; !ok {
+			t.Errorf("stats phase_seconds missing %q (got %v)", phase, stats.PhaseSeconds)
+		}
+	}
+	if stats.PhaseSeconds["execute"] <= 0 || stats.PhaseSeconds["optimize"] <= 0 {
+		t.Errorf("stats phase_seconds %v: want optimize and execute > 0", stats.PhaseSeconds)
 	}
 }
 

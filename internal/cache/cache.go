@@ -31,6 +31,7 @@ import (
 	"mqo/internal/algebra"
 	"mqo/internal/cost"
 	"mqo/internal/dag"
+	"mqo/internal/obs"
 	"mqo/internal/physical"
 	"mqo/internal/storage"
 )
@@ -101,7 +102,10 @@ func (s Stats) HitRate() float64 {
 }
 
 // Manager is the store's controller. All methods are safe for concurrent
-// use; the mutex is never held across optimization or execution.
+// use; the mutex is never held across optimization or execution. The mutex
+// guards only the store structure (entries, pins, byte accounting); the
+// event counters are registry-backed lock-free atomics shared between
+// Stats() snapshots and the /metrics scrape.
 type Manager struct {
 	Model cost.Model
 
@@ -115,19 +119,56 @@ type Manager struct {
 	clock    int64
 	gen      int64
 	tableSeq int64
-	stats    Stats
+
+	// Event counters (lock-free, registered on the default obs registry).
+	batches    *obs.Counter
+	hitBatches *obs.Counter
+	hits       *obs.Counter
+	admissions *obs.Counter
+	evictions  *obs.Counter
+	savedCost  *obs.FloatCounter
+	// State gauges, kept in sync under the mutex.
+	entriesG *obs.Gauge
+	usedG    *obs.Gauge
+	budgetG  *obs.Gauge
+	genG     *obs.Gauge
 }
 
 // NewStore creates a result-cache store over the given database with the
-// given byte budget for spooled tables.
+// given byte budget for spooled tables. The store's counters are registered
+// on the default obs registry under mqo_resultcache_* (a newer store
+// instance replaces an older one on the scrape).
 func NewStore(db *storage.DB, model cost.Model, budgetBytes int64) *Manager {
-	return &Manager{
+	reg := obs.Default()
+	m := &Manager{
 		Model:   model,
 		budget:  budgetBytes,
 		db:      db,
 		entries: map[string]*Entry{},
 		byTable: map[string]*Entry{},
+
+		batches:    reg.RegisterCounter("mqo_resultcache_batches_total", "Batches committed against the result cache.", &obs.Counter{}),
+		hitBatches: reg.RegisterCounter("mqo_resultcache_hit_batches_total", "Committed batches whose executed plan read at least one cache table.", &obs.Counter{}),
+		hits:       reg.RegisterCounter("mqo_resultcache_hits_total", "Cache entry reads (one per entry per batch).", &obs.Counter{}),
+		admissions: reg.RegisterCounter("mqo_resultcache_admissions_total", "Entries admitted and spooled.", &obs.Counter{}),
+		evictions:  reg.RegisterCounter("mqo_resultcache_evictions_total", "Entries evicted (spooled table dropped).", &obs.Counter{}),
+		savedCost:  reg.RegisterFloatCounter("mqo_resultcache_saved_cost_seconds_total", "Estimated cost-model seconds saved by cache hits.", &obs.FloatCounter{}),
+		entriesG:   reg.RegisterGauge("mqo_resultcache_entries", "Entries currently in the store (pending included).", &obs.Gauge{}),
+		usedG:      reg.RegisterGauge("mqo_resultcache_used_bytes", "Bytes of spooled results currently held.", &obs.Gauge{}),
+		budgetG:    reg.RegisterGauge("mqo_resultcache_budget_bytes", "Byte budget for spooled results.", &obs.Gauge{}),
+		genG:       reg.RegisterGauge("mqo_resultcache_generation", "Ready-set generation.", &obs.Gauge{}),
 	}
+	m.syncGaugesLocked()
+	return m
+}
+
+// syncGaugesLocked mirrors the mutex-guarded store state into the scrape
+// gauges; called wherever that state changes.
+func (m *Manager) syncGaugesLocked() {
+	m.entriesG.Set(int64(len(m.entries)))
+	m.usedG.Set(m.used)
+	m.budgetG.Set(m.budget)
+	m.genG.Set(m.gen)
 }
 
 // Budget returns the store's byte budget for spooled results.
@@ -144,6 +185,7 @@ func (m *Manager) SetBudget(budgetBytes int64) {
 	defer m.mu.Unlock()
 	m.budget = budgetBytes
 	m.rebalanceLocked()
+	m.syncGaugesLocked()
 }
 
 // Entries returns a snapshot of the current cache contents, most valuable
@@ -179,16 +221,24 @@ func (m *Manager) Generation() int64 {
 	return m.gen
 }
 
-// Stats snapshots the accounting.
+// Stats snapshots the accounting: store structure under the mutex, event
+// counts straight from the registry-backed atomics (no private copy to
+// maintain).
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	s := m.stats
-	s.Entries = len(m.entries)
-	s.UsedBytes = m.used
-	s.BudgetBytes = m.budget
-	s.Generation = m.gen
-	return s
+	return Stats{
+		Entries:      len(m.entries),
+		UsedBytes:    m.used,
+		BudgetBytes:  m.budget,
+		Batches:      m.batches.Value(),
+		HitBatches:   m.hitBatches.Value(),
+		Hits:         m.hits.Value(),
+		Admissions:   m.admissions.Value(),
+		Evictions:    m.evictions.Value(),
+		SavedCostEst: m.savedCost.Value(),
+		Generation:   m.gen,
+	}
 }
 
 // String summarizes the cache state.
@@ -402,6 +452,7 @@ func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
 		t.pending[c.pn.N] = e
 		spools[c.pn.N] = e.Table
 	}
+	m.syncGaugesLocked()
 	return spools
 }
 
@@ -473,7 +524,7 @@ func (t *Ticket) Commit() int {
 		m.used += real - e.Bytes
 		e.Bytes = real
 		e.ready = true
-		m.stats.Admissions++
+		m.admissions.Inc()
 		changed = true
 	}
 
@@ -497,13 +548,13 @@ func (t *Ticket) Commit() int {
 			saving = e.admitValue
 		}
 		e.Value += saving
-		m.stats.Hits++
-		m.stats.SavedCostEst += saving
+		m.hits.Inc()
+		m.savedCost.Add(saving)
 		hits++
 	}
-	m.stats.Batches++
+	m.batches.Inc()
 	if hits > 0 {
-		m.stats.HitBatches++
+		m.hitBatches.Inc()
 	}
 
 	m.unpinLocked(t)
@@ -513,6 +564,7 @@ func (t *Ticket) Commit() int {
 	if changed {
 		m.gen++
 	}
+	m.syncGaugesLocked()
 	return hits
 }
 
@@ -531,6 +583,7 @@ func (t *Ticket) Abort() {
 	}
 	m.unpinLocked(t)
 	m.rebalanceLocked()
+	m.syncGaugesLocked()
 }
 
 // unpinLocked releases the ticket's pins.
@@ -625,7 +678,7 @@ func (m *Manager) victimsLocked() []*Entry {
 // evictLocked removes an entry, dropping its spooled table.
 func (m *Manager) evictLocked(e *Entry) {
 	m.dropEntryLocked(e)
-	m.stats.Evictions++
+	m.evictions.Inc()
 	m.gen++
 }
 

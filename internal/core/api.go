@@ -137,6 +137,10 @@ type Stats struct {
 	// their phase-1 capture as provably independent.
 	RUPromotions       int64
 	RUPromotionRetests int64
+	// Phases breaks OptTime down by search phase (OptPhaseSharability,
+	// OptPhaseCandidates, OptPhaseWaves, OptPhaseCommit). Populated by the greedy
+	// algorithm; nil for the Volcano variants.
+	Phases map[string]time.Duration
 }
 
 // Result is the outcome of optimizing a batch.
@@ -248,6 +252,7 @@ func Optimize(ctx context.Context, pd *physical.DAG, alg Algorithm, opt Options)
 	res.Stats.DAGGroups = len(pd.L.LiveGroups())
 	res.Stats.DAGExprs = pd.L.NumExprs()
 	res.Stats.PhysNodes = len(pd.Nodes)
+	recordOptimizeMetrics(res)
 	return res, nil
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"mqo/internal/cost"
 	"mqo/internal/dag"
+	"mqo/internal/obs"
 	"mqo/internal/physical"
 )
 
@@ -42,15 +43,19 @@ func optimizeGreedy(ctx context.Context, pd *physical.DAG, opts Options) (*Resul
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	track := obs.TrackFrom(ctx)
+	stats := Stats{}
 
+	sharePhase := startPhase(&stats, track, OptPhaseSharability)
 	var degrees map[*dag.Group]float64
 	if opts.Greedy.DisableSharability {
 		MarkAllSharable(pd)
 	} else {
 		degrees = ComputeSharabilityN(pd, opts.Parallelism)
 	}
+	sharePhase.end()
 
-	stats := Stats{}
+	candPhase := startPhase(&stats, track, OptPhaseCandidates)
 	var candidates []*physical.Node
 	for _, n := range pd.Nodes {
 		if n.Sharable {
@@ -62,9 +67,11 @@ func optimizeGreedy(ctx context.Context, pd *physical.DAG, opts Options) (*Resul
 		candidates = append(candidates, n)
 	}
 	stats.Candidates = len(candidates)
+	candPhase.end()
 
 	e := newSearchEngine(pd, opts, len(candidates))
 
+	wavePhase := startPhase(&stats, track, OptPhaseWaves)
 	var (
 		chosen []*physical.Node
 		err    error
@@ -78,11 +85,14 @@ func optimizeGreedy(ctx context.Context, pd *physical.DAG, opts Options) (*Resul
 		chosen, err = greedyMonotonic(ctx, pd, candidates, degrees, e)
 	}
 	e.close()
+	wavePhase.end()
 	if err != nil {
 		return nil, err
 	}
 
+	commitPhase := startPhase(&stats, track, OptPhaseCommit)
 	res := &Result{Cost: pd.TotalCost(), Plan: pd.ExtractPlan(), Materialized: chosen}
+	commitPhase.end()
 	stats.BenefitRecomputations = e.recomps.Load()
 	stats.EvalWaves = e.waves
 	stats.SpeculativePicks = e.specPicks

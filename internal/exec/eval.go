@@ -21,6 +21,10 @@ type Env struct {
 	ParamSets []map[string]algebra.Value
 	// Cache connects the run to the cross-batch result cache (nil: none).
 	Cache *CacheIO
+	// Profile, when set, wraps every instantiated operator with rows-out /
+	// pages-read / wall-time counters and attaches the resulting per-plan
+	// profile tree to RunStats.Profile (the EXPLAIN ANALYZE input).
+	Profile bool
 }
 
 // valueFunc evaluates a scalar against a row.

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"mqo/internal/algebra"
+	"mqo/internal/obs"
+	"mqo/internal/physical"
+	"mqo/internal/storage"
+)
+
+// NodeProfile is the measured execution profile of one instantiated
+// operator. Wall and Pages are inclusive of the operator's children (the
+// usual EXPLAIN ANALYZE convention); Rows counts the rows this operator
+// emitted to its parent.
+type NodeProfile struct {
+	Node    int     `json:"node"`
+	Op      string  `json:"op"`
+	Mat     bool    `json:"mat,omitempty"`
+	EstCost float64 `json:"est_cost"` // optimizer cost-model seconds for the node
+	EstRows float64 `json:"est_rows"` // optimizer cardinality estimate
+
+	Rows  int64         `json:"rows"`
+	Pages int64         `json:"pages"` // buffer-pool misses, inclusive
+	Bytes int64         `json:"bytes"` // Pages × storage.PageSize
+	Wall  time.Duration `json:"wall_ns"`
+
+	Children []*NodeProfile `json:"children,omitempty"`
+}
+
+// BatchProfile is the profile of one executed batch plan: one operator tree
+// per materialization (dependency order) and one per query root.
+type BatchProfile struct {
+	Mats    []*NodeProfile `json:"mats,omitempty"`
+	Queries []*NodeProfile `json:"queries"`
+}
+
+// Visit walks every profile node, parents before children.
+func (bp *BatchProfile) Visit(fn func(*NodeProfile)) {
+	var walk func(*NodeProfile)
+	walk = func(p *NodeProfile) {
+		fn(p)
+		for _, c := range p.Children {
+			walk(c)
+		}
+	}
+	for _, p := range bp.Mats {
+		walk(p)
+	}
+	for _, p := range bp.Queries {
+		walk(p)
+	}
+}
+
+// profiler builds NodeProfile trees as the builder instantiates operators:
+// a stack mirrors the build recursion, so each iterator tree becomes one
+// profile tree per instantiation (materializations and query roots are
+// separate roots even when they reference the same plan node).
+type profiler struct {
+	stack []*NodeProfile
+	roots []*NodeProfile
+}
+
+func (pr *profiler) push(p *NodeProfile) {
+	if n := len(pr.stack); n > 0 {
+		pr.stack[n-1].Children = append(pr.stack[n-1].Children, p)
+	} else {
+		pr.roots = append(pr.roots, p)
+	}
+	pr.stack = append(pr.stack, p)
+}
+
+func (pr *profiler) pop() { pr.stack = pr.stack[:len(pr.stack)-1] }
+
+// opName labels the operator an instantiation actually runs: a consumer
+// read of a materialized node is a temp/cache scan, not the node's
+// computing algorithm.
+func opName(pn *physical.PlanNode, asConsumer bool, env *Env) string {
+	if asConsumer && pn.Mat {
+		if name, ok := env.Cache.spoolName(pn.N); ok && pn.E.Kind != physical.IndexBuildEnf {
+			return "CacheScan(" + name + ")"
+		}
+		return "TempScan(" + tempName(pn) + ")"
+	}
+	if pn.E.Kind == physical.CacheScanOp {
+		return "CacheScan(" + pn.E.CacheName + ")"
+	}
+	return pn.E.Kind.String()
+}
+
+// statIter wraps an operator with measurement. The executor drains plans on
+// a single goroutine, so plain (non-atomic) accumulation into the profile
+// node is safe; pool stats snapshots around each call attribute page misses
+// inclusively to the subtree.
+type statIter struct {
+	child Iterator
+	p     *NodeProfile
+	pool  *storage.BufferPool
+}
+
+func (s *statIter) measure(start time.Time, reads int64) {
+	s.p.Wall += time.Since(start)
+	s.p.Pages += s.pool.Stats.Reads - reads
+}
+
+func (s *statIter) Open() error {
+	defer s.measure(time.Now(), s.pool.Stats.Reads)
+	return s.child.Open()
+}
+
+func (s *statIter) Next() (storage.Row, bool, error) {
+	start, reads := time.Now(), s.pool.Stats.Reads
+	r, ok, err := s.child.Next()
+	s.measure(start, reads)
+	if ok {
+		s.p.Rows++
+	}
+	return r, ok, err
+}
+
+func (s *statIter) Close() error {
+	defer s.measure(time.Now(), s.pool.Stats.Reads)
+	return s.child.Close()
+}
+
+func (s *statIter) Schema() algebra.Schema { return s.child.Schema() }
+
+// Executor metrics on the default registry.
+var (
+	execRuns       = obs.Default().Counter("mqo_exec_runs_total", "Executed batch plans.")
+	execRunSeconds = obs.Default().Histogram("mqo_exec_run_seconds", "Batch plan execution wall time in seconds.")
+	execRows       = obs.Default().Counter("mqo_exec_rows_total", "Rows returned to clients.")
+	execPagesRead  = obs.Default().Counter("mqo_exec_pages_read_total", "Buffer-pool page misses during execution.")
+	execPagesWrite = obs.Default().Counter("mqo_exec_pages_written_total", "Pages written back during execution.")
+	execSimSeconds = obs.Default().FloatCounter("mqo_exec_sim_seconds_total", "Simulated cost-model seconds of executed I/O.")
+)
+
+// metricOp strips instance detail ("TempScan(mat_12)" → "TempScan") so
+// per-operator series stay low-cardinality.
+func metricOp(op string) string {
+	if i := strings.IndexByte(op, '('); i >= 0 {
+		return op[:i]
+	}
+	return op
+}
+
+// recordRunMetrics exports a completed run — and, when profiled, its
+// per-operator totals and the CostSample stream — to the registry.
+func recordRunMetrics(stats *RunStats) {
+	execRuns.Inc()
+	execRunSeconds.ObserveDuration(stats.Wall)
+	execRows.Add(stats.RowsOut)
+	execPagesRead.Add(stats.IO.Reads)
+	execPagesWrite.Add(stats.IO.Writes)
+	execSimSeconds.Add(stats.SimTime)
+	if stats.Profile == nil {
+		return
+	}
+	reg := obs.Default()
+	stats.Profile.Visit(func(p *NodeProfile) {
+		p.Bytes = p.Pages * storage.PageSize
+		op := metricOp(p.Op)
+		reg.Counter("mqo_exec_operator_rows_total", "Rows emitted by executor operators.", obs.L("op", op)).Add(p.Rows)
+		reg.Counter("mqo_exec_operator_pages_total", "Inclusive page misses by executor operators.", obs.L("op", op)).Add(p.Pages)
+		reg.FloatCounter("mqo_exec_operator_seconds_total", "Inclusive wall seconds by executor operators.", obs.L("op", op)).Add(p.Wall.Seconds())
+	})
+	// Publish the measured cost stream: per-table scan costs from the scan
+	// leaves, per-materialization recompute costs from the mat roots. The
+	// next PR's control loop subscribes here.
+	feed := obs.Costs()
+	stats.Profile.Visit(func(p *NodeProfile) {
+		if strings.HasPrefix(p.Op, "SeqScan") || strings.HasPrefix(p.Op, "BaseIndex") {
+			feed.Publish(obs.CostSample{Kind: obs.ScanSample, Key: p.Op, Rows: p.Rows,
+				Bytes: p.Bytes, Wall: p.Wall, SimS: p.EstCost})
+		}
+	})
+	for _, m := range stats.Profile.Mats {
+		feed.Publish(obs.CostSample{Kind: obs.RecomputeSample, Key: fmt.Sprintf("node:%d", m.Node),
+			Rows: m.Rows, Bytes: m.Bytes, Wall: m.Wall, SimS: m.EstCost})
+	}
+}
+
+// FormatAnalyze renders the EXPLAIN ANALYZE view of a profiled run:
+// per node the optimizer's estimate (cost-model seconds, cardinality)
+// against the measured rows, inclusive pages and inclusive wall time.
+func FormatAnalyze(stats RunStats) string {
+	var sb strings.Builder
+	if stats.Profile == nil {
+		sb.WriteString("no profile recorded (run with profiling enabled)\n")
+		return sb.String()
+	}
+	var render func(p *NodeProfile, indent int)
+	render = func(p *NodeProfile, indent int) {
+		mat := ""
+		if p.Mat {
+			mat = " [mat]"
+		}
+		fmt.Fprintf(&sb, "%s%s%s  (est cost=%.4fs rows=%.0f) (actual rows=%d pages=%d bytes=%d time=%s)\n",
+			strings.Repeat("  ", indent), p.Op, mat, p.EstCost, p.EstRows,
+			p.Rows, p.Pages, p.Bytes, p.Wall.Round(time.Microsecond))
+		for _, c := range p.Children {
+			render(c, indent+1)
+		}
+	}
+	if len(stats.Profile.Mats) > 0 {
+		sb.WriteString("Materializations:\n")
+		for _, m := range stats.Profile.Mats {
+			render(m, 1)
+		}
+	}
+	for i, q := range stats.Profile.Queries {
+		fmt.Fprintf(&sb, "Query %d:\n", i+1)
+		render(q, 1)
+	}
+	fmt.Fprintf(&sb, "Total: rows=%d reads=%d writes=%d wall=%s sim=%.4fs\n",
+		stats.RowsOut, stats.IO.Reads, stats.IO.Writes, stats.Wall.Round(time.Microsecond), stats.SimTime)
+	return sb.String()
+}

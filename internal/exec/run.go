@@ -8,6 +8,7 @@ import (
 
 	"mqo/internal/algebra"
 	"mqo/internal/cost"
+	"mqo/internal/obs"
 	"mqo/internal/physical"
 	"mqo/internal/storage"
 )
@@ -47,6 +48,11 @@ type RunStats struct {
 	SimTime float64 // seconds, from the cost model's I/O constants
 	Wall    time.Duration
 	RowsOut int64
+	// Profile is the per-operator measurement tree recorded when
+	// Env.Profile is set (nil otherwise). Excluded from JSON so the wire
+	// shapes of /stats and bench artifacts are unchanged; EXPLAIN ANALYZE
+	// and the CostSample stream consume it in-process.
+	Profile *BatchProfile `json:"-"`
 }
 
 // Run executes an optimized plan against the database: materializes shared
@@ -69,6 +75,11 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 	run := db.BeginRun()
 	defer run.End()
 	b := &builder{ctx: ctx, db: db, temps: run, env: env}
+	if env.Profile {
+		b.prof = &profiler{}
+	}
+	span := obs.StartSpan("exec", obs.TrackFrom(ctx), nil)
+	defer span.End()
 	start := time.Now()
 	before := db.Pool.Stats
 
@@ -79,6 +90,10 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 		if err := b.materialize(m); err != nil {
 			return nil, RunStats{}, err
 		}
+	}
+	var matRoots int
+	if b.prof != nil {
+		matRoots = len(b.prof.roots)
 	}
 
 	var results []QueryResult
@@ -128,6 +143,10 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 	}
 	stats.SimTime = float64(stats.IO.Reads)*model.ReadS + float64(stats.IO.Writes)*model.WriteS +
 		float64(stats.IO.Reads+stats.IO.Writes)*model.CPUS
+	if b.prof != nil {
+		stats.Profile = &BatchProfile{Mats: b.prof.roots[:matRoots], Queries: b.prof.roots[matRoots:]}
+	}
+	recordRunMetrics(&stats)
 	return results, stats, nil
 }
 
@@ -166,6 +185,7 @@ type builder struct {
 	db    *storage.DB
 	temps *storage.RunTemps
 	env   *Env
+	prof  *profiler // nil unless Env.Profile
 }
 
 // tempName is the temp-table name of a materialized plan node.
@@ -222,8 +242,26 @@ func (b *builder) materialize(pn *physical.PlanNode) error {
 
 // build returns an iterator for a plan node. When asConsumer is true and
 // the node is materialized, the iterator reads the temp table instead of
-// recomputing.
+// recomputing. With profiling on, each instantiation is wrapped with a
+// statIter recording into a profile tree that mirrors the build recursion.
 func (b *builder) build(pn *physical.PlanNode, asConsumer bool) (Iterator, error) {
+	if b.prof == nil {
+		return b.buildOp(pn, asConsumer)
+	}
+	p := &NodeProfile{Node: pn.N.ID, Op: opName(pn, asConsumer, b.env), Mat: pn.Mat,
+		EstCost: float64(pn.N.Cost), EstRows: pn.N.LG.Rel.Rows}
+	b.prof.push(p)
+	it, err := b.buildOp(pn, asConsumer)
+	b.prof.pop()
+	if err != nil {
+		return nil, err
+	}
+	return &statIter{child: it, p: p, pool: b.db.Pool}, nil
+}
+
+// buildOp instantiates the operator itself (children via build, so nested
+// operators are individually profiled).
+func (b *builder) buildOp(pn *physical.PlanNode, asConsumer bool) (Iterator, error) {
 	if asConsumer && pn.Mat {
 		if name, ok := b.env.Cache.spoolName(pn.N); ok && pn.E.Kind != physical.IndexBuildEnf {
 			ct, err := b.db.Cache(name)

@@ -1,0 +1,233 @@
+// Package obs is the system's observability substrate: a dependency-free
+// metrics registry (lock-free atomic counters, gauges and sharded
+// histograms with quantile extraction), lightweight trace spans in the
+// chrome://tracing format, and a typed CostSample feed carrying measured
+// per-table scan and per-fingerprint recompute costs toward the
+// calibration/admission control loops.
+//
+// Every hot-path mutation is a handful of atomic operations — no mutex is
+// ever taken on Add/Set/Observe — so the optimizer's search loops, the
+// executor's per-operator counters and the serving path's latency
+// histograms can all record under concurrency without a shared lock. The
+// package-wide Enabled switch turns all recording into an immediate return,
+// which is what the BENCH_7 instrumented-vs-disabled overhead experiment
+// toggles.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// enabled gates every metric mutation. Default on: mutations are cheap
+// atomics. SetEnabled(false) makes recording a single atomic load + return.
+var enabled atomic.Bool
+
+func init() { enabled.Store(true) }
+
+// SetEnabled turns metric/span/sample recording on or off globally.
+// Registered metrics keep their accumulated values when disabled.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether recording is on.
+func Enabled() bool { return enabled.Load() }
+
+// Counter is a lock-free monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (n must be >= 0 for Prometheus semantics; not enforced).
+func (c *Counter) Add(n int64) {
+	if !enabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// FloatCounter is a lock-free monotonically increasing float metric
+// (estimated cost-model seconds saved, and similar fractional totals).
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds f via a CAS loop on the float's bit pattern.
+func (c *FloatCounter) Add(f float64) {
+	if !enabled.Load() {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + f)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a lock-free integer metric that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value. Unlike Add/Observe, Set is not gated on Enabled:
+// gauges mirror state (bytes used, entries), and a disabled registry must
+// not freeze them into lies.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// SetMax raises the gauge to n if n is larger (high-watermark tracking).
+func (g *Gauge) SetMax(n int64) {
+	for {
+		old := g.v.Load()
+		if n <= old {
+			return
+		}
+		if g.v.CompareAndSwap(old, n) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram layout: exponential buckets doubling from firstBucket, so the
+// full range 1µs .. ~137s (when observing seconds) is covered by 28 buckets
+// with ≤ 2× relative error, plus an overflow bucket.
+const (
+	histBuckets = 28
+	firstBucket = 1e-6 // upper bound of bucket 0 when observing seconds
+	histShards  = 8    // power of two; see shardIdx
+)
+
+// histShard is one stripe of a histogram. The pad keeps concurrent writers
+// on different shards off each other's cache lines.
+type histShard struct {
+	counts [histBuckets + 1]atomic.Int64 // +1: overflow
+	count  atomic.Int64
+	sum    FloatCounter
+	_      [32]byte
+}
+
+// Histogram is a sharded lock-free histogram over float64 observations
+// (typically seconds). Writers stripe across shards chosen from their own
+// stack address, so concurrent Observe calls rarely contend on a cache
+// line; readers sum across shards for totals, bucket counts and quantiles.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// shardIdx derives a shard from the caller goroutine's stack address:
+// distinct goroutines run on distinct stacks, so concurrent writers spread
+// across shards without any shared state. (A per-call atomic sequence would
+// itself be the contention point the sharding exists to avoid.)
+func shardIdx() int {
+	var probe byte
+	return int(uintptr(unsafe.Pointer(&probe)) >> 10 & (histShards - 1))
+}
+
+// bucketOf maps an observation to its bucket index.
+func bucketOf(v float64) int {
+	if v <= firstBucket {
+		return 0
+	}
+	b := int(math.Ceil(math.Log2(v / firstBucket)))
+	if b >= histBuckets {
+		return histBuckets // overflow
+	}
+	return b
+}
+
+// BucketBound returns the inclusive upper bound of bucket i
+// (+Inf for the overflow bucket).
+func BucketBound(i int) float64 {
+	if i >= histBuckets {
+		return math.Inf(1)
+	}
+	return firstBucket * math.Pow(2, float64(i))
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if !enabled.Load() {
+		return
+	}
+	s := &h.shards[shardIdx()]
+	s.counts[bucketOf(v)].Add(1)
+	s.count.Add(1)
+	s.sum.Add(v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var n int64
+	for i := range h.shards {
+		n += h.shards[i].count.Load()
+	}
+	return n
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 {
+	var s float64
+	for i := range h.shards {
+		s += h.shards[i].sum.Value()
+	}
+	return s
+}
+
+// Buckets returns the merged cumulative bucket counts (Prometheus `le`
+// semantics): Buckets()[i] counts observations ≤ BucketBound(i).
+func (h *Histogram) Buckets() [histBuckets + 1]int64 {
+	var out [histBuckets + 1]int64
+	for i := range h.shards {
+		for b := 0; b <= histBuckets; b++ {
+			out[b] += h.shards[i].counts[b].Load()
+		}
+	}
+	for b := 1; b <= histBuckets; b++ {
+		out[b] += out[b-1]
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) from the bucket counts,
+// interpolating linearly inside the target bucket. Zero observations → 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	cum := h.Buckets()
+	total := cum[histBuckets]
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	for b := 0; b <= histBuckets; b++ {
+		if float64(cum[b]) >= rank {
+			hi := BucketBound(b)
+			lo := 0.0
+			prev := int64(0)
+			if b > 0 {
+				lo, prev = BucketBound(b-1), cum[b-1]
+			}
+			if math.IsInf(hi, 1) {
+				return lo // overflow bucket: report its lower bound
+			}
+			inBucket := float64(cum[b] - prev)
+			if inBucket <= 0 {
+				return hi
+			}
+			return lo + (hi-lo)*(rank-float64(prev))/inBucket
+		}
+	}
+	return BucketBound(histBuckets - 1)
+}

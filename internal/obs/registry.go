@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is one name=value pair attached to a metric series.
+type Label struct{ Key, Value string }
+
+// L builds a label.
+func L(k, v string) Label { return Label{Key: k, Value: v} }
+
+// series is one registered metric instance.
+type series struct {
+	name   string
+	help   string
+	typ    string // counter | gauge | histogram
+	labels []Label
+	c      *Counter
+	f      *FloatCounter
+	g      *Gauge
+	h      *Histogram
+}
+
+// labelString renders sorted {k="v",...} (empty string for no labels).
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Registry holds named metric series and renders them in the Prometheus
+// text exposition format. Registration is the cold path and takes a mutex;
+// the registered metrics themselves are lock-free. Re-registering a name
+// with identical labels returns the existing instance, so package-level
+// metric constructors are idempotent across sessions.
+type Registry struct {
+	mu     sync.Mutex
+	series map[string]*series // keyed by name + labelString
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{series: map[string]*series{}} }
+
+// defaultRegistry is the process-wide registry GET /metrics serves.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// lookup returns the series for (name, labels), creating it with mk when
+// absent. A type mismatch on an existing name+labels panics: it is a
+// programming error, caught at init time.
+func (r *Registry) lookup(name, help, typ string, labels []Label, mk func() *series) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + labelString(labels)
+	if s, ok := r.series[key]; ok {
+		if s.typ != typ {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", key, typ, s.typ))
+		}
+		return s
+	}
+	s := mk()
+	s.name, s.help, s.typ, s.labels = name, help, typ, labels
+	r.series[key] = s
+	return s
+}
+
+// Counter returns (registering on first use) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.lookup(name, help, "counter", labels, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// FloatCounter returns (registering on first use) a float counter series.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	return r.lookup(name, help, "counter", labels, func() *series { return &series{f: &FloatCounter{}} }).f
+}
+
+// Gauge returns (registering on first use) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.lookup(name, help, "gauge", labels, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// Histogram returns (registering on first use) a histogram series.
+func (r *Registry) Histogram(name, help string, labels ...Label) *Histogram {
+	return r.lookup(name, help, "histogram", labels, func() *series { return &series{h: &Histogram{}} }).h
+}
+
+// register adopts an externally owned metric instance under name+labels,
+// replacing any prior registration. Components that need per-instance
+// counters for their own Stats() snapshots (a test may construct several
+// instances in one process) register the live instance here: the scrape
+// reads the same atomics the component does, and the latest instance wins.
+func (r *Registry) register(s *series, name, help, typ string, labels []Label) {
+	s.name, s.help, s.typ, s.labels = name, help, typ, labels
+	r.mu.Lock()
+	r.series[name+labelString(labels)] = s
+	r.mu.Unlock()
+}
+
+// RegisterCounter adopts c as the series name+labels (latest wins).
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) *Counter {
+	r.register(&series{c: c}, name, help, "counter", labels)
+	return c
+}
+
+// RegisterFloatCounter adopts f as the series name+labels (latest wins).
+func (r *Registry) RegisterFloatCounter(name, help string, f *FloatCounter, labels ...Label) *FloatCounter {
+	r.register(&series{f: f}, name, help, "counter", labels)
+	return f
+}
+
+// RegisterGauge adopts g as the series name+labels (latest wins).
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) *Gauge {
+	r.register(&series{g: g}, name, help, "gauge", labels)
+	return g
+}
+
+// RegisterHistogram adopts h as the series name+labels (latest wins).
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) *Histogram {
+	r.register(&series{h: h}, name, help, "histogram", labels)
+	return h
+}
+
+// snapshot returns the registered series sorted by name then labels, so
+// scrapes are stable and series of one name are contiguous (a Prometheus
+// exposition requirement).
+func (r *Registry) snapshot() []*series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		return labelString(out[i].labels) < labelString(out[j].labels)
+	})
+	return out
+}
+
+// WritePrometheus renders every registered series in the Prometheus text
+// exposition format (version 0.0.4). Histograms emit the standard
+// _bucket/_sum/_count triple plus derived _p50/_p95/_p99 gauges so
+// dashboards get quantiles without a server-side rate pipeline.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastHeader := ""
+	for _, s := range r.snapshot() {
+		ls := labelString(s.labels)
+		if s.name != lastHeader {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", s.name, s.help, s.name, s.typ); err != nil {
+				return err
+			}
+			lastHeader = s.name
+		}
+		var err error
+		switch {
+		case s.c != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, ls, s.c.Value())
+		case s.f != nil:
+			_, err = fmt.Fprintf(w, "%s%s %g\n", s.name, ls, s.f.Value())
+		case s.g != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", s.name, ls, s.g.Value())
+		case s.h != nil:
+			err = writeHistogram(w, s, ls)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits one histogram series: cumulative buckets, sum,
+// count, and derived quantile gauges.
+func writeHistogram(w io.Writer, s *series, ls string) error {
+	cum := s.h.Buckets()
+	for b := 0; b <= histBuckets; b++ {
+		if b < histBuckets && cum[b] == 0 {
+			continue // skip empty leading/interior buckets; le="+Inf" always prints
+		}
+		bound := "+Inf"
+		if b < histBuckets {
+			bound = fmt.Sprintf("%g", BucketBound(b))
+		}
+		bls := mergeLabel(ls, fmt.Sprintf("le=%q", bound))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.name, bls, cum[b]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", s.name, ls, s.h.Sum(), s.name, ls, s.h.Count()); err != nil {
+		return err
+	}
+	for _, q := range []struct {
+		suffix string
+		q      float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		if _, err := fmt.Fprintf(w, "%s_%s%s %g\n", s.name, q.suffix, ls, s.h.Quantile(q.q)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeLabel splices an extra label into a rendered label string.
+func mergeLabel(ls, extra string) string {
+	if ls == "" {
+		return "{" + extra + "}"
+	}
+	return ls[:len(ls)-1] + "," + extra + "}"
+}

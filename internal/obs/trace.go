@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one completed trace event in the chrome://tracing "complete
+// event" shape: a named interval on a track.
+type Span struct {
+	Name  string // event name ("optimize", "exec", "phase:waves", ...)
+	Track int64  // tracing thread id; spans of one batch share a track
+	Start time.Time
+	Dur   time.Duration
+	Args  map[string]string // optional annotations (algorithm, batch seq, ...)
+}
+
+// Tracer collects spans into a bounded in-memory buffer. Recording is
+// mutex-guarded but off by default and opt-in per process (-trace): span
+// Start/End are no-ops while no tracer is installed, so the hot path never
+// pays for tracing it didn't ask for.
+type Tracer struct {
+	mu     sync.Mutex
+	spans  []Span
+	limit  int
+	epoch  time.Time
+	tracks atomic.Int64
+}
+
+// traceLimit bounds the buffer: a runaway service cannot grow the trace
+// without bound (oldest spans are dropped).
+const traceLimit = 1 << 16
+
+// active is the installed process tracer (nil: tracing off).
+var active atomic.Pointer[Tracer]
+
+// StartTracing installs a fresh process tracer and returns it. Spans
+// recorded from then on are buffered until StopTracing.
+func StartTracing() *Tracer {
+	t := &Tracer{limit: traceLimit, epoch: time.Now()}
+	active.Store(t)
+	return t
+}
+
+// StopTracing uninstalls the process tracer and returns it (nil if none).
+func StopTracing() *Tracer {
+	t := active.Load()
+	active.Store(nil)
+	return t
+}
+
+// Tracing reports whether a process tracer is installed.
+func Tracing() bool { return active.Load() != nil }
+
+// NewTrack allocates a fresh track id (one per batch lifecycle, so a
+// batch's parse/optimize/execute spans nest on one row of the viewer).
+func NewTrack() int64 {
+	t := active.Load()
+	if t == nil {
+		return 0
+	}
+	return t.tracks.Add(1)
+}
+
+// trackKey carries a trace track through a context, so layers that never
+// see the batch object (optimizer phases, executor operators) still land
+// their spans on the batch's track.
+type trackKey struct{}
+
+// WithTrack returns ctx carrying the given trace track.
+func WithTrack(ctx context.Context, track int64) context.Context {
+	return context.WithValue(ctx, trackKey{}, track)
+}
+
+// TrackFrom extracts the trace track from ctx (0 when absent).
+func TrackFrom(ctx context.Context) int64 {
+	if v, ok := ctx.Value(trackKey{}).(int64); ok {
+		return v
+	}
+	return 0
+}
+
+// liveSpan is an in-flight span handle. The zero value (tracing off) is
+// safe: End is a no-op.
+type liveSpan struct {
+	t     *Tracer
+	name  string
+	track int64
+	start time.Time
+	args  map[string]string
+}
+
+// StartSpan begins a span on the given track. With tracing off it returns
+// a no-op handle without reading the clock.
+func StartSpan(name string, track int64, args map[string]string) interface{ End() } {
+	t := active.Load()
+	if t == nil {
+		return noopSpan{}
+	}
+	return &liveSpan{t: t, name: name, track: track, start: time.Now(), args: args}
+}
+
+type noopSpan struct{}
+
+func (noopSpan) End() {}
+
+// End completes the span and buffers it.
+func (s *liveSpan) End() {
+	sp := Span{Name: s.name, Track: s.track, Start: s.start, Dur: time.Since(s.start), Args: s.args}
+	s.t.mu.Lock()
+	if len(s.t.spans) >= s.t.limit {
+		copy(s.t.spans, s.t.spans[1:])
+		s.t.spans = s.t.spans[:len(s.t.spans)-1]
+	}
+	s.t.spans = append(s.t.spans, sp)
+	s.t.mu.Unlock()
+}
+
+// Spans returns a copy of the buffered spans.
+func (t *Tracer) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// chromeEvent is one chrome://tracing JSON event ("X" = complete event).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`  // microseconds since trace epoch
+	Dur  float64           `json:"dur"` // microseconds
+	PID  int               `json:"pid"`
+	TID  int64             `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace renders the buffered spans as a chrome://tracing /
+// Perfetto-loadable JSON object.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	epoch := t.epoch
+	t.mu.Unlock()
+
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name: s.Name,
+			Cat:  "mqo",
+			Ph:   "X",
+			TS:   float64(s.Start.Sub(epoch).Microseconds()),
+			Dur:  float64(s.Dur.Microseconds()),
+			PID:  1,
+			TID:  s.Track,
+			Args: s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": events, "displayTimeUnit": "ms"})
+}

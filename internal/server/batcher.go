@@ -15,10 +15,12 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mqo/internal/algebra"
 	"mqo/internal/exec"
+	"mqo/internal/obs"
 )
 
 // ErrClosed is returned by Submit after Close.
@@ -53,6 +55,23 @@ func (cfg Config) Normalize() Config {
 	return cfg
 }
 
+// PhaseTimes breaks a served query's lifecycle into its phases. Parse and
+// Lower are per-query (measured before the query joins a batching window);
+// Optimize, Execute and Spool are properties of the whole batch the query
+// rode in.
+type PhaseTimes struct {
+	// Parse is SQL lexing+parsing; Lower is algebra lowering against the
+	// catalog.
+	Parse time.Duration `json:"parse_ns"`
+	Lower time.Duration `json:"lower_ns"`
+	// Optimize covers DAG construction, plan-cache lookup and the plan
+	// search; Execute is the plan's measured execution wall time; Spool is
+	// result-cache bookkeeping (spool planning and commit).
+	Optimize time.Duration `json:"optimize_ns"`
+	Execute  time.Duration `json:"execute_ns"`
+	Spool    time.Duration `json:"spool_ns"`
+}
+
 // BatchResult is what a Runner returns for one coalesced batch: per-query
 // results in submission order plus batch-level accounting.
 type BatchResult struct {
@@ -75,6 +94,9 @@ type BatchResult struct {
 	Algorithm string
 	// Exec is the measured execution profile of the batch run.
 	Exec exec.RunStats
+	// Phases is the batch's per-phase timing breakdown (optimize, execute,
+	// spool; parse/lower are patched in per query by the caller).
+	Phases PhaseTimes
 }
 
 // Runner optimizes and executes one coalesced batch. It is called from
@@ -103,6 +125,9 @@ type BatchInfo struct {
 	Algorithm string `json:"algorithm"`
 	// Wait is how long the query waited for its window to flush.
 	Wait time.Duration `json:"wait_ns"`
+	// Phases is the per-phase timing breakdown of the serving lifecycle
+	// (parse/lower for this query, optimize/execute/spool for its batch).
+	Phases PhaseTimes `json:"phases"`
 	// Exec is the measured execution profile of the whole batch run.
 	Exec exec.RunStats `json:"exec"`
 }
@@ -160,6 +185,11 @@ type outcome struct {
 // Batcher coalesces Submit calls into batches and runs them on a bounded
 // worker pool. It keeps no background goroutine while idle: the only
 // goroutines are the per-window flush timer and in-flight batch runs.
+//
+// The mutex guards only the batching window (pending, timer, generation,
+// closed); all accounting is registry-backed lock-free atomics, so the
+// serving hot path never serializes batch completions on a stats lock and
+// a /stats or /metrics scrape never blocks a flush.
 type Batcher struct {
 	cfg Config
 	run Runner
@@ -169,21 +199,58 @@ type Batcher struct {
 	timer   *time.Timer // flush timer of the open window, nil when none
 	winGen  int64       // bumped on every flush; stale timers check it
 	closed  bool
-	seq     int64
-	stats   Stats
+
+	seq atomic.Int64
+
+	// Lock-free accounting, registered on the default obs registry.
+	submitted     *obs.Counter
+	batches       *obs.Counter
+	queries       *obs.Counter
+	cancelled     *obs.Counter
+	errored       *obs.Counter
+	planCacheHits *obs.Counter
+	rcHits        *obs.Counter
+	rcSpools      *obs.Counter
+	costShared    *obs.FloatCounter
+	costNoShare   *obs.FloatCounter
+	costSaved     *obs.FloatCounter
+	maxBatch      *obs.Gauge
+	sizeHist      []atomic.Int64 // index = batch size (≤ cfg.MaxBatch)
+	queueWait     *obs.Histogram
+	batchSizeH    *obs.Histogram
+	batchSeconds  *obs.Histogram
 
 	sem chan struct{}  // worker slots
 	wg  sync.WaitGroup // in-flight batch runs
 }
 
-// NewBatcher creates a batcher over the given runner.
+// NewBatcher creates a batcher over the given runner. Its counters are
+// registered on the default obs registry under mqo_server_* (a newer
+// batcher instance replaces an older one on the scrape).
 func NewBatcher(cfg Config, run Runner) *Batcher {
 	cfg = cfg.Normalize()
+	reg := obs.Default()
 	return &Batcher{
-		cfg:   cfg,
-		run:   run,
-		sem:   make(chan struct{}, cfg.Workers),
-		stats: Stats{SizeHist: map[int]int64{}},
+		cfg: cfg,
+		run: run,
+		sem: make(chan struct{}, cfg.Workers),
+
+		submitted:     reg.RegisterCounter("mqo_server_submitted_total", "Queries accepted by Submit.", &obs.Counter{}),
+		batches:       reg.RegisterCounter("mqo_server_batches_total", "Coalesced batches executed.", &obs.Counter{}),
+		queries:       reg.RegisterCounter("mqo_server_queries_total", "Queries carried by executed batches.", &obs.Counter{}),
+		cancelled:     reg.RegisterCounter("mqo_server_cancelled_total", "Queries whose waiter gave up before dispatch.", &obs.Counter{}),
+		errored:       reg.RegisterCounter("mqo_server_errors_total", "Queries whose batch failed.", &obs.Counter{}),
+		planCacheHits: reg.RegisterCounter("mqo_server_plan_cache_hits_total", "Batches answered from the session plan cache.", &obs.Counter{}),
+		rcHits:        reg.RegisterCounter("mqo_server_result_cache_hits_total", "Spooled-table reads across batches.", &obs.Counter{}),
+		rcSpools:      reg.RegisterCounter("mqo_server_result_cache_spools_total", "Results admitted to the cross-batch store.", &obs.Counter{}),
+		costShared:    reg.RegisterFloatCounter("mqo_server_cost_shared_seconds_total", "Estimated cost of executed shared plans.", &obs.FloatCounter{}),
+		costNoShare:   reg.RegisterFloatCounter("mqo_server_cost_no_share_seconds_total", "Estimated cost of the no-sharing baselines.", &obs.FloatCounter{}),
+		costSaved:     reg.RegisterFloatCounter("mqo_server_cost_saved_seconds_total", "Estimated cost-model seconds saved by batching.", &obs.FloatCounter{}),
+		maxBatch:      reg.RegisterGauge("mqo_server_max_batch", "Largest batch executed.", &obs.Gauge{}),
+		sizeHist:      make([]atomic.Int64, cfg.MaxBatch+1),
+		queueWait:     reg.RegisterHistogram("mqo_server_queue_wait_seconds", "Time a query waited for its batching window to flush.", &obs.Histogram{}),
+		batchSizeH:    reg.RegisterHistogram("mqo_server_batch_size", "Executed batch sizes (queries per batch).", &obs.Histogram{}),
+		batchSeconds:  reg.RegisterHistogram("mqo_server_batch_seconds", "Batch latency from window flush to results demuxed.", &obs.Histogram{}),
 	}
 }
 
@@ -202,7 +269,7 @@ func (b *Batcher) Submit(ctx context.Context, q *algebra.Tree) (*Response, error
 		b.mu.Unlock()
 		return nil, ErrClosed
 	}
-	b.stats.Submitted++
+	b.submitted.Inc()
 	b.pending = append(b.pending, req)
 	if len(b.pending) >= b.cfg.MaxBatch {
 		b.flushLocked()
@@ -274,13 +341,12 @@ func (b *Batcher) runBatch(batch []*request) {
 		}
 		live = append(live, req)
 	}
-	if cancelled > 0 {
-		b.mu.Lock()
-		b.stats.Cancelled += cancelled
-		b.mu.Unlock()
-	}
+	b.cancelled.Add(cancelled)
 	if len(live) == 0 {
 		return
+	}
+	for _, req := range live {
+		b.queueWait.ObserveDuration(flushed.Sub(req.enqueued))
 	}
 
 	// The batch context is independent of any single waiter: one waiter
@@ -310,36 +376,33 @@ func (b *Batcher) runBatch(batch []*request) {
 	for i, req := range live {
 		queries[i] = req.query
 	}
-	b.mu.Lock()
-	b.seq++
-	seq := b.seq
-	b.mu.Unlock()
+	seq := b.seq.Add(1)
 
 	res, err := b.run(ctx, queries)
 	if err == nil && len(res.PerQuery) != len(queries) {
 		err = errors.New("server: runner returned wrong result count")
 	}
+	b.batchSeconds.ObserveDuration(time.Since(flushed))
 
-	b.mu.Lock()
 	if err != nil {
-		b.stats.Errors += int64(len(live))
+		b.errored.Add(int64(len(live)))
 	} else {
-		b.stats.Batches++
-		b.stats.Queries += int64(len(live))
-		b.stats.SizeHist[len(live)]++
-		if len(live) > b.stats.MaxBatch {
-			b.stats.MaxBatch = len(live)
+		b.batches.Inc()
+		b.queries.Add(int64(len(live)))
+		if size := len(live); size < len(b.sizeHist) && obs.Enabled() {
+			b.sizeHist[size].Add(1)
 		}
-		b.stats.CostShared += res.Cost
-		b.stats.CostNoShare += res.NoShareCost
-		b.stats.CostSaved += res.NoShareCost - res.Cost
+		b.batchSizeH.Observe(float64(len(live)))
+		b.maxBatch.SetMax(int64(len(live)))
+		b.costShared.Add(res.Cost)
+		b.costNoShare.Add(res.NoShareCost)
+		b.costSaved.Add(res.NoShareCost - res.Cost)
 		if res.CacheHit {
-			b.stats.PlanCacheHits++
+			b.planCacheHits.Inc()
 		}
-		b.stats.ResultCacheHits += int64(res.ResultCacheHits)
-		b.stats.ResultCacheSpools += int64(res.ResultCacheSpool)
+		b.rcHits.Add(int64(res.ResultCacheHits))
+		b.rcSpools.Add(int64(res.ResultCacheSpool))
 	}
-	b.mu.Unlock()
 
 	for i, req := range live {
 		if err != nil {
@@ -358,6 +421,7 @@ func (b *Batcher) runBatch(batch []*request) {
 				ResultCacheSpool: res.ResultCacheSpool,
 				Algorithm:        res.Algorithm,
 				Wait:             flushed.Sub(req.enqueued),
+				Phases:           res.Phases,
 				Exec:             res.Exec,
 			},
 		}}
@@ -372,16 +436,30 @@ func (b *Batcher) Flush() {
 	b.mu.Unlock()
 }
 
-// Stats returns a snapshot of the accounting.
+// Stats returns a snapshot of the accounting, assembled from the lock-free
+// atomics (no mutex-guarded copy to maintain). The JSON shape is unchanged.
 func (b *Batcher) Stats() Stats {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	s := b.stats
-	s.SizeHist = make(map[int]int64, len(b.stats.SizeHist))
-	for k, v := range b.stats.SizeHist {
-		s.SizeHist[k] = v
+	hist := map[int]int64{}
+	for k := range b.sizeHist {
+		if v := b.sizeHist[k].Load(); v > 0 {
+			hist[k] = v
+		}
 	}
-	return s
+	return Stats{
+		Submitted:         b.submitted.Value(),
+		Batches:           b.batches.Value(),
+		Queries:           b.queries.Value(),
+		Cancelled:         b.cancelled.Value(),
+		Errors:            b.errored.Value(),
+		SizeHist:          hist,
+		MaxBatch:          int(b.maxBatch.Value()),
+		CostShared:        b.costShared.Value(),
+		CostNoShare:       b.costNoShare.Value(),
+		CostSaved:         b.costSaved.Value(),
+		PlanCacheHits:     b.planCacheHits.Value(),
+		ResultCacheHits:   b.rcHits.Value(),
+		ResultCacheSpools: b.rcSpools.Value(),
+	}
 }
 
 // Close flushes the open window, waits for in-flight batches, and makes

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"mqo/internal/algebra"
 	"mqo/internal/catalog"
@@ -112,12 +113,28 @@ func (p *parser) sym(s string) bool {
 	return false
 }
 
+// Timings splits ParseBatch's wall time into its two phases: lexing plus
+// statement parsing, and algebra lowering against the catalog.
+type Timings struct {
+	Parse time.Duration
+	Lower time.Duration
+}
+
 // ParseBatch parses semicolon-separated SELECT statements and lowers each
 // against the catalog.
 func ParseBatch(cat *catalog.Catalog, src string) ([]*algebra.Tree, error) {
+	out, _, err := ParseBatchTimed(cat, src)
+	return out, err
+}
+
+// ParseBatchTimed is ParseBatch plus the per-phase wall-time breakdown the
+// serving path reports per query.
+func ParseBatchTimed(cat *catalog.Catalog, src string) ([]*algebra.Tree, Timings, error) {
+	var t Timings
+	start := time.Now()
 	toks, err := lex(src)
 	if err != nil {
-		return nil, err
+		return nil, t, err
 	}
 	p := &parser{toks: toks}
 	var out []*algebra.Tree
@@ -128,19 +145,24 @@ func ParseBatch(cat *catalog.Catalog, src string) ([]*algebra.Tree, error) {
 			break
 		}
 		st, err := p.parseSelect()
+		t.Parse += time.Since(start)
 		if err != nil {
-			return nil, err
+			return nil, t, err
 		}
+		start = time.Now()
 		tree, err := lower(cat, st)
+		t.Lower += time.Since(start)
 		if err != nil {
-			return nil, err
+			return nil, t, err
 		}
 		out = append(out, tree)
+		start = time.Now()
 	}
+	t.Parse += time.Since(start)
 	if len(out) == 0 {
-		return nil, fmt.Errorf("sql: no statements")
+		return nil, t, fmt.Errorf("sql: no statements")
 	}
-	return out, nil
+	return out, t, nil
 }
 
 // Parse parses a single SELECT statement.

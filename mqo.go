@@ -96,6 +96,11 @@ type (
 	QueryResult = exec.QueryResult
 	// RunStats is the measured execution profile of a batch run.
 	RunStats = exec.RunStats
+	// BatchProfile is the per-operator measured profile of an analyzed run
+	// (Batch.Analyze): one tree per materialization and per query root.
+	BatchProfile = exec.BatchProfile
+	// NodeProfile is one operator's measured execution profile.
+	NodeProfile = exec.NodeProfile
 	// ResultCache is the cross-batch transient result cache (the paper's
 	// §8 caching direction): a concurrency-safe, row-backed store of
 	// spooled intermediate results consulted around every executed batch.
@@ -173,3 +178,8 @@ func NewDB(poolPages int) *DB { return storage.NewDB(poolPages) }
 // queries differing only in selection constants are merged into one
 // parameterized query invoked multiple times.
 func AbstractParameterized(batch []*Query) *Abstraction { return core.AbstractParameterized(batch) }
+
+// FormatAnalyze renders an analyzed run (Batch.Analyze) as EXPLAIN ANALYZE
+// text: per operator, the optimizer's estimated cost and cardinality
+// against the measured rows, pages, bytes and wall time.
+func FormatAnalyze(stats RunStats) string { return exec.FormatAnalyze(stats) }

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"mqo/internal/cache"
 	"mqo/internal/catalog"
@@ -13,7 +14,9 @@ import (
 	"mqo/internal/cost"
 	"mqo/internal/dag"
 	"mqo/internal/exec"
+	"mqo/internal/obs"
 	"mqo/internal/physical"
+	"mqo/internal/server"
 	"mqo/internal/sql"
 	"mqo/internal/storage"
 )
@@ -192,7 +195,20 @@ func (o *Optimizer) ParseAlgorithm(name string) (Algorithm, error) { return Pars
 // ParseSQL parses a semicolon-separated batch of SELECT statements against
 // the session catalog into algebra queries.
 func (o *Optimizer) ParseSQL(sqlText string) ([]*Query, error) {
-	return sql.ParseBatch(o.cat, sqlText)
+	queries, _, err := o.parseSQLTimed(sqlText)
+	return queries, err
+}
+
+// parseSQLTimed is ParseSQL plus the parse/lower phase breakdown, observed
+// on the registry's serving-phase histograms.
+func (o *Optimizer) parseSQLTimed(sqlText string) ([]*Query, server.PhaseTimes, error) {
+	queries, t, err := sql.ParseBatchTimed(o.cat, sqlText)
+	pt := server.PhaseTimes{Parse: t.Parse, Lower: t.Lower}
+	if err == nil {
+		phaseParse.ObserveDuration(t.Parse)
+		phaseLower.ObserveDuration(t.Lower)
+	}
+	return queries, pt, err
 }
 
 // OptimizeBatch optimizes a batch of algebra queries with the selected
@@ -282,6 +298,10 @@ type Batch struct {
 	// ParamSets drives parameterized (correlated / §8 abstracted) plans:
 	// the parameter-dependent part runs once per binding set.
 	ParamSets []map[string]Value
+	// Analyze profiles the execution per operator: the returned
+	// ExecResult.Exec.Profile holds the measured operator tree that
+	// exec.FormatAnalyze renders (EXPLAIN ANALYZE).
+	Analyze bool
 }
 
 // ExecResult is the outcome of Run: the optimization Result plus the
@@ -314,7 +334,8 @@ func (o *Optimizer) Run(ctx context.Context, batch Batch) (*ExecResult, error) {
 			return nil, err
 		}
 	}
-	res, _, err := o.runOnDB(ctx, queries, batch.Algorithm, &exec.Env{ParamSets: batch.ParamSets})
+	res, _, err := o.runOnDB(ctx, queries, batch.Algorithm,
+		&exec.Env{ParamSets: batch.ParamSets, Profile: batch.Analyze})
 	return res, err
 }
 
@@ -328,6 +349,9 @@ type execMeta struct {
 	// read; ResultCacheSpools counts results the batch admitted and wrote.
 	ResultCacheHits   int
 	ResultCacheSpools int
+	// Phases is the batch's optimize/execute/spool timing breakdown
+	// (parse/lower are per-query and filled in by the service).
+	Phases server.PhaseTimes
 }
 
 // runOnDB optimizes one batch and executes the plan on the attached
@@ -339,22 +363,40 @@ type execMeta struct {
 // accounting, hit reinforcement, eviction — once the run succeeds.
 func (o *Optimizer) runOnDB(ctx context.Context, queries []*Query, alg Algorithm, env *exec.Env) (*ExecResult, execMeta, error) {
 	meta := execMeta{}
+	// Each batch gets its own trace track, so the optimizer-phase and
+	// executor spans recorded below it line up per batch in the trace view.
+	track := obs.NewTrack()
+	ctx = obs.WithTrack(ctx, track)
+	span := obs.StartSpan("batch", track, map[string]string{
+		"algorithm": alg.String(), "queries": strconv.Itoa(len(queries))})
+	defer span.End()
+
 	rc := o.resultCache()
 	if rc == nil {
+		optStart := time.Now()
+		optSpan := obs.StartSpan("optimize", track, nil)
 		res, hit, err := o.optimizeBatch(ctx, queries, alg)
+		optSpan.End()
 		if err != nil {
 			return nil, meta, err
 		}
 		meta.PlanCacheHit = hit
+		meta.Phases.Optimize = time.Since(optStart)
+		phaseOptimize.ObserveDuration(meta.Phases.Optimize)
 		results, stats, err := exec.Run(ctx, o.db, o.model, res.Plan, env)
 		if err != nil {
 			return nil, meta, err
 		}
+		meta.Phases.Execute = stats.Wall
+		phaseExecute.ObserveDuration(stats.Wall)
 		return &ExecResult{Result: res, Queries: results, Exec: stats}, meta, nil
 	}
 
+	optStart := time.Now()
+	optSpan := obs.StartSpan("optimize", track, nil)
 	ld, roots, err := o.buildLogical(ctx, queries)
 	if err != nil {
+		optSpan.End()
 		return nil, meta, err
 	}
 	// The plan depends on the cache state it was armed against, so the
@@ -365,22 +407,31 @@ func (o *Optimizer) runOnDB(ctx context.Context, queries []*Query, alg Algorithm
 		key = o.batchKey(ld, roots, alg) + "|rc" + strconv.FormatInt(rc.Generation(), 10)
 		if res, ok := o.cache.get(key); ok {
 			if ticket, pinned := rc.PinPlan(res.Plan); pinned {
+				optSpan.End()
 				meta.PlanCacheHit = true
+				meta.Phases.Optimize = time.Since(optStart)
+				phaseOptimize.ObserveDuration(meta.Phases.Optimize)
 				return o.execTicket(ctx, res, ticket, nil, env, meta)
 			}
 		}
 	}
 	pd, err := core.FinishDAG(ld, o.model)
 	if err != nil {
+		optSpan.End()
 		return nil, meta, err
 	}
 	ticket := rc.Arm(pd)
 	res, err := core.Optimize(ctx, pd, alg, o.opts)
+	optSpan.End()
 	if err != nil {
 		ticket.Abort()
 		return nil, meta, err
 	}
+	meta.Phases.Optimize = time.Since(optStart)
+	phaseOptimize.ObserveDuration(meta.Phases.Optimize)
+	spoolStart := time.Now()
 	spools := ticket.PlanSpools(res.Plan)
+	meta.Phases.Spool = time.Since(spoolStart)
 	if o.cache != nil && key != "" && len(spools) == 0 {
 		// Steady state (nothing newly spooled): the plan is reusable at
 		// this generation. Spooling batches bump the generation on commit,
@@ -405,8 +456,13 @@ func (o *Optimizer) execTicket(ctx context.Context, res *Result, ticket *cache.T
 		ticket.Abort()
 		return nil, meta, err
 	}
+	meta.Phases.Execute = stats.Wall
+	phaseExecute.ObserveDuration(stats.Wall)
+	spoolStart := time.Now()
 	meta.ResultCacheHits = ticket.Commit()
 	meta.ResultCacheSpools = len(spools)
+	meta.Phases.Spool += time.Since(spoolStart)
+	phaseSpool.ObserveDuration(meta.Phases.Spool)
 	return &ExecResult{Result: res, Queries: results, Exec: stats}, meta, nil
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"mqo/internal/algebra"
 	"mqo/internal/exec"
+	"mqo/internal/obs"
 	"mqo/internal/server"
 )
 
@@ -107,14 +108,23 @@ func Serve(o *Optimizer, cfg BatchingOptions) (*Service, error) {
 // other waiters. Parameterized queries are not supported through Submit —
 // use Run, which executes the caller's batch alone with its ParamSets.
 func (s *Service) Submit(ctx context.Context, sqlText string) (*Answer, error) {
-	queries, err := s.opt.ParseSQL(sqlText)
+	queries, pt, err := s.opt.parseSQLTimed(sqlText)
 	if err != nil {
 		return nil, err
 	}
 	if len(queries) != 1 {
 		return nil, fmt.Errorf("mqo: Submit: want exactly one SELECT, got %d", len(queries))
 	}
-	return s.SubmitQuery(ctx, queries[0])
+	ans, err := s.SubmitQuery(ctx, queries[0])
+	if err != nil {
+		return nil, err
+	}
+	// Parse and lower happened on this goroutine, before the query joined
+	// its batching window; the Answer's batch copy is private to this
+	// waiter, so the per-query phases patch in here.
+	ans.Batch.Phases.Parse = pt.Parse
+	ans.Batch.Phases.Lower = pt.Lower
+	return ans, nil
 }
 
 // SubmitQuery is Submit for an already-parsed algebra query.
@@ -140,7 +150,9 @@ func (s *Service) Close() { s.b.Close() }
 // single execution path (plan cache and result cache consulted around the
 // optimize+execute pass).
 func (s *Service) runBatch(ctx context.Context, queries []*algebra.Tree) (*server.BatchResult, error) {
-	res, meta, err := s.opt.runOnDB(ctx, queries, s.alg, &exec.Env{})
+	// The serving path profiles every run while observability is on: the
+	// per-operator registry series and the CostSample stream come from here.
+	res, meta, err := s.opt.runOnDB(ctx, queries, s.alg, &exec.Env{Profile: obs.Enabled()})
 	if err != nil {
 		return nil, err
 	}
@@ -153,6 +165,7 @@ func (s *Service) runBatch(ctx context.Context, queries []*algebra.Tree) (*serve
 		ResultCacheSpool: meta.ResultCacheSpools,
 		Algorithm:        res.Algorithm.String(),
 		Exec:             res.Exec,
+		Phases:           meta.Phases,
 	}, nil
 }
 
@@ -181,6 +194,9 @@ type statsResponse struct {
 	// ResultCacheHitRate is ResultCache's batch hit fraction, precomputed
 	// for dashboards.
 	ResultCacheHitRate float64 `json:"result_cache_hit_rate"`
+	// PhaseSeconds is the cumulative wall time per serving phase
+	// (parse/lower/optimize/execute/spool), from the registry histograms.
+	PhaseSeconds map[string]float64 `json:"phase_seconds"`
 }
 
 // ServiceHandler exposes a Service over HTTP+JSON:
@@ -233,6 +249,7 @@ func ServiceHandler(s *Service) http.Handler {
 			PlanCache:          s.opt.CacheStats(),
 			ResultCache:        rc,
 			ResultCacheHitRate: rc.HitRate(),
+			PhaseSeconds:       phaseSecondsSnapshot(),
 		})
 	})
 	return mux
