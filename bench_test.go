@@ -2,7 +2,7 @@
 // (§6). Each benchmark runs the corresponding experiment from
 // internal/bench and reports the headline quantities as custom metrics, so
 // `go test -bench=. -benchmem` reproduces the paper's study end to end.
-package mqo
+package mqo_test
 
 import (
 	"strings"

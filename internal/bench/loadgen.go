@@ -1,0 +1,376 @@
+// Open-loop load generator over the micro-batching service: a seeded
+// virtual-time arrival schedule of mixed SSB and TPC-D tenant queries is
+// replayed against the sharded serving path at several worker counts, and
+// the resulting capacity (queries/sec) and latency distribution (p50/p99)
+// land in one Experiment — the BENCH_8.json trajectory.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"mqo"
+	"mqo/internal/algebra"
+	"mqo/internal/ssb"
+	"mqo/internal/tpcd"
+)
+
+// Tenant names of the load generator's two workloads.
+const (
+	TenantSSB  = "ssb"
+	TenantTPCD = "tpcd"
+)
+
+// Arrival is one request of a load-generator trace: a virtual arrival
+// offset from the start of the run, the tenant whose service receives it,
+// and an index into that tenant's query pool. The trace is pure data — two
+// traces from the same seed are deeply equal, which is what makes a
+// loadgen run reproducible (the satellite determinism test asserts it).
+type Arrival struct {
+	At     time.Duration
+	Tenant string
+	Query  int
+}
+
+// loadGenWindow mirrors the batcher's window policy in virtual time:
+// MaxBatch requests flush a window immediately, otherwise it flushes
+// loadGenMaxWait after it opened. Kept equal to the service defaults so the
+// virtual batch schedule matches what the real batcher would coalesce.
+const (
+	loadGenMaxBatch = 8
+	loadGenMaxWait  = 2 * time.Millisecond
+)
+
+// LoadTrace builds the deterministic request trace for seed: n arrivals
+// with exponentially distributed virtual inter-arrival gaps of the given
+// mean, each assigned a tenant (an even coin) and a query drawn uniformly
+// from that tenant's pool. ssbPool/tpcdPool are the pool sizes.
+func LoadTrace(seed int64, n int, meanGap time.Duration, ssbPool, tpcdPool int) []Arrival {
+	rng := rand.New(rand.NewSource(seed))
+	trace := make([]Arrival, 0, n)
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		at += time.Duration(rng.ExpFloat64() * float64(meanGap))
+		a := Arrival{At: at, Tenant: TenantSSB, Query: rng.Intn(ssbPool)}
+		if rng.Intn(2) == 1 {
+			a = Arrival{At: at, Tenant: TenantTPCD, Query: rng.Intn(tpcdPool)}
+		}
+		trace = append(trace, a)
+	}
+	return trace
+}
+
+// ssbQueryPool flattens the SSB flights into one pool of stand-alone
+// queries.
+func ssbQueryPool() []*algebra.Tree {
+	var pool []*algebra.Tree
+	for n := 1; n <= ssb.NumFlights; n++ {
+		pool = append(pool, ssb.Flight(n)...)
+	}
+	return pool
+}
+
+// tpcdQueryPool is the TPC-D tenant's pool: the batchable query templates
+// at three selection variants each.
+func tpcdQueryPool() []*algebra.Tree {
+	makers := []func(int) *algebra.Tree{tpcd.Q3, tpcd.Q5, tpcd.Q7, tpcd.Q9, tpcd.Q10}
+	var pool []*algebra.Tree
+	for _, mk := range makers {
+		for v := 0; v < 3; v++ {
+			pool = append(pool, mk(v))
+		}
+	}
+	return pool
+}
+
+// loadBatch is one virtual batching window's worth of requests for one
+// tenant: the trace indexes it holds and the virtual time it flushed.
+type loadBatch struct {
+	tenant  string
+	reqs    []int // indexes into the trace
+	flushAt time.Duration
+}
+
+// batchTrace folds the arrival trace through the batcher's window policy
+// in virtual time, per tenant: a window opens at its first arrival,
+// flushes when it holds loadGenMaxBatch requests or loadGenMaxWait after
+// opening, and the flushed batches of both tenants merge into one
+// flush-ordered schedule. Deterministic given the trace.
+func batchTrace(trace []Arrival) []loadBatch {
+	type window struct {
+		reqs   []int
+		opened time.Duration
+	}
+	open := map[string]*window{}
+	var out []loadBatch
+	flush := func(tenant string, w *window, at time.Duration) {
+		out = append(out, loadBatch{tenant: tenant, reqs: w.reqs, flushAt: at})
+		delete(open, tenant)
+	}
+	for i, a := range trace {
+		// Close any window whose deadline passed before this arrival.
+		for _, tenant := range []string{TenantSSB, TenantTPCD} {
+			if w := open[tenant]; w != nil && a.At >= w.opened+loadGenMaxWait {
+				flush(tenant, w, w.opened+loadGenMaxWait)
+			}
+		}
+		w := open[a.Tenant]
+		if w == nil {
+			w = &window{opened: a.At}
+			open[a.Tenant] = w
+		}
+		w.reqs = append(w.reqs, i)
+		if len(w.reqs) >= loadGenMaxBatch {
+			flush(a.Tenant, w, a.At)
+		}
+	}
+	for _, tenant := range []string{TenantSSB, TenantTPCD} {
+		if w := open[tenant]; w != nil {
+			flush(tenant, w, w.opened+loadGenMaxWait)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].flushAt < out[j].flushAt })
+	return out
+}
+
+// loadGenServices is one tenant pair: an SSB service and a TPC-D service
+// over freshly generated data, both opened with the same shard count and
+// worker count.
+type loadGenServices struct {
+	svc map[string]*mqo.Service
+}
+
+func openLoadGenServices(sf float64, seed int64, budgetBytes int64, workers, shards int) (*loadGenServices, error) {
+	tenants := []struct {
+		name string
+		cat  *mqo.Catalog
+		load func(*mqo.DB, float64, int64) error
+	}{
+		{TenantSSB, ssb.Catalog(sf), ssb.LoadDB},
+		{TenantTPCD, tpcd.Catalog(sf), tpcd.LoadDB},
+	}
+	out := &loadGenServices{svc: map[string]*mqo.Service{}}
+	for _, t := range tenants {
+		db := mqo.NewDB(1024)
+		if err := t.load(db, sf, seed); err != nil {
+			return nil, fmt.Errorf("loading %s tenant: %w", t.name, err)
+		}
+		opt, err := mqo.Open(t.cat, mqo.WithDB(db), mqo.WithPlanCache(64), mqo.WithShards(shards))
+		if err != nil {
+			return nil, fmt.Errorf("opening %s tenant: %w", t.name, err)
+		}
+		svc, err := mqo.Serve(opt, mqo.BatchingOptions{
+			MaxBatch:         loadGenMaxBatch,
+			MaxWait:          loadGenMaxWait,
+			Workers:          workers,
+			ResultCacheBytes: budgetBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serving %s tenant: %w", t.name, err)
+		}
+		out.svc[t.name] = svc
+	}
+	return out, nil
+}
+
+func (ls *loadGenServices) close() {
+	for _, s := range ls.svc {
+		s.Close()
+	}
+}
+
+// measureBatches executes the batch schedule serially through SubmitBatch
+// (one worker, deterministic composition) and returns each batch's wall
+// service time. The caches warm exactly as they would under batched
+// traffic, so repeated templates get their plan-cache and result-cache
+// speedups in the measured times.
+func measureBatches(ls *loadGenServices, trace []Arrival, batches []loadBatch, pools map[string][]*algebra.Tree) ([]time.Duration, error) {
+	svcTimes := make([]time.Duration, len(batches))
+	for i, b := range batches {
+		queries := make([]*mqo.Query, 0, len(b.reqs))
+		for _, r := range b.reqs {
+			queries = append(queries, pools[b.tenant][trace[r].Query])
+		}
+		start := time.Now()
+		if _, err := ls.svc[b.tenant].SubmitBatch(context.Background(), queries); err != nil {
+			return nil, fmt.Errorf("batch %d (%s): %w", i, b.tenant, err)
+		}
+		svcTimes[i] = time.Since(start)
+	}
+	return svcTimes, nil
+}
+
+// replayQueue replays the flush-ordered batch schedule through a FIFO
+// queue with the given number of servers: each batch starts on the
+// earliest-free server, no earlier than its virtual flush time. Because
+// assignment is FIFO-to-first-free, every start time is non-increasing in
+// the server count, so modeled throughput is monotone in workers — the
+// property the BENCH_8 gate checks. Returns the makespan and the
+// per-request latencies (batch completion minus request arrival).
+func replayQueue(trace []Arrival, batches []loadBatch, svcTimes []time.Duration, workers int) (time.Duration, []time.Duration) {
+	free := make([]time.Duration, workers)
+	var makespan time.Duration
+	var lats []time.Duration
+	for i, b := range batches {
+		w := 0
+		for j := 1; j < workers; j++ {
+			if free[j] < free[w] {
+				w = j
+			}
+		}
+		start := free[w]
+		if b.flushAt > start {
+			start = b.flushAt
+		}
+		end := start + svcTimes[i]
+		free[w] = end
+		if end > makespan {
+			makespan = end
+		}
+		for _, r := range b.reqs {
+			lats = append(lats, end-trace[r].At)
+		}
+	}
+	return makespan, lats
+}
+
+// percentile returns the p-th percentile (0..100) of durations by
+// nearest-rank on a sorted copy.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p/100*float64(len(sorted))+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// firePass drives the full concurrent serving path: every request of the
+// trace is submitted from its own goroutine in arrival order (open loop —
+// no think time, the offered rate saturates the service) against services
+// running the given worker count, and the measured wall throughput and
+// latency percentiles come back. Unlike the virtual-time model this number
+// depends on the host's core count; it is reported alongside, not instead.
+func firePass(ls *loadGenServices, trace []Arrival, pools map[string][]*algebra.Tree) (float64, time.Duration, time.Duration, error) {
+	type outcome struct {
+		lat time.Duration
+		err error
+	}
+	results := make([]outcome, len(trace))
+	done := make(chan int, len(trace))
+	start := time.Now()
+	for i, a := range trace {
+		go func(i int, a Arrival) {
+			t0 := time.Now()
+			_, err := ls.svc[a.Tenant].SubmitQuery(context.Background(), pools[a.Tenant][a.Query])
+			results[i] = outcome{lat: time.Since(t0), err: err}
+			done <- i
+		}(i, a)
+	}
+	for range trace {
+		<-done
+	}
+	makespan := time.Since(start)
+	lats := make([]time.Duration, 0, len(trace))
+	for i, r := range results {
+		if r.err != nil {
+			return 0, 0, 0, fmt.Errorf("request %d (%s/%d): %w", i, trace[i].Tenant, trace[i].Query, r.err)
+		}
+		lats = append(lats, r.lat)
+	}
+	qps := float64(len(trace)) / makespan.Seconds()
+	return qps, percentile(lats, 50), percentile(lats, 99), nil
+}
+
+// LoadGen is the `mqobench -experiment loadgen` runner: an open-loop load
+// generator over mixed SSB and TPC-D tenants at sf/seed, run at every
+// (workers, shards) combination of workerCounts × shardCounts.
+//
+// Each combination reports two views of the same trace:
+//
+//   - qps / p50_ms / p99_ms — the capacity model: per-batch service times
+//     measured once per shard count on the real serving path (serially, so
+//     they are contention-free), replayed through a FIFO queue with
+//     `workers` servers in virtual time. Deterministic in structure and
+//     monotone in workers by construction, host core count notwithstanding
+//     — the form the BENCH_8 monotonicity gate checks.
+//   - wall_qps / wall_p50_ms / wall_p99_ms — the measured pass: the whole
+//     trace fired concurrently at a service running `workers` in-flight
+//     batches over `shards`-way sharded caches. Scales with workers only
+//     when the host has cores to run them; CI gates it on multi-core
+//     runners only.
+//
+// The request trace itself is deterministic under seed (LoadTrace).
+func LoadGen(sf float64, seed int64, budgetBytes int64, workerCounts, shardCounts []int) (*Experiment, error) {
+	pools := map[string][]*algebra.Tree{
+		TenantSSB:  ssbQueryPool(),
+		TenantTPCD: tpcdQueryPool(),
+	}
+	const nRequests = 160
+	trace := LoadTrace(seed, nRequests, 200*time.Microsecond, len(pools[TenantSSB]), len(pools[TenantTPCD]))
+	batches := batchTrace(trace)
+
+	e := &Experiment{
+		Name:  "loadgen",
+		Title: "Load generator: mixed-tenant open-loop throughput vs workers and shards",
+	}
+	e.Notes = append(e.Notes,
+		fmt.Sprintf("%d requests, %d batches, seed %d, sf %g", len(trace), len(batches), seed, sf),
+		"qps/p50/p99 are the virtual-time capacity model over serially measured batch service times; wall_* are measured on this host")
+
+	for _, shards := range shardCounts {
+		// One serial calibration per shard count: the batch schedule's
+		// service times with the caches warming exactly once.
+		cal, err := openLoadGenServices(sf, seed, budgetBytes, 1, shards)
+		if err != nil {
+			return nil, err
+		}
+		svcTimes, err := measureBatches(cal, trace, batches, pools)
+		cal.close()
+		if err != nil {
+			return nil, err
+		}
+
+		for _, workers := range workerCounts {
+			makespan, lats := replayQueue(trace, batches, svcTimes, workers)
+			qps := float64(len(trace)) / makespan.Seconds()
+
+			ls, err := openLoadGenServices(sf, seed, budgetBytes, workers, shards)
+			if err != nil {
+				return nil, err
+			}
+			wallQPS, wallP50, wallP99, err := firePass(ls, trace, pools)
+			ls.close()
+			if err != nil {
+				return nil, err
+			}
+
+			e.Rows = append(e.Rows, Row{
+				Label: fmt.Sprintf("workers=%d shards=%d", workers, shards),
+				Extra: map[string]float64{
+					"workers":     float64(workers),
+					"shards":      float64(shards),
+					"requests":    float64(len(trace)),
+					"batches":     float64(len(batches)),
+					"qps":         qps,
+					"p50_ms":      float64(percentile(lats, 50)) / float64(time.Millisecond),
+					"p99_ms":      float64(percentile(lats, 99)) / float64(time.Millisecond),
+					"wall_qps":    wallQPS,
+					"wall_p50_ms": float64(wallP50) / float64(time.Millisecond),
+					"wall_p99_ms": float64(wallP99) / float64(time.Millisecond),
+				},
+			})
+		}
+	}
+	return e, nil
+}

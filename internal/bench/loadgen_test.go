@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestLoadTraceDeterministic: the load generator's request trace is pure
+// data derived from the seed — two same-seed builds must be deeply equal
+// (arrival times, tenants and query picks), and the virtual batch schedule
+// folded from them must match too. A different seed must diverge, or the
+// "deterministic" claim would be vacuous.
+func TestLoadTraceDeterministic(t *testing.T) {
+	const n = 500
+	a := LoadTrace(42, n, 200*time.Microsecond, 13, 15)
+	b := LoadTrace(42, n, 200*time.Microsecond, 13, 15)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same-seed traces differ")
+	}
+	if !reflect.DeepEqual(batchTrace(a), batchTrace(b)) {
+		t.Fatal("same-seed batch schedules differ")
+	}
+	c := LoadTrace(43, n, 200*time.Microsecond, 13, 15)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	for i, arr := range a {
+		if arr.Tenant != TenantSSB && arr.Tenant != TenantTPCD {
+			t.Fatalf("arrival %d has unknown tenant %q", i, arr.Tenant)
+		}
+		if i > 0 && arr.At < a[i-1].At {
+			t.Fatalf("arrival %d goes backwards in time", i)
+		}
+	}
+}
+
+// TestBatchTraceWindowPolicy: the virtual batcher must honor the window
+// policy — no batch larger than loadGenMaxBatch, every request in exactly
+// one batch of its own tenant, and batches flush-ordered.
+func TestBatchTraceWindowPolicy(t *testing.T) {
+	trace := LoadTrace(7, 300, 150*time.Microsecond, 13, 15)
+	batches := batchTrace(trace)
+	seen := make([]bool, len(trace))
+	for i, b := range batches {
+		if len(b.reqs) == 0 || len(b.reqs) > loadGenMaxBatch {
+			t.Fatalf("batch %d has %d requests", i, len(b.reqs))
+		}
+		if i > 0 && b.flushAt < batches[i-1].flushAt {
+			t.Fatalf("batch %d flushes before its predecessor", i)
+		}
+		for _, r := range b.reqs {
+			if seen[r] {
+				t.Fatalf("request %d batched twice", r)
+			}
+			seen[r] = true
+			if trace[r].Tenant != b.tenant {
+				t.Fatalf("request %d (tenant %s) in a %s batch", r, trace[r].Tenant, b.tenant)
+			}
+		}
+	}
+	for r, ok := range seen {
+		if !ok {
+			t.Fatalf("request %d never batched", r)
+		}
+	}
+}
+
+// TestReplayQueueMonotoneInWorkers: the FIFO queue model's makespan must
+// be non-increasing in the server count — the structural property behind
+// the BENCH_8 "qps grows with workers" gate.
+func TestReplayQueueMonotoneInWorkers(t *testing.T) {
+	trace := LoadTrace(11, 400, 100*time.Microsecond, 13, 15)
+	batches := batchTrace(trace)
+	svcTimes := make([]time.Duration, len(batches))
+	rngLike := time.Duration(1)
+	for i := range svcTimes {
+		// Deterministic pseudo-varied service times (3ms..17ms).
+		rngLike = (rngLike*2654435761 + 1) % 15
+		svcTimes[i] = 3*time.Millisecond + rngLike*time.Millisecond
+	}
+	prev := time.Duration(0)
+	for _, w := range []int{1, 2, 4, 8, 16} {
+		makespan, lats := replayQueue(trace, batches, svcTimes, w)
+		if len(lats) != len(trace) {
+			t.Fatalf("workers=%d: %d latencies for %d requests", w, len(lats), len(trace))
+		}
+		if prev != 0 && makespan > prev {
+			t.Fatalf("workers=%d makespan %v exceeds fewer-workers makespan %v", w, makespan, prev)
+		}
+		prev = makespan
+	}
+}

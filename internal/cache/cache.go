@@ -20,13 +20,27 @@
 // or aborts; eviction (lowest value density first, dropping the real
 // spooled table from storage) only ever touches unpinned ready entries, so
 // an in-flight plan can never lose a table it was optimized against.
+//
+// The store is sharded by expression fingerprint (NewStoreShards): each
+// shard has its own mutex, entry table, byte accounting and budget slice,
+// so concurrent batches touching different expressions admit, pin and evict
+// without contending on one lock. All physical properties of one expression
+// hash to the same shard, keeping single-flight admission and Arm's
+// best-property matching shard-local. The batch clock, ready-set generation
+// and table-name sequence are global atomics — table names do not depend on
+// the shard count, so identical workloads produce byte-identical plans at
+// any sharding. Operations touching several shards (Commit, Abort,
+// SetBudget, Stats) lock shards one at a time in index order and never hold
+// two shard locks at once.
 package cache
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"mqo/internal/algebra"
 	"mqo/internal/cost"
@@ -65,6 +79,8 @@ type Entry struct {
 	// pins counts in-flight batches whose plan may read the entry; pinned
 	// entries are never evicted.
 	pins int
+	// si is the index of the shard owning the entry.
+	si int
 }
 
 // density is the eviction metric.
@@ -101,24 +117,45 @@ func (s Stats) HitRate() float64 {
 	return float64(s.HitBatches) / float64(s.Batches)
 }
 
+// ShardStats is one shard's slice of the store, for tests and /stats.
+type ShardStats struct {
+	Shard       int   `json:"shard"`
+	Entries     int   `json:"entries"`
+	UsedBytes   int64 `json:"used_bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+// cacheShard is one independently locked slice of the store: its own entry
+// table, byte accounting and budget share. An expression's fingerprint
+// picks its shard, so single-flight admission stays shard-local.
+type cacheShard struct {
+	mu      sync.Mutex
+	budget  int64
+	entries map[string]*Entry // by entryKey
+	byTable map[string]*Entry
+	used    int64
+
+	// Lock-free mirrors of used/len(entries), so the aggregate scrape
+	// gauges never need to take every shard lock.
+	usedA    atomic.Int64
+	entriesA atomic.Int64
+}
+
 // Manager is the store's controller. All methods are safe for concurrent
-// use; the mutex is never held across optimization or execution. The mutex
-// guards only the store structure (entries, pins, byte accounting); the
-// event counters are registry-backed lock-free atomics shared between
-// Stats() snapshots and the /metrics scrape.
+// use; no shard mutex is ever held across optimization or execution, and
+// no two shard mutexes are ever held at once. The event counters are
+// registry-backed lock-free atomics shared between Stats() snapshots and
+// the /metrics scrape.
 type Manager struct {
 	Model cost.Model
 
-	db *storage.DB
+	db     *storage.DB
+	shards []*cacheShard
 
-	mu       sync.Mutex
-	budget   int64             // bytes of spooled results
-	entries  map[string]*Entry // by entryKey
-	byTable  map[string]*Entry
-	used     int64
-	clock    int64
-	gen      int64
-	tableSeq int64
+	clock    atomic.Int64
+	gen      atomic.Int64
+	tableSeq atomic.Int64
+	budget   atomic.Int64 // total across shards
 
 	// Event counters (lock-free, registered on the default obs registry).
 	batches    *obs.Counter
@@ -127,25 +164,38 @@ type Manager struct {
 	admissions *obs.Counter
 	evictions  *obs.Counter
 	savedCost  *obs.FloatCounter
-	// State gauges, kept in sync under the mutex.
+	// State gauges, refreshed from the shard mirrors.
 	entriesG *obs.Gauge
 	usedG    *obs.Gauge
 	budgetG  *obs.Gauge
 	genG     *obs.Gauge
+	// Per-shard gauges (label shard="i"), kept in sync under shard locks.
+	shardUsedG    []*obs.Gauge
+	shardEntriesG []*obs.Gauge
 }
 
-// NewStore creates a result-cache store over the given database with the
-// given byte budget for spooled tables. The store's counters are registered
-// on the default obs registry under mqo_resultcache_* (a newer store
-// instance replaces an older one on the scrape).
+// NewStore creates a single-shard result-cache store over the given
+// database with the given byte budget for spooled tables — the exact
+// eviction and admission semantics of the unsharded store. The store's
+// counters are registered on the default obs registry under
+// mqo_resultcache_* (a newer store instance replaces an older one on the
+// scrape).
 func NewStore(db *storage.DB, model cost.Model, budgetBytes int64) *Manager {
+	return NewStoreShards(db, model, budgetBytes, 1)
+}
+
+// NewStoreShards creates a store sharded by expression fingerprint. The
+// byte budget is split evenly across shards (remainder to the low shards);
+// SetBudget re-splits the same way. shards < 1 is treated as 1.
+func NewStoreShards(db *storage.DB, model cost.Model, budgetBytes int64, shards int) *Manager {
+	if shards < 1 {
+		shards = 1
+	}
 	reg := obs.Default()
 	m := &Manager{
-		Model:   model,
-		budget:  budgetBytes,
-		db:      db,
-		entries: map[string]*Entry{},
-		byTable: map[string]*Entry{},
+		Model:  model,
+		db:     db,
+		shards: make([]*cacheShard, shards),
 
 		batches:    reg.RegisterCounter("mqo_resultcache_batches_total", "Batches committed against the result cache.", &obs.Counter{}),
 		hitBatches: reg.RegisterCounter("mqo_resultcache_hit_batches_total", "Committed batches whose executed plan read at least one cache table.", &obs.Counter{}),
@@ -158,45 +208,101 @@ func NewStore(db *storage.DB, model cost.Model, budgetBytes int64) *Manager {
 		budgetG:    reg.RegisterGauge("mqo_resultcache_budget_bytes", "Byte budget for spooled results.", &obs.Gauge{}),
 		genG:       reg.RegisterGauge("mqo_resultcache_generation", "Ready-set generation.", &obs.Gauge{}),
 	}
-	m.syncGaugesLocked()
+	for i := range m.shards {
+		m.shards[i] = &cacheShard{entries: map[string]*Entry{}, byTable: map[string]*Entry{}}
+		label := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
+		m.shardUsedG = append(m.shardUsedG,
+			reg.RegisterGauge("mqo_resultcache_shard_used_bytes", "Bytes of spooled results held per shard.", &obs.Gauge{}, label))
+		m.shardEntriesG = append(m.shardEntriesG,
+			reg.RegisterGauge("mqo_resultcache_shard_entries", "Entries per shard (pending included).", &obs.Gauge{}, label))
+	}
+	m.setBudgets(budgetBytes, false)
+	m.syncGauges()
 	return m
 }
 
-// syncGaugesLocked mirrors the mutex-guarded store state into the scrape
-// gauges; called wherever that state changes.
-func (m *Manager) syncGaugesLocked() {
-	m.entriesG.Set(int64(len(m.entries)))
-	m.usedG.Set(m.used)
-	m.budgetG.Set(m.budget)
-	m.genG.Set(m.gen)
+// NumShards reports the store's shard count.
+func (m *Manager) NumShards() int { return len(m.shards) }
+
+// shardFor hashes an expression fingerprint to its shard. All physical
+// properties of one expression land on the same shard.
+func (m *Manager) shardFor(fp string) int {
+	if len(m.shards) == 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(fp))
+	return int(h.Sum32() % uint32(len(m.shards)))
 }
 
-// Budget returns the store's byte budget for spooled results.
-func (m *Manager) Budget() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.budget
+// setBudgets splits the total budget evenly across shards (remainder to
+// the low shards) and optionally rebalances each shard down to its slice.
+func (m *Manager) setBudgets(budgetBytes int64, rebalance bool) {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	m.budget.Store(budgetBytes)
+	n := int64(len(m.shards))
+	base, rem := budgetBytes/n, budgetBytes%n
+	for i, s := range m.shards {
+		b := base
+		if int64(i) < rem {
+			b++
+		}
+		s.mu.Lock()
+		s.budget = b
+		if rebalance {
+			s.rebalanceLocked(m)
+		}
+		s.syncLocked(m, i)
+		s.mu.Unlock()
+	}
 }
 
-// SetBudget resizes the store at runtime and immediately evicts unpinned
-// entries (dropping their spooled tables) until the new budget holds.
+// syncLocked refreshes the shard's lock-free mirrors and labeled gauges;
+// called wherever shard state changes, with the shard lock held.
+func (s *cacheShard) syncLocked(m *Manager, si int) {
+	s.usedA.Store(s.used)
+	s.entriesA.Store(int64(len(s.entries)))
+	m.shardUsedG[si].Set(s.used)
+	m.shardEntriesG[si].Set(int64(len(s.entries)))
+}
+
+// syncGauges refreshes the aggregate scrape gauges from the shard mirrors.
+func (m *Manager) syncGauges() {
+	var used, entries int64
+	for _, s := range m.shards {
+		used += s.usedA.Load()
+		entries += s.entriesA.Load()
+	}
+	m.entriesG.Set(entries)
+	m.usedG.Set(used)
+	m.budgetG.Set(m.budget.Load())
+	m.genG.Set(m.gen.Load())
+}
+
+// Budget returns the store's total byte budget for spooled results.
+func (m *Manager) Budget() int64 { return m.budget.Load() }
+
+// SetBudget resizes the store at runtime, re-splitting the budget across
+// shards and immediately evicting unpinned entries (dropping their spooled
+// tables) until every shard's slice holds.
 func (m *Manager) SetBudget(budgetBytes int64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.budget = budgetBytes
-	m.rebalanceLocked()
-	m.syncGaugesLocked()
+	m.setBudgets(budgetBytes, true)
+	m.syncGauges()
 }
 
 // Entries returns a snapshot of the current cache contents, most valuable
 // first (pending entries included).
 func (m *Manager) Entries() []*Entry {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make([]*Entry, 0, len(m.entries))
-	for _, e := range m.entries {
-		cp := *e
-		out = append(out, &cp)
+	var out []*Entry
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for _, e := range s.entries {
+			cp := *e
+			out = append(out, &cp)
+		}
+		s.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].density() != out[j].density() {
@@ -207,46 +313,59 @@ func (m *Manager) Entries() []*Entry {
 	return out
 }
 
-// UsedBytes reports the occupied cache space.
+// UsedBytes reports the occupied cache space across all shards.
 func (m *Manager) UsedBytes() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.used
+	var used int64
+	for _, s := range m.shards {
+		s.mu.Lock()
+		used += s.used
+		s.mu.Unlock()
+	}
+	return used
 }
 
 // Generation reports the ready-set generation (see Stats.Generation).
-func (m *Manager) Generation() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.gen
-}
+func (m *Manager) Generation() int64 { return m.gen.Load() }
 
-// Stats snapshots the accounting: store structure under the mutex, event
-// counts straight from the registry-backed atomics (no private copy to
-// maintain).
+// Stats snapshots the accounting: store structure per shard (locked one at
+// a time), event counts straight from the registry-backed atomics.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return Stats{
-		Entries:      len(m.entries),
-		UsedBytes:    m.used,
-		BudgetBytes:  m.budget,
+	st := Stats{
+		BudgetBytes:  m.budget.Load(),
 		Batches:      m.batches.Value(),
 		HitBatches:   m.hitBatches.Value(),
 		Hits:         m.hits.Value(),
 		Admissions:   m.admissions.Value(),
 		Evictions:    m.evictions.Value(),
 		SavedCostEst: m.savedCost.Value(),
-		Generation:   m.gen,
+		Generation:   m.gen.Load(),
 	}
+	for _, s := range m.shards {
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.UsedBytes += s.used
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// PerShard snapshots each shard's structure, for tests and diagnostics.
+// Summing UsedBytes over shards always equals Stats().UsedBytes.
+func (m *Manager) PerShard() []ShardStats {
+	out := make([]ShardStats, len(m.shards))
+	for i, s := range m.shards {
+		s.mu.Lock()
+		out[i] = ShardStats{Shard: i, Entries: len(s.entries), UsedBytes: s.used, BudgetBytes: s.budget}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // String summarizes the cache state.
 func (m *Manager) String() string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	st := m.Stats()
 	return fmt.Sprintf("resultcache: %d entries, %d/%d bytes, gen %d",
-		len(m.entries), m.used, m.budget, m.gen)
+		st.Entries, st.UsedBytes, st.BudgetBytes, st.Generation)
 }
 
 // entryKey combines the canonical logical fingerprint with the stored
@@ -280,55 +399,74 @@ type Ticket struct {
 // natively. Matched entries are pinned until Commit/Abort so eviction can
 // never snatch a table from under the plan. Arm returns a ticket even when
 // nothing matched (the batch may still admit).
+//
+// Nodes are grouped by fingerprint shard and each shard is visited once, in
+// index order, so arming touches only the shards the batch's expressions
+// hash to.
 func (m *Manager) Arm(pd *physical.DAG) *Ticket {
 	fps := dag.CanonicalFingerprints(pd.L)
 	t := &Ticket{m: m, fps: fps, armed: map[*Entry]float64{}, pending: map[*physical.Node]*Entry{}}
+	m.clock.Add(1)
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.clock++
-
-	// Ready entries by fingerprint, deterministically ordered.
-	byKey := map[string][]*Entry{}
-	for _, e := range m.entries {
-		if e.ready {
-			byKey[e.Key] = append(byKey[e.Key], e)
-		}
+	type nodeRef struct {
+		n  *physical.Node
+		fp string
 	}
-	for _, es := range byKey {
-		sort.Slice(es, func(i, j int) bool { return es[i].Table < es[j].Table })
-	}
-
+	byShard := make([][]nodeRef, len(m.shards))
 	for _, n := range pd.Nodes {
 		if n.LG.ParamDep || n == pd.Root || n.Prop.HasIx {
 			continue
 		}
 		fp := fps[n.LG.Find()]
-		var best *Entry
-		var bestCost cost.Cost
-		for _, e := range byKey[fp] {
-			if !e.Prop.Satisfies(n.Prop) {
-				continue
-			}
-			sc := m.scanCost(e.Bytes)
-			if best == nil || sc < bestCost {
-				best, bestCost = e, sc
-			}
-		}
-		if best == nil {
+		byShard[m.shardFor(fp)] = append(byShard[m.shardFor(fp)], nodeRef{n, fp})
+	}
+
+	for si, nodes := range byShard {
+		if len(nodes) == 0 {
 			continue
 		}
-		pd.ArmCacheScan(n, best.Table, bestCost)
-		saving := float64(n.Cost - bestCost)
-		if saving < 0 {
-			saving = 0
-		}
-		if prev, ok := t.armed[best]; !ok || saving > prev {
-			if !ok {
-				best.pins++
+		s := m.shards[si]
+		s.mu.Lock()
+		// Ready entries of this shard by fingerprint, deterministically
+		// ordered.
+		byKey := map[string][]*Entry{}
+		for _, e := range s.entries {
+			if e.ready {
+				byKey[e.Key] = append(byKey[e.Key], e)
 			}
-			t.armed[best] = saving
 		}
+		for _, es := range byKey {
+			sort.Slice(es, func(i, j int) bool { return es[i].Table < es[j].Table })
+		}
+		for _, nr := range nodes {
+			n := nr.n
+			var best *Entry
+			var bestCost cost.Cost
+			for _, e := range byKey[nr.fp] {
+				if !e.Prop.Satisfies(n.Prop) {
+					continue
+				}
+				sc := m.scanCost(e.Bytes)
+				if best == nil || sc < bestCost {
+					best, bestCost = e, sc
+				}
+			}
+			if best == nil {
+				continue
+			}
+			pd.ArmCacheScan(n, best.Table, bestCost)
+			saving := float64(n.Cost - bestCost)
+			if saving < 0 {
+				saving = 0
+			}
+			if prev, ok := t.armed[best]; !ok || saving > prev {
+				if !ok {
+					best.pins++
+				}
+				t.armed[best] = saving
+			}
+		}
+		s.mu.Unlock()
 	}
 	return t
 }
@@ -351,15 +489,18 @@ const maxAdmitPerBatch = 4
 // the plan's materialized intermediates (whose cache write replaces the
 // temp write they were paying anyway) and the query roots (charged the
 // extra write); they compete on estimated value density against the
-// store's weakest unpinned entries. Admitted keys enter the store as
-// pinned pending entries immediately — the single-flight claim that stops
-// concurrent batches from spooling the same result.
+// weakest unpinned entries of their fingerprint's shard. Admitted keys
+// enter the store as pinned pending entries immediately — the
+// single-flight claim that stops concurrent batches from spooling the same
+// result. Table names come from a global sequence, so admission order (not
+// the shard count) determines naming.
 func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
 	m := t.m
 	t.plan = plan
 
 	type cand struct {
 		pn    *physical.PlanNode
+		fp    string
 		key   string
 		bytes int64
 		value float64
@@ -374,12 +515,13 @@ func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
 			isBaseScanGroup(n.LG), len(n.LG.Schema) == 0:
 			return
 		}
-		key := entryKey(t.fps[n.LG.Find()], n.Prop)
+		fp := t.fps[n.LG.Find()]
+		key := entryKey(fp, n.Prop)
 		if seen[key] {
 			return
 		}
 		// Budget comparison happens in the locked admission loop below;
-		// reading m.budget here would race a concurrent SetBudget.
+		// reading the shard budget here would race a concurrent SetBudget.
 		bytes := int64(n.LG.Rel.Blocks(m.Model)) * m.Model.BlockSize
 		if bytes <= 0 {
 			return
@@ -395,7 +537,7 @@ func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
 			return
 		}
 		seen[key] = true
-		cands = append(cands, cand{pn: pn, key: key, bytes: bytes, value: value})
+		cands = append(cands, cand{pn: pn, fp: fp, key: key, bytes: bytes, value: value})
 	}
 	for _, pn := range plan.Mats {
 		consider(pn, false)
@@ -419,40 +561,45 @@ func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
 		return cands[i].pn.N.Topo < cands[j].pn.N.Topo
 	})
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	spools := map[*physical.Node]string{}
 	for _, c := range cands {
 		if len(spools) >= maxAdmitPerBatch {
 			break
 		}
-		if c.bytes > m.budget {
-			continue // larger than the whole store
+		s := m.shards[m.shardFor(c.fp)]
+		s.mu.Lock()
+		if c.bytes > s.budget {
+			s.mu.Unlock()
+			continue // larger than the shard's whole slice
 		}
-		if _, exists := m.entries[c.key]; exists {
+		if _, exists := s.entries[c.key]; exists {
+			s.mu.Unlock()
 			continue // ready or claimed by a concurrent batch (single-flight)
 		}
-		if !m.makeRoomLocked(c.bytes, c.value/float64(c.bytes)) {
+		if !s.makeRoomLocked(m, c.bytes, c.value/float64(c.bytes)) {
+			s.mu.Unlock()
 			continue
 		}
-		m.tableSeq++
 		e := &Entry{
-			Key:        t.fps[c.pn.N.LG.Find()],
+			Key:        c.fp,
 			Prop:       c.pn.N.Prop,
-			Table:      "rc" + strconv.FormatInt(m.tableSeq, 10),
+			Table:      "rc" + strconv.FormatInt(m.tableSeq.Add(1), 10),
 			Bytes:      c.bytes,
 			Value:      c.value,
 			admitValue: c.value,
-			LastUsed:   m.clock,
+			LastUsed:   m.clock.Load(),
 			pins:       1,
+			si:         m.shardFor(c.fp),
 		}
-		m.entries[c.key] = e
-		m.byTable[e.Table] = e
-		m.used += e.Bytes
+		s.entries[c.key] = e
+		s.byTable[e.Table] = e
+		s.used += e.Bytes
+		s.syncLocked(m, e.si)
+		s.mu.Unlock()
 		t.pending[c.pn.N] = e
 		spools[c.pn.N] = e.Table
 	}
-	m.syncGaugesLocked()
+	m.syncGauges()
 	return spools
 }
 
@@ -470,65 +617,75 @@ func (m *Manager) PinPlan(plan *physical.Plan) (*Ticket, bool) {
 	})
 	t := &Ticket{m: m, armed: map[*Entry]float64{}, pending: map[*physical.Node]*Entry{}, plan: plan}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for _, table := range tables {
-		e, ok := m.byTable[table]
-		if !ok || !e.ready {
+		if t.hasTable(table) {
+			continue
+		}
+		e := m.pinTable(table)
+		if e == nil {
+			// Roll back: unpin everything pinned so far, shard by shard.
 			for pinned := range t.armed {
+				s := m.shards[pinned.si]
+				s.mu.Lock()
 				pinned.pins--
+				s.mu.Unlock()
 			}
 			return nil, false
 		}
-		if _, dup := t.armed[e]; !dup {
-			e.pins++
-			t.armed[e] = e.admitValue
+		t.armed[e] = e.admitValue
+	}
+	m.clock.Add(1)
+	return t, true
+}
+
+// hasTable reports whether the ticket already pinned the named table.
+func (t *Ticket) hasTable(table string) bool {
+	for e := range t.armed {
+		if e.Table == table {
+			return true
 		}
 	}
-	m.clock++
-	return t, true
+	return false
+}
+
+// pinTable finds the ready entry backing a cache table and pins it under
+// its shard's lock, searching shards in index order (table names are
+// globally unique, so at most one shard owns the name). Returns nil when
+// the entry is gone or not ready.
+func (m *Manager) pinTable(table string) *Entry {
+	for _, s := range m.shards {
+		s.mu.Lock()
+		if e, ok := s.byTable[table]; ok {
+			if !e.ready {
+				s.mu.Unlock()
+				return nil
+			}
+			e.pins++
+			s.mu.Unlock()
+			return e
+		}
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // Commit finishes a successfully executed batch: pending entries become
 // ready with real byte accounting (heap pages actually written, replacing
 // the optimizer estimate), armed entries the executed plan read are
-// reinforced (value-density goes up with every hit), and the store is
-// rebalanced — evicting unpinned low-density entries, dropping their
-// spooled tables from storage — if real sizes overshot the budget. It
-// returns the number of distinct entries the executed plan read (the
-// batch's hit count, also what reinforcement was applied to).
+// reinforced (value-density goes up with every hit), and each touched
+// shard is rebalanced — evicting unpinned low-density entries, dropping
+// their spooled tables from storage — if real sizes overshot its budget
+// slice. Shards are visited one at a time in index order. It returns the
+// number of distinct entries the executed plan read (the batch's hit
+// count, also what reinforcement was applied to).
 func (t *Ticket) Commit() int {
 	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t.done {
 		return 0
 	}
 	t.done = true
 
-	changed := false
-	for _, e := range t.pending {
-		if _, err := m.db.Cache(e.Table); err != nil {
-			// The plan never produced the table: withdraw the claim.
-			m.dropEntryLocked(e)
-			continue
-		}
-		// Real byte accounting, clamped to one page: a zero-row result is
-		// perfectly cacheable (its heap allocated no pages, and serving
-		// the empty scan is maximally cheap) but must not divide density
-		// by zero or dodge eviction forever.
-		real := m.db.CacheBytes(e.Table)
-		if real < storage.PageSize {
-			real = storage.PageSize
-		}
-		m.used += real - e.Bytes
-		e.Bytes = real
-		e.ready = true
-		m.admissions.Inc()
-		changed = true
-	}
-
-	// Reinforce the armed entries the executed plan actually read.
+	// Which armed tables did the executed plan actually read? (Lock-free.)
 	read := map[string]bool{}
 	if t.plan != nil {
 		t.plan.Root.Walk(func(pn *physical.PlanNode) {
@@ -537,88 +694,150 @@ func (t *Ticket) Commit() int {
 			}
 		})
 	}
+
+	pendingByShard, armedByShard := t.groupByShard()
+	changed := false
 	hits := 0
-	for e, saving := range t.armed {
-		if !read[e.Table] {
+	for si, s := range m.shards {
+		pend, armed := pendingByShard[si], armedByShard[si]
+		if len(pend) == 0 && len(armed) == 0 {
 			continue
 		}
-		e.Hits++
-		e.LastUsed = m.clock
-		if saving <= 0 {
-			saving = e.admitValue
+		s.mu.Lock()
+		for _, e := range pend {
+			if _, err := m.db.Cache(e.Table); err != nil {
+				// The plan never produced the table: withdraw the claim.
+				s.dropEntryLocked(m, e)
+				continue
+			}
+			// Real byte accounting, clamped to one page: a zero-row result
+			// is perfectly cacheable (its heap allocated no pages, and
+			// serving the empty scan is maximally cheap) but must not
+			// divide density by zero or dodge eviction forever.
+			real := m.db.CacheBytes(e.Table)
+			if real < storage.PageSize {
+				real = storage.PageSize
+			}
+			s.used += real - e.Bytes
+			e.Bytes = real
+			e.ready = true
+			m.admissions.Inc()
+			changed = true
 		}
-		e.Value += saving
-		m.hits.Inc()
-		m.savedCost.Add(saving)
-		hits++
+		// Reinforce the armed entries the executed plan actually read.
+		for _, e := range armed {
+			if !read[e.Table] {
+				continue
+			}
+			saving := t.armed[e]
+			e.Hits++
+			e.LastUsed = m.clock.Load()
+			if saving <= 0 {
+				saving = e.admitValue
+			}
+			e.Value += saving
+			m.hits.Inc()
+			m.savedCost.Add(saving)
+			hits++
+		}
+		for _, e := range armed {
+			e.pins--
+		}
+		for _, e := range pend {
+			e.pins--
+		}
+		if s.rebalanceLocked(m) {
+			changed = true
+		}
+		s.syncLocked(m, si)
+		s.mu.Unlock()
 	}
+
 	m.batches.Inc()
 	if hits > 0 {
 		m.hitBatches.Inc()
 	}
-
-	m.unpinLocked(t)
-	if m.rebalanceLocked() {
-		changed = true
-	}
 	if changed {
-		m.gen++
+		m.gen.Add(1)
 	}
-	m.syncGaugesLocked()
+	m.syncGauges()
 	return hits
 }
 
 // Abort withdraws a failed batch: pending entries (and any partially
-// spooled tables) are dropped and every pin released.
+// spooled tables) are dropped and every pin released, shard by shard.
 func (t *Ticket) Abort() {
 	m := t.m
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if t.done {
 		return
 	}
 	t.done = true
-	for _, e := range t.pending {
-		m.dropEntryLocked(e)
+	pendingByShard, armedByShard := t.groupByShard()
+	for si, s := range m.shards {
+		pend, armed := pendingByShard[si], armedByShard[si]
+		if len(pend) == 0 && len(armed) == 0 {
+			continue
+		}
+		s.mu.Lock()
+		for _, e := range pend {
+			s.dropEntryLocked(m, e)
+		}
+		for _, e := range armed {
+			e.pins--
+		}
+		for _, e := range pend {
+			e.pins--
+		}
+		s.rebalanceLocked(m)
+		s.syncLocked(m, si)
+		s.mu.Unlock()
 	}
-	m.unpinLocked(t)
-	m.rebalanceLocked()
-	m.syncGaugesLocked()
+	m.syncGauges()
 }
 
-// unpinLocked releases the ticket's pins.
-func (m *Manager) unpinLocked(t *Ticket) {
+// groupByShard splits the ticket's pending and armed entries by owning
+// shard, each group deterministically ordered by table name.
+func (t *Ticket) groupByShard() (pending, armed map[int][]*Entry) {
+	pending, armed = map[int][]*Entry{}, map[int][]*Entry{}
+	for _, e := range t.pending {
+		pending[e.si] = append(pending[e.si], e)
+	}
 	for e := range t.armed {
-		e.pins--
+		armed[e.si] = append(armed[e.si], e)
 	}
-	for _, e := range t.pending {
-		e.pins--
+	for _, g := range []map[int][]*Entry{pending, armed} {
+		for _, es := range g {
+			sort.Slice(es, func(i, j int) bool { return es[i].Table < es[j].Table })
+		}
 	}
+	return pending, armed
 }
 
-// dropEntryLocked removes an entry and its spooled table.
-func (m *Manager) dropEntryLocked(e *Entry) {
+// dropEntryLocked removes an entry and its spooled table; the shard lock
+// is held.
+func (s *cacheShard) dropEntryLocked(m *Manager, e *Entry) {
 	key := entryKey(e.Key, e.Prop)
-	if m.entries[key] == e {
-		delete(m.entries, key)
+	if s.entries[key] == e {
+		delete(s.entries, key)
 	}
-	delete(m.byTable, e.Table)
-	m.used -= e.Bytes
+	delete(s.byTable, e.Table)
+	s.used -= e.Bytes
 	m.db.DropCache(e.Table)
 }
 
 // makeRoomLocked evicts ready, unpinned entries with density below the
-// incoming candidate's until bytes fit, or reports false when the
-// candidate is not worth the evictions (or pinned entries hold the space).
-func (m *Manager) makeRoomLocked(bytes int64, density float64) bool {
-	if m.used+bytes <= m.budget {
+// incoming candidate's until bytes fit in the shard's budget slice, or
+// reports false when the candidate is not worth the evictions (or pinned
+// entries hold the space).
+func (s *cacheShard) makeRoomLocked(m *Manager, bytes int64, density float64) bool {
+	if s.used+bytes <= s.budget {
 		return true
 	}
-	victims := m.victimsLocked()
+	victims := s.victimsLocked()
 	freed := int64(0)
 	var plan []*Entry
 	for _, v := range victims {
-		if m.used-freed+bytes <= m.budget {
+		if s.used-freed+bytes <= s.budget {
 			break
 		}
 		if v.density() >= density {
@@ -627,37 +846,38 @@ func (m *Manager) makeRoomLocked(bytes int64, density float64) bool {
 		plan = append(plan, v)
 		freed += v.Bytes
 	}
-	if m.used-freed+bytes > m.budget {
+	if s.used-freed+bytes > s.budget {
 		return false
 	}
 	for _, v := range plan {
-		m.evictLocked(v)
+		s.evictLocked(m, v)
 	}
 	return true
 }
 
-// rebalanceLocked evicts lowest-density unpinned entries while the store
-// is over budget (real sizes can overshoot the admission estimates); it
-// reports whether anything was evicted. Pinned entries may hold the store
-// over budget transiently — the next Commit/Abort rebalances again.
-func (m *Manager) rebalanceLocked() bool {
+// rebalanceLocked evicts lowest-density unpinned entries while the shard
+// is over its budget slice (real sizes can overshoot the admission
+// estimates); it reports whether anything was evicted. Pinned entries may
+// hold the shard over budget transiently — the next Commit/Abort
+// rebalances again.
+func (s *cacheShard) rebalanceLocked(m *Manager) bool {
 	evicted := false
-	for m.used > m.budget {
-		victims := m.victimsLocked()
+	for s.used > s.budget {
+		victims := s.victimsLocked()
 		if len(victims) == 0 {
 			break
 		}
-		m.evictLocked(victims[0])
+		s.evictLocked(m, victims[0])
 		evicted = true
 	}
 	return evicted
 }
 
-// victimsLocked lists evictable entries, lowest density first (LRU breaks
-// ties).
-func (m *Manager) victimsLocked() []*Entry {
+// victimsLocked lists the shard's evictable entries, lowest density first
+// (LRU breaks ties).
+func (s *cacheShard) victimsLocked() []*Entry {
 	var out []*Entry
-	for _, e := range m.entries {
+	for _, e := range s.entries {
 		if e.ready && e.pins == 0 {
 			out = append(out, e)
 		}
@@ -676,10 +896,10 @@ func (m *Manager) victimsLocked() []*Entry {
 }
 
 // evictLocked removes an entry, dropping its spooled table.
-func (m *Manager) evictLocked(e *Entry) {
-	m.dropEntryLocked(e)
+func (s *cacheShard) evictLocked(m *Manager, e *Entry) {
+	s.dropEntryLocked(m, e)
 	m.evictions.Inc()
-	m.gen++
+	m.gen.Add(1)
 }
 
 // isBaseScanGroup reports whether the group is a bare base-table scan

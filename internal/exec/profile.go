@@ -102,16 +102,16 @@ type statIter struct {
 
 func (s *statIter) measure(start time.Time, reads int64) {
 	s.p.Wall += time.Since(start)
-	s.p.Pages += s.pool.Stats.Reads - reads
+	s.p.Pages += s.pool.Stats().Reads - reads
 }
 
 func (s *statIter) Open() error {
-	defer s.measure(time.Now(), s.pool.Stats.Reads)
+	defer s.measure(time.Now(), s.pool.Stats().Reads)
 	return s.child.Open()
 }
 
 func (s *statIter) Next() (storage.Row, bool, error) {
-	start, reads := time.Now(), s.pool.Stats.Reads
+	start, reads := time.Now(), s.pool.Stats().Reads
 	r, ok, err := s.child.Next()
 	s.measure(start, reads)
 	if ok {
@@ -121,7 +121,7 @@ func (s *statIter) Next() (storage.Row, bool, error) {
 }
 
 func (s *statIter) Close() error {
-	defer s.measure(time.Now(), s.pool.Stats.Reads)
+	defer s.measure(time.Now(), s.pool.Stats().Reads)
 	return s.child.Close()
 }
 

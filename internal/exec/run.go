@@ -59,8 +59,11 @@ type RunStats struct {
 // results (in dependency order), executes every query of the batch, and
 // reports per-query results plus measured statistics. The run's temporary
 // tables live in a private per-run namespace and are dropped before
-// returning, so concurrent Run calls on one DB are safe: they serialize on
-// the database's run lock and can never observe each other's temps.
+// returning, so concurrent Run calls on one DB are safe and proceed in
+// parallel over the sharded page layer; they can never observe each other's
+// temps. Under concurrency the per-run IOStats are approximate (the
+// before/after pool snapshots overlap with other runs); serial callers get
+// exact counts.
 //
 // The context is checked between materializations and periodically while
 // draining iterator output; a cancelled context aborts the run with
@@ -81,7 +84,7 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 	span := obs.StartSpan("exec", obs.TrackFrom(ctx), nil)
 	defer span.End()
 	start := time.Now()
-	before := db.Pool.Stats
+	before := db.Pool.Stats()
 
 	for _, m := range plan.Mats {
 		if err := ctx.Err(); err != nil {
@@ -131,7 +134,7 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 	if err := db.Pool.Flush(); err != nil {
 		return nil, RunStats{}, err
 	}
-	after := db.Pool.Stats
+	after := db.Pool.Stats()
 	stats := RunStats{
 		IO: storage.IOStats{
 			Reads:  after.Reads - before.Reads,
@@ -233,7 +236,7 @@ func (b *builder) materialize(pn *physical.PlanNode) error {
 		}
 	}
 	if ixCol != "" {
-		if _, err := b.db.BuildIndex(target, ixCol); err != nil {
+		if _, err := b.db.EnsureIndex(target, ixCol); err != nil {
 			return err
 		}
 	}
@@ -502,14 +505,12 @@ func (b *builder) resolveIndexedSource(pn *physical.PlanNode, col algebra.Column
 		if err != nil {
 			return nil, err
 		}
-		idx, ok := tab.Indexes[col.Name]
-		if !ok {
-			// Build the stored index lazily on first use: catalog indexes
-			// are metadata; the storage side materializes them on demand.
-			idx, err = b.db.BuildIndex(tab, col.Name)
-			if err != nil {
-				return nil, err
-			}
+		// Build the stored index lazily on first use: catalog indexes are
+		// metadata; the storage side materializes them on demand, exactly
+		// once even when concurrent runs race on a shared base table.
+		idx, err := b.db.EnsureIndex(tab, col.Name)
+		if err != nil {
+			return nil, err
 		}
 		schema := requalify(tab.Schema, op.Alias)
 		return &indexedSource{heap: tab.Heap, index: idx, keyIdx: schema.IndexOf(col), schema: schema}, nil
@@ -527,12 +528,9 @@ func (b *builder) resolveIndexedSource(pn *physical.PlanNode, col algebra.Column
 				return nil, err
 			}
 		}
-		idx, ok := temp.Indexes[col.Name]
-		if !ok {
-			idx, err = b.db.BuildIndex(temp, col.Name)
-			if err != nil {
-				return nil, err
-			}
+		idx, err := b.db.EnsureIndex(temp, col.Name)
+		if err != nil {
+			return nil, err
 		}
 		return &indexedSource{heap: temp.Heap, index: idx, keyIdx: temp.Schema.IndexOf(col), schema: temp.Schema}, nil
 	}

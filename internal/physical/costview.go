@@ -57,31 +57,43 @@ func (pd *DAG) NewCostView() *CostView {
 // per-view maps (whose capacity tracks the DAG's hot cone sizes) warm
 // across search phases — greedy benefit waves, Volcano-RU order passes —
 // instead of reallocating them per phase. Return views with ReleaseView.
+//
+// The free list is striped: acquisition starts at the stripe of the most
+// recent release (usually a first-probe hit) and scans the rest before
+// allocating fresh, so a pooled view is never missed just because another
+// stripe holds it.
 func (pd *DAG) AcquireView() *CostView {
-	pd.viewMu.Lock()
-	if n := len(pd.viewPool); n > 0 {
-		v := pd.viewPool[n-1]
-		pd.viewPool = pd.viewPool[:n-1]
-		pd.viewMu.Unlock()
-		return v
+	start := pd.viewHint.Load()
+	for i := uint32(0); i < viewStripeCount; i++ {
+		s := &pd.viewStripes[(start+i)%viewStripeCount]
+		s.mu.Lock()
+		if n := len(s.views); n > 0 {
+			v := s.views[n-1]
+			s.views[n-1] = nil
+			s.views = s.views[:n-1]
+			s.mu.Unlock()
+			return v
+		}
+		s.mu.Unlock()
 	}
-	pd.viewMu.Unlock()
 	return pd.NewCostView()
 }
 
-// ReleaseView resets v and returns it to pd's pool. The caller must drain
-// the view's instrumentation counters first (DrainCounters) if it wants
-// them; ReleaseView discards whatever is left so the next owner starts at
-// zero.
+// ReleaseView resets v and returns it to pd's pool, rotating across
+// stripes so concurrent releasers spread over distinct locks. The caller
+// must drain the view's instrumentation counters first (DrainCounters) if
+// it wants them; ReleaseView discards whatever is left so the next owner
+// starts at zero.
 func (pd *DAG) ReleaseView(v *CostView) {
 	if v == nil || v.pd != pd {
 		return
 	}
 	v.Reset()
 	v.Propagations, v.Recomputations = 0, 0
-	pd.viewMu.Lock()
-	pd.viewPool = append(pd.viewPool, v)
-	pd.viewMu.Unlock()
+	s := &pd.viewStripes[pd.viewHint.Add(1)%viewStripeCount]
+	s.mu.Lock()
+	s.views = append(s.views, v)
+	s.mu.Unlock()
 }
 
 // DAG returns the view's underlying DAG.

@@ -18,12 +18,12 @@ type BTree struct {
 
 // NewBTree creates an empty tree on the pool.
 func NewBTree(pool *BufferPool) (*BTree, error) {
-	pid, data, err := pool.Allocate()
+	pid, err := pool.AllocateWith(func(data []byte) {
+		encodeNode(data, &btNode{leaf: true, next: InvalidPage})
+	})
 	if err != nil {
 		return nil, err
 	}
-	encodeNode(data, &btNode{leaf: true, next: InvalidPage})
-	pool.MarkDirty(pid)
 	return &BTree{pool: pool, root: pid, height: 1}, nil
 }
 
@@ -152,13 +152,10 @@ func (t *BTree) load(pid PageID) (*btNode, error) {
 }
 
 func (t *BTree) store(pid PageID, n *btNode) error {
-	data, err := t.pool.Get(pid)
-	if err != nil {
-		return err
-	}
-	encodeNode(data, n)
-	t.pool.MarkDirty(pid)
-	return nil
+	return t.pool.Update(pid, func(data []byte) error {
+		encodeNode(data, n)
+		return nil
+	})
 }
 
 // Insert adds (key, rid) to the tree.
@@ -171,16 +168,16 @@ func (t *BTree) Insert(key algebra.Value, rid RID) error {
 		return nil
 	}
 	// Grow a new root.
-	newRoot, data, err := t.pool.Allocate()
+	newRoot, err := t.pool.AllocateWith(func(data []byte) {
+		encodeNode(data, &btNode{
+			leaf:     false,
+			keys:     []algebra.Value{promoted},
+			children: []PageID{t.root, right},
+		})
+	})
 	if err != nil {
 		return err
 	}
-	encodeNode(data, &btNode{
-		leaf:     false,
-		keys:     []algebra.Value{promoted},
-		children: []PageID{t.root, right},
-	})
-	t.pool.MarkDirty(newRoot)
 	t.root = newRoot
 	t.height++
 	return nil
@@ -230,15 +227,15 @@ func (t *BTree) storeOrSplit(pid PageID, n *btNode) (algebra.Value, PageID, bool
 		n.keys = n.keys[:mid]
 		n.children = n.children[:mid+1]
 	}
-	rightPid, data, err := t.pool.Allocate()
+	rightPid, err := t.pool.AllocateWith(func(data []byte) {
+		encodeNode(data, rightNode)
+	})
 	if err != nil {
 		return algebra.Value{}, InvalidPage, false, err
 	}
 	if n.leaf {
 		n.next = rightPid
 	}
-	encodeNode(data, rightNode)
-	t.pool.MarkDirty(rightPid)
 	if err := t.store(pid, n); err != nil {
 		return algebra.Value{}, InvalidPage, false, err
 	}

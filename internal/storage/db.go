@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"mqo/internal/algebra"
 	"mqo/internal/cost"
@@ -12,11 +13,24 @@ import (
 
 // Table is a stored relation: a heap file, its schema (column order of
 // stored rows), and secondary B+-tree indices keyed by column name.
+// Indexes is guarded by idxMu because indices are built lazily: two
+// concurrent runs scanning the same base table may both ask for the same
+// index, and exactly one build must win (use DB.EnsureIndex).
 type Table struct {
 	Name    string
 	Schema  algebra.Schema
 	Heap    *HeapFile
 	Indexes map[string]*BTree
+
+	idxMu sync.Mutex
+}
+
+// Index returns the table's index on column, if one has been built.
+func (t *Table) Index(column string) (*BTree, bool) {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	bt, ok := t.Indexes[column]
+	return bt, ok
 }
 
 // DB is a set of stored tables over one buffer pool, plus a temp-table
@@ -24,13 +38,15 @@ type Table struct {
 // namespace of spooled result tables that survive across runs (the
 // transient materialized-view store behind the result cache).
 //
-// Catalog operations (CreateTable, Table, CreateTemp, Temp, DropTemps, and
-// the Cache* family) are safe for concurrent use. Page access — heap files,
-// B-trees and the buffer pool — is single-threaded by design: plan
-// executions acquire the run lock (BeginRun) so whole runs serialize while
-// each keeps its temporary tables in a private namespace. Cache tables are
-// written and read inside runs too, so their page access inherits the same
-// serialization; only their *catalog* lifetime spans runs.
+// The whole DB is safe for concurrent use. Catalog operations (CreateTable,
+// Table, CreateTemp, Temp, DropTemps, and the Cache* family) share one
+// RWMutex; page access goes through the sharded buffer pool. Plan
+// executions no longer serialize on a run lock: BeginRun is just a lease
+// handing out a private temp-table namespace ("run<N>/"), so independent
+// runs proceed fully concurrently. Correctness rests on table ownership
+// (see the package comment): base tables are read-only after load, each
+// run's temps are private to it, and cache tables are written by exactly
+// one run before becoming visible to others.
 type DB struct {
 	Pool *BufferPool
 
@@ -39,8 +55,7 @@ type DB struct {
 	temps  map[string]*Table
 	caches map[string]*Table
 
-	runMu  sync.Mutex // serializes plan executions (page access)
-	runSeq int64      // distinct namespace per run; guarded by mu
+	runSeq atomic.Int64 // distinct temp namespace per run
 }
 
 // NewDB creates a database with the given buffer-pool capacity in pages.
@@ -53,24 +68,21 @@ func NewDB(poolPages int) *DB {
 	}
 }
 
-// RunTemps is one plan execution's view of the database: exclusive use of
-// the page layer plus a private temp-table namespace, so concurrent runs on
-// the same DB can never read or drop each other's intermediates.
+// RunTemps is one plan execution's view of the database: a private
+// temp-table namespace, so concurrent runs on the same DB can never read or
+// drop each other's intermediates.
 type RunTemps struct {
 	db     *DB
 	prefix string
 	ended  bool
 }
 
-// BeginRun acquires the database's execution lock and opens a fresh
-// per-run temp namespace. It blocks while another run is in progress.
+// BeginRun opens a fresh per-run temp namespace. It never blocks:
+// independent runs execute concurrently over the sharded page layer.
 // Callers must call End exactly once when done.
 func (db *DB) BeginRun() *RunTemps {
-	db.runMu.Lock()
-	db.mu.Lock()
-	db.runSeq++
-	prefix := "run" + strconv.FormatInt(db.runSeq, 10) + "/"
-	db.mu.Unlock()
+	seq := db.runSeq.Add(1)
+	prefix := "run" + strconv.FormatInt(seq, 10) + "/"
 	return &RunTemps{db: db, prefix: prefix}
 }
 
@@ -85,8 +97,7 @@ func (r *RunTemps) Temp(name string) (*Table, error) {
 	return r.db.Temp(r.prefix + name)
 }
 
-// End drops the run's temporary tables and releases the execution lock.
-// Safe to call once per run only.
+// End drops the run's temporary tables. Safe to call more than once.
 func (r *RunTemps) End() {
 	if r.ended {
 		return
@@ -99,7 +110,6 @@ func (r *RunTemps) End() {
 		}
 	}
 	r.db.mu.Unlock()
-	r.db.runMu.Unlock()
 }
 
 // CreateTable registers an empty base table. The schema's column order is
@@ -233,8 +243,22 @@ func (db *DB) DropTemps() {
 	db.mu.Unlock()
 }
 
-// BuildIndex creates a B+-tree index on the named column of t.
+// BuildIndex creates a B+-tree index on the named column of t. Prefer
+// EnsureIndex, which is idempotent and safe when concurrent runs race to
+// index the same shared table.
 func (db *DB) BuildIndex(t *Table, column string) (*BTree, error) {
+	return db.EnsureIndex(t, column)
+}
+
+// EnsureIndex returns t's index on column, building it first if absent.
+// The build runs under the table's index lock, so concurrent callers get
+// the same tree and the lazily built index is published exactly once.
+func (db *DB) EnsureIndex(t *Table, column string) (*BTree, error) {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	if bt, ok := t.Indexes[column]; ok {
+		return bt, nil
+	}
 	idx := t.Schema.IndexOf(algebra.Col(t.Name, column))
 	if idx < 0 {
 		// Temp tables carry qualified columns from arbitrary relations:
@@ -267,7 +291,7 @@ func (db *DB) BuildIndex(t *Table, column string) (*BTree, error) {
 // under the paper's cost model, the measurement reported by the Figure 7
 // substitute experiment.
 func (db *DB) SimulatedTime(m cost.Model) float64 {
-	s := db.Pool.Stats
+	s := db.Pool.Stats()
 	return float64(s.Reads)*m.ReadS + float64(s.Writes)*m.WriteS +
 		float64(s.Reads+s.Writes)*m.CPUS
 }

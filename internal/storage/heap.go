@@ -61,7 +61,10 @@ func pageInsert(p []byte, rec []byte) (uint16, bool) {
 	return n, true
 }
 
-// HeapFile is an append-only sequence of slotted pages holding rows.
+// HeapFile is an append-only sequence of slotted pages holding rows. A heap
+// file has a single writer at a time (the engine's table life cycle
+// guarantees this); page bytes are mutated through the pool's Update/
+// AllocateWith so eviction never races a write-back.
 type HeapFile struct {
 	pool  *BufferPool
 	pages []PageID
@@ -83,28 +86,32 @@ func (h *HeapFile) Insert(r Row) (RID, error) {
 	if len(rec)+hdrSize+slotSize > PageSize {
 		return RID{}, fmt.Errorf("storage: row of %d bytes exceeds page capacity", len(rec))
 	}
+	var slot uint16
+	var ok bool
 	if len(h.pages) > 0 {
 		pid := h.pages[len(h.pages)-1]
-		data, err := h.pool.Get(pid)
+		err := h.pool.Update(pid, func(data []byte) error {
+			slot, ok = pageInsert(data, rec)
+			return nil
+		})
 		if err != nil {
 			return RID{}, err
 		}
-		if slot, ok := pageInsert(data, rec); ok {
-			h.pool.MarkDirty(pid)
+		if ok {
 			h.rows++
 			return RID{Page: pid, Slot: slot}, nil
 		}
 	}
-	pid, data, err := h.pool.Allocate()
+	pid, err := h.pool.AllocateWith(func(data []byte) {
+		initHeapPage(data)
+		slot, ok = pageInsert(data, rec)
+	})
 	if err != nil {
 		return RID{}, err
 	}
-	initHeapPage(data)
-	slot, ok := pageInsert(data, rec)
 	if !ok {
 		return RID{}, fmt.Errorf("storage: row does not fit in a fresh page")
 	}
-	h.pool.MarkDirty(pid)
 	h.pages = append(h.pages, pid)
 	h.rows++
 	return RID{Page: pid, Slot: slot}, nil

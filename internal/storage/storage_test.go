@@ -119,7 +119,7 @@ func TestBufferPoolEvictionPreservesData(t *testing.T) {
 	if want := int64(n) * (n - 1) / 2; sum != want {
 		t.Fatalf("sum after eviction = %d, want %d", sum, want)
 	}
-	if db.Pool.Stats.Reads == 0 || db.Pool.Stats.Writes == 0 {
+	if db.Pool.Stats().Reads == 0 || db.Pool.Stats().Writes == 0 {
 		t.Error("expected physical reads and writes with a tiny pool")
 	}
 }

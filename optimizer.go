@@ -28,16 +28,22 @@ import (
 //
 // An Optimizer is safe for concurrent use by multiple goroutines. Each
 // optimization call builds its own AND-OR DAG, so no two calls ever share
-// a DAG's mutable costing state; the plan cache is mutex-guarded, and plan
-// executions serialize on the attached database's run lock, each in a
-// private temp-table namespace. Plan-cache hits hand each caller a
-// defensive copy whose shared plan nodes must be treated as read-only.
+// a DAG's mutable costing state; the plan cache is sharded and
+// mutex-guarded per shard, and concurrent plan executions proceed in
+// parallel on the attached database, each in a private temp-table
+// namespace. Plan-cache hits hand each caller a defensive copy whose
+// shared plan nodes must be treated as read-only.
 type Optimizer struct {
 	cat   *catalog.Catalog
 	model cost.Model
 	opts  core.Options
 	db    *storage.DB
-	cache *planCache
+	cache *planCacheSet
+
+	// planCacheCap and shardCount are recorded by options and realized at
+	// the end of Open, so WithPlanCache and WithShards compose in any order.
+	planCacheCap int
+	shardCount   int
 
 	// Cross-batch result cache (WithResultCache): a row-backed store of
 	// spooled intermediate results consulted around every executed batch.
@@ -66,8 +72,18 @@ func WithDB(db *DB) Option { return func(o *Optimizer) { o.db = db } }
 // WithPlanCache enables a fingerprint-keyed LRU cache of optimized plans
 // holding up to n batches. Batches whose queries have equal canonical
 // fingerprints (same logical expressions, in order) optimized with the
-// same algorithm share one cached Result.
-func WithPlanCache(n int) Option { return func(o *Optimizer) { o.cache = newPlanCache(n) } }
+// same algorithm share one cached Result. With WithShards the cache is
+// split into independently locked LRU shards by key hash.
+func WithPlanCache(n int) Option { return func(o *Optimizer) { o.planCacheCap = n } }
+
+// WithShards shards the serving hot path n ways: the plan-cache LRU and
+// the cross-batch result cache split into n independently locked shards
+// (by batch-key and expression-fingerprint hash respectively), so
+// concurrent workers stop contending on single locks. The default, 1,
+// keeps the exact unsharded semantics. Plans, rows and table names are
+// identical at every shard count — only lock contention changes — though
+// eviction order may differ once per-shard budgets bind.
+func WithShards(n int) Option { return func(o *Optimizer) { o.shardCount = n } }
 
 // WithResultCache enables the cross-batch transient result cache (the
 // paper's §8 caching direction, made real): up to budgetBytes of executed
@@ -133,12 +149,35 @@ func Open(cat *Catalog, opts ...Option) (*Optimizer, error) {
 	for _, opt := range opts {
 		opt(o)
 	}
+	if o.shardCount < 1 {
+		o.shardCount = 1
+	}
+	if o.planCacheCap > 0 {
+		o.cache = newPlanCacheSet(o.planCacheCap, o.shardCount)
+	}
 	if o.rcBudget > 0 {
 		if err := o.ensureResultCache(o.rcBudget); err != nil {
 			return nil, err
 		}
 	}
 	return o, nil
+}
+
+// setShards re-shards the serving-path caches before traffic (Serve with
+// BatchingOptions.Shards). The plan cache restarts empty at the new shard
+// count; an existing result-cache store keeps its sharding (its spooled
+// tables are live), so set shards before enabling the result cache.
+func (o *Optimizer) setShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n == o.shardCount {
+		return
+	}
+	o.shardCount = n
+	if o.planCacheCap > 0 {
+		o.cache = newPlanCacheSet(o.planCacheCap, n)
+	}
 }
 
 // ensureResultCache creates the session result-cache store on first use
@@ -152,7 +191,11 @@ func (o *Optimizer) ensureResultCache(budgetBytes int64) error {
 	o.rcMu.Lock()
 	defer o.rcMu.Unlock()
 	if o.rcache == nil {
-		o.rcache = cache.NewStore(o.db, o.model, budgetBytes)
+		shards := o.shardCount
+		if shards < 1 {
+			shards = 1
+		}
+		o.rcache = cache.NewStoreShards(o.db, o.model, budgetBytes, shards)
 	} else if o.rcache.Budget() != budgetBytes {
 		o.rcache.SetBudget(budgetBytes)
 	}
@@ -317,9 +360,10 @@ type ExecResult struct {
 // Run optimizes the batch and executes the resulting plan on the attached
 // database: shared results are materialized once, every query of the batch
 // runs against them, and per-query rows plus measured statistics are
-// returned. Requires WithDB. Concurrent executions serialize on the
-// database's run lock, each in its own temp-table namespace; a cancelled
-// context aborts both optimization and execution with ctx.Err().
+// returned. Requires WithDB. Concurrent executions proceed in parallel
+// over the database's sharded page layer, each in its own temp-table
+// namespace; a cancelled context aborts both optimization and execution
+// with ctx.Err().
 func (o *Optimizer) Run(ctx context.Context, batch Batch) (*ExecResult, error) {
 	if o.db == nil {
 		return nil, fmt.Errorf("mqo: Run: no database attached (use WithDB)")

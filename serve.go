@@ -23,10 +23,16 @@ type BatchingOptions struct {
 	// MaxWait is the longest the first query of a window waits before
 	// the window flushes regardless of size (default 2ms).
 	MaxWait time.Duration
-	// Workers bounds concurrently in-flight batches: while one batch
-	// executes (serialized on the database's run lock), the next can
-	// already optimize (default 2).
+	// Workers bounds concurrently in-flight batches; batches optimize and
+	// execute fully in parallel over the sharded storage layer (default 2).
 	Workers int
+	// Shards re-shards the serving hot path for the service (equivalent to
+	// opening the session with WithShards): the plan cache and the result
+	// cache split into this many independently locked shards. Applied at
+	// Serve time, before traffic: a session-level WithShards or an earlier
+	// Serve already holding entries wins over a conflicting value here.
+	// 0 keeps the session's current shard count.
+	Shards int
 	// Algorithm selects the optimization strategy for coalesced batches.
 	// The zero value selects Greedy.
 	Algorithm Algorithm
@@ -83,6 +89,9 @@ func Serve(o *Optimizer, cfg BatchingOptions) (*Service, error) {
 	if o.db == nil {
 		return nil, fmt.Errorf("mqo: Serve: no database attached (use WithDB)")
 	}
+	if cfg.Shards > 0 {
+		o.setShards(cfg.Shards)
+	}
 	if cfg.ResultCacheBytes > 0 {
 		if err := o.ensureResultCache(cfg.ResultCacheBytes); err != nil {
 			return nil, err
@@ -134,6 +143,39 @@ func (s *Service) SubmitQuery(ctx context.Context, q *Query) (*Answer, error) {
 		return nil, err
 	}
 	return &Answer{Query: resp.Result, Batch: resp.Batch}, nil
+}
+
+// SubmitBatch runs queries as exactly one coalesced batch on the caller's
+// goroutine, bypassing the batching window: the batch's composition is
+// whatever the caller hands in, not whatever timing coalesced. The session
+// caches (plan cache, result cache) participate exactly as for batched
+// traffic. Load generators use this to measure per-batch service times for
+// a predetermined batch schedule; interactive callers should prefer Submit,
+// which lets concurrent queries share a window.
+func (s *Service) SubmitBatch(ctx context.Context, queries []*Query) ([]Answer, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("mqo: SubmitBatch: empty batch")
+	}
+	br, err := s.runBatch(ctx, queries)
+	if err != nil {
+		return nil, err
+	}
+	info := BatchInfo{
+		Size:             len(queries),
+		Cost:             br.Cost,
+		NoShareCost:      br.NoShareCost,
+		CacheHit:         br.CacheHit,
+		ResultCacheHits:  br.ResultCacheHits,
+		ResultCacheSpool: br.ResultCacheSpool,
+		Algorithm:        br.Algorithm,
+		Exec:             br.Exec,
+		Phases:           br.Phases,
+	}
+	out := make([]Answer, len(queries))
+	for i := range queries {
+		out[i] = Answer{Query: br.PerQuery[i], Batch: info}
+	}
+	return out, nil
 }
 
 // Stats snapshots the service's accounting.

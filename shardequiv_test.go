@@ -1,0 +1,191 @@
+package mqo
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"mqo/internal/exec"
+	"mqo/internal/ssb"
+)
+
+// Sharded-vs-unsharded equivalence: sharding the serving hot path is a
+// concurrency refactor, not a semantics change. At every shard count the
+// optimizer must emit byte-identical plans (cache-table names included),
+// return identical rows, and account result-cache traffic identically —
+// eviction order is the only sanctioned difference, and these workloads
+// are sized so nothing evicts.
+
+const shardEquivSF = 0.005
+
+// ssbShardWorld opens a served-ready SSB session over freshly generated
+// data with the given shard count.
+func ssbShardWorld(t *testing.T, shards int) *Optimizer {
+	t.Helper()
+	db := NewDB(1024)
+	if err := ssb.LoadDB(db, shardEquivSF, 1); err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Open(ssb.Catalog(shardEquivSF),
+		WithDB(db), WithPlanCache(16), WithShards(shards), WithResultCache(8<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt
+}
+
+// ssbFlights returns the SSB query flights as ready-to-run batches.
+func ssbFlights() [][]*Query {
+	var out [][]*Query
+	for n := 1; n <= ssb.NumFlights; n++ {
+		out = append(out, ssb.Flight(n))
+	}
+	return out
+}
+
+// TestShardedPlansRowsAndAccountingMatchUnsharded replays the SSB flights
+// twice (the second pass hits the result cache) at shard counts 1, 4 and
+// 16 and demands byte equality of every plan string against the unsharded
+// reference, identical canonicalized rows, and equal result-cache hit,
+// admission and byte accounting.
+func TestShardedPlansRowsAndAccountingMatchUnsharded(t *testing.T) {
+	ctx := context.Background()
+	type outcome struct {
+		plans []string
+		rows  []string
+		stats ResultCacheStats
+	}
+	run := func(shards int) outcome {
+		t.Helper()
+		opt := ssbShardWorld(t, shards)
+		var o outcome
+		for pass := 0; pass < 2; pass++ {
+			for _, flight := range ssbFlights() {
+				res, err := opt.Run(ctx, Batch{Queries: flight, Algorithm: Greedy})
+				if err != nil {
+					t.Fatalf("shards=%d pass %d: %v", shards, pass, err)
+				}
+				o.plans = append(o.plans, res.Plan.String())
+				for _, qr := range res.Queries {
+					o.rows = append(o.rows, exec.Canonicalize(qr.Schema, qr.Rows)...)
+				}
+			}
+		}
+		o.stats = opt.ResultCacheStats()
+		return o
+	}
+
+	ref := run(1)
+	if ref.stats.Admissions == 0 {
+		t.Fatal("reference run admitted nothing; the equivalence check would be vacuous")
+	}
+	if ref.stats.Hits == 0 {
+		t.Fatal("reference second pass hit nothing; the equivalence check would be vacuous")
+	}
+	if ref.stats.Evictions != 0 {
+		t.Fatalf("reference run evicted %d entries; size the workload under the budget", ref.stats.Evictions)
+	}
+	for _, shards := range []int{4, 16} {
+		got := run(shards)
+		if len(got.plans) != len(ref.plans) {
+			t.Fatalf("shards=%d: %d plans vs %d", shards, len(got.plans), len(ref.plans))
+		}
+		for i := range ref.plans {
+			if got.plans[i] != ref.plans[i] {
+				t.Errorf("shards=%d: plan %d diverged from unsharded:\n--- shards=1 ---\n%s\n--- shards=%d ---\n%s",
+					shards, i, ref.plans[i], shards, got.plans[i])
+			}
+		}
+		if len(got.rows) != len(ref.rows) {
+			t.Fatalf("shards=%d: %d rows vs %d", shards, len(got.rows), len(ref.rows))
+		}
+		for i := range ref.rows {
+			if got.rows[i] != ref.rows[i] {
+				t.Fatalf("shards=%d: row %d diverged from unsharded", shards, i)
+			}
+		}
+		for _, cmp := range []struct {
+			name     string
+			got, ref int64
+		}{
+			{"hits", got.stats.Hits, ref.stats.Hits},
+			{"hit_batches", got.stats.HitBatches, ref.stats.HitBatches},
+			{"batches", got.stats.Batches, ref.stats.Batches},
+			{"admissions", got.stats.Admissions, ref.stats.Admissions},
+			{"evictions", got.stats.Evictions, ref.stats.Evictions},
+			{"used_bytes", got.stats.UsedBytes, ref.stats.UsedBytes},
+			{"entries", int64(got.stats.Entries), int64(ref.stats.Entries)},
+		} {
+			if cmp.got != cmp.ref {
+				t.Errorf("shards=%d: %s %d != unsharded %d", shards, cmp.name, cmp.got, cmp.ref)
+			}
+		}
+	}
+}
+
+// TestShardedRowsIdenticalAcrossWorkers submits every SSB flight query
+// concurrently through the micro-batching service at shard counts
+// {1, 4, 16} × worker counts {1, 2, 8} and checks each query's
+// canonicalized rows against a serial unsharded reference. Batch
+// composition varies with timing, so plans are not compared here — rows
+// must not care which batch computed them.
+func TestShardedRowsIdenticalAcrossWorkers(t *testing.T) {
+	ctx := context.Background()
+	var queries []*Query
+	for _, flight := range ssbFlights() {
+		queries = append(queries, flight...)
+	}
+
+	refOpt := ssbShardWorld(t, 1)
+	ref := make([][]string, len(queries))
+	for i, q := range queries {
+		res, err := refOpt.Run(ctx, Batch{Queries: []*Query{q}, Algorithm: Greedy})
+		if err != nil {
+			t.Fatalf("reference query %d: %v", i, err)
+		}
+		ref[i] = exec.Canonicalize(res.Queries[0].Schema, res.Queries[0].Rows)
+	}
+
+	for _, shards := range []int{1, 4, 16} {
+		for _, workers := range []int{1, 2, 8} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				opt := ssbShardWorld(t, shards)
+				svc, err := Serve(opt, BatchingOptions{MaxBatch: 4, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer svc.Close()
+				got := make([][]string, len(queries))
+				errs := make([]error, len(queries))
+				var wg sync.WaitGroup
+				for i, q := range queries {
+					wg.Add(1)
+					go func(i int, q *Query) {
+						defer wg.Done()
+						ans, err := svc.SubmitQuery(ctx, q)
+						if err != nil {
+							errs[i] = err
+							return
+						}
+						got[i] = exec.Canonicalize(ans.Query.Schema, ans.Query.Rows)
+					}(i, q)
+				}
+				wg.Wait()
+				for i := range queries {
+					if errs[i] != nil {
+						t.Fatalf("query %d: %v", i, errs[i])
+					}
+					if len(got[i]) != len(ref[i]) {
+						t.Fatalf("query %d: %d rows vs reference %d", i, len(got[i]), len(ref[i]))
+					}
+					for j := range ref[i] {
+						if got[i][j] != ref[i][j] {
+							t.Fatalf("query %d row %d diverged from serial unsharded reference", i, j)
+						}
+					}
+				}
+			})
+		}
+	}
+}
