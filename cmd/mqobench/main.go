@@ -2,7 +2,7 @@
 // runs every experiment; -experiment selects one of: fig6, q2ni, fig7,
 // fig8, fig9, fig10, monotonicity, sharability, nosharing, memory, scale,
 // space, parallel, multipick, calibrate, resultcache, ssb, observe,
-// loadgen.
+// loadgen, tiered.
 // With -json the results are emitted as a machine-readable JSON array
 // (one element per experiment) instead of the human-readable tables —
 // the format CI archives as a benchmark trajectory.
@@ -22,11 +22,13 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|calibrate|resultcache|ssb|observe|loadgen|all)")
+	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|calibrate|resultcache|ssb|observe|loadgen|tiered|all)")
 	maxCQ := flag.Int("maxcq", 3, "largest PSP composite for the ablation experiments (1-5)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the parallel what-if costing, multi-pick and calibration experiments")
 	multipick := flag.Int("multipick", 4, "multi-pick width k for the multipick experiment")
 	rcBudget := flag.Int64("rcbudget", 16<<20, "result-cache byte budget for the resultcache and ssb experiments")
+	rcRAM := flag.Int64("rcram", 0, "tiered experiment's tight RAM budget in bytes (0: auto, smaller than the SSB working set)")
+	rcWarm := flag.Int64("rcwarm", 0, "tiered experiment's warm-tier budget in bytes (0: 16 MB)")
 	sf := flag.Float64("sf", 0.01, "scale factor for the ssb experiment's generated data")
 	seed := flag.Int64("seed", 11, "generator seed for the ssb experiment")
 	shards := flag.Int("shards", 8, "shard count for the loadgen experiment's sharded configuration")
@@ -58,6 +60,9 @@ func main() {
 		{"observe", func() (*bench.Experiment, error) { return bench.Observe(*sf, *seed) }},
 		{"loadgen", func() (*bench.Experiment, error) {
 			return bench.LoadGen(*sf, *seed, *rcBudget, []int{1, 2, 4, 8}, []int{1, *shards})
+		}},
+		{"tiered", func() (*bench.Experiment, error) {
+			return bench.TieredReplay(*sf, *seed, *rcRAM, *rcWarm)
 		}},
 	}
 

@@ -29,7 +29,8 @@ func main() {
 	pool := flag.Int("pool", 1024, "buffer pool pages")
 	parallel := flag.Int("parallel", 0, "search-substrate workers (0: auto-tune per phase, 1: serial, n: fan out; plan is identical at every setting)")
 	multipick := flag.Int("multipick", 1, "max greedy picks per evaluation wave (speculative multi-pick; plan is identical at every k)")
-	resCache := flag.Int64("resultcache", 0, "cross-batch result-cache budget in bytes (0 disables)")
+	resCache := flag.Int64("resultcache", 0, "cross-batch result-cache RAM budget in bytes (0 disables)")
+	resCacheWarm := flag.Int64("resultcache-warm", 0, "disk-backed warm-tier budget in bytes (0 disables tiering)")
 	repeat := flag.Int("repeat", 1, "run the batch this many times (with -resultcache, later passes hit the cache)")
 	sqlSrc := flag.String("sql", "", "semicolon-separated SELECT batch over the TPC-D schema (overrides -workload)")
 	analyze := flag.Bool("analyze", false, "EXPLAIN ANALYZE: print per-operator measured vs. estimated stats after execution")
@@ -43,7 +44,7 @@ func main() {
 	db := mqo.NewDB(*pool)
 	sessionOpts := []mqo.Option{mqo.WithDB(db), mqo.WithParallelism(*parallel), mqo.WithMultiPick(*multipick)}
 	if *resCache > 0 {
-		sessionOpts = append(sessionOpts, mqo.WithResultCache(*resCache))
+		sessionOpts = append(sessionOpts, mqo.WithResultCache(*resCache, *resCacheWarm))
 	}
 	var (
 		batch = mqo.Batch{Algorithm: alg, Analyze: *analyze}
@@ -98,6 +99,11 @@ func main() {
 		st := opt.ResultCacheStats()
 		fmt.Printf("result cache: %d entries, %d/%d bytes, hit-rate %.0f%%, admitted %d, evicted %d, est saved %.2f s\n",
 			st.Entries, st.UsedBytes, st.BudgetBytes, 100*st.HitRate(), st.Admissions, st.Evictions, st.SavedCostEst)
+		if *resCacheWarm > 0 {
+			fmt.Printf("warm tier: %d entries, %d/%d bytes, warm hits %d, demotions %d, promotions %d\n",
+				st.WarmEntries, st.WarmUsedBytes, st.WarmBudgetBytes, st.WarmHits, st.Demotions, st.Promotions)
+		}
+		opt.Close()
 	}
 }
 

@@ -4,6 +4,7 @@
 //
 //	mqoserver -addr :8080 -sf 0.01 -max-batch 8 -max-wait 2ms -alg greedy
 //	mqoserver -workload ssb -sf 0.01 -resultcache 16777216
+//	mqoserver -resultcache 4194304 -resultcache-warm 33554432   # tiered
 //	mqoserver -trace out.json     # chrome://tracing span dump on shutdown
 //
 // Endpoints:
@@ -44,20 +45,21 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workload  = flag.String("workload", "tpcd", "generated schema and data: tpcd|ssb")
-		sf        = flag.Float64("sf", 0.01, "scale factor for the generated data")
-		seed      = flag.Int64("seed", 1, "data generator seed")
-		pool      = flag.Int("pool", 1024, "buffer pool size in pages")
-		planCache = flag.Int("plancache", 128, "plan-cache capacity in batches (0 disables)")
-		resCache  = flag.Int64("resultcache", 0, "cross-batch result-cache budget in bytes (0 disables)")
-		maxBatch  = flag.Int("max-batch", 8, "flush a batching window at this many queries")
-		maxWait   = flag.Duration("max-wait", 2*time.Millisecond, "max time the first query of a window waits")
-		workers   = flag.Int("workers", 2, "concurrently in-flight batches")
-		shards    = flag.Int("shards", 0, "shard count for the plan and result caches (0 keeps the default of 1)")
-		algName   = flag.String("alg", "greedy", "optimization algorithm (volcano|volcano-sh|volcano-ru|greedy)")
-		traceOut  = flag.String("trace", "", "write a chrome://tracing span dump to this file on shutdown")
-		noObs     = flag.Bool("no-obs", false, "disable metrics collection (observability overhead benchmark)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workload     = flag.String("workload", "tpcd", "generated schema and data: tpcd|ssb")
+		sf           = flag.Float64("sf", 0.01, "scale factor for the generated data")
+		seed         = flag.Int64("seed", 1, "data generator seed")
+		pool         = flag.Int("pool", 1024, "buffer pool size in pages")
+		planCache    = flag.Int("plancache", 128, "plan-cache capacity in batches (0 disables)")
+		resCache     = flag.Int64("resultcache", 0, "cross-batch result-cache RAM budget in bytes (0 disables)")
+		resCacheWarm = flag.Int64("resultcache-warm", 0, "disk-backed warm-tier budget in bytes (0 disables tiering)")
+		maxBatch     = flag.Int("max-batch", 8, "flush a batching window at this many queries")
+		maxWait      = flag.Duration("max-wait", 2*time.Millisecond, "max time the first query of a window waits")
+		workers      = flag.Int("workers", 2, "concurrently in-flight batches")
+		shards       = flag.Int("shards", 0, "shard count for the plan and result caches (0 keeps the default of 1)")
+		algName      = flag.String("alg", "greedy", "optimization algorithm (volcano|volcano-sh|volcano-ru|greedy)")
+		traceOut     = flag.String("trace", "", "write a chrome://tracing span dump to this file on shutdown")
+		noObs        = flag.Bool("no-obs", false, "disable metrics collection (observability overhead benchmark)")
 	)
 	flag.Parse()
 
@@ -67,11 +69,12 @@ func main() {
 	}
 
 	handler, svc, err := newService(*workload, *sf, *seed, *pool, *planCache, mqo.BatchingOptions{
-		MaxBatch:         *maxBatch,
-		MaxWait:          *maxWait,
-		Workers:          *workers,
-		Shards:           *shards,
-		ResultCacheBytes: *resCache,
+		MaxBatch:             *maxBatch,
+		MaxWait:              *maxWait,
+		Workers:              *workers,
+		Shards:               *shards,
+		ResultCacheBytes:     *resCache,
+		ResultCacheWarmBytes: *resCacheWarm,
 	}, *algName)
 	if err != nil {
 		log.Fatalf("mqoserver: %v", err)

@@ -26,7 +26,7 @@ func main() {
 	}
 	opt, err := mqo.Open(tpcd.Catalog(sf),
 		mqo.WithDB(db),
-		mqo.WithResultCache(16<<20), // 16 MB of spooled results
+		mqo.WithResultCache(16<<20, 0), // 16 MB of spooled results
 	)
 	if err != nil {
 		log.Fatal(err)

@@ -24,7 +24,7 @@ func main() {
 	}
 	opt, err := mqo.Open(ssb.Catalog(sf),
 		mqo.WithDB(db),
-		mqo.WithResultCache(16<<20), // 16 MB of spooled results
+		mqo.WithResultCache(16<<20, 0), // 16 MB of spooled results
 	)
 	if err != nil {
 		log.Fatal(err)

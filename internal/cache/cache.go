@@ -32,6 +32,18 @@
 // any sharding. Operations touching several shards (Commit, Abort,
 // SetBudget, Stats) lock shards one at a time in index order and never hold
 // two shard locks at once.
+//
+// The store is tiered (NewStoreTiered): besides the RAM budget for spooled
+// tables in the primary buffer pool, a warm budget backs a second, disk
+// tier. Eviction demotes a value-dense entry to a disk heap file instead of
+// dropping it (less dense warm entries make room, or the demotion falls
+// back to a plain drop); a committed hit on a warm entry schedules an
+// asynchronous shard-local promotion back to RAM — single-flight (the
+// promoting flag), holding its own pin so eviction can never race it, and
+// never blocking the requesting batch: the first warm hit scans from disk,
+// later ones from RAM. Arm prices each tier at its own per-page read
+// constant (cost.Model.TierScanCost), so every algorithm trades a warm hit
+// off against recomputation honestly.
 package cache
 
 import (
@@ -69,6 +81,9 @@ type Entry struct {
 	Hits int
 	// LastUsed is the batch clock of the last hit (admission counts).
 	LastUsed int64
+	// Tier is the storage tier the spooled table currently lives in: RAM
+	// (primary buffer pool) or warm (disk-backed heap file).
+	Tier cost.Tier
 
 	// admitValue is the per-use saving estimated at admission, the
 	// reinforcement added per hit when no fresher estimate exists.
@@ -77,8 +92,13 @@ type Entry struct {
 	// (single-flight: the key is claimed, but the table has no rows yet).
 	ready bool
 	// pins counts in-flight batches whose plan may read the entry; pinned
-	// entries are never evicted.
+	// entries are never evicted. An async promotion holds its own pin.
 	pins int
+	// promoting single-flights the async warm→RAM promotion.
+	promoting bool
+	// staleWarm marks a RAM entry whose warm copy is still on disk because
+	// an in-flight reader may be scanning it; the last unpin drops it.
+	staleWarm bool
 	// si is the index of the shard owning the entry.
 	si int
 }
@@ -91,15 +111,28 @@ type Stats struct {
 	Entries     int   `json:"entries"`
 	UsedBytes   int64 `json:"used_bytes"`
 	BudgetBytes int64 `json:"budget_bytes"`
+	// Per-tier structure: WarmEntries of Entries live in the warm (disk)
+	// tier, occupying WarmUsedBytes of WarmBudgetBytes on disk. (Entries
+	// and UsedBytes/BudgetBytes stay RAM+pending-centric: UsedBytes counts
+	// the primary-pool footprint only, so the two tiers' accounting adds
+	// rather than overlaps.)
+	WarmEntries     int   `json:"warm_entries"`
+	WarmUsedBytes   int64 `json:"warm_used_bytes"`
+	WarmBudgetBytes int64 `json:"warm_budget_bytes"`
 	// Batches counts committed batches; HitBatches those whose executed
 	// plan read at least one cache table.
 	Batches    int64 `json:"batches"`
 	HitBatches int64 `json:"hit_batches"`
 	// Hits counts entry reads (one per entry per batch), Admissions and
-	// Evictions entry life-cycle events.
+	// Evictions entry life-cycle events. WarmHits is the subset of Hits
+	// served from the warm tier; Demotions and Promotions count tier moves
+	// (an eviction that demoted counts as a demotion, not an eviction).
 	Hits       int64 `json:"hits"`
+	WarmHits   int64 `json:"warm_hits"`
 	Admissions int64 `json:"admissions"`
 	Evictions  int64 `json:"evictions"`
+	Demotions  int64 `json:"demotions"`
+	Promotions int64 `json:"promotions"`
 	// SavedCostEst totals the estimated optimizer-cost-model seconds hits
 	// saved versus recomputing.
 	SavedCostEst float64 `json:"saved_cost_est"`
@@ -119,26 +152,33 @@ func (s Stats) HitRate() float64 {
 
 // ShardStats is one shard's slice of the store, for tests and /stats.
 type ShardStats struct {
-	Shard       int   `json:"shard"`
-	Entries     int   `json:"entries"`
-	UsedBytes   int64 `json:"used_bytes"`
-	BudgetBytes int64 `json:"budget_bytes"`
+	Shard           int   `json:"shard"`
+	Entries         int   `json:"entries"`
+	UsedBytes       int64 `json:"used_bytes"`
+	BudgetBytes     int64 `json:"budget_bytes"`
+	WarmEntries     int   `json:"warm_entries"`
+	WarmUsedBytes   int64 `json:"warm_used_bytes"`
+	WarmBudgetBytes int64 `json:"warm_budget_bytes"`
 }
 
 // cacheShard is one independently locked slice of the store: its own entry
 // table, byte accounting and budget share. An expression's fingerprint
 // picks its shard, so single-flight admission stays shard-local.
 type cacheShard struct {
-	mu      sync.Mutex
-	budget  int64
-	entries map[string]*Entry // by entryKey
-	byTable map[string]*Entry
-	used    int64
+	mu         sync.Mutex
+	budget     int64             // RAM-tier byte slice
+	warmBudget int64             // warm-tier (disk) byte slice
+	entries    map[string]*Entry // by entryKey
+	byTable    map[string]*Entry
+	used       int64 // RAM-tier bytes held
+	warmUsed   int64 // warm-tier bytes held
 
-	// Lock-free mirrors of used/len(entries), so the aggregate scrape
-	// gauges never need to take every shard lock.
-	usedA    atomic.Int64
-	entriesA atomic.Int64
+	// Lock-free mirrors of the accounting, so the aggregate scrape gauges
+	// never need to take every shard lock.
+	usedA        atomic.Int64
+	entriesA     atomic.Int64
+	warmUsedA    atomic.Int64
+	warmEntriesA atomic.Int64
 }
 
 // Manager is the store's controller. All methods are safe for concurrent
@@ -152,23 +192,33 @@ type Manager struct {
 	db     *storage.DB
 	shards []*cacheShard
 
-	clock    atomic.Int64
-	gen      atomic.Int64
-	tableSeq atomic.Int64
-	budget   atomic.Int64 // total across shards
+	clock      atomic.Int64
+	gen        atomic.Int64
+	tableSeq   atomic.Int64
+	budget     atomic.Int64 // RAM total across shards
+	warmBudget atomic.Int64 // warm total across shards
+
+	// promWG tracks in-flight async promotions (WaitPromotions / Close).
+	promWG sync.WaitGroup
 
 	// Event counters (lock-free, registered on the default obs registry).
 	batches    *obs.Counter
 	hitBatches *obs.Counter
 	hits       *obs.Counter
+	warmHits   *obs.Counter
 	admissions *obs.Counter
 	evictions  *obs.Counter
+	demotions  *obs.Counter
+	promotions *obs.Counter
 	savedCost  *obs.FloatCounter
 	// State gauges, refreshed from the shard mirrors.
-	entriesG *obs.Gauge
-	usedG    *obs.Gauge
-	budgetG  *obs.Gauge
-	genG     *obs.Gauge
+	entriesG     *obs.Gauge
+	usedG        *obs.Gauge
+	budgetG      *obs.Gauge
+	warmEntriesG *obs.Gauge
+	warmUsedG    *obs.Gauge
+	warmBudgetG  *obs.Gauge
+	genG         *obs.Gauge
 	// Per-shard gauges (label shard="i"), kept in sync under shard locks.
 	shardUsedG    []*obs.Gauge
 	shardEntriesG []*obs.Gauge
@@ -181,13 +231,20 @@ type Manager struct {
 // mqo_resultcache_* (a newer store instance replaces an older one on the
 // scrape).
 func NewStore(db *storage.DB, model cost.Model, budgetBytes int64) *Manager {
-	return NewStoreShards(db, model, budgetBytes, 1)
+	return NewStoreTiered(db, model, budgetBytes, 0, 1)
 }
 
 // NewStoreShards creates a store sharded by expression fingerprint. The
 // byte budget is split evenly across shards (remainder to the low shards);
 // SetBudget re-splits the same way. shards < 1 is treated as 1.
 func NewStoreShards(db *storage.DB, model cost.Model, budgetBytes int64, shards int) *Manager {
+	return NewStoreTiered(db, model, budgetBytes, 0, shards)
+}
+
+// NewStoreTiered creates a sharded store with both a RAM and a warm (disk)
+// byte budget. A zero warm budget disables the warm tier: eviction drops
+// instead of demoting, exactly the untiered store's behavior.
+func NewStoreTiered(db *storage.DB, model cost.Model, ramBytes, warmBytes int64, shards int) *Manager {
 	if shards < 1 {
 		shards = 1
 	}
@@ -197,16 +254,22 @@ func NewStoreShards(db *storage.DB, model cost.Model, budgetBytes int64, shards 
 		db:     db,
 		shards: make([]*cacheShard, shards),
 
-		batches:    reg.RegisterCounter("mqo_resultcache_batches_total", "Batches committed against the result cache.", &obs.Counter{}),
-		hitBatches: reg.RegisterCounter("mqo_resultcache_hit_batches_total", "Committed batches whose executed plan read at least one cache table.", &obs.Counter{}),
-		hits:       reg.RegisterCounter("mqo_resultcache_hits_total", "Cache entry reads (one per entry per batch).", &obs.Counter{}),
-		admissions: reg.RegisterCounter("mqo_resultcache_admissions_total", "Entries admitted and spooled.", &obs.Counter{}),
-		evictions:  reg.RegisterCounter("mqo_resultcache_evictions_total", "Entries evicted (spooled table dropped).", &obs.Counter{}),
-		savedCost:  reg.RegisterFloatCounter("mqo_resultcache_saved_cost_seconds_total", "Estimated cost-model seconds saved by cache hits.", &obs.FloatCounter{}),
-		entriesG:   reg.RegisterGauge("mqo_resultcache_entries", "Entries currently in the store (pending included).", &obs.Gauge{}),
-		usedG:      reg.RegisterGauge("mqo_resultcache_used_bytes", "Bytes of spooled results currently held.", &obs.Gauge{}),
-		budgetG:    reg.RegisterGauge("mqo_resultcache_budget_bytes", "Byte budget for spooled results.", &obs.Gauge{}),
-		genG:       reg.RegisterGauge("mqo_resultcache_generation", "Ready-set generation.", &obs.Gauge{}),
+		batches:      reg.RegisterCounter("mqo_resultcache_batches_total", "Batches committed against the result cache.", &obs.Counter{}),
+		hitBatches:   reg.RegisterCounter("mqo_resultcache_hit_batches_total", "Committed batches whose executed plan read at least one cache table.", &obs.Counter{}),
+		hits:         reg.RegisterCounter("mqo_resultcache_hits_total", "Cache entry reads (one per entry per batch).", &obs.Counter{}),
+		warmHits:     reg.RegisterCounter("mqo_resultcache_warm_hits_total", "Cache entry reads served from the warm (disk) tier.", &obs.Counter{}),
+		admissions:   reg.RegisterCounter("mqo_resultcache_admissions_total", "Entries admitted and spooled.", &obs.Counter{}),
+		evictions:    reg.RegisterCounter("mqo_resultcache_evictions_total", "Entries evicted (spooled table dropped).", &obs.Counter{}),
+		demotions:    reg.RegisterCounter("mqo_resultcache_demotions_total", "Entries demoted from RAM to the warm tier at eviction.", &obs.Counter{}),
+		promotions:   reg.RegisterCounter("mqo_resultcache_promotions_total", "Entries asynchronously promoted from the warm tier back to RAM.", &obs.Counter{}),
+		savedCost:    reg.RegisterFloatCounter("mqo_resultcache_saved_cost_seconds_total", "Estimated cost-model seconds saved by cache hits.", &obs.FloatCounter{}),
+		entriesG:     reg.RegisterGauge("mqo_resultcache_entries", "Entries currently in the store (pending included).", &obs.Gauge{}),
+		usedG:        reg.RegisterGauge("mqo_resultcache_used_bytes", "Bytes of spooled results currently held in RAM.", &obs.Gauge{}),
+		budgetG:      reg.RegisterGauge("mqo_resultcache_budget_bytes", "RAM byte budget for spooled results.", &obs.Gauge{}),
+		warmEntriesG: reg.RegisterGauge("mqo_resultcache_warm_entries", "Entries currently in the warm (disk) tier.", &obs.Gauge{}),
+		warmUsedG:    reg.RegisterGauge("mqo_resultcache_warm_used_bytes", "On-disk bytes of warm-tier spooled results.", &obs.Gauge{}),
+		warmBudgetG:  reg.RegisterGauge("mqo_resultcache_warm_budget_bytes", "Warm-tier (disk) byte budget for spooled results.", &obs.Gauge{}),
+		genG:         reg.RegisterGauge("mqo_resultcache_generation", "Ready-set generation.", &obs.Gauge{}),
 	}
 	for i := range m.shards {
 		m.shards[i] = &cacheShard{entries: map[string]*Entry{}, byTable: map[string]*Entry{}}
@@ -216,7 +279,7 @@ func NewStoreShards(db *storage.DB, model cost.Model, budgetBytes int64, shards 
 		m.shardEntriesG = append(m.shardEntriesG,
 			reg.RegisterGauge("mqo_resultcache_shard_entries", "Entries per shard (pending included).", &obs.Gauge{}, label))
 	}
-	m.setBudgets(budgetBytes, false)
+	m.setBudgets(ramBytes, warmBytes, false)
 	m.syncGauges()
 	return m
 }
@@ -235,22 +298,31 @@ func (m *Manager) shardFor(fp string) int {
 	return int(h.Sum32() % uint32(len(m.shards)))
 }
 
-// setBudgets splits the total budget evenly across shards (remainder to
-// the low shards) and optionally rebalances each shard down to its slice.
-func (m *Manager) setBudgets(budgetBytes int64, rebalance bool) {
-	if budgetBytes < 0 {
-		budgetBytes = 0
+// setBudgets splits both tier budgets evenly across shards (remainder to
+// the low shards) and optionally rebalances each shard down to its slices.
+func (m *Manager) setBudgets(ramBytes, warmBytes int64, rebalance bool) {
+	if ramBytes < 0 {
+		ramBytes = 0
 	}
-	m.budget.Store(budgetBytes)
+	if warmBytes < 0 {
+		warmBytes = 0
+	}
+	m.budget.Store(ramBytes)
+	m.warmBudget.Store(warmBytes)
 	n := int64(len(m.shards))
-	base, rem := budgetBytes/n, budgetBytes%n
+	base, rem := ramBytes/n, ramBytes%n
+	wbase, wrem := warmBytes/n, warmBytes%n
 	for i, s := range m.shards {
-		b := base
+		b, wb := base, wbase
 		if int64(i) < rem {
 			b++
 		}
+		if int64(i) < wrem {
+			wb++
+		}
 		s.mu.Lock()
 		s.budget = b
+		s.warmBudget = wb
 		if rebalance {
 			s.rebalanceLocked(m)
 		}
@@ -264,31 +336,53 @@ func (m *Manager) setBudgets(budgetBytes int64, rebalance bool) {
 func (s *cacheShard) syncLocked(m *Manager, si int) {
 	s.usedA.Store(s.used)
 	s.entriesA.Store(int64(len(s.entries)))
+	s.warmUsedA.Store(s.warmUsed)
+	var warmN int64
+	for _, e := range s.entries {
+		if e.Tier == cost.TierWarm {
+			warmN++
+		}
+	}
+	s.warmEntriesA.Store(warmN)
 	m.shardUsedG[si].Set(s.used)
 	m.shardEntriesG[si].Set(int64(len(s.entries)))
 }
 
 // syncGauges refreshes the aggregate scrape gauges from the shard mirrors.
 func (m *Manager) syncGauges() {
-	var used, entries int64
+	var used, entries, warmUsed, warmEntries int64
 	for _, s := range m.shards {
 		used += s.usedA.Load()
 		entries += s.entriesA.Load()
+		warmUsed += s.warmUsedA.Load()
+		warmEntries += s.warmEntriesA.Load()
 	}
 	m.entriesG.Set(entries)
 	m.usedG.Set(used)
 	m.budgetG.Set(m.budget.Load())
+	m.warmEntriesG.Set(warmEntries)
+	m.warmUsedG.Set(warmUsed)
+	m.warmBudgetG.Set(m.warmBudget.Load())
 	m.genG.Set(m.gen.Load())
 }
 
-// Budget returns the store's total byte budget for spooled results.
+// Budget returns the store's total RAM byte budget for spooled results.
 func (m *Manager) Budget() int64 { return m.budget.Load() }
 
-// SetBudget resizes the store at runtime, re-splitting the budget across
-// shards and immediately evicting unpinned entries (dropping their spooled
-// tables) until every shard's slice holds.
+// WarmBudget returns the store's total warm-tier (disk) byte budget.
+func (m *Manager) WarmBudget() int64 { return m.warmBudget.Load() }
+
+// SetBudget resizes the RAM tier at runtime, keeping the warm budget;
+// see SetBudgets.
 func (m *Manager) SetBudget(budgetBytes int64) {
-	m.setBudgets(budgetBytes, true)
+	m.SetBudgets(budgetBytes, m.warmBudget.Load())
+}
+
+// SetBudgets resizes both tiers at runtime, re-splitting each budget
+// across shards and immediately rebalancing: RAM overflow demotes or
+// evicts, warm overflow drops warm entries and deletes their spill files.
+func (m *Manager) SetBudgets(ramBytes, warmBytes int64) {
+	m.setBudgets(ramBytes, warmBytes, true)
 	m.syncGauges()
 }
 
@@ -313,12 +407,23 @@ func (m *Manager) Entries() []*Entry {
 	return out
 }
 
-// UsedBytes reports the occupied cache space across all shards.
+// UsedBytes reports the occupied RAM-tier cache space across all shards.
 func (m *Manager) UsedBytes() int64 {
 	var used int64
 	for _, s := range m.shards {
 		s.mu.Lock()
 		used += s.used
+		s.mu.Unlock()
+	}
+	return used
+}
+
+// WarmUsedBytes reports the occupied warm-tier (on-disk) cache space.
+func (m *Manager) WarmUsedBytes() int64 {
+	var used int64
+	for _, s := range m.shards {
+		s.mu.Lock()
+		used += s.warmUsed
 		s.mu.Unlock()
 	}
 	return used
@@ -331,19 +436,29 @@ func (m *Manager) Generation() int64 { return m.gen.Load() }
 // a time), event counts straight from the registry-backed atomics.
 func (m *Manager) Stats() Stats {
 	st := Stats{
-		BudgetBytes:  m.budget.Load(),
-		Batches:      m.batches.Value(),
-		HitBatches:   m.hitBatches.Value(),
-		Hits:         m.hits.Value(),
-		Admissions:   m.admissions.Value(),
-		Evictions:    m.evictions.Value(),
-		SavedCostEst: m.savedCost.Value(),
-		Generation:   m.gen.Load(),
+		BudgetBytes:     m.budget.Load(),
+		WarmBudgetBytes: m.warmBudget.Load(),
+		Batches:         m.batches.Value(),
+		HitBatches:      m.hitBatches.Value(),
+		Hits:            m.hits.Value(),
+		WarmHits:        m.warmHits.Value(),
+		Admissions:      m.admissions.Value(),
+		Evictions:       m.evictions.Value(),
+		Demotions:       m.demotions.Value(),
+		Promotions:      m.promotions.Value(),
+		SavedCostEst:    m.savedCost.Value(),
+		Generation:      m.gen.Load(),
 	}
 	for _, s := range m.shards {
 		s.mu.Lock()
 		st.Entries += len(s.entries)
 		st.UsedBytes += s.used
+		st.WarmUsedBytes += s.warmUsed
+		for _, e := range s.entries {
+			if e.Tier == cost.TierWarm {
+				st.WarmEntries++
+			}
+		}
 		s.mu.Unlock()
 	}
 	return st
@@ -355,7 +470,14 @@ func (m *Manager) PerShard() []ShardStats {
 	out := make([]ShardStats, len(m.shards))
 	for i, s := range m.shards {
 		s.mu.Lock()
-		out[i] = ShardStats{Shard: i, Entries: len(s.entries), UsedBytes: s.used, BudgetBytes: s.budget}
+		ss := ShardStats{Shard: i, Entries: len(s.entries), UsedBytes: s.used, BudgetBytes: s.budget,
+			WarmUsedBytes: s.warmUsed, WarmBudgetBytes: s.warmBudget}
+		for _, e := range s.entries {
+			if e.Tier == cost.TierWarm {
+				ss.WarmEntries++
+			}
+		}
+		out[i] = ss
 		s.mu.Unlock()
 	}
 	return out
@@ -446,7 +568,10 @@ func (m *Manager) Arm(pd *physical.DAG) *Ticket {
 				if !e.Prop.Satisfies(n.Prop) {
 					continue
 				}
-				sc := m.scanCost(e.Bytes)
+				// Per-tier pricing: a warm entry's read-back is charged at
+				// the warm per-page constant, so the algorithms can still
+				// prefer recomputation when disk read-back is the worse deal.
+				sc := m.tierScanCost(e.Tier, e.Bytes)
 				if best == nil || sc < bestCost {
 					best, bestCost = e, sc
 				}
@@ -454,7 +579,7 @@ func (m *Manager) Arm(pd *physical.DAG) *Ticket {
 			if best == nil {
 				continue
 			}
-			pd.ArmCacheScan(n, best.Table, bestCost)
+			pd.ArmCacheScan(n, best.Table, bestCost, best.Tier)
 			saving := float64(n.Cost - bestCost)
 			if saving < 0 {
 				saving = 0
@@ -471,13 +596,14 @@ func (m *Manager) Arm(pd *physical.DAG) *Ticket {
 	return t
 }
 
-// scanCost prices reading back a spooled result of the given size.
-func (m *Manager) scanCost(bytes int64) cost.Cost {
+// tierScanCost prices reading back a spooled result of the given size from
+// the given tier.
+func (m *Manager) tierScanCost(t cost.Tier, bytes int64) cost.Cost {
 	blocks := float64(bytes) / float64(m.Model.BlockSize)
 	if blocks < 1 {
 		blocks = 1
 	}
-	return m.Model.ScanCost(blocks)
+	return m.Model.TierScanCost(t, blocks)
 }
 
 // maxAdmitPerBatch bounds how many new results one batch may spool, so a
@@ -605,29 +731,34 @@ func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
 
 // PinPlan builds a ticket for an already-optimized plan (a session
 // plan-cache hit): every cache table the plan reads is pinned. It reports
-// ok=false — and pins nothing — when any referenced entry is gone or not
-// ready, in which case the caller must discard the plan and optimize
-// fresh.
+// ok=false — and pins nothing — when any referenced entry is gone, not
+// ready, or no longer in the tier the plan was priced against (a demotion
+// or promotion moved it since), in which case the caller must discard the
+// plan and optimize fresh.
 func (m *Manager) PinPlan(plan *physical.Plan) (*Ticket, bool) {
-	var tables []string
+	type cacheRef struct {
+		table string
+		tier  cost.Tier
+	}
+	var refs []cacheRef
 	plan.Root.Walk(func(pn *physical.PlanNode) {
 		if pn.E.Kind == physical.CacheScanOp {
-			tables = append(tables, pn.E.CacheName)
+			refs = append(refs, cacheRef{pn.E.CacheName, pn.E.CacheTier})
 		}
 	})
 	t := &Ticket{m: m, armed: map[*Entry]float64{}, pending: map[*physical.Node]*Entry{}, plan: plan}
 
-	for _, table := range tables {
-		if t.hasTable(table) {
+	for _, ref := range refs {
+		if t.hasTable(ref.table) {
 			continue
 		}
-		e := m.pinTable(table)
+		e := m.pinTable(ref.table, ref.tier)
 		if e == nil {
 			// Roll back: unpin everything pinned so far, shard by shard.
 			for pinned := range t.armed {
 				s := m.shards[pinned.si]
 				s.mu.Lock()
-				pinned.pins--
+				s.unpinLocked(m, pinned)
 				s.mu.Unlock()
 			}
 			return nil, false
@@ -651,12 +782,13 @@ func (t *Ticket) hasTable(table string) bool {
 // pinTable finds the ready entry backing a cache table and pins it under
 // its shard's lock, searching shards in index order (table names are
 // globally unique, so at most one shard owns the name). Returns nil when
-// the entry is gone or not ready.
-func (m *Manager) pinTable(table string) *Entry {
+// the entry is gone, not ready, or has moved to a different tier than the
+// one the cached plan was priced at.
+func (m *Manager) pinTable(table string, tier cost.Tier) *Entry {
 	for _, s := range m.shards {
 		s.mu.Lock()
 		if e, ok := s.byTable[table]; ok {
-			if !e.ready {
+			if !e.ready || e.Tier != tier {
 				s.mu.Unlock()
 				return nil
 			}
@@ -698,6 +830,7 @@ func (t *Ticket) Commit() int {
 	pendingByShard, armedByShard := t.groupByShard()
 	changed := false
 	hits := 0
+	var promote []*Entry
 	for si, s := range m.shards {
 		pend, armed := pendingByShard[si], armedByShard[si]
 		if len(pend) == 0 && len(armed) == 0 {
@@ -724,7 +857,11 @@ func (t *Ticket) Commit() int {
 			m.admissions.Inc()
 			changed = true
 		}
-		// Reinforce the armed entries the executed plan actually read.
+		// Reinforce the armed entries the executed plan actually read. A
+		// warm hit additionally schedules the entry's asynchronous
+		// promotion back to RAM: single-flight via the promoting flag, and
+		// holding its own pin so eviction cannot race the copy. The
+		// requesting batch never waits — it already has its rows.
 		for _, e := range armed {
 			if !read[e.Table] {
 				continue
@@ -739,12 +876,20 @@ func (t *Ticket) Commit() int {
 			m.hits.Inc()
 			m.savedCost.Add(saving)
 			hits++
+			if e.Tier == cost.TierWarm {
+				m.warmHits.Inc()
+				if !e.promoting {
+					e.promoting = true
+					e.pins++
+					promote = append(promote, e)
+				}
+			}
 		}
 		for _, e := range armed {
-			e.pins--
+			s.unpinLocked(m, e)
 		}
 		for _, e := range pend {
-			e.pins--
+			s.unpinLocked(m, e)
 		}
 		if s.rebalanceLocked(m) {
 			changed = true
@@ -761,6 +906,10 @@ func (t *Ticket) Commit() int {
 		m.gen.Add(1)
 	}
 	m.syncGauges()
+	for _, e := range promote {
+		m.promWG.Add(1)
+		go m.promote(e)
+	}
 	return hits
 }
 
@@ -783,10 +932,10 @@ func (t *Ticket) Abort() {
 			s.dropEntryLocked(m, e)
 		}
 		for _, e := range armed {
-			e.pins--
+			s.unpinLocked(m, e)
 		}
 		for _, e := range pend {
-			e.pins--
+			s.unpinLocked(m, e)
 		}
 		s.rebalanceLocked(m)
 		s.syncLocked(m, si)
@@ -813,16 +962,36 @@ func (t *Ticket) groupByShard() (pending, armed map[int][]*Entry) {
 	return pending, armed
 }
 
-// dropEntryLocked removes an entry and its spooled table; the shard lock
-// is held.
+// dropEntryLocked removes an entry and its spooled table from whichever
+// tier holds it (plus any stale warm copy); the shard lock is held.
 func (s *cacheShard) dropEntryLocked(m *Manager, e *Entry) {
 	key := entryKey(e.Key, e.Prop)
 	if s.entries[key] == e {
 		delete(s.entries, key)
 	}
 	delete(s.byTable, e.Table)
-	s.used -= e.Bytes
-	m.db.DropCache(e.Table)
+	if e.Tier == cost.TierWarm {
+		s.warmUsed -= e.Bytes
+		m.db.DropWarm(e.Table)
+	} else {
+		s.used -= e.Bytes
+		m.db.DropCache(e.Table)
+		if e.staleWarm {
+			e.staleWarm = false
+			m.db.DropWarm(e.Table)
+		}
+	}
+}
+
+// unpinLocked releases one pin; at zero pins any deferred warm-copy
+// cleanup (a promotion that finished while readers were still scanning the
+// disk copy) completes. The shard lock is held.
+func (s *cacheShard) unpinLocked(m *Manager, e *Entry) {
+	e.pins--
+	if e.pins == 0 && e.staleWarm {
+		e.staleWarm = false
+		m.db.DropWarm(e.Table)
+	}
 }
 
 // makeRoomLocked evicts ready, unpinned entries with density below the
@@ -833,7 +1002,7 @@ func (s *cacheShard) makeRoomLocked(m *Manager, bytes int64, density float64) bo
 	if s.used+bytes <= s.budget {
 		return true
 	}
-	victims := s.victimsLocked()
+	victims := s.victimsLocked(cost.TierRAM)
 	freed := int64(0)
 	var plan []*Entry
 	for _, v := range victims {
@@ -856,14 +1025,24 @@ func (s *cacheShard) makeRoomLocked(m *Manager, bytes int64, density float64) bo
 }
 
 // rebalanceLocked evicts lowest-density unpinned entries while the shard
-// is over its budget slice (real sizes can overshoot the admission
-// estimates); it reports whether anything was evicted. Pinned entries may
-// hold the shard over budget transiently — the next Commit/Abort
-// rebalances again.
+// is over either tier's budget slice (real sizes can overshoot the
+// admission estimates); it reports whether anything was evicted or moved.
+// RAM eviction demotes into the warm tier when the entry earns the space,
+// so the warm pass runs second and mops up any resulting warm overflow.
+// Pinned entries may hold the shard over budget transiently — the next
+// Commit/Abort rebalances again.
 func (s *cacheShard) rebalanceLocked(m *Manager) bool {
 	evicted := false
 	for s.used > s.budget {
-		victims := s.victimsLocked()
+		victims := s.victimsLocked(cost.TierRAM)
+		if len(victims) == 0 {
+			break
+		}
+		s.evictLocked(m, victims[0])
+		evicted = true
+	}
+	for s.warmUsed > s.warmBudget {
+		victims := s.victimsLocked(cost.TierWarm)
 		if len(victims) == 0 {
 			break
 		}
@@ -873,12 +1052,12 @@ func (s *cacheShard) rebalanceLocked(m *Manager) bool {
 	return evicted
 }
 
-// victimsLocked lists the shard's evictable entries, lowest density first
-// (LRU breaks ties).
-func (s *cacheShard) victimsLocked() []*Entry {
+// victimsLocked lists the shard's evictable entries of one tier, lowest
+// density first (LRU breaks ties).
+func (s *cacheShard) victimsLocked(tier cost.Tier) []*Entry {
 	var out []*Entry
 	for _, e := range s.entries {
-		if e.ready && e.pins == 0 {
+		if e.ready && e.pins == 0 && e.Tier == tier {
 			out = append(out, e)
 		}
 	}
@@ -895,11 +1074,140 @@ func (s *cacheShard) victimsLocked() []*Entry {
 	return out
 }
 
-// evictLocked removes an entry, dropping its spooled table.
+// evictLocked removes a victim from its tier: a RAM entry valuable enough
+// to earn warm space is demoted (its rows spill to a disk heap file)
+// instead of being destroyed; everything else is dropped for real.
 func (s *cacheShard) evictLocked(m *Manager, e *Entry) {
+	if e.Tier == cost.TierRAM && s.demoteLocked(m, e) {
+		return
+	}
 	s.dropEntryLocked(m, e)
 	m.evictions.Inc()
 	m.gen.Add(1)
+}
+
+// demoteLocked spills a RAM victim to the warm tier: lower-density warm
+// entries are dropped to make room first, and the demotion is refused (the
+// caller then drops the entry) when the warm slice cannot hold it or only
+// denser warm entries occupy it. On success the entry's accounting moves
+// to real on-disk bytes. The shard lock is held across the row copy —
+// demotion happens inside Commit's rebalance, off every request's critical
+// path.
+func (s *cacheShard) demoteLocked(m *Manager, e *Entry) bool {
+	if s.warmBudget <= 0 || e.staleWarm {
+		return false
+	}
+	if !s.makeWarmRoomLocked(m, e.Bytes, e.density()) {
+		return false
+	}
+	diskBytes, err := m.db.DemoteCache(e.Table)
+	if err != nil {
+		return false
+	}
+	s.used -= e.Bytes
+	s.warmUsed += diskBytes
+	e.Bytes = diskBytes
+	e.Tier = cost.TierWarm
+	m.demotions.Inc()
+	m.gen.Add(1)
+	return true
+}
+
+// makeWarmRoomLocked drops warm entries with density below the incoming
+// demotion candidate's until bytes fit in the shard's warm slice, or
+// reports false when the candidate is not worth the drops.
+func (s *cacheShard) makeWarmRoomLocked(m *Manager, bytes int64, density float64) bool {
+	if bytes > s.warmBudget {
+		return false
+	}
+	if s.warmUsed+bytes <= s.warmBudget {
+		return true
+	}
+	victims := s.victimsLocked(cost.TierWarm)
+	freed := int64(0)
+	var plan []*Entry
+	for _, v := range victims {
+		if s.warmUsed-freed+bytes <= s.warmBudget {
+			break
+		}
+		if v.density() >= density {
+			return false // would drop something more valuable
+		}
+		plan = append(plan, v)
+		freed += v.Bytes
+	}
+	if s.warmUsed-freed+bytes > s.warmBudget {
+		return false
+	}
+	for _, v := range plan {
+		s.dropEntryLocked(m, v)
+		m.evictions.Inc()
+		m.gen.Add(1)
+	}
+	return true
+}
+
+// promote copies a warm entry's rows back into a RAM-tier cache table and
+// swaps the entry's tier, asynchronously after the committing batch
+// already returned. The entry is pinned (by Commit) for the whole copy, so
+// neither tier's table can be dropped underneath it; the row copy runs
+// outside the shard lock (the promoting flag single-flights it), and only
+// the accounting swap holds the lock. The warm file is deleted at the last
+// unpin — an in-flight reader of the disk copy finishes undisturbed.
+func (m *Manager) promote(e *Entry) {
+	defer m.promWG.Done()
+	ramBytes, err := m.db.PromoteWarm(e.Table)
+	if ramBytes < storage.PageSize {
+		ramBytes = storage.PageSize
+	}
+	s := m.shards[e.si]
+	s.mu.Lock()
+	e.promoting = false
+	promoted := false
+	if err == nil && s.byTable[e.Table] == e && e.Tier == cost.TierWarm &&
+		s.makeRoomLocked(m, ramBytes, e.density()) {
+		s.warmUsed -= e.Bytes
+		s.used += ramBytes
+		e.Bytes = ramBytes
+		e.Tier = cost.TierRAM
+		e.staleWarm = true // disk copy lingers until the last pin drops
+		m.promotions.Inc()
+		m.gen.Add(1)
+		promoted = true
+	}
+	s.unpinLocked(m, e)
+	s.syncLocked(m, e.si)
+	s.mu.Unlock()
+	if !promoted && err == nil {
+		// The copy exists but was not adopted (no RAM room, or the entry
+		// was dropped meanwhile): discard it, the warm copy stays truth.
+		m.db.DropCache(e.Table)
+	}
+	m.syncGauges()
+}
+
+// WaitPromotions blocks until every scheduled async promotion has settled.
+// Promotion is fire-and-forget on the serving path; tests and benchmarks
+// use this to observe a deterministic post-promotion state.
+func (m *Manager) WaitPromotions() { m.promWG.Wait() }
+
+// Close drains in-flight promotions, drops every entry in both tiers
+// (deleting all warm spill files) and removes the warm directory. Callers
+// must have quiesced batches first: pinned entries are dropped regardless,
+// and a concurrently executing plan would lose its tables.
+func (m *Manager) Close() {
+	m.promWG.Wait()
+	for si, s := range m.shards {
+		s.mu.Lock()
+		for _, e := range s.byTable {
+			s.dropEntryLocked(m, e)
+		}
+		s.syncLocked(m, si)
+		s.mu.Unlock()
+	}
+	m.db.CloseWarm()
+	m.gen.Add(1)
+	m.syncGauges()
 }
 
 // isBaseScanGroup reports whether the group is a bare base-table scan

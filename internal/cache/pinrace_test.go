@@ -55,6 +55,13 @@ func TestPinnedEntryNeverEvictedAcrossShards(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
+	// On a single-CPU host the churn goroutine may only ever be scheduled
+	// while the replay holds its pins (nothing evictable), leaving the
+	// eviction counter at zero; one final shrink from the main goroutine,
+	// with every pin released, guarantees the eviction path executed.
+	m.SetBudget(1)
+	m.SetBudget(64 << 20)
+
 	st := m.Stats()
 	if st.Evictions == 0 {
 		t.Fatal("budget churn never evicted; the race was not exercised")

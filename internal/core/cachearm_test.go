@@ -24,7 +24,7 @@ func TestArmCacheScanPricedByAllAlgorithms(t *testing.T) {
 	armed := mustBuild(t, q)
 	hit := armed.QueryRoots[0]
 	const table = "rc_test"
-	armed.ArmCacheScan(hit, table, 0.5) // nearly free read-back
+	armed.ArmCacheScan(hit, table, 0.5, cost.TierRAM) // nearly free read-back
 
 	for _, alg := range Algorithms() {
 		res := mustOptimize(t, armed, alg)
@@ -65,7 +65,7 @@ func TestArmCacheScanNeverRematerialized(t *testing.T) {
 	armed := map[*physical.Node]bool{}
 	for _, n := range pd.NodesOf(m.LG) {
 		if m.Prop.Satisfies(n.Prop) && n.ReuseSeq > 0 {
-			pd.ArmCacheScan(n, "rc_shared", n.ReuseSeq)
+			pd.ArmCacheScan(n, "rc_shared", n.ReuseSeq, cost.TierRAM)
 			armed[n] = true
 		}
 	}

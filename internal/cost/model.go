@@ -30,6 +30,27 @@ const Tolerance = 1e-6
 // X") that must not trip on reordered-summation rounding.
 func Leq(a, b Cost) bool { return a-b <= Tolerance }
 
+// Tier identifies which storage tier a cached result lives in. The paper's
+// cost model has a single block-read constant; a tiered result cache needs
+// one per tier so the optimizer prices a warm (disk-backed) hit honestly
+// against recomputation instead of pretending it reads at RAM speed.
+type Tier uint8
+
+const (
+	// TierRAM is the primary tier: spooled tables in the main buffer pool.
+	TierRAM Tier = iota
+	// TierWarm is the disk-backed tier cache entries are demoted to.
+	TierWarm
+)
+
+// String names the tier for plan profiles and metrics labels.
+func (t Tier) String() string {
+	if t == TierWarm {
+		return "warm"
+	}
+	return "ram"
+}
+
 // Model holds the cost-model constants. The zero value is unusable; use
 // DefaultModel and adjust fields as needed (e.g. MemoryBytes for the §6.4
 // memory-sensitivity experiment).
@@ -38,6 +59,7 @@ type Model struct {
 	SeekS       float64 // seconds per seek
 	ReadS       float64 // seconds per block read
 	WriteS      float64 // seconds per block write
+	WarmReadS   float64 // seconds per block read from the warm (disk) tier
 	CPUS        float64 // seconds of CPU per block processed
 	CPUTupleS   float64 // seconds of CPU per tuple operation (comparison/probe)
 	MemoryBytes int64   // memory available to each operator
@@ -53,6 +75,7 @@ func DefaultModel() Model {
 		SeekS:       0.010,
 		ReadS:       0.002,
 		WriteS:      0.004,
+		WarmReadS:   0.008,
 		CPUS:        0.0002,
 		CPUTupleS:   2e-8,
 		MemoryBytes: 6 << 20,
@@ -88,6 +111,45 @@ func (m Model) ScanCost(blocks float64) Cost {
 		return 0
 	}
 	return m.SeekS + blocks*(m.ReadS+m.CPUS)
+}
+
+// TierScanCost is ScanCost charged at the given tier's per-block read
+// constant: reading a RAM-resident cache table pays ReadS per block,
+// reading a warm (disk-backed) one pays WarmReadS. A zero WarmReadS falls
+// back to ReadS so models built before tiering keep their old behavior.
+func (m Model) TierScanCost(t Tier, blocks float64) Cost {
+	if blocks <= 0 {
+		return 0
+	}
+	if t == TierWarm {
+		r := m.WarmReadS
+		if r <= 0 {
+			r = m.ReadS
+		}
+		return m.SeekS + blocks*(r+m.CPUS)
+	}
+	return m.ScanCost(blocks)
+}
+
+// DeriveWarmReadS calibrates the warm tier's per-block read constant from
+// measured per-page scan latencies on the two tiers (the same derive-from-
+// artifacts discipline core.DeriveCalibration applies to the phase
+// crossovers): it scales ReadS by the measured warm/RAM ratio, clamped to
+// at least ReadS so a noisy measurement can never make the optimizer price
+// a disk read cheaper than a RAM read. Non-positive inputs return the
+// model's current effective warm constant unchanged.
+func (m Model) DeriveWarmReadS(ramNsPerPage, warmNsPerPage float64) float64 {
+	if ramNsPerPage <= 0 || warmNsPerPage <= 0 {
+		if m.WarmReadS > 0 {
+			return m.WarmReadS
+		}
+		return m.ReadS
+	}
+	r := m.ReadS * warmNsPerPage / ramNsPerPage
+	if r < m.ReadS {
+		r = m.ReadS
+	}
+	return r
 }
 
 // WriteCost is the cost of sequentially writing blocks to disk. This is the

@@ -84,7 +84,7 @@ func TestSpoolAndCacheScanRoundTrip(t *testing.T) {
 		}
 		n2 := pd2.QueryRoots[i]
 		blocks := float64(db.CacheBytes(table)) / float64(model.BlockSize)
-		pd2.ArmCacheScan(n2, table, model.ScanCost(blocks))
+		pd2.ArmCacheScan(n2, table, model.ScanCost(blocks), cost.TierRAM)
 		armedTables[table] = true
 	}
 	if len(armedTables) == 0 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"mqo/internal/algebra"
+	"mqo/internal/cost"
 	"mqo/internal/obs"
 	"mqo/internal/physical"
 	"mqo/internal/storage"
@@ -85,6 +86,12 @@ func opName(pn *physical.PlanNode, asConsumer bool, env *Env) string {
 		return "TempScan(" + tempName(pn) + ")"
 	}
 	if pn.E.Kind == physical.CacheScanOp {
+		// The tier tag makes the per-tier pricing auditable in EXPLAIN
+		// ANALYZE: a warm hit's est cost is charged at WarmReadS per page,
+		// a RAM hit's at ReadS.
+		if pn.E.CacheTier == cost.TierWarm {
+			return "CacheScan(" + pn.E.CacheName + ")@warm"
+		}
 		return "CacheScan(" + pn.E.CacheName + ")"
 	}
 	return pn.E.Kind.String()

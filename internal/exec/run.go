@@ -45,7 +45,8 @@ func (c *CacheIO) spoolName(n *physical.Node) (string, bool) {
 // paper's model (the Figure 7 substitute measurement).
 type RunStats struct {
 	IO      storage.IOStats
-	SimTime float64 // seconds, from the cost model's I/O constants
+	WarmIO  storage.IOStats // warm-tier (disk-backed cache) page I/O
+	SimTime float64         // seconds, from the cost model's I/O constants
 	Wall    time.Duration
 	RowsOut int64
 	// Profile is the per-operator measurement tree recorded when
@@ -85,6 +86,7 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 	defer span.End()
 	start := time.Now()
 	before := db.Pool.Stats()
+	warmBefore := db.WarmIO()
 
 	for _, m := range plan.Mats {
 		if err := ctx.Err(); err != nil {
@@ -135,17 +137,29 @@ func Run(ctx context.Context, db *storage.DB, model cost.Model, plan *physical.P
 		return nil, RunStats{}, err
 	}
 	after := db.Pool.Stats()
+	warmAfter := db.WarmIO()
 	stats := RunStats{
 		IO: storage.IOStats{
 			Reads:  after.Reads - before.Reads,
 			Writes: after.Writes - before.Writes,
 			Hits:   after.Hits - before.Hits,
 		},
+		WarmIO: storage.IOStats{
+			Reads:  warmAfter.Reads - warmBefore.Reads,
+			Writes: warmAfter.Writes - warmBefore.Writes,
+			Hits:   warmAfter.Hits - warmBefore.Hits,
+		},
 		Wall:    time.Since(start),
 		RowsOut: rowsOut,
 	}
+	warmReadS := model.WarmReadS
+	if warmReadS <= 0 {
+		warmReadS = model.ReadS
+	}
 	stats.SimTime = float64(stats.IO.Reads)*model.ReadS + float64(stats.IO.Writes)*model.WriteS +
-		float64(stats.IO.Reads+stats.IO.Writes)*model.CPUS
+		float64(stats.IO.Reads+stats.IO.Writes)*model.CPUS +
+		float64(stats.WarmIO.Reads)*warmReadS + float64(stats.WarmIO.Writes)*model.WriteS +
+		float64(stats.WarmIO.Reads+stats.WarmIO.Writes)*model.CPUS
 	if b.prof != nil {
 		stats.Profile = &BatchProfile{Mats: b.prof.roots[:matRoots], Queries: b.prof.roots[matRoots:]}
 	}
@@ -281,6 +295,19 @@ func (b *builder) buildOp(pn *physical.PlanNode, asConsumer bool) (Iterator, err
 	}
 	switch pn.E.Kind {
 	case physical.CacheScanOp:
+		if pn.E.CacheTier == cost.TierWarm {
+			wt, err := b.db.Warm(pn.E.CacheName)
+			if err != nil {
+				// The entry may have been promoted to RAM between arming and
+				// execution (async promotion completed mid-batch): fall
+				// through to the RAM namespace before failing.
+				if ct, rerr := b.db.Cache(pn.E.CacheName); rerr == nil {
+					return newTableScan(ct.Heap, ct.Schema), nil
+				}
+				return nil, fmt.Errorf("exec: armed warm table for node %d missing: %w", pn.N.ID, err)
+			}
+			return newTableScan(wt.Heap, wt.Schema), nil
+		}
 		ct, err := b.db.Cache(pn.E.CacheName)
 		if err != nil {
 			return nil, fmt.Errorf("exec: armed cache table for node %d missing: %w", pn.N.ID, err)

@@ -62,6 +62,7 @@ type PExpr struct {
 	RightCols []algebra.Column // merge-join right keys
 	IxCol     algebra.Column   // index column (IndexSelect, IndexJoin, IndexBuild, BaseIndex)
 	CacheName string           // spooled result table (CacheScanOp)
+	CacheTier cost.Tier        // storage tier of the spooled table (CacheScanOp)
 }
 
 // Node is a physical equivalence node: a logical group constrained to a
@@ -446,8 +447,13 @@ func (pd *DAG) addEnforcers(n *Node) error {
 // recurrence, so hits need no special-casing in costing, extraction or the
 // what-if engine. The caller must Recost afterwards (Optimize's entry
 // reset does) before reading costs.
-func (pd *DAG) ArmCacheScan(n *Node, table string, scanCost cost.Cost) {
-	pd.addExpr(&PExpr{Kind: CacheScanOp, Node: n, CacheName: table, OpCost: scanCost})
+// tier records which storage tier the spooled table lives in; the caller
+// prices scanCost at that tier's read constant (cost.Model.TierScanCost),
+// so a warm (disk-backed) hit is armed at a strictly higher per-page cost
+// than a RAM hit and the algorithms trade it off against recomputation
+// honestly. The executor routes the scan to the matching namespace.
+func (pd *DAG) ArmCacheScan(n *Node, table string, scanCost cost.Cost, tier cost.Tier) {
+	pd.addExpr(&PExpr{Kind: CacheScanOp, Node: n, CacheName: table, OpCost: scanCost, CacheTier: tier})
 }
 
 // indexable reports whether an index on col can exist for group g: either a

@@ -50,12 +50,21 @@ func (t *Table) Index(column string) (*BTree, bool) {
 type DB struct {
 	Pool *BufferPool
 
-	mu     sync.RWMutex // guards tables, temps and caches
-	tables map[string]*Table
-	temps  map[string]*Table
-	caches map[string]*Table
+	mu      sync.RWMutex // guards tables, temps, caches, warm and warmDir
+	tables  map[string]*Table
+	temps   map[string]*Table
+	caches  map[string]*Table
+	warm    map[string]*warmTable // warm-tier (disk-backed) cache tables
+	warmDir string                // lazily created spill directory
 
-	runSeq atomic.Int64 // distinct temp namespace per run
+	runSeq  atomic.Int64 // distinct temp namespace per run
+	warmSeq atomic.Int64 // distinct spill file per demotion
+
+	// Running warm-tier I/O totals of dropped warm tables; WarmIO folds
+	// the live pools' counters on top.
+	warmReads  atomic.Int64
+	warmWrites atomic.Int64
+	warmHits   atomic.Int64
 }
 
 // NewDB creates a database with the given buffer-pool capacity in pages.
@@ -65,6 +74,7 @@ func NewDB(poolPages int) *DB {
 		tables: map[string]*Table{},
 		temps:  map[string]*Table{},
 		caches: map[string]*Table{},
+		warm:   map[string]*warmTable{},
 	}
 }
 

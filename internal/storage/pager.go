@@ -44,6 +44,20 @@ type IOStats struct {
 	Hits   int64 // buffer pool hits
 }
 
+// PageStore is the backing store a buffer pool faults pages from and
+// writes them back to. Two implementations exist: the in-memory Pager
+// (primary tier) and the disk-backed FilePager (warm tier); the pool is
+// tier-agnostic, so heap files and B-trees run unchanged over either.
+type PageStore interface {
+	// Allocate creates a new zeroed page and returns its id.
+	Allocate() PageID
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+
+	read(id PageID, buf []byte) error
+	write(id PageID, buf []byte) error
+}
+
 // Pager is the backing store: an in-memory array of pages standing in for a
 // disk volume. It is safe for concurrent use; reads and writes of distinct
 // allocated pages proceed in parallel under a shared lock (each page's
@@ -127,7 +141,7 @@ const DefaultPoolShards = 8
 // accounting. All methods are safe for concurrent use; see the package
 // comment for the page-content ownership rules.
 type BufferPool struct {
-	pager  *Pager
+	pager  PageStore
 	shards []poolShard
 
 	reads  atomic.Int64
@@ -137,7 +151,7 @@ type BufferPool struct {
 
 // NewBufferPool creates a pool holding up to capacity pages (at least 8)
 // across DefaultPoolShards shards.
-func NewBufferPool(pager *Pager, capacity int) *BufferPool {
+func NewBufferPool(pager PageStore, capacity int) *BufferPool {
 	return NewBufferPoolShards(pager, capacity, DefaultPoolShards)
 }
 
@@ -146,7 +160,7 @@ func NewBufferPool(pager *Pager, capacity int) *BufferPool {
 // The capacity is split evenly across shards (total at least 8 pages, so
 // tiny pools keep the original eviction pressure rather than growing by
 // the shard count).
-func NewBufferPoolShards(pager *Pager, capacity, shards int) *BufferPool {
+func NewBufferPoolShards(pager PageStore, capacity, shards int) *BufferPool {
 	if shards < 1 {
 		shards = 1
 	}

@@ -47,9 +47,10 @@ type Optimizer struct {
 
 	// Cross-batch result cache (WithResultCache): a row-backed store of
 	// spooled intermediate results consulted around every executed batch.
-	rcMu     sync.Mutex
-	rcache   *cache.Manager
-	rcBudget int64
+	rcMu         sync.Mutex
+	rcache       *cache.Manager
+	rcBudget     int64
+	rcWarmBudget int64
 
 	// Micro-batching service behind Submit, started on first use.
 	svcCfg  BatchingOptions
@@ -86,7 +87,7 @@ func WithPlanCache(n int) Option { return func(o *Optimizer) { o.planCacheCap = 
 func WithShards(n int) Option { return func(o *Optimizer) { o.shardCount = n } }
 
 // WithResultCache enables the cross-batch transient result cache (the
-// paper's §8 caching direction, made real): up to budgetBytes of executed
+// paper's §8 caching direction, made real): up to ramBytes of executed
 // intermediate results are spooled into the database's cache namespace and
 // survive across batches, so repeated subexpressions in later Run/Submit
 // traffic are answered by scanning a cache table instead of being
@@ -96,8 +97,14 @@ func WithShards(n int) Option { return func(o *Optimizer) { o.shardCount = n } }
 // spooled tables from storage. Optimize-only calls (OptimizeSQL,
 // OptimizeBatch) never consult the result cache — it is an execution-layer
 // store.
-func WithResultCache(budgetBytes int64) Option {
-	return func(o *Optimizer) { o.rcBudget = budgetBytes }
+//
+// warmBytes > 0 adds a disk-backed warm tier below the RAM tier: instead
+// of dropping a value-dense entry, RAM eviction demotes it to a heap file
+// on disk, where it keeps answering hits (priced at the cost model's
+// higher WarmReadS per-page constant) until warm-tier eviction or
+// promotion back to RAM. warmBytes = 0 keeps the single-tier behavior.
+func WithResultCache(ramBytes, warmBytes int64) Option {
+	return func(o *Optimizer) { o.rcBudget, o.rcWarmBudget = ramBytes, warmBytes }
 }
 
 // WithSpaceBudget bounds the total size of materialized results chosen by
@@ -156,7 +163,7 @@ func Open(cat *Catalog, opts ...Option) (*Optimizer, error) {
 		o.cache = newPlanCacheSet(o.planCacheCap, o.shardCount)
 	}
 	if o.rcBudget > 0 {
-		if err := o.ensureResultCache(o.rcBudget); err != nil {
+		if err := o.ensureResultCache(o.rcBudget, o.rcWarmBudget); err != nil {
 			return nil, err
 		}
 	}
@@ -182,9 +189,9 @@ func (o *Optimizer) setShards(n int) {
 
 // ensureResultCache creates the session result-cache store on first use
 // (Open with WithResultCache, or Serve with ResultCacheBytes set), or
-// resizes an existing store to the requested budget — a smaller budget
-// evicts immediately.
-func (o *Optimizer) ensureResultCache(budgetBytes int64) error {
+// resizes an existing store to the requested budgets — a smaller budget
+// evicts (and, RAM side, demotes) immediately.
+func (o *Optimizer) ensureResultCache(ramBytes, warmBytes int64) error {
 	if o.db == nil {
 		return fmt.Errorf("mqo: WithResultCache requires an attached database (use WithDB)")
 	}
@@ -195,11 +202,31 @@ func (o *Optimizer) ensureResultCache(budgetBytes int64) error {
 		if shards < 1 {
 			shards = 1
 		}
-		o.rcache = cache.NewStoreShards(o.db, o.model, budgetBytes, shards)
-	} else if o.rcache.Budget() != budgetBytes {
-		o.rcache.SetBudget(budgetBytes)
+		o.rcache = cache.NewStoreTiered(o.db, o.model, ramBytes, warmBytes, shards)
+	} else if o.rcache.Budget() != ramBytes || o.rcache.WarmBudget() != warmBytes {
+		o.rcache.SetBudgets(ramBytes, warmBytes)
 	}
 	return nil
+}
+
+// Close releases the session's serving-side resources: the micro-batching
+// service (if Submit started one) stops accepting work, in-flight warm-tier
+// promotions drain, and the result cache drops every spooled table — RAM
+// and warm — removing the warm tier's spill directory from disk. The
+// Optimizer remains usable for optimize-only (and plain Run) calls
+// afterwards; a later Serve with ResultCacheBytes set re-creates the store.
+func (o *Optimizer) Close() {
+	o.svcOnce.Do(func() {})
+	if o.svc != nil {
+		o.svc.Close()
+	}
+	o.rcMu.Lock()
+	rc := o.rcache
+	o.rcache = nil
+	o.rcMu.Unlock()
+	if rc != nil {
+		rc.Close()
+	}
 }
 
 // resultCache returns the session's result-cache store, or nil.

@@ -280,7 +280,7 @@ func TestResultCacheSession(t *testing.T) {
 	if err := tpcd.LoadDB(db, sf, 1); err != nil {
 		t.Fatal(err)
 	}
-	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithResultCache(16<<20))
+	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithResultCache(16<<20, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestResultCacheSession(t *testing.T) {
 
 	// Re-configuring the session's cache with a different budget resizes
 	// the existing store rather than silently keeping the old budget.
-	if err := opt.ensureResultCache(8 << 20); err != nil {
+	if err := opt.ensureResultCache(8<<20, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := opt.ResultCache().Budget(); got != 8<<20 {
@@ -322,7 +322,7 @@ func TestResultCacheSession(t *testing.T) {
 	}
 
 	// WithResultCache without a database must fail at Open.
-	if _, err := Open(tpcd.Catalog(sf), WithResultCache(1<<20)); err == nil {
+	if _, err := Open(tpcd.Catalog(sf), WithResultCache(1<<20, 0)); err == nil {
 		t.Error("WithResultCache without WithDB should fail")
 	}
 }

@@ -83,7 +83,7 @@ func TestPlanCacheWithResultCache(t *testing.T) {
 	if err := tpcd.LoadDB(db, sf, 1); err != nil {
 		t.Fatal(err)
 	}
-	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithPlanCache(16), WithResultCache(16<<20))
+	opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithPlanCache(16), WithResultCache(16<<20, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -63,7 +63,7 @@ func TestServeResultCacheEndToEnd(t *testing.T) {
 		return reads, writes, hits, rows
 	}
 
-	opt, cached := resultCacheWorld(t, sf, WithPlanCache(16), WithResultCache(16<<20))
+	opt, cached := resultCacheWorld(t, sf, WithPlanCache(16), WithResultCache(16<<20, 0))
 	reads1, _, _, rows1 := runPass(cached)
 	reads2, writes2, hits2, rows2 := runPass(cached)
 

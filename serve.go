@@ -48,6 +48,12 @@ type BatchingOptions struct {
 	// by one micro-batch persist and answer later batches from storage.
 	// 0 keeps whatever the session was opened with.
 	ResultCacheBytes int64
+	// ResultCacheWarmBytes sizes the result cache's disk-backed warm tier
+	// (see WithResultCache): RAM eviction demotes value-dense entries to
+	// heap files on disk instead of dropping them, and warm hits are served
+	// from storage at the cost model's WarmReadS rate. Only consulted when
+	// ResultCacheBytes is set; 0 disables the warm tier for the service.
+	ResultCacheWarmBytes int64
 }
 
 // BatchInfo describes the batch that answered a submitted query: sequence
@@ -93,7 +99,7 @@ func Serve(o *Optimizer, cfg BatchingOptions) (*Service, error) {
 		o.setShards(cfg.Shards)
 	}
 	if cfg.ResultCacheBytes > 0 {
-		if err := o.ensureResultCache(cfg.ResultCacheBytes); err != nil {
+		if err := o.ensureResultCache(cfg.ResultCacheBytes, cfg.ResultCacheWarmBytes); err != nil {
 			return nil, err
 		}
 	}
@@ -231,7 +237,8 @@ type statsResponse struct {
 	Service   ServiceStats `json:"service"`
 	PlanCache CacheStats   `json:"plan_cache"`
 	// ResultCache reports the cross-batch result cache's hit rate and byte
-	// accounting (zero-valued when disabled).
+	// accounting, including the warm tier's entries/bytes/hits and the
+	// demotion/promotion counters (zero-valued when disabled).
 	ResultCache ResultCacheStats `json:"result_cache"`
 	// ResultCacheHitRate is ResultCache's batch hit fraction, precomputed
 	// for dashboards.

@@ -28,7 +28,7 @@ func ssbShardWorld(t *testing.T, shards int) *Optimizer {
 		t.Fatal(err)
 	}
 	opt, err := Open(ssb.Catalog(shardEquivSF),
-		WithDB(db), WithPlanCache(16), WithShards(shards), WithResultCache(8<<20))
+		WithDB(db), WithPlanCache(16), WithShards(shards), WithResultCache(8<<20, 0))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,89 @@
+package mqo
+
+import (
+	"context"
+	"testing"
+
+	"mqo/internal/tpcd"
+)
+
+// TestTieredEquivalenceWarmUnused is the tiering no-op guarantee: when the
+// RAM budget comfortably holds the working set, enabling the warm tier must
+// change nothing — plan strings byte-identical, rows identical, and the
+// warm tier's counters all zero (no demotion, no warm hit, no promotion,
+// no spill directory activity). Tiering may only ever kick in when RAM
+// pressure would otherwise have dropped entries.
+func TestTieredEquivalenceWarmUnused(t *testing.T) {
+	const sf = 0.002
+	sequence := []string{sqlRevenue, sqlCounts, sqlBatch}
+	ctx := context.Background()
+
+	run := func(warm int64) ([]string, [][]Row, *Optimizer) {
+		t.Helper()
+		db := NewDB(1024)
+		if err := tpcd.LoadDB(db, sf, 1); err != nil {
+			t.Fatal(err)
+		}
+		opt, err := Open(tpcd.Catalog(sf), WithDB(db), WithResultCache(16<<20, warm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var plans []string
+		var rows [][]Row
+		for pass := 0; pass < 2; pass++ {
+			for _, sql := range sequence {
+				res, err := opt.Run(ctx, Batch{SQL: sql, Algorithm: Greedy})
+				if err != nil {
+					t.Fatal(err)
+				}
+				plans = append(plans, res.Plan.String())
+				var rr []Row
+				for _, qr := range res.Queries {
+					rr = append(rr, qr.Rows...)
+				}
+				rows = append(rows, rr)
+			}
+		}
+		return plans, rows, opt
+	}
+
+	plansOff, rowsOff, optOff := run(0)
+	plansOn, rowsOn, optOn := run(16 << 20)
+	defer optOff.Close()
+	defer optOn.Close()
+
+	if len(plansOn) != len(plansOff) {
+		t.Fatalf("plan count diverged: %d tiered vs %d untiered", len(plansOn), len(plansOff))
+	}
+	for i := range plansOff {
+		if plansOn[i] != plansOff[i] {
+			t.Errorf("batch %d plan diverged under an unused warm tier:\ntiered:\n%s\nuntiered:\n%s",
+				i, plansOn[i], plansOff[i])
+		}
+	}
+	for bi := range rowsOff {
+		if len(rowsOn[bi]) != len(rowsOff[bi]) {
+			t.Fatalf("batch %d: %d rows tiered vs %d untiered", bi, len(rowsOn[bi]), len(rowsOff[bi]))
+		}
+		for ri := range rowsOff[bi] {
+			for ci := range rowsOff[bi][ri] {
+				if rowsOn[bi][ri][ci].String() != rowsOff[bi][ri][ci].String() {
+					t.Fatalf("batch %d row %d col %d: %v tiered vs %v untiered",
+						bi, ri, ci, rowsOn[bi][ri][ci], rowsOff[bi][ri][ci])
+				}
+			}
+		}
+	}
+
+	st := optOn.ResultCacheStats()
+	if st.Hits == 0 {
+		t.Error("replay never hit the cache; the equivalence would be vacuous")
+	}
+	if st.Demotions != 0 || st.Promotions != 0 || st.WarmHits != 0 ||
+		st.WarmEntries != 0 || st.WarmUsedBytes != 0 {
+		t.Errorf("warm tier used despite ample RAM: %+v", st)
+	}
+	if n := optOn.DB().NumWarm(); n != 0 {
+		t.Errorf("%d warm tables exist despite ample RAM", n)
+	}
+}
