@@ -2,7 +2,7 @@
 // runs every experiment; -experiment selects one of: fig6, q2ni, fig7,
 // fig8, fig9, fig10, monotonicity, sharability, nosharing, memory, scale,
 // space, parallel, multipick, calibrate, resultcache, ssb, observe,
-// loadgen, tiered.
+// loadgen, tiered, paramcache.
 // With -json the results are emitted as a machine-readable JSON array
 // (one element per experiment) instead of the human-readable tables —
 // the format CI archives as a benchmark trajectory.
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|calibrate|resultcache|ssb|observe|loadgen|tiered|all)")
+	which := flag.String("experiment", "all", "experiment to run (fig6|q2ni|fig7|fig8|fig9|fig10|monotonicity|sharability|nosharing|memory|scale|space|parallel|multipick|calibrate|resultcache|ssb|observe|loadgen|tiered|paramcache|all)")
 	maxCQ := flag.Int("maxcq", 3, "largest PSP composite for the ablation experiments (1-5)")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker count for the parallel what-if costing, multi-pick and calibration experiments")
 	multipick := flag.Int("multipick", 4, "multi-pick width k for the multipick experiment")
@@ -63,6 +63,9 @@ func main() {
 		}},
 		{"tiered", func() (*bench.Experiment, error) {
 			return bench.TieredReplay(*sf, *seed, *rcRAM, *rcWarm)
+		}},
+		{"paramcache", func() (*bench.Experiment, error) {
+			return bench.ParamCache(*sf, *seed, *rcBudget)
 		}},
 	}
 

@@ -1,0 +1,35 @@
+package algebra
+
+import (
+	"sort"
+	"strings"
+)
+
+// BindingKey renders one parameter binding deterministically: parameter
+// names sorted, each as name=value using Value.String's type-distinct
+// encoding (ints bare, dates d-prefixed, floats shortest-'g', strings
+// quoted). Two bindings produce the same key iff they bind the same names
+// to the same typed values, so (expression fingerprint, BindingKey)
+// identifies one binding's result rows — the identity the §5 per-binding
+// result cache stores Invoke-body outputs under. A parameterless binding
+// keys as the empty string.
+func BindingKey(params map[string]Value) string {
+	if len(params) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(params))
+	for n := range params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteByte('=')
+		b.WriteString(params[n].String())
+	}
+	return b.String()
+}

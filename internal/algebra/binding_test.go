@@ -1,0 +1,41 @@
+package algebra
+
+import "testing"
+
+func TestBindingKey(t *testing.T) {
+	cases := []struct {
+		name string
+		in   map[string]Value
+		want string
+	}{
+		{"empty", nil, ""},
+		{"empty map", map[string]Value{}, ""},
+		{"single", map[string]Value{"m": IntVal(4)}, "m=4"},
+		{"sorted names", map[string]Value{"hi": IntVal(9), "lo": IntVal(4)}, "hi=9,lo=4"},
+		{"string quoted", map[string]Value{"r": StringVal("EUROPE")}, `r="EUROPE"`},
+		{"date prefixed", map[string]Value{"d": DateVal(19930101)}, "d=d19930101"},
+		{"float shortest", map[string]Value{"f": FloatVal(0.5)}, "f=0.5"},
+	}
+	for _, c := range cases {
+		if got := BindingKey(c.in); got != c.want {
+			t.Errorf("%s: BindingKey = %q, want %q", c.name, got, c.want)
+		}
+	}
+
+	// Type-distinct encoding: an int and a string that print alike must not
+	// collide, or two different bindings would share cached rows.
+	intKey := BindingKey(map[string]Value{"x": IntVal(1)})
+	strKey := BindingKey(map[string]Value{"x": StringVal("1")})
+	if intKey == strKey {
+		t.Fatalf("int and string bindings collide: %q", intKey)
+	}
+
+	// Determinism across map iteration orders.
+	m := map[string]Value{"a": IntVal(1), "b": IntVal(2), "c": IntVal(3)}
+	first := BindingKey(m)
+	for i := 0; i < 32; i++ {
+		if got := BindingKey(m); got != first {
+			t.Fatalf("BindingKey not deterministic: %q vs %q", got, first)
+		}
+	}
+}

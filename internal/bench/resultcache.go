@@ -54,7 +54,7 @@ func ResultCacheReplay(budgetBytes int64) (*Experiment, error) {
 				}
 				var ticket *cache.Ticket
 				if store != nil {
-					ticket = store.Arm(pd)
+					ticket = store.Arm(pd, nil)
 				}
 				res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 				if err != nil {

@@ -38,7 +38,7 @@ func runReplay(cat *catalog.Catalog, model cost.Model, batches [][]*algebra.Tree
 			}
 			var ticket *cache.Ticket
 			if store != nil {
-				ticket = store.Arm(pd)
+				ticket = store.Arm(pd, nil)
 			}
 			res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 			if err != nil {

@@ -8,10 +8,11 @@
 //
 // The Manager is concurrency-safe and batch-aware. One batch's life cycle:
 //
-//	t := m.Arm(pd)            // pre-pass: match fingerprints, arm CacheScan
+//	t := m.Arm(pd, paramSets) // pre-pass: match fingerprints, arm CacheScan
 //	res := core.Optimize(...) // all algorithms price armed hits natively
 //	spools := t.PlanSpools(res.Plan) // single-flight admission decisions
-//	exec.Run(..., &exec.Env{Cache: &exec.CacheIO{Spools: spools}})
+//	exec.Run(..., &exec.Env{Cache: &exec.CacheIO{
+//		Spools: spools, BindSpools: t.BindingSpools()}})
 //	t.Commit()                // real-byte accounting, reinforcement, eviction
 //
 // Admission is single-flight: an admitted key enters the store as a pending
@@ -44,6 +45,17 @@
 // later ones from RAM. Arm prices each tier at its own per-page read
 // constant (cost.Model.TierScanCost), so every algorithm trades a warm hit
 // off against recomputation honestly.
+//
+// Parameter-dependent expressions (§5 correlated/parameterized bodies) are
+// cached too, at binding granularity: an Invoke body's result for one
+// concrete binding is spooled into its own table keyed by
+// (fingerprint, binding), and Arm's binding pre-pass turns any subset of
+// ready bindings into an InvokePartial alternative — cached bindings are
+// served by tier-priced table scans, residual bindings recompute through
+// the body at the residual fraction of the Invoke weight. Binding entries
+// ride the same shard machinery as whole-expression entries: single-flight
+// admission, pinning, value-density eviction and byte accounting at
+// binding granularity, demotion to the warm tier and async promotion.
 package cache
 
 import (
@@ -84,6 +96,11 @@ type Entry struct {
 	// Tier is the storage tier the spooled table currently lives in: RAM
 	// (primary buffer pool) or warm (disk-backed heap file).
 	Tier cost.Tier
+	// Bind is the binding key (algebra.BindingKey) for per-binding entries
+	// of a parameter-dependent expression; empty for whole-expression
+	// entries. A binding entry stores exactly one binding's rows of the
+	// expression named by Key.
+	Bind string
 
 	// admitValue is the per-use saving estimated at admission, the
 	// reinforcement added per hit when no fresher estimate exists.
@@ -133,6 +150,17 @@ type Stats struct {
 	Evictions  int64 `json:"evictions"`
 	Demotions  int64 `json:"demotions"`
 	Promotions int64 `json:"promotions"`
+	// Binding-granularity accounting (§5 parameterized/correlated caching).
+	// BindingEntries of Entries are per-binding entries; BindingHits counts
+	// binding-entry reads; BindingPartialHits counts executed InvokePartial
+	// plan nodes (one per Invoke with at least one cached binding);
+	// BindingResidual totals the residual bindings those partial hits
+	// recomputed; BindingAdmissions the binding entries admitted.
+	BindingEntries     int   `json:"binding_entries"`
+	BindingHits        int64 `json:"binding_hits"`
+	BindingPartialHits int64 `json:"binding_partial_hits"`
+	BindingResidual    int64 `json:"binding_residual"`
+	BindingAdmissions  int64 `json:"binding_admissions"`
 	// SavedCostEst totals the estimated optimizer-cost-model seconds hits
 	// saved versus recomputing.
 	SavedCostEst float64 `json:"saved_cost_est"`
@@ -168,10 +196,16 @@ type cacheShard struct {
 	mu         sync.Mutex
 	budget     int64             // RAM-tier byte slice
 	warmBudget int64             // warm-tier (disk) byte slice
-	entries    map[string]*Entry // by entryKey
+	entries    map[string]*Entry // by entryKey (+"@"+bind for binding entries)
 	byTable    map[string]*Entry
-	used       int64 // RAM-tier bytes held
-	warmUsed   int64 // warm-tier bytes held
+	// bindings is the per-shard binding-set summary: for each
+	// parameter-dependent expression key (entryKey of the body), the map of
+	// binding keys to their entries — what Arm's binding pre-pass probes to
+	// classify a batch's bindings into cached and residual without scanning
+	// the whole entry table.
+	bindings map[string]map[string]*Entry
+	used     int64 // RAM-tier bytes held
+	warmUsed int64 // warm-tier bytes held
 
 	// Lock-free mirrors of the accounting, so the aggregate scrape gauges
 	// never need to take every shard lock.
@@ -179,6 +213,7 @@ type cacheShard struct {
 	entriesA     atomic.Int64
 	warmUsedA    atomic.Int64
 	warmEntriesA atomic.Int64
+	bindEntriesA atomic.Int64
 }
 
 // Manager is the store's controller. All methods are safe for concurrent
@@ -210,7 +245,12 @@ type Manager struct {
 	evictions  *obs.Counter
 	demotions  *obs.Counter
 	promotions *obs.Counter
-	savedCost  *obs.FloatCounter
+	// Binding-granularity counters (§5 parameterized/correlated caching).
+	bindHits        *obs.Counter
+	bindPartialHits *obs.Counter
+	bindResidual    *obs.Counter
+	bindAdmissions  *obs.Counter
+	savedCost       *obs.FloatCounter
 	// State gauges, refreshed from the shard mirrors.
 	entriesG     *obs.Gauge
 	usedG        *obs.Gauge
@@ -218,6 +258,7 @@ type Manager struct {
 	warmEntriesG *obs.Gauge
 	warmUsedG    *obs.Gauge
 	warmBudgetG  *obs.Gauge
+	bindEntriesG *obs.Gauge
 	genG         *obs.Gauge
 	// Per-shard gauges (label shard="i"), kept in sync under shard locks.
 	shardUsedG    []*obs.Gauge
@@ -262,17 +303,26 @@ func NewStoreTiered(db *storage.DB, model cost.Model, ramBytes, warmBytes int64,
 		evictions:    reg.RegisterCounter("mqo_resultcache_evictions_total", "Entries evicted (spooled table dropped).", &obs.Counter{}),
 		demotions:    reg.RegisterCounter("mqo_resultcache_demotions_total", "Entries demoted from RAM to the warm tier at eviction.", &obs.Counter{}),
 		promotions:   reg.RegisterCounter("mqo_resultcache_promotions_total", "Entries asynchronously promoted from the warm tier back to RAM.", &obs.Counter{}),
-		savedCost:    reg.RegisterFloatCounter("mqo_resultcache_saved_cost_seconds_total", "Estimated cost-model seconds saved by cache hits.", &obs.FloatCounter{}),
+		bindHits:     reg.RegisterCounter("mqo_resultcache_binding_hits_total", "Per-binding cache entry reads (one per cached binding per batch).", &obs.Counter{}),
+		bindPartialHits: reg.RegisterCounter("mqo_resultcache_binding_partial_hits_total",
+			"Executed partial binding-cache hits (InvokePartial plan nodes).", &obs.Counter{}),
+		bindResidual: reg.RegisterCounter("mqo_resultcache_binding_residual_total",
+			"Residual bindings recomputed by executed partial hits.", &obs.Counter{}),
+		bindAdmissions: reg.RegisterCounter("mqo_resultcache_binding_admissions_total",
+			"Per-binding entries admitted and spooled.", &obs.Counter{}),
+		savedCost: reg.RegisterFloatCounter("mqo_resultcache_saved_cost_seconds_total", "Estimated cost-model seconds saved by cache hits.", &obs.FloatCounter{}),
 		entriesG:     reg.RegisterGauge("mqo_resultcache_entries", "Entries currently in the store (pending included).", &obs.Gauge{}),
 		usedG:        reg.RegisterGauge("mqo_resultcache_used_bytes", "Bytes of spooled results currently held in RAM.", &obs.Gauge{}),
 		budgetG:      reg.RegisterGauge("mqo_resultcache_budget_bytes", "RAM byte budget for spooled results.", &obs.Gauge{}),
 		warmEntriesG: reg.RegisterGauge("mqo_resultcache_warm_entries", "Entries currently in the warm (disk) tier.", &obs.Gauge{}),
 		warmUsedG:    reg.RegisterGauge("mqo_resultcache_warm_used_bytes", "On-disk bytes of warm-tier spooled results.", &obs.Gauge{}),
 		warmBudgetG:  reg.RegisterGauge("mqo_resultcache_warm_budget_bytes", "Warm-tier (disk) byte budget for spooled results.", &obs.Gauge{}),
+		bindEntriesG: reg.RegisterGauge("mqo_resultcache_binding_entries", "Per-binding entries currently in the store (pending included).", &obs.Gauge{}),
 		genG:         reg.RegisterGauge("mqo_resultcache_generation", "Ready-set generation.", &obs.Gauge{}),
 	}
 	for i := range m.shards {
-		m.shards[i] = &cacheShard{entries: map[string]*Entry{}, byTable: map[string]*Entry{}}
+		m.shards[i] = &cacheShard{entries: map[string]*Entry{}, byTable: map[string]*Entry{},
+			bindings: map[string]map[string]*Entry{}}
 		label := obs.Label{Key: "shard", Value: strconv.Itoa(i)}
 		m.shardUsedG = append(m.shardUsedG,
 			reg.RegisterGauge("mqo_resultcache_shard_used_bytes", "Bytes of spooled results held per shard.", &obs.Gauge{}, label))
@@ -337,26 +387,32 @@ func (s *cacheShard) syncLocked(m *Manager, si int) {
 	s.usedA.Store(s.used)
 	s.entriesA.Store(int64(len(s.entries)))
 	s.warmUsedA.Store(s.warmUsed)
-	var warmN int64
+	var warmN, bindN int64
 	for _, e := range s.entries {
 		if e.Tier == cost.TierWarm {
 			warmN++
 		}
+		if e.Bind != "" {
+			bindN++
+		}
 	}
 	s.warmEntriesA.Store(warmN)
+	s.bindEntriesA.Store(bindN)
 	m.shardUsedG[si].Set(s.used)
 	m.shardEntriesG[si].Set(int64(len(s.entries)))
 }
 
 // syncGauges refreshes the aggregate scrape gauges from the shard mirrors.
 func (m *Manager) syncGauges() {
-	var used, entries, warmUsed, warmEntries int64
+	var used, entries, warmUsed, warmEntries, bindEntries int64
 	for _, s := range m.shards {
 		used += s.usedA.Load()
 		entries += s.entriesA.Load()
 		warmUsed += s.warmUsedA.Load()
 		warmEntries += s.warmEntriesA.Load()
+		bindEntries += s.bindEntriesA.Load()
 	}
+	m.bindEntriesG.Set(bindEntries)
 	m.entriesG.Set(entries)
 	m.usedG.Set(used)
 	m.budgetG.Set(m.budget.Load())
@@ -446,8 +502,14 @@ func (m *Manager) Stats() Stats {
 		Evictions:       m.evictions.Value(),
 		Demotions:       m.demotions.Value(),
 		Promotions:      m.promotions.Value(),
-		SavedCostEst:    m.savedCost.Value(),
-		Generation:      m.gen.Load(),
+
+		BindingHits:        m.bindHits.Value(),
+		BindingPartialHits: m.bindPartialHits.Value(),
+		BindingResidual:    m.bindResidual.Value(),
+		BindingAdmissions:  m.bindAdmissions.Value(),
+
+		SavedCostEst: m.savedCost.Value(),
+		Generation:   m.gen.Load(),
 	}
 	for _, s := range m.shards {
 		s.mu.Lock()
@@ -457,6 +519,9 @@ func (m *Manager) Stats() Stats {
 		for _, e := range s.entries {
 			if e.Tier == cost.TierWarm {
 				st.WarmEntries++
+			}
+			if e.Bind != "" {
+				st.BindingEntries++
 			}
 		}
 		s.mu.Unlock()
@@ -492,7 +557,21 @@ func (m *Manager) String() string {
 
 // entryKey combines the canonical logical fingerprint with the stored
 // physical property.
+//
+// Binding-key invariant: a parameter-dependent expression's canonical
+// fingerprint renders parameters by NAME ("?name" — see
+// algebra.ParamExpr.Fingerprint), never by bound value, so its entryKey is
+// value-independent and bindingKey (entryKey + "@" + algebra.BindingKey of
+// the concrete binding) is the complete identity of one binding's rows:
+// two batches carrying the same body with the same bound values always
+// collide on one entry, and different values never do. Whole-expression
+// entries use entryKey alone; the "@" separator cannot appear in a
+// property key, so the two key spaces never overlap.
 func entryKey(fp string, prop physical.Prop) string { return fp + "§" + prop.Key() }
+
+// bindingKey is the store key of one binding's entry of a
+// parameter-dependent expression.
+func bindingKey(bodyKey, bind string) string { return bodyKey + "@" + bind }
 
 // Ticket is one batch's handle on the store: the entries its plan may read
 // (pinned), the admissions it owes rows for (pending, pinned), and the
@@ -502,11 +581,19 @@ type Ticket struct {
 	m *Manager
 	// fps are the batch DAG's canonical fingerprints (Arm tickets only).
 	fps map[*dag.Group]string
+	// binds are the batch's binding keys (algebra.BindingKey per ParamSet,
+	// in ParamSets order; Arm tickets only).
+	binds []string
 	// armed maps ready entries the batch's DAG can read to the estimated
 	// per-use saving (recomputation cost minus read-back).
 	armed map[*Entry]float64
 	// pending maps spooled physical nodes to their pending entries.
 	pending map[*physical.Node]*Entry
+	// bindPending are the per-binding entries this batch admitted.
+	bindPending []*Entry
+	// bindSpools maps Invoke plan nodes to binding→table spool assignments
+	// (see BindingSpools).
+	bindSpools map[*physical.Node]map[string]string
 	// plan is the executed plan, recorded by PlanSpools / PinPlan; Commit
 	// walks it to see which armed tables were actually read.
 	plan *physical.Plan
@@ -525,9 +612,20 @@ type Ticket struct {
 // Nodes are grouped by fingerprint shard and each shard is visited once, in
 // index order, so arming touches only the shards the batch's expressions
 // hash to.
-func (m *Manager) Arm(pd *physical.DAG) *Ticket {
+//
+// paramSets are the batch's parameter bindings (exec.Env.ParamSets order;
+// nil for an unparameterized batch). Parameter-dependent nodes are skipped
+// by the whole-expression pass above — one table cannot stand for all
+// bindings — but they are NOT categorically uncacheable: the binding
+// pre-pass (armBindings) matches each Invoke body's (fingerprint, binding)
+// entries against paramSets and arms an InvokePartial alternative when any
+// binding is ready.
+func (m *Manager) Arm(pd *physical.DAG, paramSets []map[string]algebra.Value) *Ticket {
 	fps := dag.CanonicalFingerprints(pd.L)
 	t := &Ticket{m: m, fps: fps, armed: map[*Entry]float64{}, pending: map[*physical.Node]*Entry{}}
+	for _, ps := range paramSets {
+		t.binds = append(t.binds, algebra.BindingKey(ps))
+	}
 	m.clock.Add(1)
 
 	type nodeRef struct {
@@ -536,6 +634,7 @@ func (m *Manager) Arm(pd *physical.DAG) *Ticket {
 	}
 	byShard := make([][]nodeRef, len(m.shards))
 	for _, n := range pd.Nodes {
+		// ParamDep nodes are handled per binding by armBindings below.
 		if n.LG.ParamDep || n == pd.Root || n.Prop.HasIx {
 			continue
 		}
@@ -549,11 +648,13 @@ func (m *Manager) Arm(pd *physical.DAG) *Ticket {
 		}
 		s := m.shards[si]
 		s.mu.Lock()
-		// Ready entries of this shard by fingerprint, deterministically
-		// ordered.
+		// Ready whole-expression entries of this shard by fingerprint,
+		// deterministically ordered. (Binding entries share the fingerprint
+		// of their ParamDep body, which no node in this pass carries; they
+		// are excluded anyway for clarity.)
 		byKey := map[string][]*Entry{}
 		for _, e := range s.entries {
-			if e.ready {
+			if e.ready && e.Bind == "" {
 				byKey[e.Key] = append(byKey[e.Key], e)
 			}
 		}
@@ -593,7 +694,76 @@ func (m *Manager) Arm(pd *physical.DAG) *Ticket {
 		}
 		s.mu.Unlock()
 	}
+	m.armBindings(t, pd)
 	return t
+}
+
+// armBindings is the per-binding §5 pre-pass: for every Invoke whose body
+// has ready (fingerprint, binding) entries for some of the batch's
+// bindings, arm an InvokePartial alternative — cached bindings become
+// tier-priced table scans (one spooled table each), residual bindings keep
+// paying the body's per-invocation cost at the residual fraction of the
+// Invoke weight (cost.ResidualInvokeWeight). All bindings of one body hash
+// to the body fingerprint's shard, so classification is one shard-local
+// probe of the binding summary. Armed binding entries are pinned like any
+// other armed entry; Commit reinforces the ones the executed plan read.
+func (m *Manager) armBindings(t *Ticket, pd *physical.DAG) {
+	if len(t.binds) == 0 {
+		return
+	}
+	for _, n := range pd.Nodes {
+		if n.Prop.HasIx || n == pd.Root {
+			continue
+		}
+		for _, e := range n.Exprs {
+			if e.Kind != physical.InvokeOp {
+				continue
+			}
+			body := e.Children[0]
+			bodyFP := t.fps[body.LG.Find()]
+			bodyKey := entryKey(bodyFP, body.Prop)
+			s := m.shards[m.shardFor(bodyFP)]
+			s.mu.Lock()
+			var scans []physical.BindScan
+			var tiers []cost.Tier
+			var blocks []float64
+			var residual []string
+			var armed []*Entry
+			for _, bind := range t.binds {
+				be := s.bindings[bodyKey][bind]
+				if be == nil || !be.ready {
+					residual = append(residual, bind)
+					continue
+				}
+				scans = append(scans, physical.BindScan{Bind: bind, Table: be.Table, Tier: be.Tier})
+				tiers = append(tiers, be.Tier)
+				blocks = append(blocks, float64(be.Bytes)/float64(m.Model.BlockSize))
+				armed = append(armed, be)
+			}
+			if len(scans) == 0 {
+				s.mu.Unlock()
+				continue
+			}
+			scanCost := m.Model.BindingReadbackCost(tiers, blocks)
+			weight := cost.ResidualInvokeWeight(e.Weights[0], len(residual), len(t.binds))
+			pd.ArmInvokePartial(n, e.LE, body, weight, scanCost, scans, residual, bodyKey)
+			for _, be := range armed {
+				// Per-use saving: one body invocation replaced by one
+				// tier-priced table read-back.
+				saving := float64(body.Cost) - float64(m.tierScanCost(be.Tier, be.Bytes))
+				if saving < 0 {
+					saving = 0
+				}
+				if prev, ok := t.armed[be]; !ok || saving > prev {
+					if !ok {
+						be.pins++
+					}
+					t.armed[be] = saving
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
 }
 
 // tierScanCost prices reading back a spooled result of the given size from
@@ -636,6 +806,8 @@ func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
 	consider := func(pn *physical.PlanNode, extraWrite bool) {
 		n := pn.N
 		switch {
+		// ParamDep results are admitted per binding (admitBindings below),
+		// never as one whole-expression table.
 		case n.LG.ParamDep, n.Prop.HasIx, pn.E.Kind == physical.IndexBuildEnf,
 			pn.E.Kind == physical.CacheScanOp, pn.E.Kind == physical.Batch,
 			isBaseScanGroup(n.LG), len(n.LG.Schema) == 0:
@@ -725,28 +897,196 @@ func (t *Ticket) PlanSpools(plan *physical.Plan) map[*physical.Node]string {
 		t.pending[c.pn.N] = e
 		spools[c.pn.N] = e.Table
 	}
+	t.admitBindings(plan)
 	m.syncGauges()
 	return spools
 }
 
+// maxBindAdmitPerBatch bounds per-binding admissions per batch. Bindings
+// are small (often one aggregate row each) but arrive in set-sized groups,
+// so the bound is wider than maxAdmitPerBatch while still stopping one
+// huge ParamSets batch from churning its shard.
+const maxBindAdmitPerBatch = 64
+
+// admitBindings decides which residual bindings of the optimized plan's
+// Invoke nodes to admit, claiming single-flight pending entries exactly
+// like whole-expression admission — per (fingerprint, binding) key, with
+// value-density competition and byte accounting at binding granularity.
+// Candidates are the residual bindings of every InvokeOp / InvokePartial
+// node in the plan; each one's value is what a future hit saves (one body
+// invocation minus read-back and the spool write). The executor learns the
+// assignments through BindingSpools.
+func (t *Ticket) admitBindings(plan *physical.Plan) {
+	m := t.m
+	if len(t.binds) == 0 || t.fps == nil {
+		return
+	}
+	type bcand struct {
+		n     *physical.Node
+		fp    string
+		prop  physical.Prop
+		key   string // bindingKey(bodyKey, bind)
+		bind  string
+		bytes int64
+		value float64
+		topo  int
+	}
+	var cands []bcand
+	seen := map[string]bool{}
+	plan.Root.Walk(func(pn *physical.PlanNode) {
+		if pn.E.Kind != physical.InvokeOp && pn.E.Kind != physical.InvokePartial {
+			return
+		}
+		body := pn.E.Children[0]
+		if len(body.LG.Schema) == 0 {
+			return
+		}
+		fp := t.fps[body.LG.Find()]
+		bodyKey := entryKey(fp, body.Prop)
+		// Per-binding size estimate: the optimizer's body cardinality is a
+		// per-invocation estimate already, so it prices one binding's rows.
+		bytes := int64(body.LG.Rel.Blocks(m.Model)) * m.Model.BlockSize
+		if bytes <= 0 {
+			return
+		}
+		// Value of a future hit on one binding: one body invocation saved,
+		// minus the read-back and the spool write paid now.
+		value := float64(body.Cost - body.ReuseSeq - body.MatCost)
+		if value <= 0 {
+			return
+		}
+		residual := t.binds
+		if pn.E.Kind == physical.InvokePartial {
+			residual = pn.E.ResidualBinds
+		}
+		for _, bind := range residual {
+			key := bindingKey(bodyKey, bind)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cands = append(cands, bcand{n: pn.N, fp: fp, prop: body.Prop, key: key,
+				bind: bind, bytes: bytes, value: value, topo: body.Topo})
+		}
+	})
+	// Best density first; topological number then binding key break ties
+	// deterministically.
+	sort.Slice(cands, func(i, j int) bool {
+		di := cands[i].value / float64(cands[i].bytes)
+		dj := cands[j].value / float64(cands[j].bytes)
+		if di != dj {
+			return di > dj
+		}
+		if cands[i].topo != cands[j].topo {
+			return cands[i].topo < cands[j].topo
+		}
+		return cands[i].bind < cands[j].bind
+	})
+
+	admitted := 0
+	for _, c := range cands {
+		if admitted >= maxBindAdmitPerBatch {
+			break
+		}
+		si := m.shardFor(c.fp)
+		s := m.shards[si]
+		s.mu.Lock()
+		if c.bytes > s.budget {
+			s.mu.Unlock()
+			continue
+		}
+		if _, exists := s.entries[c.key]; exists {
+			s.mu.Unlock()
+			continue // ready or claimed by a concurrent batch (single-flight)
+		}
+		if !s.makeRoomLocked(m, c.bytes, c.value/float64(c.bytes)) {
+			s.mu.Unlock()
+			continue
+		}
+		e := &Entry{
+			Key:        c.fp,
+			Prop:       c.prop,
+			Bind:       c.bind,
+			Table:      "rc" + strconv.FormatInt(m.tableSeq.Add(1), 10),
+			Bytes:      c.bytes,
+			Value:      c.value,
+			admitValue: c.value,
+			LastUsed:   m.clock.Load(),
+			pins:       1,
+			si:         si,
+		}
+		s.entries[c.key] = e
+		s.byTable[e.Table] = e
+		bodyKey := entryKey(c.fp, c.prop)
+		if s.bindings[bodyKey] == nil {
+			s.bindings[bodyKey] = map[string]*Entry{}
+		}
+		s.bindings[bodyKey][c.bind] = e
+		s.used += e.Bytes
+		s.syncLocked(m, si)
+		s.mu.Unlock()
+		t.bindPending = append(t.bindPending, e)
+		if t.bindSpools == nil {
+			t.bindSpools = map[*physical.Node]map[string]string{}
+		}
+		if t.bindSpools[c.n] == nil {
+			t.bindSpools[c.n] = map[string]string{}
+		}
+		t.bindSpools[c.n][c.bind] = e.Table
+		admitted++
+	}
+}
+
+// BindingSpools returns the per-binding spool assignments PlanSpools made:
+// for each Invoke plan node, the binding-key → cache-table map the
+// executor must tee those bindings' rows into. Nil when nothing was
+// admitted at binding granularity.
+func (t *Ticket) BindingSpools() map[*physical.Node]map[string]string { return t.bindSpools }
+
 // PinPlan builds a ticket for an already-optimized plan (a session
-// plan-cache hit): every cache table the plan reads is pinned. It reports
+// plan-cache hit): every cache table the plan reads — CacheScan tables and
+// the binding tables of InvokePartial nodes — is pinned. It reports
 // ok=false — and pins nothing — when any referenced entry is gone, not
 // ready, or no longer in the tier the plan was priced against (a demotion
 // or promotion moved it since), in which case the caller must discard the
-// plan and optimize fresh.
+// plan and optimize fresh. It also revalidates binding-set membership: a
+// residual binding of an InvokePartial node that has become ready since
+// the plan was optimized means the plan undershoots the available hit, so
+// the plan is rejected and the caller re-optimizes against the fuller
+// binding summary.
 func (m *Manager) PinPlan(plan *physical.Plan) (*Ticket, bool) {
 	type cacheRef struct {
 		table string
 		tier  cost.Tier
 	}
+	type residualRef struct {
+		bodyKey string
+		binds   []string
+	}
 	var refs []cacheRef
+	var residuals []residualRef
 	plan.Root.Walk(func(pn *physical.PlanNode) {
-		if pn.E.Kind == physical.CacheScanOp {
+		switch pn.E.Kind {
+		case physical.CacheScanOp:
 			refs = append(refs, cacheRef{pn.E.CacheName, pn.E.CacheTier})
+		case physical.InvokePartial:
+			for _, bs := range pn.E.BindScans {
+				refs = append(refs, cacheRef{bs.Table, bs.Tier})
+			}
+			if len(pn.E.ResidualBinds) > 0 {
+				residuals = append(residuals, residualRef{pn.E.BindFP, pn.E.ResidualBinds})
+			}
 		}
 	})
 	t := &Ticket{m: m, armed: map[*Entry]float64{}, pending: map[*physical.Node]*Entry{}, plan: plan}
+	rollback := func() {
+		for pinned := range t.armed {
+			s := m.shards[pinned.si]
+			s.mu.Lock()
+			s.unpinLocked(m, pinned)
+			s.mu.Unlock()
+		}
+	}
 
 	for _, ref := range refs {
 		if t.hasTable(ref.table) {
@@ -754,19 +1094,39 @@ func (m *Manager) PinPlan(plan *physical.Plan) (*Ticket, bool) {
 		}
 		e := m.pinTable(ref.table, ref.tier)
 		if e == nil {
-			// Roll back: unpin everything pinned so far, shard by shard.
-			for pinned := range t.armed {
-				s := m.shards[pinned.si]
-				s.mu.Lock()
-				s.unpinLocked(m, pinned)
-				s.mu.Unlock()
-			}
+			rollback()
 			return nil, false
 		}
 		t.armed[e] = e.admitValue
 	}
+	for _, rr := range residuals {
+		if m.anyBindingReady(rr.bodyKey, rr.binds) {
+			rollback()
+			return nil, false
+		}
+	}
 	m.clock.Add(1)
 	return t, true
+}
+
+// anyBindingReady reports whether any of the given bindings of a
+// parameter-dependent body (identified by its entryKey) has a ready entry.
+// Shards are searched in index order, one lock at a time — the body's
+// binding summary lives in exactly one shard.
+func (m *Manager) anyBindingReady(bodyKey string, binds []string) bool {
+	for _, s := range m.shards {
+		s.mu.Lock()
+		if bs, ok := s.bindings[bodyKey]; ok {
+			for _, b := range binds {
+				if e := bs[b]; e != nil && e.ready {
+					s.mu.Unlock()
+					return true
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+	return false
 }
 
 // hasTable reports whether the ticket already pinned the named table.
@@ -818,13 +1178,28 @@ func (t *Ticket) Commit() int {
 	t.done = true
 
 	// Which armed tables did the executed plan actually read? (Lock-free.)
+	// An InvokePartial node reads every one of its binding tables; it also
+	// counts one partial hit and its residual recomputes here, since plan
+	// extraction choosing the expression is what makes the hit real.
 	read := map[string]bool{}
+	var partialHits, residuals int64
 	if t.plan != nil {
 		t.plan.Root.Walk(func(pn *physical.PlanNode) {
-			if pn.E.Kind == physical.CacheScanOp {
+			switch pn.E.Kind {
+			case physical.CacheScanOp:
 				read[pn.E.CacheName] = true
+			case physical.InvokePartial:
+				for _, bs := range pn.E.BindScans {
+					read[bs.Table] = true
+				}
+				partialHits++
+				residuals += int64(len(pn.E.ResidualBinds))
 			}
 		})
+	}
+	if partialHits > 0 {
+		m.bindPartialHits.Add(partialHits)
+		m.bindResidual.Add(residuals)
 	}
 
 	pendingByShard, armedByShard := t.groupByShard()
@@ -855,6 +1230,9 @@ func (t *Ticket) Commit() int {
 			e.Bytes = real
 			e.ready = true
 			m.admissions.Inc()
+			if e.Bind != "" {
+				m.bindAdmissions.Inc()
+			}
 			changed = true
 		}
 		// Reinforce the armed entries the executed plan actually read. A
@@ -874,6 +1252,9 @@ func (t *Ticket) Commit() int {
 			}
 			e.Value += saving
 			m.hits.Inc()
+			if e.Bind != "" {
+				m.bindHits.Inc()
+			}
 			m.savedCost.Add(saving)
 			hits++
 			if e.Tier == cost.TierWarm {
@@ -944,11 +1325,15 @@ func (t *Ticket) Abort() {
 	m.syncGauges()
 }
 
-// groupByShard splits the ticket's pending and armed entries by owning
-// shard, each group deterministically ordered by table name.
+// groupByShard splits the ticket's pending (whole-expression and
+// per-binding) and armed entries by owning shard, each group
+// deterministically ordered by table name.
 func (t *Ticket) groupByShard() (pending, armed map[int][]*Entry) {
 	pending, armed = map[int][]*Entry{}, map[int][]*Entry{}
 	for _, e := range t.pending {
+		pending[e.si] = append(pending[e.si], e)
+	}
+	for _, e := range t.bindPending {
 		pending[e.si] = append(pending[e.si], e)
 	}
 	for e := range t.armed {
@@ -966,6 +1351,16 @@ func (t *Ticket) groupByShard() (pending, armed map[int][]*Entry) {
 // tier holds it (plus any stale warm copy); the shard lock is held.
 func (s *cacheShard) dropEntryLocked(m *Manager, e *Entry) {
 	key := entryKey(e.Key, e.Prop)
+	if e.Bind != "" {
+		// Binding entries also leave the binding-set summary.
+		if bs := s.bindings[key]; bs[e.Bind] == e {
+			delete(bs, e.Bind)
+			if len(bs) == 0 {
+				delete(s.bindings, key)
+			}
+		}
+		key = bindingKey(key, e.Bind)
+	}
 	if s.entries[key] == e {
 		delete(s.entries, key)
 	}

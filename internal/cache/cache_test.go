@@ -78,7 +78,7 @@ func runBatch(t *testing.T, m *Manager, db *storage.DB, cat *catalog.Catalog,
 	if err != nil {
 		t.Fatal(err)
 	}
-	ticket := m.Arm(pd)
+	ticket := m.Arm(pd, nil)
 	res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		ticket.Abort()
@@ -230,7 +230,7 @@ func TestSingleFlightAdmission(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ticket := m.Arm(pd)
+		ticket := m.Arm(pd, nil)
 		res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 		if err != nil {
 			t.Fatal(err)
@@ -300,7 +300,7 @@ func TestBudgetAndEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ticket := m.Arm(pd)
+	ticket := m.Arm(pd, nil)
 	if len(ticket.armed) == 0 {
 		t.Fatal("arming the repeated query matched nothing")
 	}
@@ -396,7 +396,7 @@ func TestZeroRowResultIsCacheable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ticket := m.Arm(pd)
+	ticket := m.Arm(pd, nil)
 	res, err := core.Optimize(context.Background(), pd, core.Greedy, core.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -427,7 +427,7 @@ func TestZeroRowResultIsCacheable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2 := m.Arm(pd2)
+	t2 := m.Arm(pd2, nil)
 	if len(t2.armed) == 0 {
 		t.Error("ready empty-result entry not armed on the repeat batch")
 	}

@@ -1,0 +1,58 @@
+package cost
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBindingReadbackCost(t *testing.T) {
+	m := DefaultModel()
+
+	// One RAM block and one warm block: the sum of the individual tier scans.
+	got := m.BindingReadbackCost([]Tier{TierRAM, TierWarm}, []float64{1, 1})
+	want := m.TierScanCost(TierRAM, 1) + m.TierScanCost(TierWarm, 1)
+	if math.Abs(float64(got-want)) > 1e-12 {
+		t.Fatalf("mixed-tier readback = %v, want %v", got, want)
+	}
+
+	// Sub-block results are clamped to one block: a one-row cached binding
+	// still costs a block read, never zero.
+	small := m.BindingReadbackCost([]Tier{TierRAM}, []float64{0.01})
+	if small != m.TierScanCost(TierRAM, 1) {
+		t.Fatalf("sub-block readback = %v, want one-block cost %v", small, m.TierScanCost(TierRAM, 1))
+	}
+
+	if c := m.BindingReadbackCost(nil, nil); c != 0 {
+		t.Fatalf("empty readback = %v, want 0", c)
+	}
+
+	// Warm read-back must not be cheaper than RAM: tier-aware costing is
+	// what keeps armed partial hits priced honestly per tier.
+	ram := m.BindingReadbackCost([]Tier{TierRAM}, []float64{4})
+	warm := m.BindingReadbackCost([]Tier{TierWarm}, []float64{4})
+	if warm < ram {
+		t.Fatalf("warm readback %v cheaper than RAM %v", warm, ram)
+	}
+}
+
+func TestResidualInvokeWeight(t *testing.T) {
+	// Half the bindings residual: the Invoke body's weight halves.
+	if w := ResidualInvokeWeight(80, 4, 8); w != 40 {
+		t.Fatalf("80×4/8 = %v, want 40", w)
+	}
+	// All residual: full weight. None residual: zero.
+	if w := ResidualInvokeWeight(6, 6, 6); w != 6 {
+		t.Fatalf("all-residual weight = %v, want 6", w)
+	}
+	if w := ResidualInvokeWeight(6, 0, 6); w != 0 {
+		t.Fatalf("no-residual weight = %v, want 0", w)
+	}
+	// Degenerate totals fall back to the raw invocation count rather than
+	// dividing by zero.
+	if w := ResidualInvokeWeight(7, 3, 0); w != 7 {
+		t.Fatalf("zero-total weight = %v, want 7", w)
+	}
+	if w := ResidualInvokeWeight(5, -1, 4); w != 0 {
+		t.Fatalf("negative residual weight = %v, want 0", w)
+	}
+}

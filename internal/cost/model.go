@@ -131,6 +131,42 @@ func (m Model) TierScanCost(t Tier, blocks float64) Cost {
 	return m.ScanCost(blocks)
 }
 
+// BindingReadbackCost prices serving a set of cached Invoke-body bindings
+// by table scan: one tier-priced scan per binding (each binding lives in
+// its own spooled table, so each read pays its own seek), every scan
+// clamped to at least one block. It is the OpCost side of a partial hit's
+// price — cached-fraction read-back — with the residual fraction carried
+// by the Invoke body's child weight (ResidualInvokeWeight), so together
+// the two make all four algorithms choose partial hits natively through
+// the ordinary weighted-child cost recurrence.
+func (m Model) BindingReadbackCost(tiers []Tier, blocks []float64) Cost {
+	var c Cost
+	for i, t := range tiers {
+		b := blocks[i]
+		if b < 1 {
+			b = 1
+		}
+		c += m.TierScanCost(t, b)
+	}
+	return c
+}
+
+// ResidualInvokeWeight scales an Invoke's invocation-count estimate to the
+// fraction of this batch's bindings that missed the binding cache: with
+// residual of total bindings uncached, the body child of an InvokePartial
+// is weighted at times×residual/total. A zero total (no bindings supplied)
+// keeps the full estimate.
+func ResidualInvokeWeight(times float64, residual, total int) float64 {
+	if total <= 0 {
+		return times
+	}
+	w := times * float64(residual) / float64(total)
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
 // DeriveWarmReadS calibrates the warm tier's per-block read constant from
 // measured per-page scan latencies on the two tiers (the same derive-from-
 // artifacts discipline core.DeriveCalibration applies to the phase

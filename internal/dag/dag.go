@@ -60,7 +60,11 @@ type Group struct {
 	Schema algebra.Schema
 
 	// ParamDep marks groups whose result depends on a correlation or query
-	// parameter; such groups are never materialization candidates.
+	// parameter. Such groups are never whole-expression materialization
+	// candidates — one table cannot stand for all bindings — but the result
+	// cache stores them per binding, keyed by (fingerprint, binding): the
+	// canonical fingerprint renders parameters by name ("?name"), so it
+	// plus one concrete binding identifies one result exactly.
 	ParamDep bool
 
 	// SubsumpNode marks groups introduced purely by subsumption

@@ -94,6 +94,23 @@ func opName(pn *physical.PlanNode, asConsumer bool, env *Env) string {
 		}
 		return "CacheScan(" + pn.E.CacheName + ")"
 	}
+	if pn.E.Kind == physical.InvokePartial {
+		// Partial binding-cache hit: how many bindings scan their cached
+		// tables versus recompute through the body (warm-tier scans tagged,
+		// matching the CacheScan rendering above).
+		warm := 0
+		for _, bs := range pn.E.BindScans {
+			if bs.Tier == cost.TierWarm {
+				warm++
+			}
+		}
+		s := fmt.Sprintf("InvokePartial(%d cached, %d residual)",
+			len(pn.E.BindScans), len(pn.E.ResidualBinds))
+		if warm > 0 {
+			s += fmt.Sprintf("@warm×%d", warm)
+		}
+		return s
+	}
 	return pn.E.Kind.String()
 }
 

@@ -28,6 +28,12 @@ type QueryResult struct {
 // DAG before optimization.
 type CacheIO struct {
 	Spools map[*physical.Node]string
+	// BindSpools maps Invoke plan nodes to binding-key → cache-table
+	// assignments for residual bindings admitted at binding granularity
+	// (§5): the invoke iterator tees each listed binding's rows into its
+	// own cache table as it computes them, so the next batch's pre-pass
+	// can arm those bindings as partial hits.
+	BindSpools map[*physical.Node]map[string]string
 }
 
 // spoolName resolves the cache-table name a node's result must be spooled
@@ -38,6 +44,15 @@ func (c *CacheIO) spoolName(n *physical.Node) (string, bool) {
 	}
 	name, ok := c.Spools[n]
 	return name, ok
+}
+
+// bindSpools resolves an Invoke node's per-binding spool assignments, nil
+// when none.
+func (c *CacheIO) bindSpools(n *physical.Node) map[string]string {
+	if c == nil {
+		return nil
+	}
+	return c.BindSpools[n]
 }
 
 // RunStats reports the measured execution profile of a batch run: page I/O
@@ -424,12 +439,20 @@ func (b *builder) buildOp(pn *physical.PlanNode, asConsumer bool) (Iterator, err
 		// indexed materialization): read through to the data.
 		return b.build(pn.Children[0], true)
 
-	case physical.InvokeOp:
+	case physical.InvokeOp, physical.InvokePartial:
 		child, err := b.build(pn.Children[0], true)
 		if err != nil {
 			return nil, err
 		}
-		return &invokeIter{child: child, env: b.env}, nil
+		iv := &invokeIter{child: child, env: b.env, db: b.db,
+			spools: b.env.Cache.bindSpools(pn.N)}
+		if pn.E.Kind == physical.InvokePartial {
+			iv.scans = make(map[string]physical.BindScan, len(pn.E.BindScans))
+			for _, bs := range pn.E.BindScans {
+				iv.scans[bs.Bind] = bs
+			}
+		}
+		return iv, nil
 
 	case physical.BaseIndex:
 		// Base index access consumed as plain data: scan the table.
@@ -565,15 +588,29 @@ func (b *builder) resolveIndexedSource(pn *physical.PlanNode, col algebra.Column
 }
 
 // invokeIter runs its child once per parameter binding, concatenating the
-// outputs (correlated evaluation of a nested query, §5).
+// outputs in ParamSets order (correlated evaluation of a nested query,
+// §5). With the binding cache armed (InvokePartial) some bindings are
+// served by scanning their spooled per-binding cache tables instead of
+// recomputing — the streams interleave in the same ParamSets order, so the
+// output is byte-identical to a full recompute. Residual bindings with a
+// spool assignment are teed into fresh cache tables as they stream.
 type invokeIter struct {
 	child Iterator
 	env   *Env
+	db    *storage.DB
+
+	// scans maps binding keys to cached-binding tables (InvokePartial
+	// only); spools maps binding keys to the tables this run must write.
+	scans  map[string]physical.BindScan
+	spools map[string]string
 
 	sets    []map[string]algebra.Value
+	keys    []string // BindingKey per set, in order
 	setIdx  int
-	opened  bool
+	cur     Iterator // current binding's source: the child or a cache scan
 	started bool
+	spoolTo string        // table the current binding spools into ("" = none)
+	buf     []storage.Row // current binding's teed rows
 }
 
 func (iv *invokeIter) Open() error {
@@ -581,41 +618,116 @@ func (iv *invokeIter) Open() error {
 	if len(iv.sets) == 0 {
 		iv.sets = []map[string]algebra.Value{{}}
 	}
+	iv.keys = make([]string, len(iv.sets))
+	for i, ps := range iv.sets {
+		iv.keys[i] = algebra.BindingKey(ps)
+	}
 	iv.setIdx = 0
-	iv.opened, iv.started = true, false
+	iv.started = false
 	return nil
+}
+
+// openBinding positions the iterator on binding setIdx: a cached binding
+// scans its table (tier-routed like CacheScanOp), a residual one binds the
+// parameters and opens the child, arming the spool sink when this run owes
+// the binding's table and no earlier occurrence already wrote it.
+func (iv *invokeIter) openBinding() error {
+	bind := iv.keys[iv.setIdx]
+	if ref, ok := iv.scans[bind]; ok && iv.db != nil {
+		it, err := iv.cacheScan(ref)
+		if err != nil {
+			return err
+		}
+		if err := it.Open(); err != nil {
+			return err
+		}
+		iv.cur = it
+		iv.started = true
+		return nil
+	}
+	for k, v := range iv.sets[iv.setIdx] {
+		iv.env.Params[k] = v
+	}
+	if err := iv.child.Open(); err != nil {
+		return err
+	}
+	iv.cur = iv.child
+	if table, ok := iv.spools[bind]; ok && iv.db != nil {
+		if _, err := iv.db.Cache(table); err != nil { // not yet written
+			iv.spoolTo = table
+			iv.buf = iv.buf[:0]
+		}
+	}
+	iv.started = true
+	return nil
+}
+
+// cacheScan opens the table scan serving one cached binding, preferring
+// the tier the plan was priced at and falling back from warm to RAM when
+// an async promotion completed mid-batch (mirroring CacheScanOp).
+func (iv *invokeIter) cacheScan(ref physical.BindScan) (Iterator, error) {
+	if ref.Tier == cost.TierWarm {
+		if wt, err := iv.db.Warm(ref.Table); err == nil {
+			return newTableScan(wt.Heap, wt.Schema), nil
+		}
+	}
+	ct, err := iv.db.Cache(ref.Table)
+	if err != nil {
+		return nil, fmt.Errorf("exec: armed binding table %s missing: %w", ref.Table, err)
+	}
+	return newTableScan(ct.Heap, ct.Schema), nil
+}
+
+// closeBinding finishes the current binding: a fully drained spooled
+// binding's rows become its cache table (the single-flight claim was
+// already placed; partially drained bindings never write).
+func (iv *invokeIter) closeBinding(drained bool) error {
+	if iv.spoolTo != "" {
+		if drained {
+			ct := iv.db.CreateCache(iv.spoolTo, iv.child.Schema())
+			for _, r := range iv.buf {
+				if _, err := ct.Heap.Insert(r); err != nil {
+					return err
+				}
+			}
+		}
+		iv.spoolTo = ""
+		iv.buf = nil
+	}
+	err := iv.cur.Close()
+	iv.cur = nil
+	iv.started = false
+	return err
 }
 
 func (iv *invokeIter) Next() (storage.Row, bool, error) {
 	for iv.setIdx < len(iv.sets) {
 		if !iv.started {
-			for k, v := range iv.sets[iv.setIdx] {
-				iv.env.Params[k] = v
-			}
-			if err := iv.child.Open(); err != nil {
+			if err := iv.openBinding(); err != nil {
 				return nil, false, err
 			}
-			iv.started = true
 		}
-		r, ok, err := iv.child.Next()
+		r, ok, err := iv.cur.Next()
 		if err != nil {
 			return nil, false, err
 		}
 		if ok {
+			if iv.spoolTo != "" {
+				iv.buf = append(iv.buf, r)
+			}
 			return r, true, nil
 		}
-		if err := iv.child.Close(); err != nil {
+		if err := iv.closeBinding(true); err != nil {
 			return nil, false, err
 		}
 		iv.setIdx++
-		iv.started = false
 	}
 	return nil, false, nil
 }
 
 func (iv *invokeIter) Close() error {
 	if iv.started {
-		return iv.child.Close()
+		return iv.closeBinding(false)
 	}
 	return nil
 }

@@ -36,6 +36,12 @@ const (
 	// cache: a leaf access path armed per batch (ArmCacheScan) on nodes
 	// whose logical fingerprint matched a ready cache entry.
 	CacheScanOp
+	// InvokePartial is a partial binding-cache hit on an Invoke node
+	// (ArmInvokePartial): bindings whose (body fingerprint, binding) entry
+	// is ready stream from per-binding cache tables, the residual bindings
+	// run the body as usual, and the two sets concatenate in ParamSets
+	// order so the output is byte-identical to a full recompute.
+	InvokePartial
 )
 
 // String names the algorithm for plan printing.
@@ -43,7 +49,7 @@ func (k AlgKind) String() string {
 	return [...]string{
 		"SeqScan", "BaseIndex", "IndexSelect", "Filter", "BNLJoin",
 		"MergeJoin", "IndexJoin", "SortAgg", "ScalarAgg", "Project",
-		"Sort", "IndexBuild", "Batch", "Invoke", "CacheScan",
+		"Sort", "IndexBuild", "Batch", "Invoke", "CacheScan", "InvokePartial",
 	}[k]
 }
 
@@ -63,6 +69,23 @@ type PExpr struct {
 	IxCol     algebra.Column   // index column (IndexSelect, IndexJoin, IndexBuild, BaseIndex)
 	CacheName string           // spooled result table (CacheScanOp)
 	CacheTier cost.Tier        // storage tier of the spooled table (CacheScanOp)
+
+	// InvokePartial parameters: the cached bindings served by table scans,
+	// the residual binding keys recomputed through the body child, and the
+	// body's cache entry-key prefix (fingerprint§property) PinPlan uses to
+	// revalidate binding-set membership before reusing a cached plan.
+	BindScans     []BindScan
+	ResidualBinds []string
+	BindFP        string
+}
+
+// BindScan names one cached binding of a partial Invoke hit: which binding
+// (algebra.BindingKey), which spooled table serves it, and the storage tier
+// the hit was priced at.
+type BindScan struct {
+	Bind  string
+	Table string
+	Tier  cost.Tier
 }
 
 // Node is a physical equivalence node: a logical group constrained to a
@@ -454,6 +477,25 @@ func (pd *DAG) addEnforcers(n *Node) error {
 // honestly. The executor routes the scan to the matching namespace.
 func (pd *DAG) ArmCacheScan(n *Node, table string, scanCost cost.Cost, tier cost.Tier) {
 	pd.addExpr(&PExpr{Kind: CacheScanOp, Node: n, CacheName: table, OpCost: scanCost, CacheTier: tier})
+}
+
+// ArmInvokePartial adds a partial binding-cache hit alternative to an
+// Invoke node n: OpCost is the tier-priced read-back of the cached
+// bindings' tables, and the body child is weighted at residualWeight — the
+// Invoke's invocation estimate scaled to the residual fraction
+// (cost.ResidualInvokeWeight) — so the ordinary weighted-child recurrence
+// prices the partial hit as cached-fraction scan + residual-fraction
+// recompute and every algorithm trades it against the full Invoke natively.
+// le must be the Invoke logical expression (the executor recovers Times
+// from it) and body the Invoke's body node at the same property the plain
+// InvokeOp uses, so extraction below the node is unchanged.
+func (pd *DAG) ArmInvokePartial(n *Node, le *dag.Expr, body *Node, residualWeight float64,
+	scanCost cost.Cost, scans []BindScan, residual []string, bindFP string) {
+	pd.addExpr(&PExpr{
+		Kind: InvokePartial, LE: le, Node: n, Children: []*Node{body},
+		Weights: []float64{residualWeight}, OpCost: scanCost,
+		BindScans: scans, ResidualBinds: residual, BindFP: bindFP,
+	})
 }
 
 // indexable reports whether an index on col can exist for group g: either a

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"mqo/internal/algebra"
 	"mqo/internal/cache"
 	"mqo/internal/catalog"
 	"mqo/internal/core"
@@ -472,10 +473,16 @@ func (o *Optimizer) runOnDB(ctx context.Context, queries []*Query, alg Algorithm
 	}
 	// The plan depends on the cache state it was armed against, so the
 	// plan-cache key folds in the store's ready-set generation: any
-	// admission or eviction strands older plans on unreachable keys.
+	// admission or eviction strands older plans on unreachable keys. A
+	// parameterized batch's plan additionally depends on which bindings the
+	// binding pre-pass armed, so the concrete binding set joins the key —
+	// the same SQL with different ParamSets must not share a plan.
 	var key string
 	if o.cache != nil {
 		key = o.batchKey(ld, roots, alg) + "|rc" + strconv.FormatInt(rc.Generation(), 10)
+		if env != nil && len(env.ParamSets) > 0 {
+			key += "|ps" + bindingsSignature(env.ParamSets)
+		}
 		if res, ok := o.cache.get(key); ok {
 			if ticket, pinned := rc.PinPlan(res.Plan); pinned {
 				optSpan.End()
@@ -491,7 +498,11 @@ func (o *Optimizer) runOnDB(ctx context.Context, queries []*Query, alg Algorithm
 		optSpan.End()
 		return nil, meta, err
 	}
-	ticket := rc.Arm(pd)
+	var paramSets []map[string]algebra.Value
+	if env != nil {
+		paramSets = env.ParamSets
+	}
+	ticket := rc.Arm(pd, paramSets)
 	res, err := core.Optimize(ctx, pd, alg, o.opts)
 	optSpan.End()
 	if err != nil {
@@ -503,7 +514,7 @@ func (o *Optimizer) runOnDB(ctx context.Context, queries []*Query, alg Algorithm
 	spoolStart := time.Now()
 	spools := ticket.PlanSpools(res.Plan)
 	meta.Phases.Spool = time.Since(spoolStart)
-	if o.cache != nil && key != "" && len(spools) == 0 {
+	if o.cache != nil && key != "" && len(spools) == 0 && len(ticket.BindingSpools()) == 0 {
 		// Steady state (nothing newly spooled): the plan is reusable at
 		// this generation. Spooling batches bump the generation on commit,
 		// so caching their plans would only strand dead entries.
@@ -521,7 +532,7 @@ func (o *Optimizer) execTicket(ctx context.Context, res *Result, ticket *cache.T
 	if env == nil {
 		env = &exec.Env{}
 	}
-	env.Cache = &exec.CacheIO{Spools: spools}
+	env.Cache = &exec.CacheIO{Spools: spools, BindSpools: ticket.BindingSpools()}
 	results, stats, err := exec.Run(ctx, o.db, o.model, res.Plan, env)
 	if err != nil {
 		ticket.Abort()
@@ -532,6 +543,9 @@ func (o *Optimizer) execTicket(ctx context.Context, res *Result, ticket *cache.T
 	spoolStart := time.Now()
 	meta.ResultCacheHits = ticket.Commit()
 	meta.ResultCacheSpools = len(spools)
+	for _, binds := range ticket.BindingSpools() {
+		meta.ResultCacheSpools += len(binds)
+	}
 	meta.Phases.Spool += time.Since(spoolStart)
 	phaseSpool.ObserveDuration(meta.Phases.Spool)
 	return &ExecResult{Result: res, Queries: results, Exec: stats}, meta, nil
@@ -571,4 +585,15 @@ func (o *Optimizer) batchKey(ld *dag.DAG, roots []*dag.Group, alg Algorithm) str
 		parts[i] = fps[g.Find()]
 	}
 	return fmt.Sprintf("%v|%+v|%s", alg, o.opts, strings.Join(parts, ";"))
+}
+
+// bindingsSignature renders a batch's parameter bindings for the
+// plan-cache key, preserving ParamSets order (the executed row order
+// depends on it).
+func bindingsSignature(sets []map[string]algebra.Value) string {
+	parts := make([]string, len(sets))
+	for i, ps := range sets {
+		parts[i] = algebra.BindingKey(ps)
+	}
+	return strings.Join(parts, ";")
 }
